@@ -1,0 +1,26 @@
+//! # revbifpn-baselines
+//!
+//! Every baseline the paper compares against, built in the same framework:
+//!
+//! * [`EfficientNet`] — B0–B7 compound-scaled classification family
+//!   (Figure 1, Tables 2/11);
+//! * [`HrNet`] — the bidirectional multi-stream but *non-reversible*
+//!   relative (Tables 9/10);
+//! * [`RevShNet`] — the reversible stacked-hourglass strawman of
+//!   Appendix A.1 (Figures 8–10);
+//! * [`ResNetFpn`] — the classic detection backbone (Tables 9/10);
+//! * [`published`] — the paper's reported numbers, carried verbatim for the
+//!   side-by-side bench tables.
+
+#![warn(missing_docs)]
+
+mod effnet;
+mod hrnet;
+pub mod published;
+mod resnet_fpn;
+mod revshnet;
+
+pub use effnet::{EfficientNet, EfficientNetConfig};
+pub use hrnet::{HrNet, HrNetConfig};
+pub use resnet_fpn::{ResNetFpn, ResNetFpnConfig};
+pub use revshnet::{RevShNet, RevShNetConfig};

@@ -1,0 +1,218 @@
+//! Published numbers from the paper, carried verbatim so that every bench
+//! table can print "paper" columns next to our measured/modelled values.
+//! Sources: Tables 1, 2, 9, 10, 11 of Chiley et al., MLSys 2023.
+
+/// One row of the ImageNet comparison (paper Tables 1 / 11).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ImagenetRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Parameters, millions.
+    pub params_m: f64,
+    /// Train/eval resolution.
+    pub res: usize,
+    /// MACs, billions.
+    pub macs_b: f64,
+    /// Top-1 accuracy, percent.
+    pub top1: f64,
+}
+
+/// RevBiFPN-S0..S6 (paper Table 1).
+pub const REVBIFPN_IMAGENET: [ImagenetRow; 7] = [
+    ImagenetRow { model: "RevBiFPN-S0", params_m: 3.42, res: 224, macs_b: 0.31, top1: 72.8 },
+    ImagenetRow { model: "RevBiFPN-S1", params_m: 5.11, res: 256, macs_b: 0.62, top1: 75.9 },
+    ImagenetRow { model: "RevBiFPN-S2", params_m: 10.6, res: 256, macs_b: 1.37, top1: 79.0 },
+    ImagenetRow { model: "RevBiFPN-S3", params_m: 19.6, res: 288, macs_b: 3.33, top1: 81.1 },
+    ImagenetRow { model: "RevBiFPN-S4", params_m: 48.7, res: 320, macs_b: 10.6, top1: 83.0 },
+    ImagenetRow { model: "RevBiFPN-S5", params_m: 82.0, res: 352, macs_b: 21.8, top1: 83.7 },
+    ImagenetRow { model: "RevBiFPN-S6", params_m: 142.3, res: 352, macs_b: 38.1, top1: 84.2 },
+];
+
+/// EfficientNet-B0..B7 (paper Table 11, Tan & Le 2019 column).
+pub const EFFICIENTNET_IMAGENET: [ImagenetRow; 8] = [
+    ImagenetRow { model: "EfficientNet-B0", params_m: 5.3, res: 224, macs_b: 0.39, top1: 77.1 },
+    ImagenetRow { model: "EfficientNet-B1", params_m: 7.8, res: 240, macs_b: 0.70, top1: 79.1 },
+    ImagenetRow { model: "EfficientNet-B2", params_m: 9.2, res: 260, macs_b: 1.0, top1: 80.1 },
+    ImagenetRow { model: "EfficientNet-B3", params_m: 12.0, res: 300, macs_b: 1.8, top1: 81.6 },
+    ImagenetRow { model: "EfficientNet-B4", params_m: 19.0, res: 380, macs_b: 4.2, top1: 82.9 },
+    ImagenetRow { model: "EfficientNet-B5", params_m: 30.0, res: 456, macs_b: 9.9, top1: 83.6 },
+    ImagenetRow { model: "EfficientNet-B6", params_m: 43.0, res: 528, macs_b: 19.0, top1: 84.0 },
+    ImagenetRow { model: "EfficientNet-B7", params_m: 66.0, res: 600, macs_b: 37.0, top1: 84.3 },
+];
+
+/// HRNet-WxC classification rows (paper Table 11).
+pub const HRNET_IMAGENET: [ImagenetRow; 3] = [
+    ImagenetRow { model: "HRNet-W18-C", params_m: 21.3, res: 224, macs_b: 3.99, top1: 76.8 },
+    ImagenetRow { model: "HRNet-W32-C", params_m: 41.2, res: 224, macs_b: 8.31, top1: 78.5 },
+    ImagenetRow { model: "HRNet-W48-C", params_m: 77.5, res: 224, macs_b: 16.1, top1: 79.3 },
+];
+
+/// Paper Table 2: training memory (GB) per sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryRow {
+    /// Model name.
+    pub model: &'static str,
+    /// GB/sample at the model's training resolution.
+    pub train_res_gb: f64,
+    /// GB/sample at 224 (None when not reported).
+    pub at224_gb: Option<f64>,
+    /// GB/sample at 384.
+    pub at384_gb: f64,
+}
+
+/// Table 2 rows.
+pub const TABLE2: [MemoryRow; 2] = [
+    MemoryRow { model: "RevBiFPN-S6", train_res_gb: 0.254, at224_gb: None, at384_gb: 0.291 },
+    MemoryRow { model: "EfficientNet-B7", train_res_gb: 5.047, at224_gb: Some(0.673), at384_gb: 1.786 },
+];
+
+/// One row of the COCO detection table (paper Table 9, Faster R-CNN).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionRow {
+    /// Backbone name.
+    pub backbone: &'static str,
+    /// Parameters, millions (incl. detector head).
+    pub params_m: f64,
+    /// MACs, billions (at 800x1333, incl. head).
+    pub macs_b: f64,
+    /// Training memory per sample, GB.
+    pub mem_gb: f64,
+    /// Schedule ("1x" or "2x").
+    pub schedule: &'static str,
+    /// Box AP.
+    pub ap: f64,
+    /// AP at IoU 0.5.
+    pub ap50: f64,
+    /// AP at IoU 0.75.
+    pub ap75: f64,
+    /// AP small / medium / large.
+    pub ap_sml: [f64; 3],
+}
+
+/// Paper Table 9 (selected rows: all RevBiFPN + all baselines at 1x, plus 2x
+/// baselines used in the text's comparisons).
+pub const TABLE9: [DetectionRow; 17] = [
+    DetectionRow { backbone: "RevBiFPN-S0", params_m: 19.55, macs_b: 135.12, mem_gb: 0.84, schedule: "1x", ap: 31.4, ap50: 51.5, ap75: 33.3, ap_sml: [17.8, 34.3, 40.9] },
+    DetectionRow { backbone: "RevBiFPN-S1", params_m: 20.48, macs_b: 140.66, mem_gb: 0.89, schedule: "1x", ap: 32.0, ap50: 52.0, ap75: 34.1, ap_sml: [18.3, 35.7, 43.0] },
+    DetectionRow { backbone: "RevBiFPN-S2", params_m: 23.86, macs_b: 157.42, mem_gb: 1.07, schedule: "1x", ap: 36.3, ap50: 57.4, ap75: 39.3, ap_sml: [20.8, 39.6, 46.6] },
+    DetectionRow { backbone: "RevBiFPN-S3", params_m: 30.40, macs_b: 180.99, mem_gb: 1.31, schedule: "1x", ap: 38.7, ap50: 60.0, ap75: 41.4, ap_sml: [23.1, 42.0, 50.4] },
+    DetectionRow { backbone: "RevBiFPN-S4", params_m: 52.88, macs_b: 251.02, mem_gb: 2.03, schedule: "1x", ap: 40.3, ap50: 60.5, ap75: 44.0, ap_sml: [23.7, 44.3, 52.4] },
+    DetectionRow { backbone: "RevBiFPN-S5", params_m: 77.83, macs_b: 328.91, mem_gb: 2.75, schedule: "1x", ap: 41.3, ap50: 62.7, ap75: 44.8, ap_sml: [24.8, 45.6, 52.5] },
+    DetectionRow { backbone: "RevBiFPN-S6", params_m: 127.51, macs_b: 465.43, mem_gb: 3.69, schedule: "1x", ap: 42.2, ap50: 63.5, ap75: 45.8, ap_sml: [25.7, 46.5, 54.0] },
+    DetectionRow { backbone: "HRNetV2p-W18", params_m: 27.48, macs_b: 196.18, mem_gb: 3.13, schedule: "1x", ap: 36.2, ap50: 57.3, ap75: 39.3, ap_sml: [20.7, 39.0, 46.8] },
+    DetectionRow { backbone: "HRNetV2p-W18", params_m: 27.48, macs_b: 196.18, mem_gb: 3.13, schedule: "2x", ap: 38.0, ap50: 58.9, ap75: 41.5, ap_sml: [22.6, 40.8, 49.6] },
+    DetectionRow { backbone: "HRNetV2p-W32", params_m: 47.28, macs_b: 298.96, mem_gb: 4.31, schedule: "1x", ap: 39.6, ap50: 61.0, ap75: 43.3, ap_sml: [23.7, 42.5, 50.5] },
+    DetectionRow { backbone: "HRNetV2p-W32", params_m: 47.28, macs_b: 298.96, mem_gb: 4.31, schedule: "2x", ap: 40.9, ap50: 61.8, ap75: 44.8, ap_sml: [24.4, 43.7, 53.3] },
+    DetectionRow { backbone: "HRNetV2p-W48", params_m: 83.36, macs_b: 481.92, mem_gb: 5.82, schedule: "1x", ap: 41.3, ap50: 62.8, ap75: 45.1, ap_sml: [25.1, 44.5, 52.9] },
+    DetectionRow { backbone: "HRNetV2p-W48", params_m: 83.36, macs_b: 481.92, mem_gb: 5.82, schedule: "2x", ap: 41.8, ap50: 62.8, ap75: 45.9, ap_sml: [25.0, 44.7, 54.6] },
+    DetectionRow { backbone: "ResNet-50-FPN", params_m: 41.53, macs_b: 216.70, mem_gb: 1.81, schedule: "1x", ap: 36.7, ap50: 58.3, ap75: 39.9, ap_sml: [20.9, 39.8, 47.9] },
+    DetectionRow { backbone: "ResNet-50-FPN", params_m: 41.53, macs_b: 216.70, mem_gb: 1.81, schedule: "2x", ap: 37.6, ap50: 58.7, ap75: 41.3, ap_sml: [21.4, 40.8, 49.7] },
+    DetectionRow { backbone: "ResNet-101-FPN", params_m: 60.52, macs_b: 296.58, mem_gb: 2.72, schedule: "1x", ap: 39.2, ap50: 61.1, ap75: 43.0, ap_sml: [22.3, 42.9, 50.9] },
+    DetectionRow { backbone: "ResNet-101-FPN", params_m: 60.52, macs_b: 296.58, mem_gb: 2.72, schedule: "2x", ap: 39.8, ap50: 61.4, ap75: 43.4, ap_sml: [22.9, 43.6, 52.4] },
+];
+
+/// One row of the COCO instance-segmentation table (paper Table 10, Mask
+/// R-CNN).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegmentationRow {
+    /// Backbone name.
+    pub backbone: &'static str,
+    /// Parameters, millions.
+    pub params_m: f64,
+    /// MACs, billions.
+    pub macs_b: f64,
+    /// Training memory per sample, GB.
+    pub mem_gb: f64,
+    /// Schedule.
+    pub schedule: &'static str,
+    /// Mask AP.
+    pub mask_ap: f64,
+    /// Box AP.
+    pub bbox_ap: f64,
+}
+
+/// Paper Table 10 (1x rows plus the 2x baselines quoted in Section 4.2).
+pub const TABLE10: [SegmentationRow; 13] = [
+    SegmentationRow { backbone: "RevBiFPN-S0", params_m: 22.19, macs_b: 188.20, mem_gb: 0.87, schedule: "1x", mask_ap: 29.7, bbox_ap: 31.4 },
+    SegmentationRow { backbone: "RevBiFPN-S1", params_m: 23.12, macs_b: 193.73, mem_gb: 0.91, schedule: "1x", mask_ap: 31.0, bbox_ap: 34.0 },
+    SegmentationRow { backbone: "RevBiFPN-S2", params_m: 26.50, macs_b: 210.49, mem_gb: 1.06, schedule: "1x", mask_ap: 33.7, bbox_ap: 37.1 },
+    SegmentationRow { backbone: "RevBiFPN-S3", params_m: 33.04, macs_b: 232.92, mem_gb: 1.32, schedule: "1x", mask_ap: 35.5, bbox_ap: 39.4 },
+    SegmentationRow { backbone: "RevBiFPN-S4", params_m: 55.50, macs_b: 304.09, mem_gb: 2.05, schedule: "1x", mask_ap: 37.1, bbox_ap: 41.5 },
+    SegmentationRow { backbone: "RevBiFPN-S5", params_m: 80.47, macs_b: 381.99, mem_gb: 2.77, schedule: "1x", mask_ap: 37.8, bbox_ap: 42.2 },
+    SegmentationRow { backbone: "RevBiFPN-S6", params_m: 130.15, macs_b: 518.50, mem_gb: 3.71, schedule: "1x", mask_ap: 38.7, bbox_ap: 43.3 },
+    SegmentationRow { backbone: "HRNetV2p-W18", params_m: 30.13, macs_b: 249.25, mem_gb: 3.33, schedule: "1x", mask_ap: 33.8, bbox_ap: 37.1 },
+    SegmentationRow { backbone: "HRNetV2p-W18", params_m: 30.13, macs_b: 249.25, mem_gb: 3.33, schedule: "2x", mask_ap: 35.3, bbox_ap: 39.2 },
+    SegmentationRow { backbone: "HRNetV2p-W32", params_m: 49.92, macs_b: 352.03, mem_gb: 4.51, schedule: "1x", mask_ap: 36.7, bbox_ap: 40.9 },
+    SegmentationRow { backbone: "HRNetV2p-W32", params_m: 49.92, macs_b: 352.03, mem_gb: 4.51, schedule: "2x", mask_ap: 37.6, bbox_ap: 42.3 },
+    SegmentationRow { backbone: "ResNet-50-FPN", params_m: 44.17, macs_b: 269.78, mem_gb: 2.09, schedule: "1x", mask_ap: 34.2, bbox_ap: 37.8 },
+    SegmentationRow { backbone: "ResNet-101-FPN", params_m: 63.16, macs_b: 349.65, mem_gb: 2.88, schedule: "1x", mask_ap: 36.1, bbox_ap: 40.0 },
+];
+
+/// Ablation rows (Tables 3, 4, 5): 96x96 inputs, 150-epoch runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AblationRow {
+    /// Option label.
+    pub option: &'static str,
+    /// Parameters, millions.
+    pub params_m: f64,
+    /// MACs, millions.
+    pub macs_m: f64,
+    /// Top-1 accuracy, percent.
+    pub top1: f64,
+}
+
+/// Table 3: down/up-sampling operators.
+pub const TABLE3: [AblationRow; 3] = [
+    AblationRow { option: "LD / SU", params_m: 3.49, macs_m: 75.7, top1: 61.5 },
+    AblationRow { option: "SD / SU", params_m: 3.28, macs_m: 67.2, top1: 60.8 },
+    AblationRow { option: "SD / LU", params_m: 3.47, macs_m: 69.5, top1: 61.5 },
+];
+
+/// Table 4: stem.
+pub const TABLE4: [AblationRow; 2] = [
+    AblationRow { option: "Convolutional", params_m: 3.49, macs_m: 75.7, top1: 61.5 },
+    AblationRow { option: "SpaceToDepth", params_m: 3.49, macs_m: 73.7, top1: 61.5 },
+];
+
+/// Table 5: squeeze-excite placement.
+pub const TABLE5: [AblationRow; 3] = [
+    AblationRow { option: "None", params_m: 3.40, macs_m: 75.5, top1: 61.3 },
+    AblationRow { option: "Low-res path", params_m: 3.49, macs_m: 75.7, top1: 61.4 },
+    AblationRow { option: "High-res path", params_m: 3.46, macs_m: 76.1, top1: 61.6 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revbifpn_rows_monotone_in_accuracy() {
+        for w in REVBIFPN_IMAGENET.windows(2) {
+            assert!(w[1].top1 > w[0].top1);
+            assert!(w[1].params_m > w[0].params_m);
+        }
+    }
+
+    #[test]
+    fn headline_comparison_holds() {
+        // S6 vs B7: comparable MACs and accuracy (the Figure 1 headline).
+        let s6 = REVBIFPN_IMAGENET[6];
+        let b7 = EFFICIENTNET_IMAGENET[7];
+        assert!((s6.macs_b - b7.macs_b).abs() < 2.0);
+        assert!((s6.top1 - b7.top1).abs() < 0.5);
+        // Table 2: 19.8x memory ratio at train res.
+        let ratio = TABLE2[1].train_res_gb / TABLE2[0].train_res_gb;
+        assert!((ratio - 19.8).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn table9_claims_from_text() {
+        // "RevBiFPN-S3 achieves an absolute gain of 2.5% AP over
+        // HRNetV2p-W18 using fewer MACs and ~2.4x less training memory."
+        let s3 = TABLE9.iter().find(|r| r.backbone == "RevBiFPN-S3").unwrap();
+        let w18 = TABLE9.iter().find(|r| r.backbone == "HRNetV2p-W18" && r.schedule == "1x").unwrap();
+        assert!((s3.ap - w18.ap - 2.5).abs() < 0.1);
+        assert!(s3.macs_b < w18.macs_b);
+        assert!((w18.mem_gb / s3.mem_gb - 2.4).abs() < 0.1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the numeric kernels: GEMM, the three
+//! convolution paths, bilinear resize, and SpaceToDepth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_tensor::{
+    conv2d, conv2d_backward, sgemm, space_to_depth, upsample, ConvSpec, ResizeMode, Shape, Tensor,
+};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let (m, k, n) = (64, 128, 256);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.1).collect();
+    let mut out = vec![0.0f32; m * n];
+    c.bench_function("sgemm_64x128x256", |bch| {
+        bch.iter(|| sgemm(m, k, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut out))
+    });
+
+    let x = Tensor::randn(Shape::new(1, 48, 56, 56), 1.0, &mut rng);
+    let w_pw = Tensor::randn(Shape::new(64, 48, 1, 1), 0.1, &mut rng);
+    let pw = ConvSpec::pointwise();
+    c.bench_function("conv_pointwise_48to64_56px", |bch| {
+        bch.iter(|| conv2d(black_box(&x), &w_pw, None, &pw))
+    });
+
+    let w_dw = Tensor::randn(Shape::new(48, 1, 3, 3), 0.1, &mut rng);
+    let dw = ConvSpec::depthwise(3, 1, 48);
+    c.bench_function("conv_depthwise3x3_48_56px", |bch| {
+        bch.iter(|| conv2d(black_box(&x), &w_dw, None, &dw))
+    });
+
+    let w_gen = Tensor::randn(Shape::new(32, 48, 3, 3), 0.1, &mut rng);
+    let gen = ConvSpec::kxk(3, 2);
+    c.bench_function("conv_general3x3s2_48to32_56px", |bch| {
+        bch.iter(|| conv2d(black_box(&x), &w_gen, None, &gen))
+    });
+
+    let y = conv2d(&x, &w_pw, None, &pw);
+    c.bench_function("conv_pointwise_backward", |bch| {
+        bch.iter(|| conv2d_backward(black_box(&x), &w_pw, &y, &pw, true))
+    });
+
+    let small = Tensor::randn(Shape::new(1, 64, 14, 14), 1.0, &mut rng);
+    c.bench_function("bilinear_upsample_2x_64c_14px", |bch| {
+        bch.iter(|| upsample(black_box(&small), 2, ResizeMode::Bilinear))
+    });
+
+    let img = Tensor::randn(Shape::new(1, 3, 224, 224), 1.0, &mut rng);
+    c.bench_function("space_to_depth_4_224px", |bch| {
+        bch.iter(|| space_to_depth(black_box(&img), 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion model-level benchmarks: RevBiFPN-tiny forward / reversible
+//! train step / conventional train step, and the RevSilo in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+
+    let mut model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10));
+    c.bench_function("tiny_forward_eval_b2", |b| {
+        b.iter(|| model.forward(black_box(&x), RunMode::Eval))
+    });
+
+    c.bench_function("tiny_train_step_reversible_b2", |b| {
+        b.iter(|| {
+            let logits = model.forward(black_box(&x), RunMode::TrainReversible);
+            let d = Tensor::full(logits.shape(), 0.01);
+            model.zero_grads();
+            model.backward(&d);
+            model.clear_cache();
+        })
+    });
+
+    c.bench_function("tiny_train_step_conventional_b2", |b| {
+        b.iter(|| {
+            let logits = model.forward(black_box(&x), RunMode::TrainConventional);
+            let d = Tensor::full(logits.shape(), 0.01);
+            model.zero_grads();
+            model.backward(&d);
+            model.clear_cache();
+        })
+    });
+
+    // The reversible-recomputation compute overhead is the interesting number:
+    // the paper trades ~one extra forward pass for O(1) activation memory.
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **Extra ablations of this reproduction's own design choices** (flagged in
+//! DESIGN.md): the paper states the expansion-ratio schedule only
+//! qualitatively, so we sweep (a) the silo fusion-transform expansion and
+//! (b) the per-stage reversible-block count, reporting params / MACs /
+//! memory / SynthScale accuracy for each choice. The shipped defaults
+//! (fusion expansion 1.0, one block per stage, block expansions rising with
+//! coarseness) land closest to the paper's S0 budget.
+
+use revbifpn::stats::summarize;
+use revbifpn::RevBiFPNConfig;
+use revbifpn_bench::{ablation_run, arg_usize, fmt_b, fmt_m, quick_mode, Table};
+
+fn main() {
+    let epochs = arg_usize("--epochs", if quick_mode() { 2 } else { 5 });
+    let train_size = arg_usize("--train-size", if quick_mode() { 128 } else { 384 });
+
+    println!("# Extra — reproduction design-choice ablations\n");
+    println!("## (a) fusion-transform expansion ratio (S0 budget impact, analytic)\n");
+    let mut t = Table::new(vec!["fusion expansion", "S0 params", "S0 MACs", "rev mem/sample", "paper budget"]);
+    for e in [0.5f32, 1.0, 1.5, 2.0] {
+        let mut cfg = RevBiFPNConfig::s0(1000);
+        cfg.fusion_expansion = e;
+        let s = summarize(&cfg);
+        t.row(vec![
+            format!("{e}"),
+            fmt_m(s.params),
+            fmt_b(s.macs),
+            format!("{:.3}GB", s.mem_rev_gb),
+            "3.42M / 0.31B".to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n## (b) reversible blocks per stage (tiny scale, trained on SynthScale)\n");
+    let mut t = Table::new(vec!["blocks/stage", "params", "MACs", "top-1"]);
+    for blocks in [1usize, 2, 3] {
+        let mut cfg = RevBiFPNConfig::tiny(16);
+        cfg.blocks_per_stage = blocks;
+        let (params, macs, acc) = ablation_run(&cfg, epochs, train_size, 256);
+        t.row(vec![
+            format!("{blocks}"),
+            fmt_m(params),
+            format!("{:.1}M", macs as f64 / 1e6),
+            format!("{:.1}%", acc * 100.0),
+        ]);
+    }
+    t.print();
+
+    println!("\n## (c) block expansion schedule (tiny scale, trained)\n");
+    let mut t = Table::new(vec!["expansion schedule", "params", "MACs", "top-1"]);
+    for (name, exp) in [
+        ("flat 1.0", vec![1.0f32, 1.0, 1.0]),
+        ("rising (default-like)", vec![1.0, 1.5, 2.0]),
+        ("steep rising", vec![1.0, 2.0, 4.0]),
+        ("falling", vec![2.0, 1.5, 1.0]),
+    ] {
+        let mut cfg = RevBiFPNConfig::tiny(16);
+        cfg.expansion = exp;
+        let (params, macs, acc) = ablation_run(&cfg, epochs, train_size, 256);
+        t.row(vec![
+            name.to_string(),
+            fmt_m(params),
+            format!("{:.1}M", macs as f64 / 1e6),
+            format!("{:.1}%", acc * 100.0),
+        ]);
+    }
+    t.print();
+    println!("\nPaper guidance: \"larger expansion ratios on the lower resolution streams\" —");
+    println!("the rising schedule; these sweeps bracket the budget impact of that choice.");
+}

@@ -1,0 +1,44 @@
+//! **Table 4 (stem ablation)**: convolutional stem vs the invertible
+//! SpaceToDepth stem. The paper (confirming Ridnik et al. 2021) finds equal
+//! accuracy at fewer MACs — and only SpaceToDepth keeps the network fully
+//! reversible.
+
+use revbifpn::{RevBiFPNConfig, StemKind};
+use revbifpn_baselines::published::TABLE4;
+use revbifpn_bench::{ablation_run, arg_usize, fmt_m, quick_mode, Table};
+
+fn main() {
+    let epochs = arg_usize("--epochs", if quick_mode() { 2 } else { 6 });
+    let train_size = arg_usize("--train-size", if quick_mode() { 128 } else { 512 });
+    println!("# Table 4 — stem ablation\n");
+
+    let variants = [("Convolutional", StemKind::Convolutional), ("SpaceToDepth", StemKind::SpaceToDepth)];
+    let mut t = Table::new(vec![
+        "stem",
+        "params (ours)",
+        "MACs (ours)",
+        "top-1 SynthScale (ours)",
+        "fully reversible",
+        "params (paper)",
+        "MACs (paper)",
+        "top-1 ImageNet (paper)",
+    ]);
+    for (i, (name, stem)) in variants.into_iter().enumerate() {
+        let mut cfg = RevBiFPNConfig::tiny(16);
+        cfg.stem = stem;
+        let (params, macs, acc) = ablation_run(&cfg, epochs, train_size, 256);
+        let paper = TABLE4[i];
+        t.row(vec![
+            name.to_string(),
+            fmt_m(params),
+            format!("{:.1}M", macs as f64 / 1e6),
+            format!("{:.1}%", acc * 100.0),
+            (stem == StemKind::SpaceToDepth).to_string(),
+            format!("{:.2}M", paper.params_m),
+            format!("{:.1}M", paper.macs_m),
+            format!("{:.1}%", paper.top1),
+        ]);
+    }
+    t.print();
+    println!("\nPaper shape: identical accuracy; SpaceToDepth saves the stem MACs and is invertible.");
+}

@@ -1,0 +1,364 @@
+//! RevBiFPN family configuration and the compound-scaling rule (paper
+//! Table 6 / Appendix C.6).
+
+use serde::{Deserialize, Serialize};
+
+/// How features are downsampled inside RevSilos and heads
+/// (Table 3 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DownsampleMode {
+    /// "sd": one depthwise block with stride `2^k` and kernel `2^(k+1)+1`
+    /// (the paper's choice).
+    SingleStrided,
+    /// "ld": a chain of `k` stride-2 blocks (HRNet style).
+    Chained,
+}
+
+/// How features are upsampled inside RevSilos (Table 3 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpsampleMode {
+    /// "lu": spatial (depthwise 3x3) MBConv followed by bilinear upsampling
+    /// (the paper's choice).
+    BilinearConv,
+    /// "su": 1x1 convolution + nearest-neighbour upsampling (HRNet style).
+    NearestPointwise,
+}
+
+/// Where squeeze-excite is applied (Table 5 ablation). The paper follows
+/// Ridnik et al. 2021: SE helps on high-resolution streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SePlacement {
+    /// No squeeze-excite anywhere.
+    None,
+    /// SE only on the low-resolution (coarse) half of the streams.
+    LowRes,
+    /// SE only on the high-resolution (fine) half of the streams (default).
+    HighRes,
+}
+
+impl SePlacement {
+    /// Whether stream `i` of `n` gets squeeze-excite.
+    pub fn applies(self, stream: usize, n_streams: usize) -> bool {
+        match self {
+            SePlacement::None => false,
+            SePlacement::HighRes => stream < n_streams.div_ceil(2),
+            SePlacement::LowRes => stream >= n_streams.div_ceil(2),
+        }
+    }
+}
+
+/// Stem type (Table 4 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StemKind {
+    /// Invertible channel-duplicating SpaceToDepth (the paper's choice:
+    /// keeps the whole network fully reversible).
+    SpaceToDepth,
+    /// Two stride-2 3x3 convolutions (conventional; not reversible, its
+    /// activations are cached).
+    Convolutional,
+}
+
+/// Full configuration of a RevBiFPN backbone + classification head.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RevBiFPNConfig {
+    /// Variant name ("RevBiFPN-S0", "tiny", ...).
+    pub name: String,
+    /// Per-stream channels, finest to coarsest (length = number of streams).
+    pub channels: Vec<usize>,
+    /// Number of extra full-width fusion silos after the expansion phase
+    /// (the `d` of Table 6).
+    pub depth: usize,
+    /// Train/eval input resolution (square).
+    pub resolution: usize,
+    /// Reversible residual blocks per stream after each silo.
+    pub blocks_per_stage: usize,
+    /// Per-stream MBConv expansion ratios for the reversible residual
+    /// blocks, finest to coarsest ("larger expansion ratios on the lower
+    /// resolution streams").
+    pub expansion: Vec<f32>,
+    /// Expansion ratio of the RevSilo fusion transforms (kept lean: fusion
+    /// edges are numerous, O(N^2) per silo).
+    pub fusion_expansion: f32,
+    /// Squeeze-excite reduction ratio where applied.
+    pub se_ratio: f32,
+    /// Squeeze-excite placement.
+    pub se_placement: SePlacement,
+    /// Downsampling scheme.
+    pub down_mode: DownsampleMode,
+    /// Upsampling scheme.
+    pub up_mode: UpsampleMode,
+    /// Stem kind.
+    pub stem: StemKind,
+    /// Stem block size (4 for ImageNet-scale, 2 for tiny synthetic inputs).
+    pub stem_block: usize,
+    /// Stochastic-depth probability in the reversible blocks' transforms.
+    pub drop_path: f32,
+    /// Dropout before the final classifier.
+    pub dropout: f32,
+    /// Per-stream neck output channels (Appendix C.5: 48/64/128/320 at S0
+    /// scale).
+    pub neck_channels: Vec<usize>,
+    /// Width of the final pre-classifier 1x1 convolution.
+    pub head_dim: usize,
+    /// Number of classes of the classification head.
+    pub num_classes: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+fn round16(x: f32) -> usize {
+    (((x / 16.0).round() as usize).max(1)) * 16
+}
+
+impl RevBiFPNConfig {
+    /// Number of resolution streams (the paper's `N`).
+    pub fn num_streams(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Stream 0 spatial resolution for a given input resolution.
+    pub fn stream0_res(&self) -> usize {
+        self.resolution / self.stem_block
+    }
+
+    /// Input-channel duplication factor of the SpaceToDepth stem:
+    /// `c0 / stem_block^2` duplicated image channels.
+    pub fn stem_dup_channels(&self) -> usize {
+        self.channels[0] / (self.stem_block * self.stem_block)
+    }
+
+    /// The baseline RevBiFPN-S0 (paper Section 3): channels 48/64/80/160,
+    /// N = 4, d = 2, resolution 224.
+    pub fn s0(num_classes: usize) -> Self {
+        Self {
+            name: "RevBiFPN-S0".into(),
+            channels: vec![48, 64, 80, 160],
+            depth: 2,
+            resolution: 224,
+            blocks_per_stage: 1,
+            expansion: vec![2.0, 3.0, 4.0, 6.0],
+            fusion_expansion: 1.0,
+            se_ratio: 0.25,
+            se_placement: SePlacement::HighRes,
+            down_mode: DownsampleMode::SingleStrided,
+            up_mode: UpsampleMode::BilinearConv,
+            stem: StemKind::SpaceToDepth,
+            stem_block: 4,
+            drop_path: 0.0,
+            dropout: 0.25,
+            neck_channels: vec![48, 64, 128, 320],
+            head_dim: 1280,
+            num_classes,
+            seed: 0,
+        }
+    }
+
+    /// The scaled variant `S<s>` per Table 6 (width multiplier, depth and
+    /// resolution; channels rounded to multiples of 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > 6`.
+    pub fn scaled(s: usize, num_classes: usize) -> Self {
+        const MW: [f32; 7] = [1.0, 1.33, 2.0, 2.67, 4.0, 5.33, 6.67];
+        const D: [usize; 7] = [2, 2, 2, 3, 4, 4, 5];
+        const RES: [usize; 7] = [224, 256, 256, 288, 320, 352, 352];
+        const DROPOUT: [f32; 7] = [0.25, 0.25, 0.3, 0.3, 0.4, 0.4, 0.6];
+        const DROP_PATH: [f32; 7] = [0.0, 0.0, 0.0, 0.05, 0.1, 0.1, 0.3];
+        assert!(s <= 6, "RevBiFPN variants are S0..S6");
+        let mw = MW[s];
+        let mut cfg = Self::s0(num_classes);
+        cfg.name = format!("RevBiFPN-S{s}");
+        cfg.channels = cfg.channels.iter().map(|&c| round16(c as f32 * mw)).collect();
+        cfg.neck_channels = cfg.neck_channels.iter().map(|&c| round16(c as f32 * mw)).collect();
+        cfg.depth = D[s];
+        cfg.resolution = RES[s];
+        cfg.dropout = DROPOUT[s];
+        cfg.drop_path = DROP_PATH[s];
+        cfg
+    }
+
+    /// A miniature configuration for CPU tests and synthetic-data training:
+    /// 3 streams, block-2 stem, 32x32 inputs.
+    pub fn tiny(num_classes: usize) -> Self {
+        Self {
+            name: "RevBiFPN-tiny".into(),
+            channels: vec![16, 24, 32],
+            depth: 1,
+            resolution: 32,
+            blocks_per_stage: 1,
+            expansion: vec![1.0, 1.5, 2.0],
+            fusion_expansion: 1.0,
+            se_ratio: 0.25,
+            se_placement: SePlacement::HighRes,
+            down_mode: DownsampleMode::SingleStrided,
+            up_mode: UpsampleMode::BilinearConv,
+            stem: StemKind::SpaceToDepth,
+            stem_block: 2,
+            drop_path: 0.0,
+            dropout: 0.0,
+            neck_channels: vec![16, 24, 48],
+            head_dim: 128,
+            num_classes,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different input resolution.
+    pub fn with_resolution(mut self, res: usize) -> Self {
+        self.resolution = res;
+        self
+    }
+
+    /// Returns a copy with a different extra fusion depth `d`.
+    pub fn with_depth(mut self, d: usize) -> Self {
+        self.depth = d;
+        self
+    }
+
+    /// Returns a copy with a different init seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Kernel size used by same-resolution reversible blocks on stream `i`
+    /// ("a diverse set of kernel sizes"): 3 on the fine half, 5 on the
+    /// coarse half.
+    pub fn block_kernel(&self, stream: usize) -> usize {
+        if stream < self.num_streams().div_ceil(2) {
+            3
+        } else {
+            5
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_streams();
+        if n < 2 {
+            return Err("need at least 2 streams".into());
+        }
+        if self.expansion.len() != n {
+            return Err(format!("expansion has {} entries for {} streams", self.expansion.len(), n));
+        }
+        if self.neck_channels.len() != n {
+            return Err(format!("neck_channels has {} entries for {} streams", self.neck_channels.len(), n));
+        }
+        let b2 = self.stem_block * self.stem_block;
+        if self.channels[0] % b2 != 0 {
+            return Err(format!("c0 = {} must be divisible by stem_block^2 = {b2}", self.channels[0]));
+        }
+        if self.stem == StemKind::SpaceToDepth && self.stem_dup_channels() < 3 {
+            return Err(format!(
+                "SpaceToDepth stem needs c0/stem_block^2 >= 3 image channels, got {}",
+                self.stem_dup_channels()
+            ));
+        }
+        for (i, &c) in self.channels.iter().enumerate() {
+            if c % 2 != 0 {
+                return Err(format!("stream {i} channels {c} must be even (RevBlock split)"));
+            }
+        }
+        let total_down = self.stem_block << (n - 1);
+        if self.resolution % total_down != 0 {
+            return Err(format!("resolution {} must be divisible by {total_down}", self.resolution));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s0_matches_paper_channels() {
+        let cfg = RevBiFPNConfig::s0(1000);
+        assert_eq!(cfg.channels, vec![48, 64, 80, 160]);
+        assert_eq!(cfg.depth, 2);
+        assert_eq!(cfg.resolution, 224);
+        assert_eq!(cfg.stem_dup_channels(), 3); // plain RGB
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn scaling_table6() {
+        // Spot-check width multipliers and schedules against Table 6.
+        let s1 = RevBiFPNConfig::scaled(1, 1000);
+        assert_eq!(s1.channels[0], 64); // 48 * 1.33 = 63.8 -> 64
+        assert_eq!(s1.resolution, 256);
+        assert_eq!(s1.depth, 2);
+        let s3 = RevBiFPNConfig::scaled(3, 1000);
+        assert_eq!(s3.channels[0], 128); // 48 * 2.67 = 128.2 -> 128
+        assert_eq!(s3.depth, 3);
+        assert_eq!(s3.resolution, 288);
+        let s6 = RevBiFPNConfig::scaled(6, 1000);
+        assert_eq!(s6.channels[0], 320); // 48 * 6.67 = 320.2 -> 320
+        assert_eq!(s6.depth, 5);
+        assert_eq!(s6.resolution, 352);
+        for s in 0..=6 {
+            RevBiFPNConfig::scaled(s, 1000).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn widths_are_multiples_of_16() {
+        for s in 0..=6 {
+            let cfg = RevBiFPNConfig::scaled(s, 10);
+            for &c in &cfg.channels {
+                assert_eq!(c % 16, 0, "{}: {c}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_scaling() {
+        let mut prev = 0;
+        for s in 0..=6 {
+            let cfg = RevBiFPNConfig::scaled(s, 10);
+            let total: usize = cfg.channels.iter().sum();
+            assert!(total >= prev, "S{s} narrower than S{}", s.saturating_sub(1));
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        RevBiFPNConfig::tiny(10).validate().unwrap();
+    }
+
+    #[test]
+    fn se_placement_rules() {
+        assert!(SePlacement::HighRes.applies(0, 4));
+        assert!(SePlacement::HighRes.applies(1, 4));
+        assert!(!SePlacement::HighRes.applies(2, 4));
+        assert!(!SePlacement::LowRes.applies(0, 4));
+        assert!(SePlacement::LowRes.applies(3, 4));
+        assert!(!SePlacement::None.applies(0, 4));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.channels = vec![16];
+        assert!(cfg.validate().is_err());
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.resolution = 30;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.channels = vec![15, 24, 32];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn block_kernels_are_diverse() {
+        let cfg = RevBiFPNConfig::s0(10);
+        assert_eq!(cfg.block_kernel(0), 3);
+        assert_eq!(cfg.block_kernel(3), 5);
+    }
+}

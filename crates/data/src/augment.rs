@@ -1,0 +1,271 @@
+//! Training-time augmentations used by the paper's recipe (Appendix D.2):
+//! horizontal flips, cutout (the core of RandAugment's spatial ops), mixup
+//! (Zhang et al. 2018) and CutMix (Yun et al. 2019). Mixup/CutMix operate on
+//! a batch and produce *soft* targets compatible with
+//! `revbifpn_nn::loss::softmax_cross_entropy`.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use revbifpn_tensor::Tensor;
+
+/// Flips each image in the batch horizontally with probability 0.5.
+pub fn random_hflip(images: &mut Tensor, rng: &mut StdRng) {
+    let s = images.shape();
+    for n in 0..s.n {
+        if rng.random::<f32>() < 0.5 {
+            for c in 0..s.c {
+                for y in 0..s.h {
+                    for x in 0..s.w / 2 {
+                        let a = images.at(n, c, y, x);
+                        let b = images.at(n, c, y, s.w - 1 - x);
+                        images.set(n, c, y, x, b);
+                        images.set(n, c, y, s.w - 1 - x, a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zeroes a random square patch of side `size` in each image ("cutout").
+pub fn cutout(images: &mut Tensor, size: usize, rng: &mut StdRng) {
+    let s = images.shape();
+    if size == 0 || size > s.h || size > s.w {
+        return;
+    }
+    for n in 0..s.n {
+        let y0 = (rng.random::<u32>() as usize) % (s.h - size + 1);
+        let x0 = (rng.random::<u32>() as usize) % (s.w - size + 1);
+        for c in 0..s.c {
+            for y in y0..y0 + size {
+                for x in x0..x0 + size {
+                    images.set(n, c, y, x, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Scales brightness and contrast per image: `x -> a * x + b` with
+/// `a in [1-j, 1+j]`, `b in [-j/2, j/2]`.
+pub fn color_jitter(images: &mut Tensor, jitter: f32, rng: &mut StdRng) {
+    let s = images.shape();
+    let chw = s.chw();
+    for n in 0..s.n {
+        let a = 1.0 + (rng.random::<f32>() * 2.0 - 1.0) * jitter;
+        let b = (rng.random::<f32>() - 0.5) * jitter;
+        for v in &mut images.data_mut()[n * chw..(n + 1) * chw] {
+            *v = a * *v + b;
+        }
+    }
+}
+
+fn beta_like(alpha: f32, rng: &mut StdRng) -> f32 {
+    // Approximate Beta(alpha, alpha) sampling via two Gamma-ish draws using
+    // the inverse-power trick (adequate for mixup coefficients).
+    if alpha <= 0.0 {
+        return 1.0;
+    }
+    let u: f32 = rng.random::<f32>().max(1e-6);
+    let v: f32 = rng.random::<f32>().max(1e-6);
+    let a = u.powf(1.0 / alpha);
+    let b = v.powf(1.0 / alpha);
+    a / (a + b)
+}
+
+/// Applies mixup in place: each sample is blended with a random partner and
+/// the soft targets are blended with the same coefficient.
+///
+/// # Panics
+///
+/// Panics if batch sizes differ.
+pub fn mixup(images: &mut Tensor, targets: &mut Tensor, alpha: f32, rng: &mut StdRng) {
+    let s = images.shape();
+    assert_eq!(s.n, targets.shape().n, "batch size mismatch");
+    if alpha <= 0.0 || s.n < 2 {
+        return;
+    }
+    let lam = beta_like(alpha, rng).clamp(0.0, 1.0);
+    let perm: Vec<usize> = (0..s.n).map(|i| (i + 1) % s.n).collect();
+    let chw = s.chw();
+    let kc = targets.shape().chw();
+    let img_src = images.data().to_vec();
+    let tgt_src = targets.data().to_vec();
+    for n in 0..s.n {
+        let p = perm[n];
+        for i in 0..chw {
+            images.data_mut()[n * chw + i] = lam * img_src[n * chw + i] + (1.0 - lam) * img_src[p * chw + i];
+        }
+        for i in 0..kc {
+            targets.data_mut()[n * kc + i] = lam * tgt_src[n * kc + i] + (1.0 - lam) * tgt_src[p * kc + i];
+        }
+    }
+}
+
+/// Applies CutMix in place: a random rectangle of each image is replaced by
+/// the partner's pixels, targets blended by area fraction.
+///
+/// # Panics
+///
+/// Panics if batch sizes differ.
+pub fn cutmix(images: &mut Tensor, targets: &mut Tensor, alpha: f32, rng: &mut StdRng) {
+    let s = images.shape();
+    assert_eq!(s.n, targets.shape().n, "batch size mismatch");
+    if alpha <= 0.0 || s.n < 2 {
+        return;
+    }
+    let lam = beta_like(alpha, rng).clamp(0.0, 1.0);
+    let cut = ((1.0 - lam).sqrt() * s.h.min(s.w) as f32) as usize;
+    if cut == 0 {
+        return;
+    }
+    let cut = cut.min(s.h).min(s.w);
+    let y0 = (rng.random::<u32>() as usize) % (s.h - cut + 1);
+    let x0 = (rng.random::<u32>() as usize) % (s.w - cut + 1);
+    let area_frac = (cut * cut) as f32 / s.hw() as f32;
+    let perm: Vec<usize> = (0..s.n).map(|i| (i + 1) % s.n).collect();
+    let img_src = images.data().to_vec();
+    let tgt_src = targets.data().to_vec();
+    let kc = targets.shape().chw();
+    for n in 0..s.n {
+        let p = perm[n];
+        for c in 0..s.c {
+            for y in y0..y0 + cut {
+                for x in x0..x0 + cut {
+                    let off = s.offset(n, c, y, x);
+                    let src = s.offset(p, c, y, x);
+                    images.data_mut()[off] = img_src[src];
+                }
+            }
+        }
+        for i in 0..kc {
+            targets.data_mut()[n * kc + i] =
+                (1.0 - area_frac) * tgt_src[n * kc + i] + area_frac * tgt_src[p * kc + i];
+        }
+    }
+}
+
+/// The paper-style augmentation policy: flips + jitter + optional cutout,
+/// then mixup or CutMix (mutually exclusive per batch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AugmentPolicy {
+    /// Horizontal flip on/off.
+    pub hflip: bool,
+    /// Colour jitter strength (0 disables).
+    pub jitter: f32,
+    /// Cutout patch size (0 disables).
+    pub cutout: usize,
+    /// Mixup alpha (0 disables).
+    pub mixup: f32,
+    /// CutMix alpha (0 disables).
+    pub cutmix: f32,
+}
+
+impl AugmentPolicy {
+    /// No augmentation.
+    pub fn none() -> Self {
+        Self { hflip: false, jitter: 0.0, cutout: 0, mixup: 0.0, cutmix: 0.0 }
+    }
+
+    /// A light default policy.
+    pub fn light() -> Self {
+        Self { hflip: true, jitter: 0.1, cutout: 0, mixup: 0.0, cutmix: 0.0 }
+    }
+
+    /// Applies the policy in place to a batch and its soft targets.
+    pub fn apply(&self, images: &mut Tensor, targets: &mut Tensor, rng: &mut StdRng) {
+        if self.hflip {
+            random_hflip(images, rng);
+        }
+        if self.jitter > 0.0 {
+            color_jitter(images, self.jitter, rng);
+        }
+        if self.cutout > 0 {
+            cutout(images, self.cutout, rng);
+        }
+        if self.mixup > 0.0 && self.cutmix > 0.0 {
+            if rng.random::<f32>() < 0.5 {
+                mixup(images, targets, self.mixup, rng);
+            } else {
+                cutmix(images, targets, self.cutmix, rng);
+            }
+        } else if self.mixup > 0.0 {
+            mixup(images, targets, self.mixup, rng);
+        } else if self.cutmix > 0.0 {
+            cutmix(images, targets, self.cutmix, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use revbifpn_tensor::Shape;
+
+    fn batch(n: usize) -> Tensor {
+        let mut t = Tensor::zeros(Shape::new(n, 1, 4, 4));
+        for i in 0..t.shape().numel() {
+            t.data_mut()[i] = i as f32;
+        }
+        t
+    }
+
+    #[test]
+    fn hflip_preserves_content_multiset() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = batch(4);
+        let before = x.sum();
+        random_hflip(&mut x, &mut rng);
+        assert_eq!(x.sum(), before);
+    }
+
+    #[test]
+    fn cutout_zeroes_exactly_patch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = Tensor::ones(Shape::new(1, 1, 8, 8));
+        cutout(&mut x, 3, &mut rng);
+        let zeros = x.data().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 9);
+    }
+
+    #[test]
+    fn mixup_blends_targets_to_simplex() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = batch(4);
+        let mut t = Tensor::zeros(Shape::new(4, 3, 1, 1));
+        for n in 0..4 {
+            t.data_mut()[n * 3 + n % 3] = 1.0;
+        }
+        mixup(&mut x, &mut t, 0.4, &mut rng);
+        for n in 0..4 {
+            let row: f32 = t.data()[n * 3..(n + 1) * 3].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cutmix_preserves_target_mass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = batch(4);
+        let mut t = Tensor::zeros(Shape::new(4, 2, 1, 1));
+        for n in 0..4 {
+            t.data_mut()[n * 2 + n % 2] = 1.0;
+        }
+        cutmix(&mut x, &mut t, 1.0, &mut rng);
+        for n in 0..4 {
+            let row: f32 = t.data()[n * 2..(n + 1) * 2].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn policy_none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = batch(2);
+        let orig = x.clone();
+        let mut t = Tensor::ones(Shape::new(2, 2, 1, 1));
+        AugmentPolicy::none().apply(&mut x, &mut t, &mut rng);
+        assert_eq!(x, orig);
+    }
+}

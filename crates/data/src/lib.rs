@@ -1,0 +1,19 @@
+//! # revbifpn-data
+//!
+//! Synthetic datasets standing in for ImageNet and MS COCO (see DESIGN.md
+//! for the substitution rationale), plus the paper's augmentation suite:
+//!
+//! * [`SynthScale`] — multi-scale classification: the label depends jointly
+//!   on a high-frequency local texture and a global layout cue;
+//! * [`SynthDet`] — detection/segmentation scenes with exact boxes & masks
+//!   spanning the COCO small/medium/large size buckets;
+//! * [`augment`] — flips, cutout, colour jitter, mixup, CutMix.
+
+#![warn(missing_docs)]
+
+pub mod augment;
+mod synth_cls;
+mod synth_det;
+
+pub use synth_cls::{SynthScale, SynthScaleConfig};
+pub use synth_det::{iou, BoxAnnotation, DetSample, SynthDet, SynthDetConfig};

@@ -1,0 +1,314 @@
+//! COCO-style average precision: AP@[.5:.95], AP50, AP75, and the
+//! size-stratified APs/APm/APl, following the COCO evaluation protocol
+//! (greedy score-ordered matching, ignored ground truths outside the area
+//! bucket, 101-point interpolated precision).
+
+use crate::nms::Detection;
+use revbifpn_data::{iou, BoxAnnotation};
+
+/// Size-bucket thresholds, in pixels^2 at the working resolution.
+///
+/// COCO uses 32^2 / 96^2 at ~800px inputs; scale proportionally for small
+/// synthetic images via [`AreaRanges::scaled_to`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaRanges {
+    /// Upper bound of "small".
+    pub small_max: f32,
+    /// Upper bound of "medium".
+    pub medium_max: f32,
+}
+
+impl AreaRanges {
+    /// The COCO defaults (for ~800px inputs).
+    pub fn coco() -> Self {
+        Self { small_max: 32.0 * 32.0, medium_max: 96.0 * 96.0 }
+    }
+
+    /// COCO buckets rescaled to a `res`-pixel working resolution.
+    pub fn scaled_to(res: usize) -> Self {
+        let k = res as f32 / 800.0;
+        Self { small_max: (32.0 * k).powi(2), medium_max: (96.0 * k).powi(2) }
+    }
+
+    fn bucket(&self, area: f32) -> usize {
+        if area < self.small_max {
+            0
+        } else if area < self.medium_max {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Full AP summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ApResult {
+    /// AP averaged over IoU 0.5:0.05:0.95 (the COCO "AP").
+    pub ap: f64,
+    /// AP at IoU 0.5.
+    pub ap50: f64,
+    /// AP at IoU 0.75.
+    pub ap75: f64,
+    /// AP over small objects.
+    pub ap_small: f64,
+    /// AP over medium objects.
+    pub ap_medium: f64,
+    /// AP over large objects.
+    pub ap_large: f64,
+}
+
+struct FlatDet {
+    img: usize,
+    idx: usize,
+    score: f32,
+    class: usize,
+    area: f32,
+}
+
+/// AP for one class at one IoU threshold under one area filter.
+///
+/// `bucket = None` evaluates all sizes. `iou_fn(img, det_idx, gt_idx)`
+/// supplies the overlap (box IoU or mask IoU).
+#[allow(clippy::too_many_arguments)]
+fn ap_single(
+    dets: &[FlatDet],
+    gts: &[Vec<BoxAnnotation>],
+    class: usize,
+    thresh: f32,
+    bucket: Option<usize>,
+    ranges: &AreaRanges,
+    iou_fn: &dyn Fn(usize, usize, usize) -> f32,
+) -> Option<f64> {
+    // Active / ignored GT per image for this class+bucket.
+    let mut gt_active: Vec<Vec<usize>> = Vec::with_capacity(gts.len());
+    let mut n_active = 0usize;
+    for img_gts in gts {
+        let mut act = Vec::new();
+        for (gi, g) in img_gts.iter().enumerate() {
+            if g.class != class {
+                continue;
+            }
+            let in_bucket = bucket.map(|b| ranges.bucket(g.area()) == b).unwrap_or(true);
+            if in_bucket {
+                act.push(gi);
+                n_active += 1;
+            }
+        }
+        gt_active.push(act);
+    }
+    if n_active == 0 {
+        return None;
+    }
+    let mut matched: Vec<Vec<bool>> = gts.iter().map(|g| vec![false; g.len()]).collect();
+    let mut tps = Vec::new();
+    let mut fps = Vec::new();
+    for d in dets.iter().filter(|d| d.class == class) {
+        // Best unmatched GT of this class in the image.
+        let mut best_iou = thresh;
+        let mut best: Option<usize> = None;
+        for (gi, g) in gts[d.img].iter().enumerate() {
+            if g.class != class || matched[d.img][gi] {
+                continue;
+            }
+            let ov = iou_fn(d.img, d.idx, gi);
+            if ov >= best_iou {
+                best_iou = ov;
+                best = Some(gi);
+            }
+        }
+        match best {
+            Some(gi) => {
+                matched[d.img][gi] = true;
+                if gt_active[d.img].contains(&gi) {
+                    tps.push(true);
+                    fps.push(false);
+                } else {
+                    // Matched an out-of-bucket GT: ignore the detection.
+                }
+            }
+            None => {
+                // Unmatched: FP unless the detection itself is outside the
+                // bucket (COCO ignores those).
+                let det_in_bucket = bucket.map(|b| ranges.bucket(d.area) == b).unwrap_or(true);
+                if det_in_bucket {
+                    tps.push(false);
+                    fps.push(true);
+                }
+            }
+        }
+    }
+    // Precision/recall curve and 101-point interpolation.
+    let mut tp_cum = 0.0f64;
+    let mut fp_cum = 0.0f64;
+    let mut recalls = Vec::with_capacity(tps.len());
+    let mut precisions = Vec::with_capacity(tps.len());
+    for i in 0..tps.len() {
+        if tps[i] {
+            tp_cum += 1.0;
+        }
+        if fps[i] {
+            fp_cum += 1.0;
+        }
+        recalls.push(tp_cum / n_active as f64);
+        precisions.push(tp_cum / (tp_cum + fp_cum));
+    }
+    // Make precision monotone non-increasing from the right.
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        precisions[i] = precisions[i].max(precisions[i + 1]);
+    }
+    let mut ap = 0.0f64;
+    for k in 0..=100 {
+        let r = k as f64 / 100.0;
+        let p = recalls
+            .iter()
+            .position(|&rc| rc >= r)
+            .map(|i| precisions[i])
+            .unwrap_or(0.0);
+        ap += p / 101.0;
+    }
+    Some(ap)
+}
+
+fn mean(vals: impl Iterator<Item = Option<f64>>) -> f64 {
+    let v: Vec<f64> = vals.flatten().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Generic COCO-style evaluation with a caller-supplied IoU function.
+pub fn evaluate_ap_with(
+    dets: &[Vec<Detection>],
+    gts: &[Vec<BoxAnnotation>],
+    num_classes: usize,
+    ranges: AreaRanges,
+    iou_fn: &dyn Fn(usize, usize, usize) -> f32,
+) -> ApResult {
+    assert_eq!(dets.len(), gts.len(), "detection/ground-truth image counts differ");
+    // Flatten and sort detections by score (COCO matches in global score order
+    // per class; we sort globally and filter by class inside ap_single).
+    let mut flat: Vec<FlatDet> = Vec::new();
+    for (img, ds) in dets.iter().enumerate() {
+        for (idx, d) in ds.iter().enumerate() {
+            flat.push(FlatDet { img, idx, score: d.score, class: d.class, area: d.area() });
+        }
+    }
+    flat.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let thresholds: Vec<f32> = (0..10).map(|i| 0.5 + 0.05 * i as f32).collect();
+    let ap = mean(thresholds.iter().flat_map(|&t| {
+        (0..num_classes).map(move |c| (t, c)).collect::<Vec<_>>()
+    }).map(|(t, c)| ap_single(&flat, gts, c, t, None, &ranges, iou_fn)));
+    let ap50 = mean((0..num_classes).map(|c| ap_single(&flat, gts, c, 0.5, None, &ranges, iou_fn)));
+    let ap75 = mean((0..num_classes).map(|c| ap_single(&flat, gts, c, 0.75, None, &ranges, iou_fn)));
+    let bucket_ap = |b: usize| {
+        mean(thresholds.iter().flat_map(|&t| {
+            (0..num_classes).map(move |c| (t, c)).collect::<Vec<_>>()
+        }).map(|(t, c)| ap_single(&flat, gts, c, t, Some(b), &ranges, iou_fn)))
+    };
+    ApResult {
+        ap,
+        ap50,
+        ap75,
+        ap_small: bucket_ap(0),
+        ap_medium: bucket_ap(1),
+        ap_large: bucket_ap(2),
+    }
+}
+
+/// Standard box-IoU evaluation.
+pub fn evaluate_box_ap(
+    dets: &[Vec<Detection>],
+    gts: &[Vec<BoxAnnotation>],
+    num_classes: usize,
+    ranges: AreaRanges,
+) -> ApResult {
+    let iou_fn = move |img: usize, di: usize, gi: usize| iou(&dets[img][di].bbox, &gts[img][gi].bbox);
+    evaluate_ap_with(dets, gts, num_classes, ranges, &iou_fn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(b: [f32; 4], c: usize) -> BoxAnnotation {
+        BoxAnnotation { bbox: b, class: c }
+    }
+
+    fn det(b: [f32; 4], c: usize, s: f32) -> Detection {
+        Detection { bbox: b, class: c, score: s }
+    }
+
+    #[test]
+    fn perfect_detections_score_ap_one() {
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0), gt([40.0, 40.0, 60.0, 60.0], 1)]];
+        let dets = vec![vec![det([0.0, 0.0, 20.0, 20.0], 0, 0.9), det([40.0, 40.0, 60.0, 60.0], 1, 0.8)]];
+        let r = evaluate_box_ap(&dets, &gts, 2, AreaRanges::coco());
+        assert!((r.ap - 1.0).abs() < 1e-6, "{r:?}");
+        assert!((r.ap50 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_gt_halves_recall() {
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0), gt([40.0, 40.0, 60.0, 60.0], 0)]];
+        let dets = vec![vec![det([0.0, 0.0, 20.0, 20.0], 0, 0.9)]];
+        let r = evaluate_box_ap(&dets, &gts, 1, AreaRanges::coco());
+        assert!(r.ap50 > 0.4 && r.ap50 < 0.6, "{r:?}");
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0)]];
+        let clean = vec![vec![det([0.0, 0.0, 20.0, 20.0], 0, 0.9)]];
+        let noisy = vec![vec![
+            det([100.0, 100.0, 120.0, 120.0], 0, 0.95),
+            det([0.0, 0.0, 20.0, 20.0], 0, 0.9),
+        ]];
+        let r_clean = evaluate_box_ap(&clean, &gts, 1, AreaRanges::coco());
+        let r_noisy = evaluate_box_ap(&noisy, &gts, 1, AreaRanges::coco());
+        assert!(r_noisy.ap50 < r_clean.ap50);
+    }
+
+    #[test]
+    fn loose_boxes_pass_ap50_but_fail_ap75() {
+        // IoU ~0.58 box: TP at 0.5, FP at 0.75.
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0)]];
+        let dets = vec![vec![det([0.0, 0.0, 17.0, 14.0], 0, 0.9)]];
+        let r = evaluate_box_ap(&dets, &gts, 1, AreaRanges::coco());
+        assert!(r.ap50 > 0.9, "{r:?}");
+        assert!(r.ap75 < 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn size_buckets_separate() {
+        let ranges = AreaRanges::coco();
+        // One small (20x20=400 < 1024) and one large (200x200) object.
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0), gt([100.0, 100.0, 300.0, 300.0], 0)]];
+        // Only the large one is detected.
+        let dets = vec![vec![det([100.0, 100.0, 300.0, 300.0], 0, 0.9)]];
+        let r = evaluate_box_ap(&dets, &gts, 1, ranges);
+        assert!(r.ap_large > 0.9, "{r:?}");
+        assert!(r.ap_small < 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_fp() {
+        let gts = vec![vec![gt([0.0, 0.0, 20.0, 20.0], 0)]];
+        let dets = vec![vec![
+            det([0.0, 0.0, 20.0, 20.0], 0, 0.9),
+            det([1.0, 1.0, 21.0, 21.0], 0, 0.8),
+        ]];
+        let r = evaluate_box_ap(&dets, &gts, 1, AreaRanges::coco());
+        // AP50 still 1.0 at recall 1 reached before the duplicate FP.
+        assert!(r.ap50 > 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn empty_everything_is_zero() {
+        let r = evaluate_box_ap(&[vec![]], &[vec![]], 3, AreaRanges::coco());
+        assert_eq!(r.ap, 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # revbifpn-detect
+//!
+//! Detection and instance segmentation on feature pyramids — the Table 9/10
+//! experiment stack:
+//!
+//! * [`Backbone`] — common interface over RevBiFPN (reversible or
+//!   conventional), HRNet, and ResNet-FPN;
+//! * [`Detector`] / [`DetHead`] — an FCOS-style dense detection head (the
+//!   Faster R-CNN substitution, see DESIGN.md), with target assignment,
+//!   losses, decoding and [`nms`];
+//! * [`MaskDetector`] / [`SegHead`] — per-pixel mask branch (the Mask R-CNN
+//!   substitution);
+//! * [`evaluate_box_ap`] / [`evaluate_mask_ap`] — full COCO-style AP
+//!   (AP@[.5:.95], AP50, AP75, APs/m/l).
+
+#![warn(missing_docs)]
+
+mod ap;
+mod backbone;
+mod head;
+mod nms;
+mod seghead;
+
+pub use ap::{evaluate_ap_with, evaluate_box_ap, ApResult, AreaRanges};
+pub use backbone::{Backbone, FpnBackbone, HrBackbone, RevBackbone};
+pub use head::{
+    assign_targets, decode_detections, detection_loss, DetHead, DetHeadConfig, Detector, LevelOutput,
+    LevelTargets,
+};
+pub use nms::{nms, Detection};
+pub use seghead::{
+    evaluate_mask_ap, instance_mask, mask_iou, pixel_cross_entropy, rasterize_targets, MaskDetector, SegHead,
+};

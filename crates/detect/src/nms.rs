@@ -1,0 +1,81 @@
+//! Detections and greedy non-maximum suppression.
+
+use revbifpn_data::iou;
+
+/// One scored detection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Detection {
+    /// `[x1, y1, x2, y2]` in pixels.
+    pub bbox: [f32; 4],
+    /// Class index.
+    pub class: usize,
+    /// Confidence score in `[0, 1]`.
+    pub score: f32,
+}
+
+impl Detection {
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        (self.bbox[2] - self.bbox[0]).max(0.0) * (self.bbox[3] - self.bbox[1]).max(0.0)
+    }
+}
+
+/// Greedy per-class NMS: keeps the highest-scoring boxes, suppressing
+/// same-class boxes with IoU above `iou_thresh`; returns at most `max_dets`.
+pub fn nms(mut dets: Vec<Detection>, iou_thresh: f32, max_dets: usize) -> Vec<Detection> {
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<Detection> = Vec::new();
+    for d in dets {
+        if keep.len() >= max_dets {
+            break;
+        }
+        let suppressed = keep
+            .iter()
+            .any(|k| k.class == d.class && iou(&k.bbox, &d.bbox) > iou_thresh);
+        if !suppressed {
+            keep.push(d);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(b: [f32; 4], c: usize, s: f32) -> Detection {
+        Detection { bbox: b, class: c, score: s }
+    }
+
+    #[test]
+    fn suppresses_overlapping_same_class() {
+        let dets = vec![
+            d([0.0, 0.0, 10.0, 10.0], 0, 0.9),
+            d([1.0, 1.0, 11.0, 11.0], 0, 0.8),
+            d([20.0, 20.0, 30.0, 30.0], 0, 0.7),
+        ];
+        let kept = nms(dets, 0.5, 100);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.9);
+        assert_eq!(kept[1].score, 0.7);
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress() {
+        let dets = vec![d([0.0, 0.0, 10.0, 10.0], 0, 0.9), d([0.0, 0.0, 10.0, 10.0], 1, 0.8)];
+        assert_eq!(nms(dets, 0.5, 100).len(), 2);
+    }
+
+    #[test]
+    fn max_dets_cap() {
+        let dets = (0..10).map(|i| d([i as f32 * 20.0, 0.0, i as f32 * 20.0 + 10.0, 10.0], 0, 0.5)).collect();
+        assert_eq!(nms(dets, 0.5, 3).len(), 3);
+    }
+
+    #[test]
+    fn sorted_by_score() {
+        let dets = vec![d([0.0, 0.0, 5.0, 5.0], 0, 0.2), d([40.0, 40.0, 45.0, 45.0], 0, 0.9)];
+        let kept = nms(dets, 0.5, 10);
+        assert!(kept[0].score > kept[1].score);
+    }
+}

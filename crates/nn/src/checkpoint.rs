@@ -1,0 +1,195 @@
+//! Weight checkpointing: save/load every parameter reachable through a
+//! `visit_params`-style visitor to a simple, versioned binary format.
+//!
+//! The format is deliberately minimal (magic, version, per-parameter name +
+//! element count + little-endian f32 payload) and the loader validates
+//! names and shapes in visit order, so a checkpoint can only be restored
+//! into the architecture that produced it.
+
+use crate::param::Param;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"RBFNCKP1";
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Saves all visited parameters to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_params<P: AsRef<Path>>(
+    path: P,
+    visit: impl FnOnce(&mut dyn FnMut(&mut Param)),
+) -> io::Result<()> {
+    // First pass into memory: visitors are FnOnce, so collect everything.
+    let mut blobs: Vec<(String, Vec<f32>)> = Vec::new();
+    visit(&mut |p: &mut Param| {
+        blobs.push((p.name.to_string(), p.value.data().to_vec()));
+    });
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u64(&mut w, blobs.len() as u64)?;
+    for (name, data) in &blobs {
+        write_u64(&mut w, name.len() as u64)?;
+        w.write_all(name.as_bytes())?;
+        write_u64(&mut w, data.len() as u64)?;
+        for v in data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads parameters from `path` into the visited parameters, in order.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on magic/count/name/shape mismatches, so a
+/// checkpoint cannot silently load into a different architecture.
+pub fn load_params<P: AsRef<Path>>(
+    path: P,
+    visit: impl FnOnce(&mut dyn FnMut(&mut Param)),
+) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RevBiFPN checkpoint"));
+    }
+    let count = read_u64(&mut r)? as usize;
+    // Read everything up front (visitor is FnOnce and infallible).
+    let mut blobs: Vec<(String, Vec<f32>)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "parameter name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 parameter name"))?;
+        let numel = read_u64(&mut r)? as usize;
+        let mut data = vec![0f32; numel];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        blobs.push((name, data));
+    }
+    let mut idx = 0usize;
+    let mut error: Option<String> = None;
+    visit(&mut |p: &mut Param| {
+        if error.is_some() {
+            return;
+        }
+        match blobs.get(idx) {
+            None => error = Some(format!("checkpoint has {count} parameters, model has more")),
+            Some((name, data)) => {
+                if name != p.name {
+                    error = Some(format!("parameter {idx}: checkpoint '{name}' vs model '{}'", p.name));
+                } else if data.len() != p.numel() {
+                    error = Some(format!(
+                        "parameter {idx} ('{name}'): checkpoint {} elements vs model {}",
+                        data.len(),
+                        p.numel()
+                    ));
+                } else {
+                    p.value.data_mut().copy_from_slice(data);
+                }
+            }
+        }
+        idx += 1;
+    });
+    if let Some(e) = error {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+    }
+    if idx != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} parameters, model visited {idx}"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revbifpn_tensor::{Shape, Tensor};
+
+    fn params() -> Vec<Param> {
+        vec![
+            Param::new(Tensor::full(Shape::vector(4), 1.5), true, "conv.weight"),
+            Param::new(Tensor::full(Shape::vector(2), -0.5), false, "bn.gamma"),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let dir = std::env::temp_dir().join("revbifpn_ckpt_test_rt");
+        let mut ps = params();
+        save_params(&dir, |f| ps.iter_mut().for_each(f)).unwrap();
+        let mut qs = params();
+        qs[0].value.fill_zero();
+        qs[1].value.fill_zero();
+        load_params(&dir, |f| qs.iter_mut().for_each(f)).unwrap();
+        assert_eq!(qs[0].value.data(), ps[0].value.data());
+        assert_eq!(qs[1].value.data(), ps[1].value.data());
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn name_mismatch_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_name");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        let mut other = vec![Param::new(Tensor::zeros(Shape::vector(4)), true, "linear.weight")];
+        let err = load_params(&path, |f| other.iter_mut().for_each(f)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_shape");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        let mut other = vec![
+            Param::new(Tensor::zeros(Shape::vector(3)), true, "conv.weight"),
+            Param::new(Tensor::zeros(Shape::vector(2)), false, "bn.gamma"),
+        ];
+        assert!(load_params(&path, |f| other.iter_mut().for_each(f)).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_model_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_trunc");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        let mut fewer = vec![Param::new(Tensor::zeros(Shape::vector(4)), true, "conv.weight")];
+        assert!(load_params(&path, |f| fewer.iter_mut().for_each(f)).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_magic");
+        std::fs::write(&path, b"NOTACKPT").unwrap();
+        let mut ps = params();
+        assert!(load_params(&path, |f| ps.iter_mut().for_each(f)).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,149 @@
+//! Central finite-difference gradient checking for [`Layer`] implementations.
+//!
+//! Used pervasively in tests: correctness of every hand-derived backward pass
+//! is the foundation the reversible-equals-conventional-training claim rests
+//! on.
+
+use crate::mode::CacheMode;
+use crate::module::{zero_grads, Layer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_tensor::Tensor;
+
+/// Applies `delta` to scalar `coord` of parameter number `index` (in
+/// `visit_params` order).
+fn nudge_param(layer: &mut dyn Layer, index: usize, coord: usize, delta: f32) {
+    let mut i = 0;
+    layer.visit_params(&mut |p| {
+        if i == index {
+            p.value.data_mut()[coord] += delta;
+        }
+        i += 1;
+    });
+}
+
+fn loss_of(layer: &mut dyn Layer, x: &Tensor, m: &Tensor) -> f64 {
+    let y = layer.forward(x, CacheMode::None);
+    (&y * m).sum()
+}
+
+/// Checks the layer's analytic gradients against central finite differences.
+///
+/// The probe loss is `sum(forward(x) * m)` for a fixed random mask `m`.
+/// A handful of coordinates of every parameter and of the input are checked
+/// with step `1e-2` and the given relative tolerance.
+///
+/// # Panics
+///
+/// Panics (assert) when a gradient disagrees.
+pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let y = layer.forward(x, CacheMode::Full);
+    let m = Tensor::uniform(y.shape(), -1.0, 1.0, &mut rng);
+    zero_grads(layer);
+    let dx = layer.backward(&m);
+    assert!(dx.is_finite(), "analytic dx contains non-finite values");
+
+    // Snapshot analytic parameter gradients.
+    let mut param_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p| param_grads.push(p.grad.data().to_vec()));
+
+    let eps = 1e-2f32;
+    for (pi, grads) in param_grads.iter().enumerate() {
+        let ncoords = grads.len();
+        let probes = [0, ncoords / 2, ncoords.saturating_sub(1)];
+        for &ci in probes.iter().take(ncoords.min(3)) {
+            nudge_param(layer, pi, ci, eps);
+            let lp = loss_of(layer, x, &m);
+            nudge_param(layer, pi, ci, -2.0 * eps);
+            let lm = loss_of(layer, x, &m);
+            nudge_param(layer, pi, ci, eps);
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = grads[ci];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + ana.abs().max(num.abs())),
+                "param {pi} coord {ci}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    // Input gradient at a few coordinates.
+    let nin = x.shape().numel();
+    let mut xp = x.clone();
+    for &ci in [0, nin / 3, (2 * nin) / 3, nin - 1].iter() {
+        let orig = xp.data()[ci];
+        xp.data_mut()[ci] = orig + eps;
+        let lp = loss_of(layer, &xp, &m);
+        xp.data_mut()[ci] = orig - eps;
+        let lm = loss_of(layer, &xp, &m);
+        xp.data_mut()[ci] = orig;
+        let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        let ana = dx.data()[ci];
+        assert!(
+            (num - ana).abs() <= tol * (1.0 + ana.abs().max(num.abs())),
+            "input coord {ci}: numeric {num} vs analytic {ana}"
+        );
+    }
+    layer.clear_cache();
+}
+
+/// Variant of [`check_layer`] for layers whose eval-mode forward differs from
+/// training mode (BatchNorm, Dropout): finite differences are evaluated in
+/// `Full` mode (with caches cleared after each probe).
+///
+/// # Panics
+///
+/// Panics (assert) when a gradient disagrees.
+pub fn check_layer_training_mode(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let y = layer.forward(x, CacheMode::Full);
+    let m = Tensor::uniform(y.shape(), -1.0, 1.0, &mut rng);
+    zero_grads(layer);
+    let dx = layer.backward(&m);
+
+    let mut param_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |p| param_grads.push(p.grad.data().to_vec()));
+
+    let loss_train = |layer: &mut dyn Layer, x: &Tensor| {
+        let y = layer.forward(x, CacheMode::Full);
+        layer.clear_cache();
+        (&y * &m).sum()
+    };
+
+    let eps = 1e-2f32;
+    for (pi, grads) in param_grads.iter().enumerate() {
+        let ncoords = grads.len();
+        let probes = [0, ncoords / 2, ncoords.saturating_sub(1)];
+        for &ci in probes.iter().take(ncoords.min(3)) {
+            nudge_param(layer, pi, ci, eps);
+            let lp = loss_train(layer, x);
+            nudge_param(layer, pi, ci, -2.0 * eps);
+            let lm = loss_train(layer, x);
+            nudge_param(layer, pi, ci, eps);
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = grads[ci];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + ana.abs().max(num.abs())),
+                "param {pi} coord {ci}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    let nin = x.shape().numel();
+    let mut xp = x.clone();
+    for &ci in [0, nin / 2, nin - 1].iter() {
+        let orig = xp.data()[ci];
+        xp.data_mut()[ci] = orig + eps;
+        let lp = loss_train(layer, &xp);
+        xp.data_mut()[ci] = orig - eps;
+        let lm = loss_train(layer, &xp);
+        xp.data_mut()[ci] = orig;
+        let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        let ana = dx.data()[ci];
+        assert!(
+            (num - ana).abs() <= tol * (1.0 + ana.abs().max(num.abs())),
+            "input coord {ci}: numeric {num} vs analytic {ana}"
+        );
+    }
+    layer.clear_cache();
+}

@@ -1,0 +1,354 @@
+//! BatchNorm2d with the statistics-caching behaviour reversible
+//! recomputation requires.
+//!
+//! During a reversible forward pass (`CacheMode::Stats`) the layer caches its
+//! *batch statistics* — O(c) floats. When the backward pass later re-runs the
+//! block in `CacheMode::Full` on the reconstructed input, the frozen
+//! statistics are reused (and the running statistics are **not** updated a
+//! second time), so recomputation reproduces the original forward pass
+//! exactly and the resulting gradients equal conventional training's
+//! bit-for-bit (up to f32 addition rounding in the couplings).
+
+use crate::meter::Cached;
+use crate::mode::CacheMode;
+use crate::module::Layer;
+use crate::param::Param;
+use revbifpn_tensor::{Shape, Tensor};
+
+/// Per-channel batch normalization over `(n, h, w)`.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    c: usize,
+    /// Batch statistics frozen by a `Stats`-mode pass, reused by the next
+    /// `Full`-mode pass (the reversible recomputation).
+    frozen: Cached<(Tensor, Tensor)>,
+    /// Backward cache: (xhat, inv_std).
+    saved: Cached<(Tensor, Tensor)>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm with `gamma = 1, beta = 0` (paper defaults:
+    /// momentum 0.9, epsilon 1e-3).
+    pub fn new(c: usize) -> Self {
+        Self {
+            gamma: Param::ones(Shape::vector(c), false, "bn.gamma"),
+            beta: Param::zeros(Shape::vector(c), false, "bn.beta"),
+            running_mean: Tensor::zeros(Shape::vector(c)),
+            running_var: Tensor::ones(Shape::vector(c)),
+            momentum: 0.9,
+            eps: 1e-3,
+            c,
+            frozen: Cached::empty(),
+            saved: Cached::empty(),
+        }
+    }
+
+    /// Zero-initializes `gamma`, used for the normalization layer before a
+    /// residual add ("to promote stability", Kingma & Dhariwal 2018).
+    pub fn zero_init(mut self) -> Self {
+        self.gamma.value.fill_zero();
+        self
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Read access to the running mean (tests).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Read access to the running variance (tests).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    fn batch_stats(&self, x: &Tensor) -> (Tensor, Tensor) {
+        let xs = x.shape();
+        let m = (xs.n * xs.hw()) as f32;
+        let mut mean = Tensor::zeros(Shape::vector(self.c));
+        let mut var = Tensor::zeros(Shape::vector(self.c));
+        let hw = xs.hw();
+        for c in 0..self.c {
+            let mut s = 0.0f64;
+            for n in 0..xs.n {
+                let base = (n * self.c + c) * hw;
+                s += x.data()[base..base + hw].iter().map(|&v| v as f64).sum::<f64>();
+            }
+            mean.data_mut()[c] = (s / m as f64) as f32;
+        }
+        for c in 0..self.c {
+            let mu = mean.data()[c] as f64;
+            let mut s = 0.0f64;
+            for n in 0..xs.n {
+                let base = (n * self.c + c) * hw;
+                s += x.data()[base..base + hw].iter().map(|&v| (v as f64 - mu) * (v as f64 - mu)).sum::<f64>();
+            }
+            var.data_mut()[c] = (s / m as f64) as f32;
+        }
+        (mean, var)
+    }
+
+    fn normalize(&self, x: &Tensor, mean: &Tensor, var: &Tensor) -> (Tensor, Tensor) {
+        // Returns (y, xhat) where y = gamma * xhat + beta.
+        let xs = x.shape();
+        let hw = xs.hw();
+        let mut xhat = x.clone();
+        let mut inv_std = Tensor::zeros(Shape::vector(self.c));
+        for c in 0..self.c {
+            inv_std.data_mut()[c] = 1.0 / (var.data()[c] + self.eps).sqrt();
+        }
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let mu = mean.data()[c];
+                let is = inv_std.data()[c];
+                let base = (n * self.c + c) * hw;
+                for v in &mut xhat.data_mut()[base..base + hw] {
+                    *v = (*v - mu) * is;
+                }
+            }
+        }
+        let mut y = xhat.clone();
+        y.mul_channel(&self.gamma.value);
+        y.add_channel_bias(&self.beta.value);
+        (y, xhat)
+    }
+
+    fn update_running(&mut self, mean: &Tensor, var: &Tensor) {
+        let mom = self.momentum;
+        for c in 0..self.c {
+            self.running_mean.data_mut()[c] = mom * self.running_mean.data()[c] + (1.0 - mom) * mean.data()[c];
+            self.running_var.data_mut()[c] = mom * self.running_var.data()[c] + (1.0 - mom) * var.data()[c];
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        assert_eq!(x.shape().c, self.c, "BatchNorm channel mismatch");
+        match mode {
+            CacheMode::None => {
+                let (y, _) = self.normalize(x, &self.running_mean.clone(), &self.running_var.clone());
+                y
+            }
+            CacheMode::Stats => {
+                let (mean, var) = self.batch_stats(x);
+                self.update_running(&mean, &var);
+                let (y, _) = self.normalize(x, &mean, &var);
+                let bytes = mean.bytes() + var.bytes();
+                self.frozen.put((mean, var), bytes);
+                y
+            }
+            CacheMode::Full => {
+                // Reuse frozen stats if the reversible engine recorded them;
+                // in that case this is a recomputation, so do not update the
+                // running statistics again.
+                let (mean, var) = match self.frozen.take() {
+                    Some((m, v)) => (m, v),
+                    None => {
+                        let (m, v) = self.batch_stats(x);
+                        self.update_running(&m, &v);
+                        (m, v)
+                    }
+                };
+                let (y, xhat) = self.normalize(x, &mean, &var);
+                let mut inv_std = Tensor::zeros(Shape::vector(self.c));
+                for c in 0..self.c {
+                    inv_std.data_mut()[c] = 1.0 / (var.data()[c] + self.eps).sqrt();
+                }
+                let bytes = xhat.bytes() + inv_std.bytes();
+                self.saved.put((xhat, inv_std), bytes);
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, inv_std) = self.saved.take().expect("BatchNorm2d::backward without Full forward");
+        let xs = dy.shape();
+        let hw = xs.hw();
+        let m = (xs.n * hw) as f32;
+
+        // Per-channel reductions.
+        let mut sum_dy = vec![0.0f64; self.c];
+        let mut sum_dy_xhat = vec![0.0f64; self.c];
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let base = (n * self.c + c) * hw;
+                for i in 0..hw {
+                    let d = dy.data()[base + i] as f64;
+                    sum_dy[c] += d;
+                    sum_dy_xhat[c] += d * xhat.data()[base + i] as f64;
+                }
+            }
+        }
+        // Parameter gradients.
+        let mut dgamma = Tensor::zeros(Shape::vector(self.c));
+        let mut dbeta = Tensor::zeros(Shape::vector(self.c));
+        for c in 0..self.c {
+            dgamma.data_mut()[c] = sum_dy_xhat[c] as f32;
+            dbeta.data_mut()[c] = sum_dy[c] as f32;
+        }
+        self.gamma.accumulate(&dgamma);
+        self.beta.accumulate(&dbeta);
+
+        // Input gradient:
+        // dx = gamma * inv_std / m * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+        let mut dx = Tensor::zeros(xs);
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let g = self.gamma.value.data()[c];
+                let is = inv_std.data()[c];
+                let k = g * is / m;
+                let s1 = sum_dy[c] as f32;
+                let s2 = sum_dy_xhat[c] as f32;
+                let base = (n * self.c + c) * hw;
+                for i in 0..hw {
+                    let d = dy.data()[base + i];
+                    let xh = xhat.data()[base + i];
+                    dx.data_mut()[base + i] = k * (m * d - s1 - xh * s2);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn clear_cache(&mut self) {
+        self.frozen.clear();
+        self.saved.clear();
+    }
+
+    fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
+        match mode {
+            CacheMode::None => 0,
+            CacheMode::Stats => 2 * Shape::vector(self.c).bytes() as u64,
+            CacheMode::Full => (x.bytes() + Shape::vector(self.c).bytes()) as u64,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_training_mode;
+    use crate::meter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_batch_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(Shape::new(4, 3, 8, 8), 3.0, &mut rng);
+        let y = bn.forward(&x, CacheMode::Full);
+        // Per-channel moments of y should be ~ (0, 1).
+        let ys = y.shape();
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..ys.n {
+                for h in 0..ys.h {
+                    for w in 0..ys.w {
+                        vals.push(y.at(n, c, h, w) as f64);
+                    }
+                }
+            }
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+        bn.clear_cache();
+    }
+
+    #[test]
+    fn gradients_pass_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(2);
+        // Give gamma/beta non-trivial values so the test is not degenerate.
+        bn.gamma.value = Tensor::from_vec(Shape::vector(2), vec![1.3, 0.7]).unwrap();
+        bn.beta.value = Tensor::from_vec(Shape::vector(2), vec![0.2, -0.4]).unwrap();
+        let x = Tensor::randn(Shape::new(3, 2, 4, 4), 1.0, &mut rng);
+        check_layer_training_mode(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn frozen_stats_reused_on_recompute() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(Shape::new(2, 2, 4, 4), 1.0, &mut rng);
+
+        let y_stats = bn.forward(&x, CacheMode::Stats);
+        let rm_after_stats = bn.running_mean().clone();
+        // Recompute in Full mode: output identical, running stats untouched.
+        let y_full = bn.forward(&x, CacheMode::Full);
+        assert!(y_stats.max_abs_diff(&y_full) < 1e-7);
+        assert_eq!(bn.running_mean(), &rm_after_stats);
+        bn.clear_cache();
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(Shape::new(2, 2, 4, 4), 1.0, &mut rng);
+        // Without training, running stats are (0, 1): eval output == gamma*x+beta == x.
+        let y = bn.forward(&x, CacheMode::None);
+        // eps makes it slightly different from x; check close.
+        assert!(y.max_abs_diff(&x) < 2e-3);
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::randn(Shape::new(8, 1, 8, 8), 1.0, &mut rng).map(|v| v * 2.0 + 5.0);
+        for _ in 0..60 {
+            let _ = bn.forward(&x, CacheMode::Stats);
+            bn.clear_cache();
+        }
+        assert!((bn.running_mean().data()[0] - 5.0).abs() < 0.1);
+        assert!((bn.running_var().data()[0] - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn zero_init_outputs_beta() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut bn = BatchNorm2d::new(2).zero_init();
+        let x = Tensor::randn(Shape::new(2, 2, 3, 3), 1.0, &mut rng);
+        let y = bn.forward(&x, CacheMode::Full);
+        assert!(y.abs_max() < 1e-6);
+        bn.clear_cache();
+    }
+
+    #[test]
+    fn meter_accounting_stats_vs_full() {
+        let mut rng = StdRng::seed_from_u64(6);
+        meter::reset();
+        let mut bn = BatchNorm2d::new(4);
+        let x = Tensor::randn(Shape::new(2, 4, 8, 8), 1.0, &mut rng);
+        let _ = bn.forward(&x, CacheMode::Stats);
+        assert_eq!(meter::current() as u64, bn.cache_bytes(x.shape(), CacheMode::Stats));
+        bn.clear_cache();
+        let _ = bn.forward(&x, CacheMode::Full);
+        assert_eq!(meter::current() as u64, bn.cache_bytes(x.shape(), CacheMode::Full));
+        bn.clear_cache();
+        assert_eq!(meter::current(), 0);
+    }
+}

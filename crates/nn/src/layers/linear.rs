@@ -1,0 +1,153 @@
+//! Dense (fully connected) layer on `[n, c, 1, 1]` feature vectors.
+
+use crate::init::kaiming_linear;
+use crate::meter::Cached;
+use crate::mode::CacheMode;
+use crate::module::Layer;
+use crate::param::Param;
+use rand::Rng;
+use revbifpn_tensor::{sgemm_a_bt, sgemm_at_b, Shape, Tensor};
+
+/// `y = x W^T + b` with `x: [n, in, 1, 1]`, `W: [out, in]`, `y: [n, out, 1, 1]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_x: Cached<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialized dense layer.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self {
+            weight: Param::new(kaiming_linear(out_features, in_features, rng), true, "linear.weight"),
+            bias: Param::zeros(Shape::vector(out_features), false, "linear.bias"),
+            in_features,
+            out_features,
+            cache_x: Cached::empty(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        let xs = x.shape();
+        assert_eq!(
+            (xs.c, xs.h, xs.w),
+            (self.in_features, 1, 1),
+            "Linear expects [n, {}, 1, 1], got {xs}",
+            self.in_features
+        );
+        let mut y = Tensor::zeros(Shape::new(xs.n, self.out_features, 1, 1));
+        // y [n, out] = x [n, in] @ W^T   (W stored [out, in])
+        sgemm_a_bt(xs.n, self.in_features, self.out_features, 1.0, x.data(), self.weight.value.data(), 0.0, y.data_mut());
+        for n in 0..xs.n {
+            for o in 0..self.out_features {
+                y.data_mut()[n * self.out_features + o] += self.bias.value.data()[o];
+            }
+        }
+        if mode == CacheMode::Full {
+            self.cache_x.put_tensor(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("Linear::backward without Full forward");
+        let n = x.shape().n;
+        // dW [out, in] = dy^T [out, n] @ x [n, in]
+        let mut dw = Tensor::zeros(self.weight.value.shape());
+        sgemm_at_b(self.out_features, n, self.in_features, 1.0, dy.data(), x.data(), 0.0, dw.data_mut());
+        self.weight.accumulate(&dw);
+        // db = column sums of dy.
+        let mut db = Tensor::zeros(Shape::vector(self.out_features));
+        for i in 0..n {
+            for o in 0..self.out_features {
+                db.data_mut()[o] += dy.data()[i * self.out_features + o];
+            }
+        }
+        self.bias.accumulate(&db);
+        // dx [n, in] = dy [n, out] @ W [out, in]
+        let mut dx = Tensor::zeros(x.shape());
+        revbifpn_tensor::sgemm(n, self.out_features, self.in_features, 1.0, dy.data(), self.weight.value.data(), 0.0, dx.data_mut());
+        dx
+    }
+
+    fn out_shape(&self, x: Shape) -> Shape {
+        Shape::new(x.n, self.out_features, 1, 1)
+    }
+
+    fn macs(&self, x: Shape) -> u64 {
+        (x.n * self.in_features * self.out_features) as u64
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache_x.clear();
+    }
+
+    fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
+        if mode == CacheMode::Full {
+            x.bytes() as u64
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use crate::module::param_count;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_params_macs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(8, 3, &mut rng);
+        assert_eq!(l.out_shape(Shape::new(5, 8, 1, 1)), Shape::new(5, 3, 1, 1));
+        assert_eq!(param_count(&mut l), 8 * 3 + 3);
+        assert_eq!(l.macs(Shape::new(5, 8, 1, 1)), 5 * 8 * 3);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(2, 1, &mut rng);
+        l.weight.value = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![2.0, -1.0]).unwrap();
+        l.bias.value = Tensor::from_vec(Shape::vector(1), vec![0.5]).unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![3.0, 4.0]).unwrap();
+        let y = l.forward(&x, CacheMode::None);
+        assert_eq!(y.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn gradients_pass_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(6, 4, &mut rng);
+        let x = Tensor::randn(Shape::new(3, 6, 1, 1), 1.0, &mut rng);
+        check_layer(&mut l, &x, 2e-2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Squeeze-and-Excitation channel gating (Tan & Le 2019 variant with
+//! hard-sigmoid gate). RevBiFPN applies SE on the high-resolution streams
+//! (Ridnik et al. 2021; ablated in Table 5 of the paper).
+
+use crate::layers::act::{HardSigmoid, Relu};
+use crate::layers::conv::Conv2d;
+use crate::meter::Cached;
+use crate::mode::CacheMode;
+use crate::module::Layer;
+use crate::param::Param;
+use rand::Rng;
+use revbifpn_tensor::{global_avg_pool, global_avg_pool_backward, Shape, Tensor};
+
+/// `y = x * gate(x)` where `gate = hsigmoid(W2 relu(W1 gap(x)))`.
+#[derive(Debug)]
+pub struct SqueezeExcite {
+    reduce: Conv2d,
+    expand: Conv2d,
+    relu: Relu,
+    hsig: HardSigmoid,
+    c: usize,
+    cache: Cached<(Tensor, Tensor)>,
+}
+
+impl SqueezeExcite {
+    /// Creates an SE block on `c` channels with reduction ratio `ratio`
+    /// (reduced width `max(4, c * ratio)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio <= 0`.
+    pub fn new<R: Rng + ?Sized>(c: usize, ratio: f32, rng: &mut R) -> Self {
+        assert!(ratio > 0.0, "SE ratio must be positive");
+        let c_r = ((c as f32 * ratio).round() as usize).max(4).min(c);
+        Self::with_reduced_channels(c, c_r, rng)
+    }
+
+    /// Creates an SE block with an explicit bottleneck width (EfficientNet
+    /// computes the reduction from the MBConv *input* channels, not the
+    /// expanded width).
+    pub fn with_reduced_channels<R: Rng + ?Sized>(c: usize, c_r: usize, rng: &mut R) -> Self {
+        let c_r = c_r.clamp(1, c);
+        Self {
+            reduce: Conv2d::pointwise(c, c_r, true, rng),
+            expand: Conv2d::pointwise(c_r, c, true, rng),
+            relu: Relu::new(),
+            hsig: HardSigmoid::new(),
+            c,
+            cache: Cached::empty(),
+        }
+    }
+
+    /// Reduced (bottleneck) channel count.
+    pub fn reduced_channels(&self) -> usize {
+        self.reduce.out_shape(Shape::new(1, self.c, 1, 1)).c
+    }
+
+    fn gate(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        let s = global_avg_pool(x);
+        let r = self.reduce.forward(&s, mode);
+        let r = self.relu.forward(&r, mode);
+        let e = self.expand.forward(&r, mode);
+        self.hsig.forward(&e, mode)
+    }
+}
+
+impl Layer for SqueezeExcite {
+    fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        assert_eq!(x.shape().c, self.c, "SqueezeExcite channel mismatch");
+        let g = self.gate(x, mode);
+        let xs = x.shape();
+        let mut y = x.clone();
+        let hw = xs.hw();
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let gv = g.data()[n * self.c + c];
+                let base = (n * self.c + c) * hw;
+                for v in &mut y.data_mut()[base..base + hw] {
+                    *v *= gv;
+                }
+            }
+        }
+        if mode == CacheMode::Full {
+            let bytes = x.bytes() + g.bytes();
+            self.cache.put((x.clone(), g), bytes);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (x, g) = self.cache.take().expect("SqueezeExcite::backward without Full forward");
+        let xs = x.shape();
+        let hw = xs.hw();
+        // Direct path: dx = dy * g (broadcast over hw).
+        let mut dx = dy.clone();
+        let mut dg = Tensor::zeros(Shape::new(xs.n, self.c, 1, 1));
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let gv = g.data()[n * self.c + c];
+                let base = (n * self.c + c) * hw;
+                let mut acc = 0.0f32;
+                for i in 0..hw {
+                    acc += dy.data()[base + i] * x.data()[base + i];
+                    dx.data_mut()[base + i] *= gv;
+                }
+                dg.data_mut()[n * self.c + c] = acc;
+            }
+        }
+        // Gate path backward through hsig -> expand -> relu -> reduce -> gap.
+        let de = self.hsig.backward(&dg);
+        let dr = self.expand.backward(&de);
+        let dr = self.relu.backward(&dr);
+        let ds = self.reduce.backward(&dr);
+        let dx_gate = global_avg_pool_backward(&ds, xs);
+        dx.add_assign(&dx_gate);
+        dx
+    }
+
+    fn macs(&self, x: Shape) -> u64 {
+        let sv = Shape::new(x.n, self.c, 1, 1);
+        let c_r = self.reduced_channels();
+        self.reduce.macs(sv) + self.expand.macs(Shape::new(x.n, c_r, 1, 1)) + x.numel() as u64
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.reduce.visit_params(f);
+        self.expand.visit_params(f);
+    }
+
+    fn clear_cache(&mut self) {
+        self.reduce.clear_cache();
+        self.expand.clear_cache();
+        self.relu.clear_cache();
+        self.hsig.clear_cache();
+        self.cache.clear();
+    }
+
+    fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
+        if mode != CacheMode::Full {
+            return 0;
+        }
+        let sv = Shape::new(x.n, self.c, 1, 1);
+        let c_r = self.reduced_channels();
+        let rv = Shape::new(x.n, c_r, 1, 1);
+        // (x, gate) cache + sublayer caches on the tiny vectors.
+        (x.bytes() + sv.bytes()) as u64
+            + self.reduce.cache_bytes(sv, mode)
+            + self.relu.cache_bytes(rv, mode)
+            + self.expand.cache_bytes(rv, mode)
+            + self.hsig.cache_bytes(sv, mode)
+    }
+
+    fn name(&self) -> &str {
+        "squeeze_excite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use crate::meter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gate_is_bounded_and_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut se = SqueezeExcite::new(8, 0.25, &mut rng);
+        let x = Tensor::randn(Shape::new(2, 8, 4, 4), 1.0, &mut rng);
+        let y = se.forward(&x, CacheMode::None);
+        assert_eq!(y.shape(), x.shape());
+        // |y| <= |x| since gate in [0,1].
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!(a.abs() <= b.abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_pass_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut se = SqueezeExcite::new(6, 0.5, &mut rng);
+        let x = Tensor::randn(Shape::new(2, 6, 3, 3), 1.0, &mut rng);
+        check_layer(&mut se, &x, 3e-2);
+    }
+
+    #[test]
+    fn meter_matches_analytic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        meter::reset();
+        let mut se = SqueezeExcite::new(8, 0.25, &mut rng);
+        let x = Tensor::randn(Shape::new(2, 8, 5, 5), 1.0, &mut rng);
+        let _ = se.forward(&x, CacheMode::Full);
+        assert_eq!(meter::current() as u64, se.cache_bytes(x.shape(), CacheMode::Full));
+        se.clear_cache();
+        assert_eq!(meter::current(), 0);
+    }
+
+    #[test]
+    fn reduced_channels_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let se = SqueezeExcite::new(8, 0.25, &mut rng);
+        assert_eq!(se.reduced_channels(), 4); // max(4, 8*0.25)
+    }
+}

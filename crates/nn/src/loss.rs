@@ -1,0 +1,287 @@
+//! Losses: softmax cross-entropy with soft targets (supports label
+//! smoothing, mixup and CutMix targets), binary cross-entropy on logits, and
+//! smooth-L1 regression (detection heads).
+
+use revbifpn_tensor::{Shape, Tensor};
+
+/// Numerically stable per-row softmax of `[n, k, 1, 1]` logits.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let s = logits.shape();
+    assert_eq!((s.h, s.w), (1, 1), "softmax expects [n, k, 1, 1]");
+    let mut out = logits.clone();
+    for n in 0..s.n {
+        let row = &mut out.data_mut()[n * s.c..(n + 1) * s.c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            z += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= z;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy against soft targets.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits = (softmax - target) / n`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or are not `[n, k, 1, 1]`.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s, targets.shape(), "logits/targets shape mismatch");
+    let p = softmax(logits);
+    let mut loss = 0.0f64;
+    for n in 0..s.n {
+        for k in 0..s.c {
+            let t = targets.data()[n * s.c + k] as f64;
+            if t != 0.0 {
+                let q = (p.data()[n * s.c + k] as f64).max(1e-12);
+                loss -= t * q.ln();
+            }
+        }
+    }
+    loss /= s.n as f64;
+    let mut d = &p - targets;
+    d.scale(1.0 / s.n as f32);
+    (loss, d)
+}
+
+/// One-hot targets `[n, k, 1, 1]` from class labels.
+///
+/// # Panics
+///
+/// Panics if a label is out of range.
+pub fn one_hot(labels: &[usize], k: usize) -> Tensor {
+    let mut t = Tensor::zeros(Shape::new(labels.len(), k, 1, 1));
+    for (n, &l) in labels.iter().enumerate() {
+        assert!(l < k, "label {l} out of range for {k} classes");
+        t.data_mut()[n * k + l] = 1.0;
+    }
+    t
+}
+
+/// Applies label smoothing with coefficient `eps` to soft targets.
+pub fn label_smooth(targets: &Tensor, eps: f32) -> Tensor {
+    let k = targets.shape().c as f32;
+    targets.map(|t| t * (1.0 - eps) + eps / k)
+}
+
+/// Top-1 predictions from logits.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let s = logits.shape();
+    (0..s.n)
+        .map(|n| {
+            let row = &logits.data()[n * s.c..(n + 1) * s.c];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Binary cross-entropy on logits with per-element targets and weights.
+///
+/// Returns `(sum_loss / normalizer, dlogits)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `normalizer <= 0`.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor, normalizer: f64) -> (f64, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert!(normalizer > 0.0, "normalizer must be positive");
+    let mut loss = 0.0f64;
+    let mut d = Tensor::zeros(logits.shape());
+    for i in 0..logits.data().len() {
+        let z = logits.data()[i] as f64;
+        let t = targets.data()[i] as f64;
+        // log(1 + exp(-|z|)) stable form.
+        let l = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        loss += l;
+        let sig = 1.0 / (1.0 + (-z).exp());
+        d.data_mut()[i] = ((sig - t) / normalizer) as f32;
+    }
+    (loss / normalizer, d)
+}
+
+/// Focal loss on logits (Lin et al. 2017): BCE modulated by `(1-p_t)^gamma`
+/// with positive-class weight `alpha` — the standard remedy for the extreme
+/// foreground/background imbalance of dense detection heads.
+///
+/// Returns `(sum_loss / normalizer, dlogits)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `normalizer <= 0`.
+pub fn focal_loss_with_logits(
+    logits: &Tensor,
+    targets: &Tensor,
+    alpha: f64,
+    gamma: f64,
+    normalizer: f64,
+) -> (f64, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "focal loss shape mismatch");
+    assert!(normalizer > 0.0, "normalizer must be positive");
+    let mut loss = 0.0f64;
+    let mut d = Tensor::zeros(logits.shape());
+    for i in 0..logits.data().len() {
+        let z = logits.data()[i] as f64;
+        let t = targets.data()[i] as f64;
+        let p = 1.0 / (1.0 + (-z).exp());
+        // p_t and alpha_t for the binary target.
+        let (pt, at) = if t > 0.5 { (p, alpha) } else { (1.0 - p, 1.0 - alpha) };
+        let pt = pt.clamp(1e-8, 1.0 - 1e-8);
+        let mod_ = (1.0 - pt).powf(gamma);
+        loss += -at * mod_ * pt.ln();
+        // dL/dz with dp/dz = p(1-p); for t=1: dpt/dz = p(1-p); for t=0: -p(1-p).
+        let dpt_dz = if t > 0.5 { p * (1.0 - p) } else { -(p * (1.0 - p)) };
+        // dL/dpt = -at [ -gamma (1-pt)^(g-1) ln pt + (1-pt)^g / pt ]
+        let dl_dpt = -at * (-(gamma) * (1.0 - pt).powf(gamma - 1.0) * pt.ln() + mod_ / pt);
+        d.data_mut()[i] = ((dl_dpt * dpt_dz) / normalizer) as f32;
+    }
+    (loss / normalizer, d)
+}
+
+/// Smooth-L1 (Huber) regression loss with `beta = 1`, masked by `weights`.
+///
+/// Returns `(sum_loss / normalizer, dpred)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-positive normalizer.
+pub fn smooth_l1(pred: &Tensor, target: &Tensor, weights: &Tensor, normalizer: f64) -> (f64, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "smooth_l1 shape mismatch");
+    assert_eq!(pred.shape(), weights.shape(), "smooth_l1 weights mismatch");
+    assert!(normalizer > 0.0, "normalizer must be positive");
+    let mut loss = 0.0f64;
+    let mut d = Tensor::zeros(pred.shape());
+    for i in 0..pred.data().len() {
+        let w = weights.data()[i] as f64;
+        if w == 0.0 {
+            continue;
+        }
+        let diff = (pred.data()[i] - target.data()[i]) as f64;
+        let (l, g) = if diff.abs() < 1.0 { (0.5 * diff * diff, diff) } else { (diff.abs() - 0.5, diff.signum()) };
+        loss += w * l;
+        d.data_mut()[i] = (w * g / normalizer) as f32;
+    }
+    (loss / normalizer, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&l);
+        for n in 0..2 {
+            let s: f32 = p.data()[n * 3..(n + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ce_perfect_prediction_is_low() {
+        let l = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![10.0, -10.0]).unwrap();
+        let t = one_hot(&[0], 2);
+        let (loss, _) = softmax_cross_entropy(&l, &t);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_diff() {
+        let mut l = Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let t = label_smooth(&one_hot(&[2, 0], 3), 0.1);
+        let (_, d) = softmax_cross_entropy(&l, &t);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let orig = l.data()[i];
+            l.data_mut()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&l, &t);
+            l.data_mut()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&l, &t);
+            l.data_mut()[i] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((num - d.data()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn label_smoothing_distributes_mass() {
+        let t = label_smooth(&one_hot(&[1], 4), 0.2);
+        assert!((t.data()[1] - (0.8 + 0.05)).abs() < 1e-6);
+        assert!((t.data()[0] - 0.05).abs() < 1e-6);
+        assert!((t.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let l = Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![0.1, 0.9, 0.3, 2.0, -1.0, 0.0]).unwrap();
+        assert_eq!(argmax_rows(&l), vec![1, 0]);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_diff() {
+        let mut l = Tensor::from_vec(Shape::new(1, 4, 1, 1), vec![0.3, -0.8, 1.2, 0.0]).unwrap();
+        let t = Tensor::from_vec(Shape::new(1, 4, 1, 1), vec![1.0, 0.0, 0.5, 1.0]).unwrap();
+        let (_, d) = bce_with_logits(&l, &t, 4.0);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let orig = l.data()[i];
+            l.data_mut()[i] = orig + eps;
+            let (lp, _) = bce_with_logits(&l, &t, 4.0);
+            l.data_mut()[i] = orig - eps;
+            let (lm, _) = bce_with_logits(&l, &t, 4.0);
+            l.data_mut()[i] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((num - d.data()[i]).abs() < 1e-4, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn focal_gradient_matches_finite_diff() {
+        let mut l = Tensor::from_vec(Shape::new(1, 4, 1, 1), vec![0.3, -0.8, 1.2, -2.0]).unwrap();
+        let t = Tensor::from_vec(Shape::new(1, 4, 1, 1), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let (_, d) = focal_loss_with_logits(&l, &t, 0.25, 2.0, 2.0);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let orig = l.data()[i];
+            l.data_mut()[i] = orig + eps;
+            let (lp, _) = focal_loss_with_logits(&l, &t, 0.25, 2.0, 2.0);
+            l.data_mut()[i] = orig - eps;
+            let (lm, _) = focal_loss_with_logits(&l, &t, 0.25, 2.0, 2.0);
+            l.data_mut()[i] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((num - d.data()[i]).abs() < 1e-4, "coord {i}: {num} vs {}", d.data()[i]);
+        }
+    }
+
+    #[test]
+    fn focal_downweights_easy_negatives() {
+        // A confidently-correct negative contributes far less than under BCE.
+        let l = Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![-4.0]).unwrap();
+        let t = Tensor::zeros(l.shape());
+        let (fl, _) = focal_loss_with_logits(&l, &t, 0.25, 2.0, 1.0);
+        let (bce, _) = bce_with_logits(&l, &t, 1.0);
+        assert!(fl < bce * 0.01, "focal {fl} vs bce {bce}");
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_and_linear_regions() {
+        let p = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![0.5, 3.0]).unwrap();
+        let t = Tensor::zeros(p.shape());
+        let w = Tensor::ones(p.shape());
+        let (loss, d) = smooth_l1(&p, &t, &w, 1.0);
+        assert!((loss - (0.125 + 2.5)).abs() < 1e-6);
+        assert!((d.data()[0] - 0.5).abs() < 1e-6);
+        assert!((d.data()[1] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,196 @@
+//! Byte-exact accounting of activations cached for the backward pass.
+//!
+//! Every layer that retains state between forward and backward registers the
+//! retained bytes here (via [`Cached`]). The meter therefore measures exactly
+//! the quantity the RevBiFPN paper's memory figures are about: how many
+//! activation bytes must be *resident simultaneously* to run backprop.
+//!
+//! The meter is thread-local, so parallel tests do not interfere.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT: Cell<usize> = const { Cell::new(0) };
+    static PEAK: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Resets both the current and peak counters to zero.
+pub fn reset() {
+    CURRENT.with(|c| c.set(0));
+    PEAK.with(|p| p.set(0));
+}
+
+/// Registers `bytes` of newly cached activation state.
+pub fn add(bytes: usize) {
+    CURRENT.with(|c| {
+        let v = c.get() + bytes;
+        c.set(v);
+        PEAK.with(|p| {
+            if v > p.get() {
+                p.set(v);
+            }
+        });
+    });
+}
+
+/// Releases `bytes` of cached activation state.
+///
+/// # Panics
+///
+/// Debug builds panic on under-release (a layer freeing more than it
+/// registered), which would indicate an accounting bug.
+pub fn sub(bytes: usize) {
+    CURRENT.with(|c| {
+        debug_assert!(c.get() >= bytes, "memory meter under-release: {} < {}", c.get(), bytes);
+        c.set(c.get().saturating_sub(bytes));
+    });
+}
+
+/// Bytes currently registered as cached.
+pub fn current() -> usize {
+    CURRENT.with(|c| c.get())
+}
+
+/// High-water mark since the last [`reset`].
+pub fn peak() -> usize {
+    PEAK.with(|p| p.get())
+}
+
+/// A slot for backward-pass state whose size is tracked by the meter.
+///
+/// Layers store their cached inputs/masks/statistics in `Cached` slots; the
+/// meter's `current()` then reports the total cached activation footprint,
+/// and `peak()` its high-water mark (which is what bounds accelerator
+/// memory).
+#[derive(Debug)]
+pub struct Cached<T> {
+    value: Option<T>,
+    bytes: usize,
+}
+
+impl<T> Cached<T> {
+    /// An empty slot.
+    pub const fn empty() -> Self {
+        Self { value: None, bytes: 0 }
+    }
+
+    /// Stores `value`, registering `bytes` with the meter (replacing and
+    /// unregistering any previous occupant).
+    pub fn put(&mut self, value: T, bytes: usize) {
+        self.clear();
+        add(bytes);
+        self.value = Some(value);
+        self.bytes = bytes;
+    }
+
+    /// Removes and returns the value, releasing its bytes.
+    pub fn take(&mut self) -> Option<T> {
+        if self.value.is_some() {
+            sub(self.bytes);
+            self.bytes = 0;
+        }
+        self.value.take()
+    }
+
+    /// Immutable access without releasing.
+    pub fn get(&self) -> Option<&T> {
+        self.value.as_ref()
+    }
+
+    /// `true` if the slot holds a value.
+    pub fn is_some(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Registered size of the current occupant (0 when empty).
+    pub fn bytes(&self) -> usize {
+        if self.value.is_some() {
+            self.bytes
+        } else {
+            0
+        }
+    }
+
+    /// Drops the occupant, releasing its bytes.
+    pub fn clear(&mut self) {
+        if self.value.take().is_some() {
+            sub(self.bytes);
+        }
+        self.bytes = 0;
+    }
+}
+
+impl<T> Default for Cached<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> Drop for Cached<T> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl Cached<revbifpn_tensor::Tensor> {
+    /// Stores a tensor, registering its buffer size automatically.
+    pub fn put_tensor(&mut self, t: revbifpn_tensor::Tensor) {
+        let b = t.bytes();
+        self.put(t, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revbifpn_tensor::{Shape, Tensor};
+
+    #[test]
+    fn add_sub_peak() {
+        reset();
+        add(100);
+        add(50);
+        assert_eq!(current(), 150);
+        sub(100);
+        assert_eq!(current(), 50);
+        assert_eq!(peak(), 150);
+        reset();
+        assert_eq!(current(), 0);
+        assert_eq!(peak(), 0);
+    }
+
+    #[test]
+    fn cached_tracks_tensor_bytes() {
+        reset();
+        let mut slot = Cached::empty();
+        slot.put_tensor(Tensor::zeros(Shape::new(1, 1, 2, 2)));
+        assert_eq!(current(), 16);
+        assert_eq!(slot.bytes(), 16);
+        let t = slot.take().unwrap();
+        assert_eq!(t.shape(), Shape::new(1, 1, 2, 2));
+        assert_eq!(current(), 0);
+        assert!(!slot.is_some());
+    }
+
+    #[test]
+    fn put_replaces_previous_occupant() {
+        reset();
+        let mut slot = Cached::empty();
+        slot.put(vec![0u8; 10], 10);
+        slot.put(vec![0u8; 30], 30);
+        assert_eq!(current(), 30);
+        slot.clear();
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn drop_releases_bytes() {
+        reset();
+        {
+            let mut slot = Cached::empty();
+            slot.put(42u32, 4);
+            assert_eq!(current(), 4);
+        }
+        assert_eq!(current(), 0);
+    }
+}

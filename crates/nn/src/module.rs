@@ -1,0 +1,233 @@
+//! The single-input [`Layer`] trait and generic helpers over it.
+
+use crate::mode::CacheMode;
+use crate::param::Param;
+use revbifpn_tensor::{Shape, Tensor};
+
+/// A differentiable single-input, single-output network module.
+///
+/// Layers own their parameters and their backward-pass caches. The caller
+/// controls how much is cached through [`CacheMode`]:
+///
+/// * `None` — inference; `backward` must not be called afterwards.
+/// * `Stats` — cache only O(c) statistics/seeds so that a later `Full`
+///   forward on the *same input values* reproduces this pass exactly.
+/// * `Full` — cache what `backward` needs.
+///
+/// `backward` consumes the `Full` cache, accumulates parameter gradients,
+/// and returns the gradient w.r.t. the input.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass.
+    fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor;
+
+    /// Backward pass; consumes the cache from the last `Full` forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `Full`-mode forward preceded this call.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Output shape for an input of shape `x`.
+    fn out_shape(&self, x: Shape) -> Shape {
+        x
+    }
+
+    /// Multiply-accumulate count of one forward pass on input shape `x`.
+    fn macs(&self, x: Shape) -> u64 {
+        let _ = x;
+        0
+    }
+
+    /// Visits every parameter (used by optimizers, EMA, counting).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
+    /// Drops all cached state (both `Stats` and `Full` caches).
+    fn clear_cache(&mut self) {}
+
+    /// Analytic prediction of the bytes this layer caches during a forward
+    /// pass in `mode` on input shape `x`. Cross-checked against the meter in
+    /// tests; used to extrapolate paper-scale memory without allocating.
+    fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
+        let _ = (x, mode);
+        0
+    }
+
+    /// Short human-readable identifier.
+    fn name(&self) -> &str {
+        "layer"
+    }
+}
+
+/// Counts scalar parameters of a layer.
+pub fn param_count(layer: &mut dyn Layer) -> u64 {
+    let mut total = 0u64;
+    layer.visit_params(&mut |p| total += p.numel() as u64);
+    total
+}
+
+/// Zeroes all parameter gradients of a layer.
+pub fn zero_grads(layer: &mut dyn Layer) {
+    layer.visit_params(&mut |p| p.zero_grad());
+}
+
+/// Sum of squared gradient elements (for grad-norm diagnostics).
+pub fn grad_sq_norm(layer: &mut dyn Layer) -> f64 {
+    let mut total = 0.0;
+    layer.visit_params(&mut |p| total += p.grad.sq_sum());
+    total
+}
+
+/// The identity layer (useful as a placeholder, e.g. an absent expansion
+/// stage in MBConv with expansion ratio 1).
+#[derive(Debug, Default)]
+pub struct Identity;
+
+impl Layer for Identity {
+    fn forward(&mut self, x: &Tensor, _mode: CacheMode) -> Tensor {
+        x.clone()
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        dy.clone()
+    }
+
+    fn name(&self) -> &str {
+        "identity"
+    }
+}
+
+/// A chain of layers applied in order.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain (acts as identity).
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Builds from parts.
+    pub fn from_layers(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the chained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    fn out_shape(&self, x: Shape) -> Shape {
+        self.layers.iter().fold(x, |s, l| l.out_shape(s))
+    }
+
+    fn macs(&self, x: Shape) -> u64 {
+        let mut s = x;
+        let mut total = 0;
+        for l in &self.layers {
+            total += l.macs(s);
+            s = l.out_shape(s);
+        }
+        total
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    fn clear_cache(&mut self) {
+        for l in &mut self.layers {
+            l.clear_cache();
+        }
+    }
+
+    fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
+        let mut s = x;
+        let mut total = 0;
+        for l in &self.layers {
+            total += l.cache_bytes(s, mode);
+            s = l.out_shape(s);
+        }
+        total
+    }
+
+    fn name(&self) -> &str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let mut id = Identity;
+        let x = Tensor::ones(Shape::new(1, 2, 2, 2));
+        let y = id.forward(&x, CacheMode::Full);
+        assert_eq!(y, x);
+        let dx = id.backward(&y);
+        assert_eq!(dx, x);
+        assert_eq!(param_count(&mut id), 0);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut s = Sequential::new();
+        assert!(s.is_empty());
+        let x = Tensor::ones(Shape::new(1, 1, 1, 1));
+        assert_eq!(s.forward(&x, CacheMode::None), x);
+        assert_eq!(s.out_shape(x.shape()), x.shape());
+        assert_eq!(s.macs(x.shape()), 0);
+    }
+
+    #[test]
+    fn sequential_chains() {
+        let s = Sequential::new().push(Box::new(Identity)).push(Box::new(Identity));
+        assert_eq!(s.len(), 2);
+    }
+}

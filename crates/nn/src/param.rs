@@ -1,0 +1,90 @@
+//! Learnable parameters: a value tensor paired with its gradient accumulator
+//! and optimizer-relevant metadata.
+
+use revbifpn_tensor::{Shape, Tensor};
+
+/// A learnable parameter.
+///
+/// Gradients accumulate across backward calls; the optimizer reads them via
+/// [`Param::grad`] and the caller zeroes them with [`Param::zero_grad`]
+/// between steps.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether weight decay applies (convention: true for conv/linear
+    /// weights, false for biases and normalization affine parameters).
+    pub weight_decay: bool,
+    /// Human-readable name for debugging and test assertions.
+    pub name: &'static str,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor, weight_decay: bool, name: &'static str) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad, weight_decay, name }
+    }
+
+    /// Zero-initialized parameter (e.g. biases, zero-init BN gains).
+    pub fn zeros(shape: Shape, weight_decay: bool, name: &'static str) -> Self {
+        Self::new(Tensor::zeros(shape), weight_decay, name)
+    }
+
+    /// One-initialized parameter (e.g. BN gains).
+    pub fn ones(shape: Shape, weight_decay: bool, name: &'static str) -> Self {
+        Self::new(Tensor::ones(shape), weight_decay, name)
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.shape().numel()
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Counts scalar parameters reachable through `visit`.
+pub fn count_scalars(visit: impl FnOnce(&mut dyn FnMut(&mut Param))) -> u64 {
+    let mut total = 0u64;
+    visit(&mut |p: &mut Param| total += p.numel() as u64);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(Shape::vector(4)), true, "w");
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 4);
+        assert!(p.weight_decay);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::zeros(Shape::vector(2), false, "b");
+        let g = Tensor::from_vec(Shape::vector(2), vec![1.0, 2.0]).unwrap();
+        p.accumulate(&g);
+        p.accumulate(&g);
+        assert_eq!(p.grad.data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

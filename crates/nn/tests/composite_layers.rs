@@ -1,0 +1,141 @@
+//! Integration tests for layer composition: deep stacks, cache-mode
+//! semantics across whole networks, and meter/analytic agreement for every
+//! mode on realistic compositions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_nn::layers::{
+    BatchNorm2d, Conv2d, Dropout, GlobalAvgPool, HardSwish, Linear, MBConv, MBConvCfg, Relu,
+    SqueezeExcite, Upsample,
+};
+use revbifpn_nn::{meter, param_count, CacheMode, Layer, Sequential};
+use revbifpn_tensor::{ConvSpec, ResizeMode, Shape, Tensor};
+
+fn tiny_net(rng: &mut StdRng) -> Sequential {
+    let mut s = Sequential::new();
+    s.add(Box::new(Conv2d::new(3, 8, ConvSpec::kxk(3, 2), false, rng)));
+    s.add(Box::new(BatchNorm2d::new(8)));
+    s.add(Box::new(HardSwish::new()));
+    s.add(Box::new(MBConv::new(MBConvCfg::same(8, 3, 2.0).with_se(0.25), rng)));
+    s.add(Box::new(MBConv::new(MBConvCfg::down(8, 16, 1, 2.0), rng)));
+    s.add(Box::new(Conv2d::pointwise(16, 32, false, rng)));
+    s.add(Box::new(BatchNorm2d::new(32)));
+    s.add(Box::new(Relu::new()));
+    s.add(Box::new(GlobalAvgPool::new()));
+    s.add(Box::new(Dropout::new(0.1, 7)));
+    s.add(Box::new(Linear::new(32, 5, rng)));
+    s
+}
+
+#[test]
+fn deep_stack_forward_backward_shapes() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = tiny_net(&mut rng);
+    let x = Tensor::randn(Shape::new(2, 3, 16, 16), 1.0, &mut rng);
+    assert_eq!(net.out_shape(x.shape()), Shape::new(2, 5, 1, 1));
+    let y = net.forward(&x, CacheMode::Full);
+    assert_eq!(y.shape(), Shape::new(2, 5, 1, 1));
+    let dx = net.backward(&Tensor::ones(y.shape()));
+    assert_eq!(dx.shape(), x.shape());
+    assert!(dx.is_finite());
+    net.clear_cache();
+    assert!(param_count(&mut net) > 1000);
+}
+
+#[test]
+fn meter_agrees_with_analytic_for_all_modes() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = tiny_net(&mut rng);
+    let x = Tensor::randn(Shape::new(2, 3, 16, 16), 1.0, &mut rng);
+    for mode in [CacheMode::None, CacheMode::Stats, CacheMode::Full] {
+        meter::reset();
+        let _ = net.forward(&x, mode);
+        assert_eq!(
+            meter::current() as u64,
+            net.cache_bytes(x.shape(), mode),
+            "mode {mode:?}"
+        );
+        net.clear_cache();
+        assert_eq!(meter::current(), 0);
+    }
+}
+
+#[test]
+fn eval_mode_is_deterministic_and_stateless() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = tiny_net(&mut rng);
+    let x = Tensor::randn(Shape::new(1, 3, 16, 16), 1.0, &mut rng);
+    let y1 = net.forward(&x, CacheMode::None);
+    let y2 = net.forward(&x, CacheMode::None);
+    assert_eq!(y1, y2);
+}
+
+#[test]
+fn training_updates_bn_running_stats_eval_does_not() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut bn = BatchNorm2d::new(4);
+    let x = Tensor::randn(Shape::new(4, 4, 8, 8), 2.0, &mut rng).map(|v| v + 3.0);
+    let before = bn.running_mean().clone();
+    let _ = bn.forward(&x, CacheMode::None);
+    assert_eq!(bn.running_mean(), &before, "eval must not update running stats");
+    let _ = bn.forward(&x, CacheMode::Stats);
+    assert!(bn.running_mean().max_abs_diff(&before) > 0.01, "training must update running stats");
+    bn.clear_cache();
+}
+
+#[test]
+fn stats_then_full_replays_whole_network_exactly() {
+    // The reversible-recomputation contract at the network level: a Stats
+    // pass followed by a Full pass on the same input produces the identical
+    // output (BN stats and dropout seeds replayed).
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = tiny_net(&mut rng);
+    let x = Tensor::randn(Shape::new(2, 3, 16, 16), 1.0, &mut rng);
+    let y_stats = net.forward(&x, CacheMode::Stats);
+    let y_full = net.forward(&x, CacheMode::Full);
+    assert!(y_stats.max_abs_diff(&y_full) < 1e-6);
+    net.clear_cache();
+}
+
+#[test]
+fn upsample_downsample_chain_restores_shape() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut s = Sequential::new();
+    s.add(Box::new(Upsample::new(2, ResizeMode::Bilinear)));
+    s.add(Box::new(Conv2d::new(4, 4, ConvSpec::depthwise(3, 2, 4), false, &mut rng)));
+    let x = Tensor::randn(Shape::new(1, 4, 6, 6), 1.0, &mut rng);
+    let y = s.forward(&x, CacheMode::None);
+    assert_eq!(y.shape(), x.shape());
+}
+
+#[test]
+fn se_gate_backward_through_sequential() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut s = Sequential::new();
+    s.add(Box::new(Conv2d::pointwise(4, 8, false, &mut rng)));
+    s.add(Box::new(SqueezeExcite::new(8, 0.5, &mut rng)));
+    s.add(Box::new(Conv2d::pointwise(8, 4, false, &mut rng)));
+    let x = Tensor::randn(Shape::new(2, 4, 5, 5), 1.0, &mut rng);
+    let y = s.forward(&x, CacheMode::Full);
+    let dx = s.backward(&Tensor::ones(y.shape()));
+    assert!(dx.is_finite());
+    assert!(dx.abs_max() > 0.0);
+}
+
+#[test]
+fn gradient_accumulation_across_steps() {
+    // Two backward passes without zero_grad must accumulate exactly 2x.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut conv = Conv2d::pointwise(3, 4, false, &mut rng);
+    let x = Tensor::randn(Shape::new(1, 3, 4, 4), 1.0, &mut rng);
+    let y = conv.forward(&x, CacheMode::Full);
+    let dy = Tensor::ones(y.shape());
+    let _ = conv.backward(&dy);
+    let mut g1 = Tensor::zeros(Shape::new(1, 1, 1, 1));
+    conv.visit_params(&mut |p| g1 = p.grad.clone());
+    let _ = conv.forward(&x, CacheMode::Full);
+    let _ = conv.backward(&dy);
+    conv.visit_params(&mut |p| {
+        assert!(p.grad.max_abs_diff(&g1.scaled(2.0)) < 1e-4);
+    });
+}

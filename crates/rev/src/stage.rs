@@ -1,0 +1,631 @@
+//! Multi-stream reversible stages and the [`ReversibleSequence`] engine that
+//! performs "backpropagation without storing activations" over a chain of
+//! them.
+//!
+//! A [`RevStage`] transforms a vector of per-resolution feature streams into
+//! another such vector, invertibly. RevBiFPN's backbone is a
+//! `ReversibleSequence` of [`SiloStage`]s (fusion) and [`BlockStage`]s
+//! (same-resolution reversible residual blocks).
+
+use crate::revblock::RevBlock;
+use crate::silo::RevSilo;
+use revbifpn_nn::{CacheMode, Param};
+use revbifpn_tensor::{Shape, Tensor};
+
+/// A reversible transformation over a vector of feature streams.
+pub trait RevStage: std::fmt::Debug {
+    /// Forward pass: `n_in` streams in, `n_out` streams out.
+    fn forward(&mut self, xs: &[Tensor], mode: CacheMode) -> Vec<Tensor>;
+
+    /// Exact inverse (evaluation semantics).
+    fn inverse(&mut self, ys: &[Tensor]) -> Vec<Tensor>;
+
+    /// Reversible backward from outputs: reconstructs inputs, accumulates
+    /// parameter gradients, returns `(xs, dxs)`. Requires the forward pass
+    /// to have used [`CacheMode::Stats`].
+    fn backward_rev(&mut self, ys: &[Tensor], dys: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>);
+
+    /// Conventional backward consuming `Full` caches.
+    fn backward_cached(&mut self, dys: &[Tensor]) -> Vec<Tensor>;
+
+    /// Number of input streams.
+    fn in_streams(&self) -> usize;
+
+    /// Number of output streams.
+    fn out_streams(&self) -> usize;
+
+    /// Output shapes for given input shapes.
+    fn out_shapes(&self, xs: &[Shape]) -> Vec<Shape>;
+
+    /// MAC count of one forward pass.
+    fn macs(&self, xs: &[Shape]) -> u64;
+
+    /// Visits all parameters.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clears all caches.
+    fn clear_cache(&mut self);
+
+    /// Analytic cache bytes for the given input shapes and mode.
+    fn cache_bytes(&self, xs: &[Shape], mode: CacheMode) -> u64;
+
+    /// Short identifier for diagnostics.
+    fn name(&self) -> &str {
+        "rev_stage"
+    }
+}
+
+impl RevStage for RevSilo {
+    fn forward(&mut self, xs: &[Tensor], mode: CacheMode) -> Vec<Tensor> {
+        RevSilo::forward(self, xs, mode)
+    }
+
+    fn inverse(&mut self, ys: &[Tensor]) -> Vec<Tensor> {
+        RevSilo::inverse(self, ys)
+    }
+
+    fn backward_rev(&mut self, ys: &[Tensor], dys: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>) {
+        RevSilo::backward_rev(self, ys, dys)
+    }
+
+    fn backward_cached(&mut self, dys: &[Tensor]) -> Vec<Tensor> {
+        RevSilo::backward_cached(self, dys)
+    }
+
+    fn in_streams(&self) -> usize {
+        self.n_in()
+    }
+
+    fn out_streams(&self) -> usize {
+        self.n_out()
+    }
+
+    fn out_shapes(&self, xs: &[Shape]) -> Vec<Shape> {
+        RevSilo::out_shapes(self, xs)
+    }
+
+    fn macs(&self, xs: &[Shape]) -> u64 {
+        RevSilo::macs(self, xs)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        RevSilo::visit_params(self, f)
+    }
+
+    fn clear_cache(&mut self) {
+        RevSilo::clear_cache(self)
+    }
+
+    fn cache_bytes(&self, xs: &[Shape], mode: CacheMode) -> u64 {
+        RevSilo::cache_bytes(self, xs, mode)
+    }
+
+    fn name(&self) -> &str {
+        "rev_silo"
+    }
+}
+
+/// Per-stream reversible residual blocks (the "I" components of the paper's
+/// Figure 3): stream `i` is transformed by `blocks[i]` in sequence, streams
+/// do not interact.
+#[derive(Debug, Default)]
+pub struct BlockStage {
+    blocks: Vec<Vec<RevBlock>>,
+}
+
+impl BlockStage {
+    /// Builds from per-stream block chains (an empty chain = identity for
+    /// that stream).
+    pub fn new(blocks: Vec<Vec<RevBlock>>) -> Self {
+        Self { blocks }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl RevStage for BlockStage {
+    fn forward(&mut self, xs: &[Tensor], mode: CacheMode) -> Vec<Tensor> {
+        assert_eq!(xs.len(), self.blocks.len(), "BlockStage stream count mismatch");
+        xs.iter()
+            .zip(&mut self.blocks)
+            .map(|(x, chain)| {
+                let mut cur = x.clone();
+                for b in chain {
+                    cur = b.forward(&cur, mode);
+                }
+                cur
+            })
+            .collect()
+    }
+
+    fn inverse(&mut self, ys: &[Tensor]) -> Vec<Tensor> {
+        ys.iter()
+            .zip(&mut self.blocks)
+            .map(|(y, chain)| {
+                let mut cur = y.clone();
+                for b in chain.iter_mut().rev() {
+                    cur = b.inverse(&cur);
+                }
+                cur
+            })
+            .collect()
+    }
+
+    fn backward_rev(&mut self, ys: &[Tensor], dys: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>) {
+        let mut xs = Vec::with_capacity(ys.len());
+        let mut dxs = Vec::with_capacity(ys.len());
+        for ((y, dy), chain) in ys.iter().zip(dys).zip(&mut self.blocks) {
+            let mut cur = y.clone();
+            let mut dcur = dy.clone();
+            for b in chain.iter_mut().rev() {
+                let (x, dx) = b.backward_rev(&cur, &dcur);
+                cur = x;
+                dcur = dx;
+            }
+            xs.push(cur);
+            dxs.push(dcur);
+        }
+        (xs, dxs)
+    }
+
+    fn backward_cached(&mut self, dys: &[Tensor]) -> Vec<Tensor> {
+        dys.iter()
+            .zip(&mut self.blocks)
+            .map(|(dy, chain)| {
+                let mut cur = dy.clone();
+                for b in chain.iter_mut().rev() {
+                    cur = b.backward_cached(&cur);
+                }
+                cur
+            })
+            .collect()
+    }
+
+    fn in_streams(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn out_streams(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn out_shapes(&self, xs: &[Shape]) -> Vec<Shape> {
+        xs.to_vec()
+    }
+
+    fn macs(&self, xs: &[Shape]) -> u64 {
+        xs.iter().zip(&self.blocks).map(|(x, chain)| chain.iter().map(|b| b.macs(*x)).sum::<u64>()).sum()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for chain in &mut self.blocks {
+            for b in chain {
+                b.visit_params(f);
+            }
+        }
+    }
+
+    fn clear_cache(&mut self) {
+        for chain in &mut self.blocks {
+            for b in chain {
+                b.clear_cache();
+            }
+        }
+    }
+
+    fn cache_bytes(&self, xs: &[Shape], mode: CacheMode) -> u64 {
+        xs.iter()
+            .zip(&self.blocks)
+            .map(|(x, chain)| chain.iter().map(|b| b.cache_bytes(*x, mode)).sum::<u64>())
+            .sum()
+    }
+
+    fn name(&self) -> &str {
+        "block_stage"
+    }
+}
+
+/// How a reversible sequence is trained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainMode {
+    /// Reversible recomputation: forward with [`CacheMode::Stats`], backward
+    /// reconstructs activations stage-by-stage. O(nchw) activation memory.
+    Reversible,
+    /// Conventional training: forward with [`CacheMode::Full`], every stage
+    /// keeps its caches. Θ(nchw·d) activation memory.
+    Conventional,
+}
+
+/// A chain of [`RevStage`]s with a single backward entry point that
+/// dispatches on [`TrainMode`].
+#[derive(Debug, Default)]
+pub struct ReversibleSequence {
+    stages: Vec<Box<dyn RevStage>>,
+}
+
+impl ReversibleSequence {
+    /// An empty sequence (identity).
+    pub fn new() -> Self {
+        Self { stages: Vec::new() }
+    }
+
+    /// Appends a stage.
+    pub fn add(&mut self, stage: Box<dyn RevStage>) {
+        if let Some(last) = self.stages.last() {
+            assert_eq!(
+                last.out_streams(),
+                stage.in_streams(),
+                "stage stream counts must chain: {} -> {}",
+                last.out_streams(),
+                stage.in_streams()
+            );
+        }
+        self.stages.push(stage);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when no stages have been added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Immutable stage access.
+    pub fn stages(&self) -> &[Box<dyn RevStage>] {
+        &self.stages
+    }
+
+    /// Forward through all stages. For training, pass `CacheMode::Stats`
+    /// (reversible) or `CacheMode::Full` (conventional).
+    pub fn forward(&mut self, xs: Vec<Tensor>, mode: CacheMode) -> Vec<Tensor> {
+        let mut cur = xs;
+        for s in &mut self.stages {
+            cur = s.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Exact inverse through all stages (evaluation semantics).
+    pub fn inverse(&mut self, ys: Vec<Tensor>) -> Vec<Tensor> {
+        let mut cur = ys;
+        for s in self.stages.iter_mut().rev() {
+            cur = s.inverse(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass.
+    ///
+    /// * `TrainMode::Reversible`: `ys` must be the outputs of the forward
+    ///   pass; activations are reconstructed stage by stage. Returns
+    ///   `(xs, dxs)` at the sequence input.
+    /// * `TrainMode::Conventional`: uses the stages' `Full` caches; `ys` is
+    ///   ignored (may be empty). Returns `(vec![], dxs)`.
+    pub fn backward(&mut self, ys: &[Tensor], dys: Vec<Tensor>, mode: TrainMode) -> (Vec<Tensor>, Vec<Tensor>) {
+        match mode {
+            TrainMode::Reversible => {
+                let mut cur_y: Vec<Tensor> = ys.to_vec();
+                let mut cur_dy = dys;
+                for s in self.stages.iter_mut().rev() {
+                    let (xs, dxs) = s.backward_rev(&cur_y, &cur_dy);
+                    cur_y = xs;
+                    cur_dy = dxs;
+                }
+                (cur_y, cur_dy)
+            }
+            TrainMode::Conventional => {
+                let mut cur_dy = dys;
+                for s in self.stages.iter_mut().rev() {
+                    cur_dy = s.backward_cached(&cur_dy);
+                }
+                (Vec::new(), cur_dy)
+            }
+        }
+    }
+
+    /// Output shapes for given input shapes.
+    pub fn out_shapes(&self, xs: &[Shape]) -> Vec<Shape> {
+        let mut cur = xs.to_vec();
+        for s in &self.stages {
+            cur = s.out_shapes(&cur);
+        }
+        cur
+    }
+
+    /// Total MAC count.
+    pub fn macs(&self, xs: &[Shape]) -> u64 {
+        let mut cur = xs.to_vec();
+        let mut total = 0;
+        for s in &self.stages {
+            total += s.macs(&cur);
+            cur = s.out_shapes(&cur);
+        }
+        total
+    }
+
+    /// Visits all parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for s in &mut self.stages {
+            s.visit_params(f);
+        }
+    }
+
+    /// Clears all stage caches.
+    pub fn clear_cache(&mut self) {
+        for s in &mut self.stages {
+            s.clear_cache();
+        }
+    }
+
+    /// Analytic cache bytes of a forward pass in `mode`, summed over stages.
+    pub fn cache_bytes(&self, xs: &[Shape], mode: CacheMode) -> u64 {
+        let mut cur = xs.to_vec();
+        let mut total = 0;
+        for s in &self.stages {
+            total += s.cache_bytes(&cur, mode);
+            cur = s.out_shapes(&cur);
+        }
+        total
+    }
+
+    /// Analytic *peak transient* cache bytes of the reversible backward: the
+    /// largest single stage's `Full` cache (stages are recomputed one at a
+    /// time and freed immediately).
+    pub fn peak_transient_bytes(&self, xs: &[Shape]) -> u64 {
+        let mut cur = xs.to_vec();
+        let mut peak = 0;
+        for s in &self.stages {
+            peak = peak.max(s.cache_bytes(&cur, CacheMode::Full));
+            cur = s.out_shapes(&cur);
+        }
+        peak
+    }
+
+    /// Analytic activation bytes of classic gradient checkpointing (Chen et
+    /// al. 2016) over this sequence: the inputs of every `segment`-th stage
+    /// are stored, and the largest segment is rematerialized with `Full`
+    /// caches during backward. `segment = 1` degenerates to conventional
+    /// training; `segment = len()` stores only the sequence input.
+    /// With `segment ~ sqrt(len())` this is the O(sqrt(D)) regime the paper
+    /// contrasts reversibility against (Appendix A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment == 0`.
+    pub fn checkpoint_bytes(&self, xs: &[Shape], segment: usize) -> u64 {
+        assert!(segment > 0, "segment length must be positive");
+        let mut cur = xs.to_vec();
+        let mut stored = 0u64;
+        let mut seg_cache = 0u64;
+        let mut max_seg = 0u64;
+        for (i, s) in self.stages.iter().enumerate() {
+            if i % segment == 0 {
+                stored += cur.iter().map(|sh| sh.bytes() as u64).sum::<u64>();
+                max_seg = max_seg.max(seg_cache);
+                seg_cache = 0;
+            }
+            seg_cache += s.cache_bytes(&cur, CacheMode::Full);
+            cur = s.out_shapes(&cur);
+        }
+        stored + max_seg.max(seg_cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use revbifpn_nn::layers::{MBConv, MBConvCfg};
+    use revbifpn_nn::Layer;
+    use revbifpn_tensor::Tensor;
+
+    const C: [usize; 3] = [8, 12, 16];
+
+    fn make_silo(n_in: usize, n_out: usize, seed: u64) -> RevSilo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut down = |j: usize, i: usize| -> Box<dyn Layer> {
+            Box::new(MBConv::new(MBConvCfg::down(C[j], C[i], (i - j) as u32, 1.5), &mut rng)) as Box<dyn Layer>
+        };
+        let mut rng2 = StdRng::seed_from_u64(seed + 1);
+        let mut up = |j: usize, i: usize| -> Box<dyn Layer> {
+            Box::new(MBConv::new(MBConvCfg::up(C[j], C[i], (j - i) as u32, 1.5), &mut rng2)) as Box<dyn Layer>
+        };
+        RevSilo::new(n_in, n_out, &mut down, &mut up)
+    }
+
+    fn make_blocks(streams: usize, seed: u64) -> BlockStage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..streams)
+            .map(|i| {
+                let half = C[i] / 2;
+                let f = MBConv::new(MBConvCfg::same(half, 3, 1.5).plain(), &mut rng);
+                let g = MBConv::new(MBConvCfg::same(half, 3, 1.5).plain(), &mut rng);
+                vec![RevBlock::new(C[i], Box::new(f), Box::new(g))]
+            })
+            .collect();
+        BlockStage::new(blocks)
+    }
+
+    fn make_seq(seed: u64) -> ReversibleSequence {
+        let mut seq = ReversibleSequence::new();
+        seq.add(Box::new(make_silo(1, 2, seed)));
+        seq.add(Box::new(make_blocks(2, seed + 10)));
+        seq.add(Box::new(make_silo(2, 3, seed + 20)));
+        seq.add(Box::new(make_blocks(3, seed + 30)));
+        seq.add(Box::new(make_silo(3, 3, seed + 40)));
+        seq
+    }
+
+    fn randomize_bn(seq: &mut ReversibleSequence, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        seq.visit_params(&mut |p| {
+            if p.name == "bn.gamma" {
+                p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+            }
+        });
+    }
+
+    #[test]
+    fn sequence_shapes_chain() {
+        let seq = make_seq(0);
+        let shapes = seq.out_shapes(&[Shape::new(2, 8, 16, 16)]);
+        assert_eq!(shapes.len(), 3);
+        assert_eq!(shapes[0], Shape::new(2, 8, 16, 16));
+        assert_eq!(shapes[1], Shape::new(2, 12, 8, 8));
+        assert_eq!(shapes[2], Shape::new(2, 16, 4, 4));
+    }
+
+    #[test]
+    fn sequence_inverse_reconstructs_input() {
+        let mut seq = make_seq(1);
+        randomize_bn(&mut seq, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let ys = seq.forward(vec![x.clone()], CacheMode::None);
+        let back = seq.inverse(ys);
+        assert_eq!(back.len(), 1);
+        assert!(back[0].max_abs_diff(&x) < 1e-2, "diff {}", back[0].max_abs_diff(&x));
+    }
+
+    #[test]
+    fn reversible_equals_conventional_gradients() {
+        let mut s1 = make_seq(3);
+        randomize_bn(&mut s1, 300);
+        let mut s2 = make_seq(3);
+        randomize_bn(&mut s2, 300);
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(Shape::new(2, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = s1.out_shapes(&[x.shape()]);
+        let dys: Vec<Tensor> = out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+
+        let _y1 = s1.forward(vec![x.clone()], CacheMode::Full);
+        s1.visit_params(&mut |p| p.zero_grad());
+        let (_, dx1) = s1.backward(&[], dys.clone(), TrainMode::Conventional);
+
+        let y2 = s2.forward(vec![x.clone()], CacheMode::Stats);
+        s2.visit_params(&mut |p| p.zero_grad());
+        let (x_rec, dx2) = s2.backward(&y2, dys, TrainMode::Reversible);
+
+        assert!(x_rec[0].max_abs_diff(&x) < 1e-2, "input reconstruction {}", x_rec[0].max_abs_diff(&x));
+        assert!(dx1[0].max_abs_diff(&dx2[0]) < 1e-2, "dx {}", dx1[0].max_abs_diff(&dx2[0]));
+
+        let mut g1 = Vec::new();
+        s1.visit_params(&mut |p| g1.push(p.grad.clone()));
+        let mut g2 = Vec::new();
+        s2.visit_params(&mut |p| g2.push(p.grad.clone()));
+        let mut worst = 0.0f32;
+        for (a, b) in g1.iter().zip(&g2) {
+            worst = worst.max(a.max_abs_diff(b) / (1.0 + a.abs_max()));
+        }
+        assert!(worst < 1e-3, "worst relative param-grad diff {worst}");
+    }
+
+    #[test]
+    fn reversible_memory_is_constant_in_depth() {
+        // Measure Stats-mode cached bytes for 1 vs 4 fusion stages: adding
+        // stages must not grow the activation cache (only O(c) stats).
+        let shallow = {
+            let mut seq = ReversibleSequence::new();
+            seq.add(Box::new(make_silo(3, 3, 50)));
+            seq
+        };
+        let deep = {
+            let mut seq = ReversibleSequence::new();
+            for k in 0..4 {
+                seq.add(Box::new(make_silo(3, 3, 60 + k)));
+            }
+            seq
+        };
+        let shapes = [
+            Shape::new(4, C[0], 16, 16),
+            Shape::new(4, C[1], 8, 8),
+            Shape::new(4, C[2], 4, 4),
+        ];
+        let _stats_shallow = shallow.cache_bytes(&shapes, CacheMode::Stats);
+        let stats_deep = deep.cache_bytes(&shapes, CacheMode::Stats);
+        let full_shallow = shallow.cache_bytes(&shapes, CacheMode::Full);
+        let full_deep = deep.cache_bytes(&shapes, CacheMode::Full);
+        // Full caches grow ~linearly with stage count; stats stay tiny.
+        assert!(full_deep > 3 * full_shallow);
+        assert!(stats_deep < full_shallow / 10);
+        // Peak transient of the reversible backward equals one stage's Full cache.
+        assert_eq!(deep.peak_transient_bytes(&shapes), full_shallow.max(full_deep / 4));
+    }
+
+    #[test]
+    fn measured_meter_confirms_constant_memory() {
+        revbifpn_nn::meter::reset();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::randn(Shape::new(2, C[i], 16 >> i, 16 >> i), 1.0, &mut rng))
+            .collect();
+        let shapes: Vec<Shape> = xs.iter().map(|x| x.shape()).collect();
+
+        let mut deep = ReversibleSequence::new();
+        for k in 0..3 {
+            deep.add(Box::new(make_silo(3, 3, 70 + k)));
+        }
+        let _ = deep.forward(xs.clone(), CacheMode::Stats);
+        let measured = revbifpn_nn::meter::current() as u64;
+        assert_eq!(measured, deep.cache_bytes(&shapes, CacheMode::Stats));
+        deep.clear_cache();
+
+        let _ = deep.forward(xs, CacheMode::Full);
+        let measured_full = revbifpn_nn::meter::current() as u64;
+        assert_eq!(measured_full, deep.cache_bytes(&shapes, CacheMode::Full));
+        deep.clear_cache();
+        assert_eq!(revbifpn_nn::meter::current(), 0);
+    }
+
+    #[test]
+    fn checkpointing_interpolates_between_regimes() {
+        let mut seq = ReversibleSequence::new();
+        for k in 0..6 {
+            seq.add(Box::new(make_silo(3, 3, 90 + k)));
+        }
+        let shapes = [
+            Shape::new(2, C[0], 16, 16),
+            Shape::new(2, C[1], 8, 8),
+            Shape::new(2, C[2], 4, 4),
+        ];
+        let conventional = seq.cache_bytes(&shapes, CacheMode::Full);
+        let ckpt_all = seq.checkpoint_bytes(&shapes, 1);
+        // segment=1 stores every stage input on top of full caches' max
+        // segment (one stage), so it is within the conventional ballpark.
+        assert!(ckpt_all >= conventional / 6);
+        let sqrt_ckpt = seq.checkpoint_bytes(&shapes, 3); // ~sqrt(6)
+        let one_ckpt = seq.checkpoint_bytes(&shapes, 6);
+        let reversible = seq.cache_bytes(&shapes, CacheMode::Stats) + seq.peak_transient_bytes(&shapes);
+        // Ordering: conventional > sqrt-checkpointing > reversible.
+        assert!(sqrt_ckpt < conventional, "{sqrt_ckpt} vs {conventional}");
+        assert!(reversible < sqrt_ckpt, "{reversible} vs {sqrt_ckpt}");
+        // A single segment rematerializes the whole network at once, so it
+        // costs *more* than the sqrt schedule: sqrt is the optimum.
+        assert!(one_ckpt >= sqrt_ckpt);
+    }
+
+    #[test]
+    fn empty_sequence_is_identity() {
+        let mut seq = ReversibleSequence::new();
+        assert!(seq.is_empty());
+        let x = Tensor::ones(Shape::new(1, 2, 2, 2));
+        let ys = seq.forward(vec![x.clone()], CacheMode::None);
+        assert_eq!(ys[0], x);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream counts must chain")]
+    fn mismatched_stages_panic() {
+        let mut seq = ReversibleSequence::new();
+        seq.add(Box::new(make_silo(1, 2, 80)));
+        seq.add(Box::new(make_silo(3, 3, 81)));
+    }
+}

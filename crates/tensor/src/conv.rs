@@ -1,0 +1,739 @@
+//! 2-D convolution: forward and exact backward, with fast paths for the two
+//! shapes RevBiFPN uses constantly (1x1 pointwise and depthwise) and a
+//! general im2col path for everything else (dense 3x3 stems, baselines).
+
+use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b};
+use crate::par::{parallel_map_reduce, parallel_over_slices};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+///
+/// Weights are `[c_out, c_in / groups, kh, kw]`; `groups == c_in == c_out`
+/// is a depthwise convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical zero-padding (both sides).
+    pub ph: usize,
+    /// Horizontal zero-padding (both sides).
+    pub pw: usize,
+    /// Channel groups.
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// Square-kernel spec with "same"-style padding `k / 2`.
+    pub fn kxk(k: usize, stride: usize) -> Self {
+        Self { kh: k, kw: k, sh: stride, sw: stride, ph: k / 2, pw: k / 2, groups: 1 }
+    }
+
+    /// 1x1 pointwise convolution.
+    pub fn pointwise() -> Self {
+        Self::kxk(1, 1)
+    }
+
+    /// Depthwise square-kernel spec for `c` channels.
+    pub fn depthwise(k: usize, stride: usize, c: usize) -> Self {
+        Self { groups: c, ..Self::kxk(k, stride) }
+    }
+
+    /// Returns a copy with explicit padding.
+    pub fn with_padding(mut self, ph: usize, pw: usize) -> Self {
+        self.ph = ph;
+        self.pw = pw;
+        self
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.ph).saturating_sub(self.kh) / self.sh + 1;
+        let ow = (w + 2 * self.pw).saturating_sub(self.kw) / self.sw + 1;
+        (oh, ow)
+    }
+
+    /// Output shape for input `x` and `c_out` output channels.
+    pub fn out_shape(&self, x: Shape, c_out: usize) -> Shape {
+        let (oh, ow) = self.out_hw(x.h, x.w);
+        Shape::new(x.n, c_out, oh, ow)
+    }
+
+    /// Multiply-accumulate count of the forward pass.
+    pub fn macs(&self, x: Shape, c_out: usize) -> u64 {
+        let (oh, ow) = self.out_hw(x.h, x.w);
+        (x.n * oh * ow * c_out * (x.c / self.groups) * self.kh * self.kw) as u64
+    }
+
+    fn is_pointwise(&self) -> bool {
+        self.kh == 1 && self.kw == 1 && self.sh == 1 && self.sw == 1 && self.ph == 0 && self.pw == 0 && self.groups == 1
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input (present unless `need_dx` was false).
+    pub dx: Option<Tensor>,
+    /// Gradient w.r.t. the weights.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias (per output channel).
+    pub db: Tensor,
+}
+
+fn check_conv_args(x: &Tensor, w: &Tensor, spec: &ConvSpec) {
+    let xs = x.shape();
+    let ws = w.shape();
+    assert_eq!(xs.c % spec.groups, 0, "input channels not divisible by groups");
+    assert_eq!(ws.n % spec.groups, 0, "output channels not divisible by groups");
+    assert_eq!(ws.c, xs.c / spec.groups, "weight c_in/groups mismatch: {ws} vs input {xs}");
+    assert_eq!((ws.h, ws.w), (spec.kh, spec.kw), "weight kernel size mismatch");
+}
+
+/// Convolution forward pass.
+///
+/// # Panics
+///
+/// Panics if weight/bias shapes disagree with `spec` and `x`.
+pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: &ConvSpec) -> Tensor {
+    check_conv_args(x, w, spec);
+    let xs = x.shape();
+    let c_out = w.shape().n;
+    let out_shape = spec.out_shape(xs, c_out);
+    let mut out = Tensor::zeros(out_shape);
+    if spec.is_pointwise() {
+        pointwise_forward(x, w, &mut out);
+    } else if spec.groups == xs.c && c_out == xs.c {
+        depthwise_forward(x, w, spec, &mut out);
+    } else {
+        general_forward(x, w, spec, &mut out);
+    }
+    if let Some(b) = bias {
+        out.add_channel_bias(b);
+    }
+    out
+}
+
+/// Convolution backward pass.
+///
+/// `dy` must have the shape [`ConvSpec::out_shape`] produces for `x`.
+/// Set `need_dx = false` at the first layer of a network to skip the
+/// (useless) input-gradient computation.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, need_dx: bool) -> ConvGrads {
+    check_conv_args(x, w, spec);
+    let c_out = w.shape().n;
+    assert_eq!(dy.shape(), spec.out_shape(x.shape(), c_out), "dy shape mismatch");
+    let db = dy.sum_per_channel();
+    if spec.is_pointwise() {
+        let (dx, dw) = pointwise_backward(x, w, dy, need_dx);
+        ConvGrads { dx, dw, db }
+    } else if spec.groups == x.shape().c && c_out == x.shape().c {
+        let (dx, dw) = depthwise_backward(x, w, dy, spec, need_dx);
+        ConvGrads { dx, dw, db }
+    } else {
+        let (dx, dw) = general_backward(x, w, dy, spec, need_dx);
+        ConvGrads { dx, dw, db }
+    }
+}
+
+// ---------------------------------------------------------------- pointwise
+
+fn pointwise_forward(x: &Tensor, w: &Tensor, out: &mut Tensor) {
+    let xs = x.shape();
+    let c_out = w.shape().n;
+    let hw = xs.hw();
+    let chw_in = xs.chw();
+    let chw_out = out.shape().chw();
+    let xdata = x.data();
+    let wdata = w.data();
+    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
+    parallel_over_slices(slices, |n, yslice| {
+        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+        // y [c_out, hw] = w [c_out, c_in] @ x [c_in, hw]
+        sgemm(c_out, xs.c, hw, 1.0, wdata, xn, 0.0, yslice);
+    });
+}
+
+fn pointwise_backward(x: &Tensor, w: &Tensor, dy: &Tensor, need_dx: bool) -> (Option<Tensor>, Tensor) {
+    let xs = x.shape();
+    let c_out = w.shape().n;
+    let hw = xs.hw();
+    let chw_in = xs.chw();
+    let chw_out = dy.shape().chw();
+    let xdata = x.data();
+    let wdata = w.data();
+    let dydata = dy.data();
+
+    // dw [c_out, c_in] = sum_n dy_n [c_out, hw] @ x_n^T [hw, c_in]
+    let mut dw = Tensor::zeros(w.shape());
+    parallel_map_reduce(
+        xs.n,
+        |a, b| {
+            let mut part = vec![0.0f32; c_out * xs.c];
+            for n in a..b {
+                let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+                let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                sgemm_a_bt(c_out, hw, xs.c, 1.0, dyn_, xn, 1.0, &mut part);
+            }
+            part
+        },
+        &mut dw,
+        |acc, part| {
+            for (a, p) in acc.data_mut().iter_mut().zip(part) {
+                *a += p;
+            }
+        },
+    );
+
+    let dx = if need_dx {
+        let mut dx = Tensor::zeros(xs);
+        let slices: Vec<&mut [f32]> = dx.data_mut().chunks_mut(chw_in).collect();
+        parallel_over_slices(slices, |n, dxslice| {
+            let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+            // dx [c_in, hw] = w^T [c_in, c_out] @ dy [c_out, hw]
+            sgemm_at_b(xs.c, c_out, hw, 1.0, wdata, dyn_, 0.0, dxslice);
+        });
+        Some(dx)
+    } else {
+        None
+    };
+    (dx, dw)
+}
+
+// ---------------------------------------------------------------- depthwise
+
+fn depthwise_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
+    let xs = x.shape();
+    let os = out.shape();
+    let (oh, ow) = (os.h, os.w);
+    let xdata = x.data();
+    let wdata = w.data();
+    let chw_out = os.chw();
+    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
+    parallel_over_slices(slices, |n, yslice| {
+        for c in 0..xs.c {
+            let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+            let kern = &wdata[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
+            let yplane = &mut yslice[c * oh * ow..(c + 1) * oh * ow];
+            for oy in 0..oh {
+                let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                for ox in 0..ow {
+                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                    let mut acc = 0.0f32;
+                    for ky in 0..spec.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= xs.h as isize {
+                            continue;
+                        }
+                        let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
+                        let krow = &kern[ky * spec.kw..(ky + 1) * spec.kw];
+                        for kx in 0..spec.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= xs.w as isize {
+                                continue;
+                            }
+                            acc += xrow[ix as usize] * krow[kx];
+                        }
+                    }
+                    yplane[oy * ow + ox] = acc;
+                }
+            }
+        }
+    });
+}
+
+fn depthwise_backward(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    spec: &ConvSpec,
+    need_dx: bool,
+) -> (Option<Tensor>, Tensor) {
+    let xs = x.shape();
+    let os = dy.shape();
+    let (oh, ow) = (os.h, os.w);
+    let xdata = x.data();
+    let wdata = w.data();
+    let dydata = dy.data();
+    let ksz = spec.kh * spec.kw;
+
+    let mut dw = Tensor::zeros(w.shape());
+    parallel_map_reduce(
+        xs.n,
+        |a, b| {
+            let mut part = vec![0.0f32; xs.c * ksz];
+            for n in a..b {
+                for c in 0..xs.c {
+                    let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+                    let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
+                    let dkern = &mut part[c * ksz..(c + 1) * ksz];
+                    for oy in 0..oh {
+                        let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                        for ox in 0..ow {
+                            let g = dyplane[oy * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                            for ky in 0..spec.kh {
+                                let iy = iy0 + ky as isize;
+                                if iy < 0 || iy >= xs.h as isize {
+                                    continue;
+                                }
+                                for kx in 0..spec.kw {
+                                    let ix = ix0 + kx as isize;
+                                    if ix < 0 || ix >= xs.w as isize {
+                                        continue;
+                                    }
+                                    dkern[ky * spec.kw + kx] += g * xplane[iy as usize * xs.w + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            part
+        },
+        &mut dw,
+        |acc, part| {
+            for (a, p) in acc.data_mut().iter_mut().zip(part) {
+                *a += p;
+            }
+        },
+    );
+
+    let dx = if need_dx {
+        let mut dx = Tensor::zeros(xs);
+        let chw_in = xs.chw();
+        let slices: Vec<&mut [f32]> = dx.data_mut().chunks_mut(chw_in).collect();
+        parallel_over_slices(slices, |n, dxslice| {
+            for c in 0..xs.c {
+                let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
+                let kern = &wdata[c * ksz..(c + 1) * ksz];
+                let dxplane = &mut dxslice[c * xs.hw()..(c + 1) * xs.hw()];
+                for oy in 0..oh {
+                    let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                    for ox in 0..ow {
+                        let g = dyplane[oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                        for ky in 0..spec.kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= xs.h as isize {
+                                continue;
+                            }
+                            for kx in 0..spec.kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= xs.w as isize {
+                                    continue;
+                                }
+                                dxplane[iy as usize * xs.w + ix as usize] += g * kern[ky * spec.kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        Some(dx)
+    } else {
+        None
+    };
+    (dx, dw)
+}
+
+// ------------------------------------------------------------------ general
+
+fn im2col(xn: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, col: &mut [f32]) {
+    // col: [(c1-c0) * kh * kw, oh * ow]
+    let ohw = oh * ow;
+    let mut row = 0;
+    for c in c0..c1 {
+        let xplane = &xn[c * xs.hw()..(c + 1) * xs.hw()];
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let dst = &mut col[row * ohw..(row + 1) * ohw];
+                for oy in 0..oh {
+                    let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= xs.h as isize {
+                        dst_row.iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
+                    for (ox, d) in dst_row.iter_mut().enumerate() {
+                        let ix = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                        *d = if ix < 0 || ix >= xs.w as isize { 0.0 } else { xrow[ix as usize] };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+fn col2im(col: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, dxn: &mut [f32]) {
+    let ohw = oh * ow;
+    let mut row = 0;
+    for c in c0..c1 {
+        let dxplane = &mut dxn[c * xs.hw()..(c + 1) * xs.hw()];
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let src = &col[row * ohw..(row + 1) * ohw];
+                for oy in 0..oh {
+                    let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                    if iy < 0 || iy >= xs.h as isize {
+                        continue;
+                    }
+                    let src_row = &src[oy * ow..(oy + 1) * ow];
+                    for (ox, &s) in src_row.iter().enumerate() {
+                        let ix = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                        if ix < 0 || ix >= xs.w as isize {
+                            continue;
+                        }
+                        dxplane[iy as usize * xs.w + ix as usize] += s;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+fn general_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
+    let xs = x.shape();
+    let os = out.shape();
+    let (oh, ow) = (os.h, os.w);
+    let c_out = os.c;
+    let cin_g = xs.c / spec.groups;
+    let cout_g = c_out / spec.groups;
+    let k = cin_g * spec.kh * spec.kw;
+    let xdata = x.data();
+    let wdata = w.data();
+    let chw_in = xs.chw();
+    let chw_out = os.chw();
+    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
+    parallel_over_slices(slices, |n, yslice| {
+        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+        let mut col = vec![0.0f32; k * oh * ow];
+        for g in 0..spec.groups {
+            im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+            let wg = &wdata[g * cout_g * k..(g + 1) * cout_g * k];
+            let yg = &mut yslice[g * cout_g * oh * ow..(g + 1) * cout_g * oh * ow];
+            sgemm(cout_g, k, oh * ow, 1.0, wg, &col, 0.0, yg);
+        }
+    });
+}
+
+fn general_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, need_dx: bool) -> (Option<Tensor>, Tensor) {
+    let xs = x.shape();
+    let os = dy.shape();
+    let (oh, ow) = (os.h, os.w);
+    let cin_g = xs.c / spec.groups;
+    let cout_g = os.c / spec.groups;
+    let k = cin_g * spec.kh * spec.kw;
+    let ohw = oh * ow;
+    let xdata = x.data();
+    let wdata = w.data();
+    let dydata = dy.data();
+    let chw_in = xs.chw();
+    let chw_out = os.chw();
+
+    let mut dw = Tensor::zeros(w.shape());
+    let mut dx = if need_dx { Some(Tensor::zeros(xs)) } else { None };
+
+    // dx per batch item is independent -> parallel; dw reduced across batch.
+    struct Part {
+        dw: Vec<f32>,
+    }
+    let dx_ptr: Option<Vec<&mut [f32]>> = dx.as_mut().map(|t| t.data_mut().chunks_mut(chw_in).collect());
+    match dx_ptr {
+        Some(dx_slices) => {
+            // Process batch items in parallel, each computing its dx slice and a dw partial.
+            let dw_acc = parking_slices_run(dx_slices, |n, dxslice| {
+                let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+                let mut col = vec![0.0f32; k * ohw];
+                let mut dcol = vec![0.0f32; k * ohw];
+                let mut dw_part = vec![0.0f32; dw_len(w)];
+                for g in 0..spec.groups {
+                    im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+                    let dyg = &dyn_[g * cout_g * ohw..(g + 1) * cout_g * ohw];
+                    let dwg = &mut dw_part[g * cout_g * k..(g + 1) * cout_g * k];
+                    sgemm_a_bt(cout_g, ohw, k, 1.0, dyg, &col, 1.0, dwg);
+                    let wg = &wdata[g * cout_g * k..(g + 1) * cout_g * k];
+                    sgemm_at_b(k, cout_g, ohw, 1.0, wg, dyg, 0.0, &mut dcol);
+                    col2im(&dcol, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, dxslice);
+                }
+                Part { dw: dw_part }
+            });
+            for p in dw_acc {
+                for (a, b) in dw.data_mut().iter_mut().zip(p.dw) {
+                    *a += b;
+                }
+            }
+        }
+        None => {
+            parallel_map_reduce(
+                xs.n,
+                |a, b| {
+                    let mut dw_part = vec![0.0f32; dw_len(w)];
+                    let mut col = vec![0.0f32; k * ohw];
+                    for n in a..b {
+                        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                        let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+                        for g in 0..spec.groups {
+                            im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+                            let dyg = &dyn_[g * cout_g * ohw..(g + 1) * cout_g * ohw];
+                            let dwg = &mut dw_part[g * cout_g * k..(g + 1) * cout_g * k];
+                            sgemm_a_bt(cout_g, ohw, k, 1.0, dyg, &col, 1.0, dwg);
+                        }
+                    }
+                    dw_part
+                },
+                &mut dw,
+                |acc, part| {
+                    for (a, b) in acc.data_mut().iter_mut().zip(part) {
+                        *a += b;
+                    }
+                },
+            );
+        }
+    }
+    (dx, dw)
+}
+
+fn dw_len(w: &Tensor) -> usize {
+    w.shape().numel()
+}
+
+/// Runs `f` over per-item mutable slices, collecting each item's return value.
+fn parking_slices_run<T: Send, F>(slices: Vec<&mut [f32]>, f: F) -> Vec<T>
+where
+    F: Fn(usize, &mut [f32]) -> T + Sync,
+{
+    let items = slices.len();
+    let threads = crate::par::num_threads_for(items);
+    if threads <= 1 {
+        return slices.into_iter().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+    let chunk = items.div_ceil(threads);
+    let mut partitions: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
+    let mut current: Vec<(usize, &mut [f32])> = Vec::new();
+    for (i, s) in slices.into_iter().enumerate() {
+        current.push((i, s));
+        if current.len() == chunk {
+            partitions.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        partitions.push(current);
+    }
+    let nested = crossbeam::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|part| {
+                let f = &f;
+                scope.spawn(move |_| part.into_iter().map(|(i, s)| f(i, s)).collect::<Vec<T>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("conv worker panicked")).collect::<Vec<Vec<T>>>()
+    })
+    .expect("conv scope failed");
+    nested.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference direct convolution for verification.
+    fn conv_ref(x: &Tensor, w: &Tensor, b: Option<&Tensor>, spec: &ConvSpec) -> Tensor {
+        let xs = x.shape();
+        let c_out = w.shape().n;
+        let os = spec.out_shape(xs, c_out);
+        let cin_g = xs.c / spec.groups;
+        let cout_g = c_out / spec.groups;
+        let mut out = Tensor::zeros(os);
+        for n in 0..xs.n {
+            for co in 0..c_out {
+                let g = co / cout_g;
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let mut acc = b.map(|bb| bb.data()[co]).unwrap_or(0.0);
+                        for ci in 0..cin_g {
+                            for ky in 0..spec.kh {
+                                for kx in 0..spec.kw {
+                                    let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                                    let ix = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                                    if iy < 0 || iy >= xs.h as isize || ix < 0 || ix >= xs.w as isize {
+                                        continue;
+                                    }
+                                    acc += x.at(n, g * cin_g + ci, iy as usize, ix as usize)
+                                        * w.at(co, ci, ky, kx);
+                                }
+                            }
+                        }
+                        out.set(n, co, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn finite_diff_check(x: &Tensor, w: &Tensor, spec: &ConvSpec) {
+        // Loss = sum(conv(x, w) * m) for random m; compare analytic vs numeric grads.
+        let mut rng = StdRng::seed_from_u64(42);
+        let y0 = conv2d(x, w, None, spec);
+        let m = Tensor::uniform(y0.shape(), -1.0, 1.0, &mut rng);
+        let grads = conv2d_backward(x, w, &m, spec, true);
+        let eps = 1e-2f32;
+
+        // Check a handful of weight coordinates.
+        let mut wp = w.clone();
+        for idx in [0usize, w.shape().numel() / 2, w.shape().numel() - 1] {
+            let orig = wp.data()[idx];
+            wp.data_mut()[idx] = orig + eps;
+            let lp = (&conv2d(x, &wp, None, spec) * &m).sum();
+            wp.data_mut()[idx] = orig - eps;
+            let lm = (&conv2d(x, &wp, None, spec) * &m).sum();
+            wp.data_mut()[idx] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = grads.dw.data()[idx];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dw[{idx}] num={num} ana={ana}");
+        }
+        // And a couple of input coordinates.
+        let mut xp = x.clone();
+        for idx in [0usize, x.shape().numel() - 1] {
+            let orig = xp.data()[idx];
+            xp.data_mut()[idx] = orig + eps;
+            let lp = (&conv2d(&xp, w, None, spec) * &m).sum();
+            xp.data_mut()[idx] = orig - eps;
+            let lm = (&conv2d(&xp, w, None, spec) * &m).sum();
+            xp.data_mut()[idx] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = grads.dx.as_ref().unwrap().data()[idx];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{idx}] num={num} ana={ana}");
+        }
+    }
+
+    #[test]
+    fn out_shape_math() {
+        let spec = ConvSpec::kxk(3, 2);
+        assert_eq!(spec.out_hw(8, 8), (4, 4));
+        assert_eq!(spec.out_hw(7, 7), (4, 4));
+        let pw = ConvSpec::pointwise();
+        assert_eq!(pw.out_hw(5, 9), (5, 9));
+    }
+
+    #[test]
+    fn macs_formula() {
+        // 1x1 conv: n*h*w*cin*cout
+        let spec = ConvSpec::pointwise();
+        assert_eq!(spec.macs(Shape::new(2, 8, 4, 4), 16), 2 * 4 * 4 * 8 * 16);
+        // depthwise 3x3: n*oh*ow*c*9
+        let d = ConvSpec::depthwise(3, 1, 8);
+        assert_eq!(d.macs(Shape::new(1, 8, 4, 4), 8), 4 * 4 * 8 * 9);
+    }
+
+    #[test]
+    fn pointwise_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(Shape::new(2, 5, 4, 3), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(7, 5, 1, 1), 0.5, &mut rng);
+        let b = Tensor::randn(Shape::vector(7), 0.5, &mut rng);
+        let spec = ConvSpec::pointwise();
+        let got = conv2d(&x, &w, Some(&b), &spec);
+        let want = conv_ref(&x, &w, Some(&b), &spec);
+        assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+
+    #[test]
+    fn depthwise_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(k, s) in &[(3usize, 1usize), (3, 2), (5, 2), (7, 4)] {
+            let x = Tensor::randn(Shape::new(2, 4, 9, 8), 1.0, &mut rng);
+            let w = Tensor::randn(Shape::new(4, 1, k, k), 0.5, &mut rng);
+            let spec = ConvSpec::depthwise(k, s, 4);
+            let got = conv2d(&x, &w, None, &spec);
+            let want = conv_ref(&x, &w, None, &spec);
+            assert!(got.max_abs_diff(&want) < 1e-4, "k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn general_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(k, s, g) in &[(3usize, 1usize, 1usize), (3, 2, 1), (5, 1, 1), (3, 1, 2)] {
+            let x = Tensor::randn(Shape::new(2, 4, 7, 6), 1.0, &mut rng);
+            let w = Tensor::randn(Shape::new(6, 4 / g, k, k), 0.5, &mut rng);
+            let spec = ConvSpec { groups: g, ..ConvSpec::kxk(k, s) };
+            let got = conv2d(&x, &w, None, &spec);
+            let want = conv_ref(&x, &w, None, &spec);
+            assert!(got.max_abs_diff(&want) < 1e-4, "k={k} s={s} g={g}");
+        }
+    }
+
+    #[test]
+    fn backward_pointwise_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(Shape::new(2, 3, 4, 4), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(5, 3, 1, 1), 0.5, &mut rng);
+        finite_diff_check(&x, &w, &ConvSpec::pointwise());
+    }
+
+    #[test]
+    fn backward_depthwise_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(Shape::new(2, 3, 6, 6), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(3, 1, 3, 3), 0.5, &mut rng);
+        finite_diff_check(&x, &w, &ConvSpec::depthwise(3, 2, 3));
+    }
+
+    #[test]
+    fn backward_general_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(Shape::new(2, 4, 6, 5), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(6, 2, 3, 3), 0.5, &mut rng);
+        let spec = ConvSpec { groups: 2, ..ConvSpec::kxk(3, 2) };
+        finite_diff_check(&x, &w, &spec);
+    }
+
+    #[test]
+    fn backward_bias_gradient() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn(Shape::new(2, 3, 4, 4), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(5, 3, 1, 1), 0.5, &mut rng);
+        let dy = Tensor::ones(Shape::new(2, 5, 4, 4));
+        let g = conv2d_backward(&x, &w, &dy, &ConvSpec::pointwise(), false);
+        // db = sum of dy over n,h,w per channel = 2*16 = 32
+        assert!(g.db.data().iter().all(|&v| (v - 32.0).abs() < 1e-4));
+        assert!(g.dx.is_none());
+    }
+
+    #[test]
+    fn need_dx_false_matches_dw_of_full() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(Shape::new(2, 4, 5, 5), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(6, 4, 3, 3), 0.5, &mut rng);
+        let spec = ConvSpec::kxk(3, 1);
+        let dy = Tensor::randn(spec.out_shape(x.shape(), 6), 1.0, &mut rng);
+        let g1 = conv2d_backward(&x, &w, &dy, &spec, true);
+        let g2 = conv2d_backward(&x, &w, &dy, &spec, false);
+        assert!(g1.dw.max_abs_diff(&g2.dw) < 1e-4);
+    }
+}

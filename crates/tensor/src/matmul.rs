@@ -1,0 +1,188 @@
+//! Small row-major single-precision GEMM used by the convolution kernels.
+//!
+//! Not a BLAS replacement: the models in this repository are small enough
+//! that a register-blocked scalar kernel with good loop order is sufficient.
+
+/// `c = alpha * a @ b + beta * c` with row-major `a: [m, k]`, `b: [k, n]`,
+/// `c: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `(m, k, n)`.
+pub fn sgemm(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be m*k");
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // ikj loop order: the inner loop is a contiguous axpy over rows of b,
+    // which vectorizes well and is cache-friendly for both b and c.
+    const KB: usize = 64;
+    for kb in (0..k).step_by(KB) {
+        let k_end = (kb + KB).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in kb..k_end {
+                let av = alpha * arow[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `c = alpha * a^T @ b + beta * c` with `a: [k, m]`, `b: [k, n]`, `c: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `(m, k, n)`.
+pub fn sgemm_at_b(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "a must be k*m (transposed)");
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = alpha * arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c = alpha * a @ b^T + beta * c` with `a: [m, k]`, `b: [n, k]`, `c: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `(m, k, n)`.
+pub fn sgemm_a_bt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "a must be m*k");
+    assert_eq!(b.len(), n * k, "b must be n*k (transposed)");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            let cv = &mut c[i * n + j];
+            *cv = alpha * dot + beta * *cv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        // Tiny LCG so tests need no external RNG plumbing.
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 33), (64, 70, 8)] {
+            let a = rand_vec(m * k, 1);
+            let b = rand_vec(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            sgemm(m, k, n, 1.0, &a, &b, 0.0, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let mut c = vec![10.0];
+        // 1x2 @ 2x1 = [11]; c = 2*11 + 0.5*10 = 27
+        sgemm(1, 2, 1, 2.0, &a, &b, 0.5, &mut c);
+        assert!((c[0] - 27.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn at_b_matches_naive() {
+        let (m, k, n) = (5, 7, 3);
+        let at = rand_vec(k * m, 3); // stored as [k, m]
+        let b = rand_vec(k * n, 4);
+        let mut c = vec![0.0; m * n];
+        sgemm_at_b(m, k, n, 1.0, &at, &b, 0.0, &mut c);
+        // Build a = at^T and compare.
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_naive() {
+        let (m, k, n) = (4, 6, 5);
+        let a = rand_vec(m * k, 5);
+        let bt = rand_vec(n * k, 6); // stored as [n, k]
+        let mut c = vec![0.0; m * n];
+        sgemm_a_bt(m, k, n, 1.0, &a, &bt, 0.0, &mut c);
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let want = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

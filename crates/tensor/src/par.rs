@@ -1,0 +1,195 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! Convolution kernels parallelize over the batch dimension. Work is split
+//! into contiguous index chunks, one per worker. The number of workers is
+//! `min(available_parallelism, items)` and can be capped globally with
+//! [`set_max_threads`] (useful to make benchmarks deterministic).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads used by [`parallel_chunks`].
+///
+/// `0` (the default) means "use `std::thread::available_parallelism`".
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Effective worker count for `items` parallel items.
+pub fn num_threads_for(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cap = MAX_THREADS.load(Ordering::Relaxed);
+    let t = if cap == 0 { hw } else { hw.min(cap) };
+    t.max(1).min(items.max(1))
+}
+
+/// Runs `f(start, end)` over disjoint chunks of `0..items` on scoped threads.
+///
+/// `f` is called once per worker with that worker's half-open index range.
+/// With a single worker the call happens on the current thread (no spawn).
+pub fn parallel_chunks<F>(items: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if items == 0 {
+        return;
+    }
+    let threads = num_threads_for(items);
+    if threads == 1 {
+        f(0, items);
+        return;
+    }
+    let chunk = items.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(items);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Like [`parallel_chunks`] but each worker produces a partial result that is
+/// sequentially folded into `init` afterwards (used for weight-gradient
+/// reductions over the batch).
+pub fn parallel_map_reduce<A, T, F, R>(items: usize, f: F, init: &mut A, mut reduce: R)
+where
+    A: ?Sized,
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    R: FnMut(&mut A, T),
+{
+    if items == 0 {
+        return;
+    }
+    let threads = num_threads_for(items);
+    if threads == 1 {
+        let part = f(0, items);
+        reduce(init, part);
+        return;
+    }
+    let chunk = items.div_ceil(threads);
+    let parts = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(items);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(s.spawn(move |_| f(start, end)));
+        }
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect::<Vec<T>>()
+    })
+    .expect("parallel scope failed");
+    for p in parts {
+        reduce(init, p);
+    }
+}
+
+/// Runs `f(item_index, slice)` for every slice in `slices`, distributing the
+/// items over worker threads. Slices are disjoint `&mut` borrows (typically
+/// per-batch-item chunks of an output buffer), so this is safe parallelism by
+/// construction.
+pub fn parallel_over_slices<F>(slices: Vec<&mut [f32]>, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let items = slices.len();
+    if items == 0 {
+        return;
+    }
+    let threads = num_threads_for(items);
+    if threads == 1 {
+        for (i, s) in slices.into_iter().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    let chunk = items.div_ceil(threads);
+    let mut partitions: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
+    let mut current: Vec<(usize, &mut [f32])> = Vec::new();
+    for (i, s) in slices.into_iter().enumerate() {
+        current.push((i, s));
+        if current.len() == chunk {
+            partitions.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        partitions.push(current);
+    }
+    crossbeam::scope(|scope| {
+        for part in partitions {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, s) in part {
+                    f(i, s);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_all_items_once() {
+        let counter = AtomicU64::new(0);
+        parallel_chunks(1000, |a, b| {
+            for i in a..b {
+                counter.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn zero_items_is_noop() {
+        parallel_chunks(0, |_, _| panic!("should not run"));
+    }
+
+    #[test]
+    fn map_reduce_sums_partials() {
+        let mut total = 0u64;
+        parallel_map_reduce(
+            100,
+            |a, b| (a..b).map(|i| i as u64).sum::<u64>(),
+            &mut total,
+            |acc, p| *acc += p,
+        );
+        assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn slices_receive_correct_indices() {
+        let mut buf = vec![0.0f32; 40];
+        let slices: Vec<&mut [f32]> = buf.chunks_mut(10).collect();
+        parallel_over_slices(slices, |i, s| {
+            for v in s.iter_mut() {
+                *v = i as f32;
+            }
+        });
+        for (i, chunk) in buf.chunks(10).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as f32));
+        }
+    }
+
+    #[test]
+    fn thread_cap_respected() {
+        set_max_threads(1);
+        assert_eq!(num_threads_for(64), 1);
+        set_max_threads(0);
+        assert!(num_threads_for(64) >= 1);
+    }
+}

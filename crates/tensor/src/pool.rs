@@ -1,0 +1,185 @@
+//! Pooling operators: global average pooling (classification heads,
+//! squeeze-excite) and windowed average/max pooling (baselines).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Global average pool: `[n, c, h, w] -> [n, c, 1, 1]`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let xs = x.shape();
+    let mut out = Tensor::zeros(Shape::new(xs.n, xs.c, 1, 1));
+    let hw = xs.hw() as f32;
+    for n in 0..xs.n {
+        for c in 0..xs.c {
+            let base = (n * xs.c + c) * xs.hw();
+            let s: f32 = x.data()[base..base + xs.hw()].iter().sum();
+            out.data_mut()[n * xs.c + c] = s / hw;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`global_avg_pool`]: broadcasts `dy / (h*w)` over space.
+pub fn global_avg_pool_backward(dy: &Tensor, in_shape: Shape) -> Tensor {
+    assert_eq!(dy.shape(), Shape::new(in_shape.n, in_shape.c, 1, 1), "dy must be [n,c,1,1]");
+    let mut dx = Tensor::zeros(in_shape);
+    let hw = in_shape.hw();
+    let inv = 1.0 / hw as f32;
+    for n in 0..in_shape.n {
+        for c in 0..in_shape.c {
+            let g = dy.data()[n * in_shape.c + c] * inv;
+            let base = (n * in_shape.c + c) * hw;
+            for v in &mut dx.data_mut()[base..base + hw] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+/// Windowed max pool with stride == window (non-overlapping).
+///
+/// Returns the pooled tensor and the flat argmax indices (into `x.data()`)
+/// needed by [`max_pool_backward`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn max_pool(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    assert!(k > 0, "pool window must be positive");
+    let xs = x.shape();
+    let (oh, ow) = (xs.h / k, xs.w / k);
+    let os = xs.with_hw(oh, ow);
+    let mut out = Tensor::zeros(os);
+    let mut arg = vec![0usize; os.numel()];
+    for n in 0..xs.n {
+        for c in 0..xs.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = xs.offset(n, c, oy * k + ky, ox * k + kx);
+                            let v = x.data()[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = os.offset(n, c, oy, ox);
+                    out.data_mut()[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Adjoint of [`max_pool`].
+pub fn max_pool_backward(dy: &Tensor, arg: &[usize], in_shape: Shape) -> Tensor {
+    assert_eq!(dy.shape().numel(), arg.len(), "argmax table size mismatch");
+    let mut dx = Tensor::zeros(in_shape);
+    for (o, &idx) in arg.iter().enumerate() {
+        dx.data_mut()[idx] += dy.data()[o];
+    }
+    dx
+}
+
+/// Windowed average pool with stride == window (non-overlapping).
+pub fn avg_pool(x: &Tensor, k: usize) -> Tensor {
+    assert!(k > 0, "pool window must be positive");
+    let xs = x.shape();
+    let (oh, ow) = (xs.h / k, xs.w / k);
+    let os = xs.with_hw(oh, ow);
+    let mut out = Tensor::zeros(os);
+    let inv = 1.0 / (k * k) as f32;
+    for n in 0..xs.n {
+        for c in 0..xs.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            s += x.at(n, c, oy * k + ky, ox * k + kx);
+                        }
+                    }
+                    out.set(n, c, oy, ox, s * inv);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`avg_pool`].
+pub fn avg_pool_backward(dy: &Tensor, k: usize, in_shape: Shape) -> Tensor {
+    let mut dx = Tensor::zeros(in_shape);
+    let os = dy.shape();
+    let inv = 1.0 / (k * k) as f32;
+    for n in 0..os.n {
+        for c in 0..os.c {
+            for oy in 0..os.h {
+                for ox in 0..os.w {
+                    let g = dy.at(n, c, oy, ox) * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let cur = dx.at(n, c, oy * k + ky, ox * k + kx);
+                            dx.set(n, c, oy * k + ky, ox * k + kx, cur + g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gap_means_channels() {
+        let x = Tensor::from_vec(Shape::new(1, 2, 1, 2), vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let y = global_avg_pool(&x);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn gap_adjoint() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(Shape::new(2, 3, 4, 4), 1.0, &mut rng);
+        let m = Tensor::randn(Shape::new(2, 3, 1, 1), 1.0, &mut rng);
+        let lhs = (&global_avg_pool(&x) * &m).sum();
+        let rhs = (&x * &global_avg_pool_backward(&m, x.shape())).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_pool_picks_max_and_routes_grad() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let (y, arg) = max_pool(&x, 2);
+        assert_eq!(y.data(), &[5.0]);
+        let dy = Tensor::ones(y.shape());
+        let dx = max_pool_backward(&dy, &arg, x.shape());
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_and_adjoint() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = avg_pool(&x, 2);
+        assert_eq!(y.data(), &[4.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x2 = Tensor::randn(Shape::new(1, 2, 4, 4), 1.0, &mut rng);
+        let m = Tensor::randn(Shape::new(1, 2, 2, 2), 1.0, &mut rng);
+        let lhs = (&avg_pool(&x2, 2) * &m).sum();
+        let rhs = (&x2 * &avg_pool_backward(&m, 2, x2.shape())).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Spatial resizing: bilinear and nearest-neighbour upsampling with exact
+//! adjoints. RevBiFPN upsamples features by powers of two inside RevSilos
+//! ("lu" = bilinear; the HRNet-style "su" ablation uses nearest mode).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Interpolation mode for [`resize`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResizeMode {
+    /// Bilinear interpolation, half-pixel centres (`align_corners=false`).
+    Bilinear,
+    /// Nearest neighbour.
+    Nearest,
+}
+
+#[inline]
+fn src_coord(dst: usize, scale: f64) -> f64 {
+    // Half-pixel-centre convention (PyTorch align_corners=False).
+    (dst as f64 + 0.5) * scale - 0.5
+}
+
+/// Resizes `x` to spatial size `(oh, ow)`.
+///
+/// # Panics
+///
+/// Panics if `oh == 0 || ow == 0`.
+pub fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
+    assert!(oh > 0 && ow > 0, "output size must be positive");
+    let xs = x.shape();
+    if (oh, ow) == (xs.h, xs.w) {
+        return x.clone();
+    }
+    let os = xs.with_hw(oh, ow);
+    let mut out = Tensor::zeros(os);
+    let sy = xs.h as f64 / oh as f64;
+    let sx = xs.w as f64 / ow as f64;
+    match mode {
+        ResizeMode::Nearest => {
+            for n in 0..xs.n {
+                for c in 0..xs.c {
+                    for oy in 0..oh {
+                        let iy = ((oy as f64 * sy).floor() as usize).min(xs.h - 1);
+                        for ox in 0..ow {
+                            let ix = ((ox as f64 * sx).floor() as usize).min(xs.w - 1);
+                            out.set(n, c, oy, ox, x.at(n, c, iy, ix));
+                        }
+                    }
+                }
+            }
+        }
+        ResizeMode::Bilinear => {
+            // Precompute per-axis interpolation weights.
+            let wy: Vec<(usize, usize, f32)> = (0..oh)
+                .map(|oy| {
+                    let f = src_coord(oy, sy).clamp(0.0, (xs.h - 1) as f64);
+                    let y0 = f.floor() as usize;
+                    let y1 = (y0 + 1).min(xs.h - 1);
+                    (y0, y1, (f - y0 as f64) as f32)
+                })
+                .collect();
+            let wx: Vec<(usize, usize, f32)> = (0..ow)
+                .map(|ox| {
+                    let f = src_coord(ox, sx).clamp(0.0, (xs.w - 1) as f64);
+                    let x0 = f.floor() as usize;
+                    let x1 = (x0 + 1).min(xs.w - 1);
+                    (x0, x1, (f - x0 as f64) as f32)
+                })
+                .collect();
+            for n in 0..xs.n {
+                for c in 0..xs.c {
+                    for (oy, &(y0, y1, ty)) in wy.iter().enumerate() {
+                        for (ox, &(x0, x1, tx)) in wx.iter().enumerate() {
+                            let v00 = x.at(n, c, y0, x0);
+                            let v01 = x.at(n, c, y0, x1);
+                            let v10 = x.at(n, c, y1, x0);
+                            let v11 = x.at(n, c, y1, x1);
+                            let top = v00 + tx * (v01 - v00);
+                            let bot = v10 + tx * (v11 - v10);
+                            out.set(n, c, oy, ox, top + ty * (bot - top));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`resize`]: scatters output gradients back to input positions.
+///
+/// `in_shape` is the shape of the original (pre-resize) input.
+///
+/// # Panics
+///
+/// Panics if `dy`'s batch/channel dims disagree with `in_shape`.
+pub fn resize_backward(dy: &Tensor, in_shape: Shape, mode: ResizeMode) -> Tensor {
+    let os = dy.shape();
+    assert_eq!((os.n, os.c), (in_shape.n, in_shape.c), "resize_backward dims mismatch");
+    if (os.h, os.w) == (in_shape.h, in_shape.w) {
+        return dy.clone();
+    }
+    let mut dx = Tensor::zeros(in_shape);
+    let sy = in_shape.h as f64 / os.h as f64;
+    let sx = in_shape.w as f64 / os.w as f64;
+    match mode {
+        ResizeMode::Nearest => {
+            for n in 0..os.n {
+                for c in 0..os.c {
+                    for oy in 0..os.h {
+                        let iy = ((oy as f64 * sy).floor() as usize).min(in_shape.h - 1);
+                        for ox in 0..os.w {
+                            let ix = ((ox as f64 * sx).floor() as usize).min(in_shape.w - 1);
+                            let v = dx.at(n, c, iy, ix) + dy.at(n, c, oy, ox);
+                            dx.set(n, c, iy, ix, v);
+                        }
+                    }
+                }
+            }
+        }
+        ResizeMode::Bilinear => {
+            for n in 0..os.n {
+                for c in 0..os.c {
+                    for oy in 0..os.h {
+                        let fy = src_coord(oy, sy).clamp(0.0, (in_shape.h - 1) as f64);
+                        let y0 = fy.floor() as usize;
+                        let y1 = (y0 + 1).min(in_shape.h - 1);
+                        let ty = (fy - y0 as f64) as f32;
+                        for ox in 0..os.w {
+                            let fx = src_coord(ox, sx).clamp(0.0, (in_shape.w - 1) as f64);
+                            let x0 = fx.floor() as usize;
+                            let x1 = (x0 + 1).min(in_shape.w - 1);
+                            let tx = (fx - x0 as f64) as f32;
+                            let g = dy.at(n, c, oy, ox);
+                            let add = |t: &mut Tensor, yy: usize, xx: usize, v: f32| {
+                                let cur = t.at(n, c, yy, xx);
+                                t.set(n, c, yy, xx, cur + v);
+                            };
+                            add(&mut dx, y0, x0, g * (1.0 - ty) * (1.0 - tx));
+                            add(&mut dx, y0, x1, g * (1.0 - ty) * tx);
+                            add(&mut dx, y1, x0, g * ty * (1.0 - tx));
+                            add(&mut dx, y1, x1, g * ty * tx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Upsamples by an integer factor.
+pub fn upsample(x: &Tensor, factor: usize, mode: ResizeMode) -> Tensor {
+    let xs = x.shape();
+    resize(x, xs.h * factor, xs.w * factor, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nearest_2x_repeats_pixels() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = upsample(&x, 2, ResizeMode::Nearest);
+        assert_eq!(y.shape(), Shape::new(1, 1, 4, 4));
+        assert_eq!(y.at(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at(0, 0, 0, 1), 1.0);
+        assert_eq!(y.at(0, 0, 1, 1), 1.0);
+        assert_eq!(y.at(0, 0, 3, 3), 4.0);
+    }
+
+    #[test]
+    fn bilinear_preserves_constants() {
+        let x = Tensor::full(Shape::new(1, 2, 3, 3), 7.5);
+        let y = upsample(&x, 2, ResizeMode::Bilinear);
+        assert!(y.data().iter().all(|&v| (v - 7.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn bilinear_2x_interpolates_midpoints() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![0.0, 4.0]).unwrap();
+        let y = resize(&x, 1, 4, ResizeMode::Bilinear);
+        // Half-pixel centres: coords map to -0.25, 0.25, 0.75, 1.25 -> clamped
+        assert!((y.at(0, 0, 0, 0) - 0.0).abs() < 1e-6);
+        assert!((y.at(0, 0, 0, 1) - 1.0).abs() < 1e-6);
+        assert!((y.at(0, 0, 0, 2) - 3.0).abs() < 1e-6);
+        assert!((y.at(0, 0, 0, 3) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_resize_is_clone() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(Shape::new(1, 2, 4, 4), 1.0, &mut rng);
+        let y = resize(&x, 4, 4, ResizeMode::Bilinear);
+        assert_eq!(x, y);
+    }
+
+    /// The adjoint property <resize(x), m> == <x, resize_backward(m)> must
+    /// hold exactly for a linear operator.
+    #[test]
+    fn adjoint_property_bilinear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(Shape::new(2, 3, 5, 4), 1.0, &mut rng);
+        let m = Tensor::randn(Shape::new(2, 3, 10, 8), 1.0, &mut rng);
+        let y = resize(&x, 10, 8, ResizeMode::Bilinear);
+        let lhs = (&y * &m).sum();
+        let dx = resize_backward(&m, x.shape(), ResizeMode::Bilinear);
+        let rhs = (&x * &dx).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn adjoint_property_nearest() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(Shape::new(1, 2, 3, 3), 1.0, &mut rng);
+        let m = Tensor::randn(Shape::new(1, 2, 6, 6), 1.0, &mut rng);
+        let y = upsample(&x, 2, ResizeMode::Nearest);
+        let lhs = (&y * &m).sum();
+        let dx = resize_backward(&m, x.shape(), ResizeMode::Nearest);
+        let rhs = (&x * &dx).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_mass_is_preserved() {
+        // Sum of dx equals sum of dy for bilinear (partition of unity).
+        let dy = Tensor::ones(Shape::new(1, 1, 8, 8));
+        let dx = resize_backward(&dy, Shape::new(1, 1, 4, 4), ResizeMode::Bilinear);
+        assert!((dx.sum() - 64.0).abs() < 1e-3);
+    }
+}

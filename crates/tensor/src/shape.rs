@@ -1,0 +1,166 @@
+//! Four-dimensional NCHW shapes and the errors produced when they disagree.
+
+use std::fmt;
+
+/// The shape of a 4-D tensor in `NCHW` layout.
+///
+/// `n` is the batch dimension, `c` the channel dimension, and `h`/`w` the
+/// spatial dimensions. Weight tensors reuse the same type with the
+/// convention `[c_out, c_in/groups, k_h, k_w]`; vectors (biases, dense-layer
+/// activations) use `[n, c, 1, 1]`.
+///
+/// ```
+/// use revbifpn_tensor::Shape;
+/// let s = Shape::new(2, 3, 8, 8);
+/// assert_eq!(s.numel(), 2 * 3 * 8 * 8);
+/// assert_eq!(s.hw(), 64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a shape from its four extents.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Shape of a per-channel vector `[1, c, 1, 1]` (e.g. a bias).
+    pub const fn vector(c: usize) -> Self {
+        Self::new(1, c, 1, 1)
+    }
+
+    /// Total number of elements.
+    pub const fn numel(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Spatial extent `h * w`.
+    pub const fn hw(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Number of elements in one batch item, `c * h * w`.
+    pub const fn chw(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Size in bytes of an `f32` tensor of this shape.
+    pub const fn bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+
+    /// Flat offset of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the coordinates are in range.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns this shape with a different batch size.
+    pub const fn with_n(&self, n: usize) -> Self {
+        Self::new(n, self.c, self.h, self.w)
+    }
+
+    /// Returns this shape with a different channel count.
+    pub const fn with_c(&self, c: usize) -> Self {
+        Self::new(self.n, c, self.h, self.w)
+    }
+
+    /// Returns this shape with different spatial extents.
+    pub const fn with_hw(&self, h: usize, w: usize) -> Self {
+        Self::new(self.n, self.c, h, w)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape {
+    fn from((n, c, h, w): (usize, usize, usize, usize)) -> Self {
+        Self::new(n, c, h, w)
+    }
+}
+
+/// Error produced when tensor shapes disagree with an operation's contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// What the operation expected.
+    pub expected: String,
+    /// The shape that was actually provided.
+    pub got: Shape,
+}
+
+impl fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch: expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for ShapeMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_bytes() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.bytes(), 480);
+        assert_eq!(s.chw(), 60);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(0, 0, 0, 1), 1);
+        assert_eq!(s.offset(0, 0, 1, 0), 5);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.offset(1, 0, 0, 0), 60);
+        assert_eq!(s.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn with_helpers() {
+        let s = Shape::new(1, 8, 16, 16);
+        assert_eq!(s.with_n(4), Shape::new(4, 8, 16, 16));
+        assert_eq!(s.with_c(3), Shape::new(1, 3, 16, 16));
+        assert_eq!(s.with_hw(8, 8), Shape::new(1, 8, 8, 8));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Shape::new(1, 2, 3, 4);
+        assert_eq!(format!("{s}"), "1x2x3x4");
+        assert_eq!(format!("{s:?}"), "[1, 2, 3, 4]");
+    }
+
+    #[test]
+    fn mismatch_error_display() {
+        let e = ShapeMismatchError { expected: "[1, 3, *, *]".into(), got: Shape::new(1, 4, 2, 2) };
+        assert_eq!(format!("{e}"), "shape mismatch: expected [1, 3, *, *], got 1x4x2x2");
+    }
+}

@@ -1,0 +1,537 @@
+//! The dense `f32` NCHW tensor and its element-wise operations.
+
+use crate::shape::{Shape, ShapeMismatchError};
+use rand::{Rng, RngExt};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A dense, contiguous, row-major `f32` tensor in NCHW layout.
+///
+/// All arithmetic is eager and CPU-based. Binary operations require exactly
+/// matching shapes (there is no broadcasting; per-channel operations are
+/// provided explicitly, e.g. [`Tensor::add_channel_bias`]).
+///
+/// ```
+/// use revbifpn_tensor::{Shape, Tensor};
+/// let a = Tensor::full(Shape::new(1, 2, 2, 2), 1.5);
+/// let b = Tensor::ones(a.shape());
+/// let c = &a + &b;
+/// assert_eq!(c.data()[0], 2.5);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        Self { shape, data: vec![0.0; shape.numel()] }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: Shape) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Self { shape, data: vec![value; shape.numel()] }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatchError`] if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, ShapeMismatchError> {
+        if data.len() != shape.numel() {
+            return Err(ShapeMismatchError {
+                expected: format!("{} elements", shape.numel()),
+                got: Shape::new(1, 1, 1, data.len()),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Builds a tensor from raw data, panicking on length mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec_unchecked(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), shape.numel(), "tensor data length must match shape {shape}");
+        Self { shape, data }
+    }
+
+    /// Samples each element i.i.d. from `N(0, std^2)` (Box–Muller).
+    pub fn randn<R: Rng + ?Sized>(shape: Shape, std: f32, rng: &mut R) -> Self {
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box–Muller transform: two uniforms -> two gaussians.
+            let u1: f32 = rng.random::<f32>().max(1e-12);
+            let u2: f32 = rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let t = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * t.cos() * std);
+            if data.len() < n {
+                data.push(r * t.sin() * std);
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Samples each element i.i.d. from `U(lo, hi)`.
+    pub fn uniform<R: Rng + ?Sized>(shape: Shape, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..shape.numel()).map(|_| rng.random::<f32>() * (hi - lo) + lo).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.shape.bytes()
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if a coordinate is out of range.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.offset(n, c, h, w)]
+    }
+
+    /// Element mutator; see [`Tensor::at`] for panics.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let off = self.shape.offset(n, c, h, w);
+        self.data[off] = v;
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `numel` differs.
+    pub fn reshape(mut self, shape: Shape) -> Self {
+        assert_eq!(
+            self.shape.numel(),
+            shape.numel(),
+            "reshape must preserve element count ({} -> {})",
+            self.shape,
+            shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Applies `f` element-wise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise binary zip producing a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip requires equal shapes");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { shape: self.shape, data }
+    }
+
+    /// In-place `self += alpha * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, x: &Self) {
+        assert_eq!(self.shape, x.shape, "axpy requires equal shapes");
+        for (a, &b) in self.data.iter_mut().zip(&x.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place `self += x`.
+    pub fn add_assign(&mut self, x: &Self) {
+        self.axpy(1.0, x);
+    }
+
+    /// In-place `self -= x`.
+    pub fn sub_assign(&mut self, x: &Self) {
+        self.axpy(-1.0, x);
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Returns `self * alpha` as a new tensor.
+    pub fn scaled(&self, alpha: f32) -> Self {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_sum(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// L2 norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.sq_sum().sqrt()
+    }
+
+    /// Largest absolute element (0 for an empty tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest absolute difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f32, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Adds a per-channel bias `[1, c, 1, 1]` to every spatial/batch position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.shape().c != self.shape().c` or bias is not a vector.
+    pub fn add_channel_bias(&mut self, bias: &Self) {
+        assert_eq!(bias.shape, Shape::vector(self.shape.c), "bias must be a [1,c,1,1] vector");
+        let hw = self.shape.hw();
+        for n in 0..self.shape.n {
+            for c in 0..self.shape.c {
+                let b = bias.data[c];
+                let base = (n * self.shape.c + c) * hw;
+                for v in &mut self.data[base..base + hw] {
+                    *v += b;
+                }
+            }
+        }
+    }
+
+    /// Multiplies each channel by a per-channel factor `[1, c, 1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a `[1,c,1,1]` vector matching `self`'s channels.
+    pub fn mul_channel(&mut self, scale: &Self) {
+        assert_eq!(scale.shape, Shape::vector(self.shape.c), "scale must be a [1,c,1,1] vector");
+        let hw = self.shape.hw();
+        for n in 0..self.shape.n {
+            for c in 0..self.shape.c {
+                let s = scale.data[c];
+                let base = (n * self.shape.c + c) * hw;
+                for v in &mut self.data[base..base + hw] {
+                    *v *= s;
+                }
+            }
+        }
+    }
+
+    /// Per-channel sum over batch and spatial dims; returns `[1, c, 1, 1]`.
+    pub fn sum_per_channel(&self) -> Self {
+        let mut out = Tensor::zeros(Shape::vector(self.shape.c));
+        let hw = self.shape.hw();
+        for n in 0..self.shape.n {
+            for c in 0..self.shape.c {
+                let base = (n * self.shape.c + c) * hw;
+                let s: f32 = self.data[base..base + hw].iter().sum();
+                out.data[c] += s;
+            }
+        }
+        out
+    }
+
+    /// Concatenates tensors along the channel dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or batch/spatial dims disagree.
+    pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_channels requires at least one tensor");
+        let first = parts[0].shape;
+        let c_total: usize = parts.iter().map(|p| p.shape.c).sum();
+        for p in parts {
+            assert_eq!(
+                (p.shape.n, p.shape.h, p.shape.w),
+                (first.n, first.h, first.w),
+                "concat_channels requires matching batch and spatial dims"
+            );
+        }
+        let out_shape = first.with_c(c_total);
+        let mut out = Tensor::zeros(out_shape);
+        let hw = first.hw();
+        for n in 0..first.n {
+            let mut c_off = 0;
+            for p in parts {
+                let src = &p.data[n * p.shape.chw()..(n + 1) * p.shape.chw()];
+                let dst_base = (n * c_total + c_off) * hw;
+                out.data[dst_base..dst_base + p.shape.c * hw].copy_from_slice(src);
+                c_off += p.shape.c;
+            }
+        }
+        out
+    }
+
+    /// Splits the tensor into two along the channel dimension at `c_split`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_split` is 0 or >= `c`.
+    pub fn split_channels(&self, c_split: usize) -> (Tensor, Tensor) {
+        assert!(c_split > 0 && c_split < self.shape.c, "c_split must be inside (0, c)");
+        let s1 = self.shape.with_c(c_split);
+        let s2 = self.shape.with_c(self.shape.c - c_split);
+        let mut a = Tensor::zeros(s1);
+        let mut b = Tensor::zeros(s2);
+        let hw = self.shape.hw();
+        for n in 0..self.shape.n {
+            let src = &self.data[n * self.shape.chw()..(n + 1) * self.shape.chw()];
+            a.data[n * s1.chw()..(n + 1) * s1.chw()].copy_from_slice(&src[..c_split * hw]);
+            b.data[n * s2.chw()..(n + 1) * s2.chw()].copy_from_slice(&src[c_split * hw..]);
+        }
+        (a, b)
+    }
+
+    /// Repeats the channel dimension `times` times (used by the
+    /// channel-duplicating stem of wide RevBiFPN variants).
+    pub fn repeat_channels(&self, times: usize) -> Tensor {
+        let refs: Vec<&Tensor> = (0..times).map(|_| self).collect();
+        Tensor::concat_channels(&refs)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor {{ shape: {:?}, mean: {:.4}, absmax: {:.4}, head: {:?}{} }}",
+            self.shape,
+            self.mean(),
+            self.abs_max(),
+            preview,
+            if self.data.len() > 8 { ", .." } else { "" }
+        )
+    }
+}
+
+impl Add for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, 1, data.len()), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        let s = Shape::new(1, 2, 2, 2);
+        assert_eq!(Tensor::zeros(s).sum(), 0.0);
+        assert_eq!(Tensor::ones(s).sum(), 8.0);
+        assert_eq!(Tensor::full(s, 0.5).sum(), 4.0);
+        assert!(Tensor::from_vec(s, vec![0.0; 7]).is_err());
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::randn(Shape::new(1, 1, 100, 100), 2.0, &mut rng);
+        assert!(x.mean().abs() < 0.1, "mean {}", x.mean());
+        let var = x.sq_sum() / x.data().len() as f64;
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::uniform(Shape::new(1, 1, 10, 10), -1.0, 3.0, &mut rng);
+        assert!(x.data().iter().all(|&v| (-1.0..=3.0).contains(&v)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = t(&[1.0, 2.0]);
+        let b = t(&[10.0, 20.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[3.0, -4.0]);
+        assert_eq!(a.sum(), -1.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.sq_sum(), 25.0);
+        assert_eq!(a.l2_norm(), 5.0);
+        assert_eq!(a.abs_max(), 4.0);
+    }
+
+    #[test]
+    fn channel_bias_and_scale() {
+        let mut x = Tensor::ones(Shape::new(2, 2, 1, 2));
+        let bias = Tensor::from_vec(Shape::vector(2), vec![10.0, 20.0]).unwrap();
+        x.add_channel_bias(&bias);
+        assert_eq!(x.data(), &[11.0, 11.0, 21.0, 21.0, 11.0, 11.0, 21.0, 21.0]);
+        let sc = Tensor::from_vec(Shape::vector(2), vec![2.0, 0.5]).unwrap();
+        x.mul_channel(&sc);
+        assert_eq!(x.data(), &[22.0, 22.0, 10.5, 10.5, 22.0, 22.0, 10.5, 10.5]);
+    }
+
+    #[test]
+    fn per_channel_sum() {
+        let x = Tensor::from_vec(Shape::new(2, 2, 1, 1), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let s = x.sum_per_channel();
+        assert_eq!(s.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(Shape::new(2, 5, 3, 3), 1.0, &mut rng);
+        let (a, b) = x.split_channels(2);
+        assert_eq!(a.shape(), Shape::new(2, 2, 3, 3));
+        assert_eq!(b.shape(), Shape::new(2, 3, 3, 3));
+        let back = Tensor::concat_channels(&[&a, &b]);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn repeat_channels_duplicates() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let y = x.repeat_channels(3);
+        assert_eq!(y.shape(), Shape::new(1, 3, 1, 2));
+        assert_eq!(y.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0]);
+        let y = x.clone().reshape(Shape::new(1, 2, 1, 2));
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve")]
+    fn reshape_bad_count_panics() {
+        let x = t(&[1.0, 2.0]);
+        let _ = x.reshape(Shape::new(1, 3, 1, 1));
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut x = t(&[1.0, 2.0]);
+        assert!(x.is_finite());
+        x.data_mut()[0] = f32::NAN;
+        assert!(!x.is_finite());
+    }
+}

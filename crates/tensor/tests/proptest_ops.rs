@@ -1,0 +1,131 @@
+//! Property-based tests for the numeric kernels: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_tensor::{
+    conv2d, conv2d_backward, depth_to_space, global_avg_pool, resize, resize_backward, space_to_depth,
+    ConvSpec, ResizeMode, Shape, Tensor,
+};
+
+fn tensor_strategy(max_n: usize, max_c: usize, max_hw: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_n, 1..=max_c, 1..=max_hw, 1..=max_hw, any::<u64>()).prop_map(|(n, c, h, w, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(Shape::new(n, c, h, w), 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// <A+B, M> == <A, M> + <B, M> and addition commutes.
+    #[test]
+    fn addition_is_commutative_and_linear(x in tensor_strategy(2, 4, 6), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = Tensor::randn(x.shape(), 1.0, &mut rng);
+        let ab = &x + &y;
+        let ba = &y + &x;
+        prop_assert_eq!(ab.data(), ba.data());
+        prop_assert!((ab.sum() - (x.sum() + y.sum())).abs() < 1e-3);
+    }
+
+    /// Subtracting a tensor from the sum recovers the other addend exactly
+    /// (up to f32 rounding) — the additive-coupling invertibility primitive.
+    #[test]
+    fn additive_coupling_roundtrip(x in tensor_strategy(2, 4, 8), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = Tensor::randn(x.shape(), 1.0, &mut rng);
+        let y = &x + &f;
+        let back = &y - &f;
+        prop_assert!(back.max_abs_diff(&x) < 1e-5);
+    }
+
+    /// SpaceToDepth is a bijection for every divisible shape.
+    #[test]
+    fn s2d_roundtrip(seed in any::<u64>(), b in 2usize..=4, c in 1usize..=3, hw in 1usize..=4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(Shape::new(1, c, b * hw, b * hw), 1.0, &mut rng);
+        let y = space_to_depth(&x, b);
+        prop_assert_eq!(depth_to_space(&y, b), x);
+    }
+
+    /// SpaceToDepth preserves energy (it is a permutation).
+    #[test]
+    fn s2d_preserves_energy(seed in any::<u64>(), b in 2usize..=4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(Shape::new(2, 3, b * 3, b * 3), 1.0, &mut rng);
+        let y = space_to_depth(&x, b);
+        prop_assert!((x.sq_sum() - y.sq_sum()).abs() < 1e-3);
+    }
+
+    /// Convolution is linear in the input: conv(a*x) == a*conv(x).
+    #[test]
+    fn conv_is_linear_in_input(seed in any::<u64>(), alpha in -2.0f32..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(Shape::new(1, 3, 6, 6), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(4, 3, 3, 3), 0.3, &mut rng);
+        let spec = ConvSpec::kxk(3, 1);
+        let y1 = conv2d(&x.scaled(alpha), &w, None, &spec);
+        let mut y2 = conv2d(&x, &w, None, &spec);
+        y2.scale(alpha);
+        prop_assert!(y1.max_abs_diff(&y2) < 1e-3);
+    }
+
+    /// The adjoint identity <conv(x), m> == <x, conv_backward(m)> holds for
+    /// random geometries (stride 1-2, kernel 1/3/5, grouped or not).
+    #[test]
+    fn conv_adjoint_identity(
+        seed in any::<u64>(),
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..=2,
+        grouped in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c_in = 4;
+        let c_out = 4;
+        let groups = if grouped { 2 } else { 1 };
+        let spec = ConvSpec { groups, ..ConvSpec::kxk(k, stride) };
+        let x = Tensor::randn(Shape::new(2, c_in, 7, 7), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(c_out, c_in / groups, k, k), 0.3, &mut rng);
+        let y = conv2d(&x, &w, None, &spec);
+        let m = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let lhs = (&y * &m).sum();
+        let g = conv2d_backward(&x, &w, &m, &spec, true);
+        let rhs = (&x * g.dx.as_ref().unwrap()).sum() ;
+        // <conv(x), m> = <x, conv^T(m)> holds exactly for a linear op.
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Bilinear resize adjoint identity for arbitrary target sizes.
+    #[test]
+    fn resize_adjoint_identity(seed in any::<u64>(), oh in 2usize..=9, ow in 2usize..=9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(Shape::new(1, 2, 5, 4), 1.0, &mut rng);
+        let y = resize(&x, oh, ow, ResizeMode::Bilinear);
+        let m = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let lhs = (&y * &m).sum();
+        let dx = resize_backward(&m, x.shape(), ResizeMode::Bilinear);
+        let rhs = (&x * &dx).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Global average pooling preserves the mean.
+    #[test]
+    fn gap_preserves_mean(x in tensor_strategy(2, 3, 7)) {
+        let y = global_avg_pool(&x);
+        prop_assert!((y.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    /// Channel concat/split round-trips for any split point.
+    #[test]
+    fn concat_split_roundtrip(seed in any::<u64>(), c1 in 1usize..=4, c2 in 1usize..=4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(Shape::new(2, c1, 3, 3), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::new(2, c2, 3, 3), 1.0, &mut rng);
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        let (a2, b2) = cat.split_channels(c1);
+        prop_assert_eq!(a, a2);
+        prop_assert_eq!(b, b2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Exponential moving average of model parameters (Appendix D.1 uses EMA
+//! decay 0.9999; scaled-down runs use smaller decays).
+
+use revbifpn_nn::Param;
+use revbifpn_tensor::Tensor;
+
+/// Parameter EMA with swap-in/swap-out for evaluation.
+#[derive(Debug)]
+pub struct Ema {
+    decay: f32,
+    shadow: Vec<Tensor>,
+    stashed: Vec<Tensor>,
+}
+
+impl Ema {
+    /// Creates an EMA tracker (shadow initialized on the first update).
+    pub fn new(decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        Self { decay, shadow: Vec::new(), stashed: Vec::new() }
+    }
+
+    /// Updates the shadow parameters: `shadow = decay*shadow + (1-decay)*p`.
+    pub fn update(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut Param))) {
+        let shadow = &mut self.shadow;
+        let decay = self.decay;
+        let mut idx = 0;
+        visit(&mut |p: &mut Param| {
+            if shadow.len() == idx {
+                shadow.push(p.value.clone());
+            } else {
+                let s = &mut shadow[idx];
+                for (sv, &pv) in s.data_mut().iter_mut().zip(p.value.data()) {
+                    *sv = decay * *sv + (1.0 - decay) * pv;
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    /// Swaps EMA weights into the model (stashing the live weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any update or twice without [`Ema::restore`].
+    pub fn apply(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut Param))) {
+        assert!(!self.shadow.is_empty(), "EMA has no shadow weights yet");
+        assert!(self.stashed.is_empty(), "EMA already applied");
+        let shadow = &self.shadow;
+        let stashed = &mut self.stashed;
+        let mut idx = 0;
+        visit(&mut |p: &mut Param| {
+            stashed.push(std::mem::replace(&mut p.value, shadow[idx].clone()));
+            idx += 1;
+        });
+    }
+
+    /// Restores the live weights stashed by [`Ema::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no weights are stashed.
+    pub fn restore(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut Param))) {
+        assert!(!self.stashed.is_empty(), "EMA not applied");
+        let stashed = &mut self.stashed;
+        let mut idx = 0;
+        visit(&mut |p: &mut Param| {
+            p.value = stashed[idx].clone();
+            idx += 1;
+        });
+        self.stashed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revbifpn_tensor::Shape;
+
+    #[test]
+    fn ema_tracks_mean() {
+        let mut p = Param::new(Tensor::full(Shape::vector(1), 0.0), false, "w");
+        let mut ema = Ema::new(0.5);
+        ema.update(|f| f(&mut p)); // shadow = 0
+        p.value = Tensor::full(Shape::vector(1), 4.0);
+        ema.update(|f| f(&mut p)); // shadow = 2
+        assert!((ema.shadow[0].data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_and_restore_roundtrip() {
+        let mut p = Param::new(Tensor::full(Shape::vector(2), 1.0), false, "w");
+        let mut ema = Ema::new(0.0); // shadow copies current value
+        ema.update(|f| f(&mut p));
+        p.value = Tensor::full(Shape::vector(2), 9.0);
+        ema.apply(|f| f(&mut p));
+        assert_eq!(p.value.data(), &[1.0, 1.0]);
+        ema.restore(|f| f(&mut p));
+        assert_eq!(p.value.data(), &[9.0, 9.0]);
+    }
+}

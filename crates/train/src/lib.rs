@@ -1,0 +1,24 @@
+//! # revbifpn-train
+//!
+//! Training harness matching the structure of the paper's recipe (Appendix
+//! D.1): SGD with momentum and selective weight decay, warmup + cosine +
+//! constant-tail learning-rate schedule, parameter EMA, label smoothing and
+//! augmentation, plus per-epoch metrics and activation-memory capture.
+//!
+//! The central entry point is [`train_classifier`], which trains a
+//! `RevBiFPNClassifier` on SynthScale in either reversible or conventional
+//! mode — the engine behind the Figure 14 equivalence experiment.
+
+#![warn(missing_docs)]
+
+mod ema;
+mod metrics;
+mod schedule;
+mod sgd;
+mod trainer;
+
+pub use ema::Ema;
+pub use metrics::{top1_accuracy, topk_accuracy, AverageMeter};
+pub use schedule::LrSchedule;
+pub use sgd::{clip_grad_norm, Sgd};
+pub use trainer::{evaluate, train_classifier, EpochStats, TrainConfig, TrainHistory};

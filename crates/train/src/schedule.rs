@@ -1,0 +1,89 @@
+//! Learning-rate schedule from Appendix D.1: linear warmup from a small
+//! starting LR, cosine decay, and a constant low-LR tail for the last
+//! epochs.
+
+/// Warmup + cosine + constant-tail schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LrSchedule {
+    /// Peak learning rate after warmup.
+    pub peak_lr: f32,
+    /// Starting learning rate of the warmup.
+    pub warmup_start_lr: f32,
+    /// Warmup length in steps.
+    pub warmup_steps: usize,
+    /// Total steps (including warmup and tail).
+    pub total_steps: usize,
+    /// Constant-tail length in steps.
+    pub tail_steps: usize,
+    /// Constant-tail learning rate.
+    pub tail_lr: f32,
+}
+
+impl LrSchedule {
+    /// The paper's shape scaled to a step budget: 5% warmup from 1e-3·peak,
+    /// cosine decay, ~5% tail at 1e-3.
+    pub fn paper_like(peak_lr: f32, total_steps: usize) -> Self {
+        Self {
+            peak_lr,
+            warmup_start_lr: peak_lr * 0.01,
+            warmup_steps: (total_steps / 20).max(1),
+            total_steps,
+            tail_steps: (total_steps / 20).max(1),
+            tail_lr: peak_lr * 0.01,
+        }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr(&self, step: usize) -> f32 {
+        if step < self.warmup_steps {
+            let t = step as f32 / self.warmup_steps as f32;
+            return self.warmup_start_lr + t * (self.peak_lr - self.warmup_start_lr);
+        }
+        let tail_start = self.total_steps.saturating_sub(self.tail_steps);
+        if step >= tail_start {
+            return self.tail_lr;
+        }
+        let span = (tail_start - self.warmup_steps).max(1) as f32;
+        let t = (step - self.warmup_steps) as f32 / span;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.tail_lr + (self.peak_lr - self.tail_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_rises_to_peak() {
+        let s = LrSchedule::paper_like(0.1, 1000);
+        assert!(s.lr(0) < 0.01);
+        assert!((s.lr(s.warmup_steps) - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically() {
+        let s = LrSchedule::paper_like(0.1, 1000);
+        let mut prev = f32::INFINITY;
+        for step in (s.warmup_steps..950).step_by(50) {
+            let lr = s.lr(step);
+            assert!(lr <= prev + 1e-6, "lr rose at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn tail_is_constant() {
+        let s = LrSchedule::paper_like(0.1, 1000);
+        assert_eq!(s.lr(960), s.tail_lr);
+        assert_eq!(s.lr(999), s.tail_lr);
+    }
+
+    #[test]
+    fn schedule_never_negative() {
+        let s = LrSchedule::paper_like(0.05, 200);
+        for step in 0..200 {
+            assert!(s.lr(step) > 0.0);
+        }
+    }
+}

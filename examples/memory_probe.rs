@@ -1,0 +1,47 @@
+//! Interactive memory probe: sweeps depth, resolution and batch size with
+//! the byte-exact activation meter and prints the measured peaks for
+//! reversible vs conventional training — the raw material behind Figures
+//! 1, 4 and 12.
+//!
+//! Run with: `cargo run --release --example memory_probe`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_tensor::{Shape, Tensor};
+
+fn measure(cfg: RevBiFPNConfig, batch: usize) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let res = cfg.resolution;
+    let x = Tensor::randn(Shape::new(batch, 3, res, res), 1.0, &mut rng);
+    let mut m = RevBiFPNClassifier::new(cfg);
+    let (rev, _) = m.measure_step(&x, RunMode::TrainReversible);
+    let (conv, _) = m.measure_step(&x, RunMode::TrainConventional);
+    (rev, conv)
+}
+
+fn main() {
+    println!("-- depth sweep (tiny width, 32px, batch 8) --");
+    println!("{:>3} {:>14} {:>14} {:>7}", "d", "reversible", "conventional", "ratio");
+    for d in 1..=6 {
+        let (rev, conv) = measure(RevBiFPNConfig::tiny(10).with_depth(d), 8);
+        println!("{:>3} {:>14} {:>14} {:>6.1}x", d, rev, conv, conv as f64 / rev as f64);
+    }
+
+    println!("\n-- resolution sweep (tiny width, d=2, batch 4) --");
+    println!("{:>4} {:>14} {:>14} {:>7}", "res", "reversible", "conventional", "ratio");
+    for res in [32usize, 64, 96, 128] {
+        let (rev, conv) = measure(RevBiFPNConfig::tiny(10).with_depth(2).with_resolution(res), 4);
+        println!("{:>4} {:>14} {:>14} {:>6.1}x", res, rev, conv, conv as f64 / rev as f64);
+    }
+
+    println!("\n-- batch sweep (tiny width, d=2, 32px) --");
+    println!("{:>5} {:>14} {:>14} {:>7}", "batch", "reversible", "conventional", "ratio");
+    for batch in [1usize, 4, 16] {
+        let (rev, conv) = measure(RevBiFPNConfig::tiny(10).with_depth(2), batch);
+        println!("{:>5} {:>14} {:>14} {:>6.1}x", batch, rev, conv, conv as f64 / rev as f64);
+    }
+
+    println!("\nReversible memory is flat in depth and scales only with the");
+    println!("c*h*w of the live pyramid — the paper's O(nchw) vs O(nchwd).");
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+cd "$(dirname "$0")"
+for b in table3_ablation_sampling table4_ablation_stem table5_ablation_se extra_checkpoint_compare extra_ablation_design; do
+  cargo run --release -q -p revbifpn-bench --bin "$b" > "results/$b.md" 2>"results/$b.err" || echo "FAILED $b"
+done
+echo partial-done

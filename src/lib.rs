@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the RevBiFPN reproduction workspace.
+pub use revbifpn as core;
+pub use revbifpn_baselines as baselines;
+pub use revbifpn_data as data;
+pub use revbifpn_detect as detect;
+pub use revbifpn_nn as nn;
+pub use revbifpn_rev as rev;
+pub use revbifpn_tensor as tensor;
+pub use revbifpn_train as train;

@@ -1,0 +1,80 @@
+//! Cross-crate integration: the full classification pipeline (SynthScale
+//! data -> RevBiFPN classifier -> paper-style training recipe) learns, in
+//! both training regimes, with the expected memory relationship.
+
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_data::augment::AugmentPolicy;
+use revbifpn_data::{SynthScale, SynthScaleConfig};
+use revbifpn_train::{evaluate, train_classifier, TrainConfig};
+
+fn setup() -> (RevBiFPNClassifier, SynthScale) {
+    let data = SynthScale::new(SynthScaleConfig::new(32), 5);
+    let model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(data.num_classes()));
+    (model, data)
+}
+
+#[test]
+fn reversible_training_learns_above_chance() {
+    let (mut model, data) = setup();
+    let cfg = TrainConfig { epochs: 4, train_size: 256, val_size: 128, ..TrainConfig::small() };
+    let h = train_classifier(&mut model, &data, &cfg, RunMode::TrainReversible);
+    let chance = 1.0 / data.num_classes() as f64;
+    assert!(
+        h.final_val_acc() > 2.0 * chance,
+        "val acc {:.3} not above 2x chance {:.3}",
+        h.final_val_acc(),
+        chance
+    );
+    // Loss must decrease from the first epoch to the last.
+    let first = h.epochs.first().unwrap().train_loss;
+    let last = h.epochs.last().unwrap().train_loss;
+    assert!(last < first, "loss did not decrease: {first} -> {last}");
+}
+
+#[test]
+fn both_regimes_learn_identically_and_reversible_saves_memory() {
+    let (mut m1, data) = setup();
+    let (mut m2, _) = setup();
+    let cfg = TrainConfig { epochs: 2, train_size: 128, val_size: 64, ..TrainConfig::small() };
+    let conv = train_classifier(&mut m1, &data, &cfg, RunMode::TrainConventional);
+    let rev = train_classifier(&mut m2, &data, &cfg, RunMode::TrainReversible);
+    for (a, b) in conv.epochs.iter().zip(&rev.epochs) {
+        assert!((a.train_loss - b.train_loss).abs() < 1e-4, "losses diverged: {a:?} vs {b:?}");
+    }
+    assert!(rev.peak_activation_bytes() * 2 < conv.peak_activation_bytes());
+}
+
+#[test]
+fn ema_and_augmentation_recipe_runs() {
+    let (mut model, data) = setup();
+    let cfg = TrainConfig {
+        epochs: 2,
+        train_size: 96,
+        val_size: 64,
+        ema_decay: 0.9,
+        augment: AugmentPolicy { hflip: true, jitter: 0.1, cutout: 4, mixup: 0.2, cutmix: 1.0 },
+        ..TrainConfig::small()
+    };
+    let h = train_classifier(&mut model, &data, &cfg, RunMode::TrainReversible);
+    assert_eq!(h.epochs.len(), 2);
+    assert!(h.epochs.iter().all(|e| e.train_loss.is_finite()));
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let (mut model, data) = setup();
+    let a = evaluate(&mut model, &data, 64, 16);
+    let b = evaluate(&mut model, &data, 64, 16);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trained_model_beats_untrained_on_same_split() {
+    let (mut trained, data) = setup();
+    let (mut fresh, _) = setup();
+    let cfg = TrainConfig { epochs: 3, train_size: 192, val_size: 128, ..TrainConfig::small() };
+    let _ = train_classifier(&mut trained, &data, &cfg, RunMode::TrainReversible);
+    let acc_trained = evaluate(&mut trained, &data, 128, 16);
+    let acc_fresh = evaluate(&mut fresh, &data, 128, 16);
+    assert!(acc_trained > acc_fresh, "trained {acc_trained} vs fresh {acc_fresh}");
+}
