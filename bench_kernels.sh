@@ -1,0 +1,42 @@
+#!/bin/bash
+# Produces results/BENCH_kernels.json: criterion timings for the kernel
+# microbenches — the `*_ref` entries are the pre-optimisation seed kernels,
+# the unsuffixed entries the tiled/parallel engine — plus per-pair median
+# speedups and the steady-state scratch-arena allocation counters.
+set -eu
+cd "$(dirname "$0")"
+
+TIMINGS=$(mktemp)
+ALLOC=$(mktemp)
+trap 'rm -f "$TIMINGS" "$ALLOC"' EXIT
+
+CRITERION_JSON="$TIMINGS" cargo bench -p revbifpn-bench --bench kernels
+cargo run --release -q -p revbifpn-bench --bin kernel_alloc_report > "$ALLOC"
+
+python3 - "$TIMINGS" "$ALLOC" > results/BENCH_kernels.json <<'EOF'
+import json, sys
+
+benches = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+scratch = json.load(open(sys.argv[2]))
+
+by_id = {b["id"]: b for b in benches}
+speedups = {}
+for b in benches:
+    if b["id"].endswith("_ref"):
+        new = by_id.get(b["id"][: -len("_ref")])
+        if new:
+            speedups[new["id"]] = round(b["median_ns"] / new["median_ns"], 2)
+
+json.dump(
+    {
+        "benchmarks": benches,
+        "speedup_median_ref_over_new": speedups,
+        "scratch_steady_state": scratch,
+    },
+    sys.stdout,
+    indent=2,
+)
+print()
+EOF
+
+echo "wrote results/BENCH_kernels.json"

@@ -1,0 +1,23 @@
+#!/bin/bash
+# CI gate: release build, full test suite (default threading), lint wall,
+# then the same test suite capped to a single kernel thread via
+# REVBIFPN_MAX_THREADS — tests that explicitly call set_max_threads still
+# exercise the multi-threaded paths (programmatic overrides win), while
+# everything else runs single-threaded, catching accidental dependence on
+# worker-pool concurrency.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test (default thread budget)"
+cargo test -q --workspace
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test (REVBIFPN_MAX_THREADS=1)"
+REVBIFPN_MAX_THREADS=1 cargo test -q --workspace
+
+echo "ci.sh: all gates passed"

@@ -10,6 +10,11 @@
 //! baselines' widths for the analytic comparisons; `micro` is runnable on
 //! CPU for the detection experiments.
 
+// The exchange-unit `(i, j)` range loops index the stream list and the
+// `paths[i][j]` bank in lockstep (same convention as the RevSilo); iterator
+// chains would obscure the stream topology.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use revbifpn_nn::layers::{BatchNorm2d, Conv2d, Relu, Residual, Upsample};

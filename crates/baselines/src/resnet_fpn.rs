@@ -203,6 +203,7 @@ impl ResNetFpn {
     }
 
     /// MACs at batch `n`, resolution `res`.
+    #[allow(clippy::needless_range_loop)] // lockstep over lateral/output/c_shapes
     pub fn macs_at(&self, n: usize, res: usize) -> u64 {
         let img = Shape::new(n, 3, res, res);
         let mut total = self.stem.macs(img);
@@ -222,6 +223,7 @@ impl ResNetFpn {
     }
 
     /// Analytic activation bytes of conventional training.
+    #[allow(clippy::needless_range_loop)] // lockstep over lateral/output/c_shapes
     pub fn activation_bytes_at(&self, n: usize, res: usize) -> u64 {
         let img = Shape::new(n, 3, res, res);
         let mut total = self.stem.cache_bytes(img, CacheMode::Full);

@@ -188,7 +188,7 @@ impl RevShNet {
 
     /// Reversible backward from the saved output.
     pub fn backward_rev(&mut self, y: &Tensor, dy: Tensor) {
-        let _ = self.body.backward(&[y.clone()], vec![dy], TrainMode::Reversible);
+        let _ = self.body.backward(std::slice::from_ref(y), vec![dy], TrainMode::Reversible);
     }
 
     /// Conventional backward.

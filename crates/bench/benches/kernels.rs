@@ -1,49 +1,139 @@
 //! Criterion microbenchmarks for the numeric kernels: GEMM, the three
 //! convolution paths, bilinear resize, and SpaceToDepth.
+//!
+//! The `*_ref` entries run the pre-optimisation seed algorithm (sequential
+//! im2col + the scalar reference GEMM preserved in
+//! `revbifpn_tensor::reference`), so one bench run records both the "before"
+//! and "after" sides of the tiled/parallel kernel engine. The RevBiFPN-S0
+//! entries use the paper's shapes: a 3x3/s2 stem (3 -> 48 channels at 224 px)
+//! and the RevSilo cross-scale 1x1 fusion (48 -> 64 at 56 px), each at batch
+//! 1 and batch 8.
+//!
+//! Set `CRITERION_JSON=<path>` to append one JSON line per benchmark (used to
+//! produce `results/BENCH_kernels.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use revbifpn_tensor::{
-    conv2d, conv2d_backward, sgemm, space_to_depth, upsample, ConvSpec, ResizeMode, Shape, Tensor,
+    conv2d, conv2d_backward, reference, sgemm, space_to_depth, upsample, ConvSpec, ResizeMode,
+    Shape, Tensor,
 };
 use std::hint::black_box;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(0);
+/// Seed-style convolution: per-sample sequential im2col followed by the
+/// scalar reference GEMM. This is the algorithm the optimised engine
+/// replaced; it is kept here as the "before" side of the comparison.
+fn conv2d_seed_ref(x: &Tensor, w: &Tensor, spec: &ConvSpec) -> Tensor {
+    assert_eq!(spec.groups, 1, "reference path here only covers groups == 1");
+    let xs = x.shape();
+    let ws = w.shape();
+    let os = spec.out_shape(xs, ws.n);
+    let (oh, ow) = (os.h, os.w);
+    let ohw = oh * ow;
+    let rows = ws.c * spec.kh * spec.kw;
+    let mut out = Tensor::zeros(os);
+    let mut col = vec![0.0f32; rows * ohw];
+    for n in 0..xs.n {
+        for c in 0..ws.c {
+            for ky in 0..spec.kh {
+                for kx in 0..spec.kw {
+                    let r = (c * spec.kh + ky) * spec.kw + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                            let v = if iy >= 0 && (iy as usize) < xs.h && ix >= 0 && (ix as usize) < xs.w {
+                                x.at(n, c, iy as usize, ix as usize)
+                            } else {
+                                0.0
+                            };
+                            col[r * ohw + oy * ow + ox] = v;
+                        }
+                    }
+                }
+            }
+        }
+        let yslice = &mut out.data_mut()[n * ws.n * ohw..(n + 1) * ws.n * ohw];
+        reference::sgemm(ws.n, rows, ohw, 1.0, w.data(), &col, 0.0, yslice);
+    }
+    out
+}
 
-    let (m, k, n) = (64, 128, 256);
+fn bench_gemm(c: &mut Criterion) {
+    let (m, k, n) = (256, 256, 256);
     let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 * 0.1).collect();
     let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.1).collect();
     let mut out = vec![0.0f32; m * n];
-    c.bench_function("sgemm_64x128x256", |bch| {
+    c.bench_function("sgemm_ref_256x256x256", |bch| {
+        bch.iter(|| reference::sgemm(m, k, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut out))
+    });
+    c.bench_function("sgemm_256x256x256", |bch| {
         bch.iter(|| sgemm(m, k, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut out))
     });
+}
 
-    let x = Tensor::randn(Shape::new(1, 48, 56, 56), 1.0, &mut rng);
-    let w_pw = Tensor::randn(Shape::new(64, 48, 1, 1), 0.1, &mut rng);
-    let pw = ConvSpec::pointwise();
-    c.bench_function("conv_pointwise_48to64_56px", |bch| {
-        bch.iter(|| conv2d(black_box(&x), &w_pw, None, &pw))
-    });
+fn bench_s0_shapes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
 
-    let w_dw = Tensor::randn(Shape::new(48, 1, 3, 3), 0.1, &mut rng);
-    let dw = ConvSpec::depthwise(3, 1, 48);
-    c.bench_function("conv_depthwise3x3_48_56px", |bch| {
-        bch.iter(|| conv2d(black_box(&x), &w_dw, None, &dw))
-    });
+    // RevBiFPN-S0 stem: 3x3 stride-2 conv, 3 -> 48 channels at 224 px.
+    let w_stem = Tensor::randn(Shape::new(48, 3, 3, 3), 0.1, &mut rng);
+    let stem = ConvSpec::kxk(3, 2);
+    // RevSilo cross-scale fusion: 1x1 conv, 48 -> 64 channels at 56 px.
+    let w_silo = Tensor::randn(Shape::new(64, 48, 1, 1), 0.1, &mut rng);
+    let silo = ConvSpec::pointwise();
+    // S0 stream-1 depthwise 3x3 at 56 px.
+    let w_dw = Tensor::randn(Shape::new(64, 1, 3, 3), 0.1, &mut rng);
+    let dw = ConvSpec::depthwise(3, 1, 64);
 
-    let w_gen = Tensor::randn(Shape::new(32, 48, 3, 3), 0.1, &mut rng);
-    let gen = ConvSpec::kxk(3, 2);
-    c.bench_function("conv_general3x3s2_48to32_56px", |bch| {
-        bch.iter(|| conv2d(black_box(&x), &w_gen, None, &gen))
-    });
+    // The two sides of each comparison must compute the same function.
+    {
+        let img = Tensor::randn(Shape::new(1, 3, 32, 32), 1.0, &mut rng);
+        let a = conv2d_seed_ref(&img, &w_stem, &stem);
+        let b = conv2d(&img, &w_stem, None, &stem);
+        assert!(a.max_abs_diff(&b) < 1e-4, "reference and optimised stem conv disagree");
+        let feat = Tensor::randn(Shape::new(1, 48, 16, 16), 1.0, &mut rng);
+        let a = conv2d_seed_ref(&feat, &w_silo, &silo);
+        let b = conv2d(&feat, &w_silo, None, &silo);
+        assert!(a.max_abs_diff(&b) < 1e-4, "reference and optimised 1x1 conv disagree");
+    }
 
-    let y = conv2d(&x, &w_pw, None, &pw);
-    c.bench_function("conv_pointwise_backward", |bch| {
-        bch.iter(|| conv2d_backward(black_box(&x), &w_pw, &y, &pw, true))
-    });
+    for &batch in &[1usize, 8] {
+        let img = Tensor::randn(Shape::new(batch, 3, 224, 224), 1.0, &mut rng);
+        let feat48 = Tensor::randn(Shape::new(batch, 48, 56, 56), 1.0, &mut rng);
+        let feat64 = Tensor::randn(Shape::new(batch, 64, 56, 56), 1.0, &mut rng);
 
+        c.bench_function(&format!("s0_stem3x3s2_b{batch}_ref"), |bch| {
+            bch.iter(|| conv2d_seed_ref(black_box(&img), &w_stem, &stem))
+        });
+        c.bench_function(&format!("s0_stem3x3s2_b{batch}"), |bch| {
+            bch.iter(|| conv2d(black_box(&img), &w_stem, None, &stem))
+        });
+
+        c.bench_function(&format!("s0_revsilo1x1_48to64_56px_b{batch}_ref"), |bch| {
+            bch.iter(|| conv2d_seed_ref(black_box(&feat48), &w_silo, &silo))
+        });
+        c.bench_function(&format!("s0_revsilo1x1_48to64_56px_b{batch}"), |bch| {
+            bch.iter(|| conv2d(black_box(&feat48), &w_silo, None, &silo))
+        });
+
+        c.bench_function(&format!("s0_dw3x3_64c_56px_b{batch}"), |bch| {
+            bch.iter(|| conv2d(black_box(&feat64), &w_dw, None, &dw))
+        });
+
+        let y_stem = conv2d(&img, &w_stem, None, &stem);
+        c.bench_function(&format!("s0_stem3x3s2_b{batch}_bwd"), |bch| {
+            bch.iter(|| conv2d_backward(black_box(&img), &w_stem, &y_stem, &stem, true))
+        });
+        let y_silo = conv2d(&feat48, &w_silo, None, &silo);
+        c.bench_function(&format!("s0_revsilo1x1_48to64_56px_b{batch}_bwd"), |bch| {
+            bch.iter(|| conv2d_backward(black_box(&feat48), &w_silo, &y_silo, &silo, true))
+        });
+    }
+}
+
+fn bench_misc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
     let small = Tensor::randn(Shape::new(1, 64, 14, 14), 1.0, &mut rng);
     c.bench_function("bilinear_upsample_2x_64c_14px", |bch| {
         bch.iter(|| upsample(black_box(&small), 2, ResizeMode::Bilinear))
@@ -57,7 +147,7 @@ fn bench_kernels(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kernels
+    config = Criterion::default().sample_size(12);
+    targets = bench_gemm, bench_s0_shapes, bench_misc
 }
 criterion_main!(benches);

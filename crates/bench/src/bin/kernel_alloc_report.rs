@@ -1,0 +1,51 @@
+//! Measures steady-state scratch-arena behaviour of the conv kernels and
+//! prints one JSON object.
+//!
+//! Runs the RevBiFPN-S0 stem (3x3/s2) and RevSilo fusion (1x1) convolutions
+//! forward and backward, warms the thread-local scratch arena, then counts
+//! heap growths over further iterations. `heap_growths == 0` is the
+//! "zero steady-state allocations per conv2d call" acceptance check;
+//! `bench_kernels.sh` folds this output into `results/BENCH_kernels.json`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_tensor::{conv2d, conv2d_backward, par, scratch, ConvSpec, Shape, Tensor};
+
+fn main() {
+    // Single-threaded so every borrow lands in this thread's arena; worker
+    // threads each pay a one-time warm-up growth that is not steady-state.
+    par::set_max_threads(1);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let img = Tensor::randn(Shape::new(1, 3, 224, 224), 1.0, &mut rng);
+    let w_stem = Tensor::randn(Shape::new(48, 3, 3, 3), 0.1, &mut rng);
+    let stem = ConvSpec::kxk(3, 2);
+    let feat = Tensor::randn(Shape::new(1, 48, 56, 56), 1.0, &mut rng);
+    let w_silo = Tensor::randn(Shape::new(64, 48, 1, 1), 0.1, &mut rng);
+    let silo = ConvSpec::pointwise();
+
+    let step = || {
+        let y = conv2d(&img, &w_stem, None, &stem);
+        let _ = conv2d_backward(&img, &w_stem, &y, &stem, true);
+        let z = conv2d(&feat, &w_silo, None, &silo);
+        let _ = conv2d_backward(&feat, &w_silo, &z, &silo, true);
+    };
+
+    let warmup = 2;
+    let measured = 5;
+    for _ in 0..warmup {
+        step();
+    }
+    scratch::reset_stats();
+    for _ in 0..measured {
+        step();
+    }
+    let s = scratch::stats();
+
+    println!(
+        "{{\"warmup_iters\": {}, \"measured_iters\": {}, \"borrows\": {}, \"heap_growths\": {}, \"peak_bytes\": {}, \"resident_bytes\": {}}}",
+        warmup, measured, s.borrows, s.heap_growths, s.peak_bytes, s.resident_bytes
+    );
+
+    assert_eq!(s.heap_growths, 0, "steady-state conv2d calls must not allocate");
+}

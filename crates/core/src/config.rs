@@ -250,7 +250,7 @@ impl RevBiFPNConfig {
             return Err(format!("neck_channels has {} entries for {} streams", self.neck_channels.len(), n));
         }
         let b2 = self.stem_block * self.stem_block;
-        if self.channels[0] % b2 != 0 {
+        if !self.channels[0].is_multiple_of(b2) {
             return Err(format!("c0 = {} must be divisible by stem_block^2 = {b2}", self.channels[0]));
         }
         if self.stem == StemKind::SpaceToDepth && self.stem_dup_channels() < 3 {
@@ -260,12 +260,12 @@ impl RevBiFPNConfig {
             ));
         }
         for (i, &c) in self.channels.iter().enumerate() {
-            if c % 2 != 0 {
+            if !c.is_multiple_of(2) {
                 return Err(format!("stream {i} channels {c} must be even (RevBlock split)"));
             }
         }
         let total_down = self.stem_block << (n - 1);
-        if self.resolution % total_down != 0 {
+        if !self.resolution.is_multiple_of(total_down) {
             return Err(format!("resolution {} must be divisible by {total_down}", self.resolution));
         }
         Ok(())

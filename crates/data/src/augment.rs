@@ -5,7 +5,6 @@
 //! `revbifpn_nn::loss::softmax_cross_entropy`.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
 use revbifpn_tensor::Tensor;
 
 /// Flips each image in the batch horizontally with probability 0.5.

@@ -11,7 +11,7 @@
 //! the dataset is unbounded.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use revbifpn_tensor::{Shape, Tensor};
 
 /// Configuration of the SynthScale generator.

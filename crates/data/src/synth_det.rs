@@ -8,7 +8,7 @@
 //! binary masks support the segmentation substitution.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use revbifpn_tensor::{Shape, Tensor};
 
 /// Ground-truth object annotation.
@@ -158,8 +158,8 @@ impl SynthDet {
                     };
                     if inside {
                         mask.set(0, 0, y, x, 1.0);
-                        for c in 0..3 {
-                            image.set(0, c, y, x, colour[c] * (0.8 + 0.2 * rng.random::<f32>()));
+                        for (c, &col) in colour.iter().enumerate() {
+                            image.set(0, c, y, x, col * (0.8 + 0.2 * rng.random::<f32>()));
                         }
                     }
                 }

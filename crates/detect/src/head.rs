@@ -264,6 +264,7 @@ pub fn decode_detections(outputs: &[LevelOutput], strides: &[usize], cfg: &DetHe
     let mut per_image: Vec<Vec<Detection>> = vec![Vec::new(); n];
     for (o, &stride) in outputs.iter().zip(strides) {
         let s = o.cls.shape();
+        #[allow(clippy::needless_range_loop)] // `img` also indexes the level tensors below
         for img in 0..n {
             for y in 0..s.h {
                 for x in 0..s.w {
@@ -330,7 +331,7 @@ impl Detector {
     pub fn detect(&mut self, images: &Tensor) -> Vec<Vec<Detection>> {
         let pyramid = self.backbone.forward_eval(images);
         let outputs = self.head.forward(&pyramid, CacheMode::None);
-        decode_detections(&outputs, &self.head.strides().to_vec(), self.head.cfg())
+        decode_detections(&outputs, self.head.strides(), self.head.cfg())
     }
 
     /// Visits all parameters (backbone + head).

@@ -134,9 +134,9 @@ pub fn pixel_cross_entropy(logits: &Tensor, targets: &[Vec<u8>]) -> (f64, Tensor
     let mut loss = 0.0f64;
     let mut d = Tensor::zeros(s);
     let inv = 1.0 / (s.n * hw) as f32;
-    for n in 0..s.n {
-        assert_eq!(targets[n].len(), hw, "target raster size mismatch");
-        for i in 0..hw {
+    for (n, target) in targets.iter().enumerate() {
+        assert_eq!(target.len(), hw, "target raster size mismatch");
+        for (i, &t_raw) in target.iter().enumerate() {
             // Softmax over channels at pixel i.
             let mut maxv = f32::NEG_INFINITY;
             for c in 0..k {
@@ -146,7 +146,7 @@ pub fn pixel_cross_entropy(logits: &Tensor, targets: &[Vec<u8>]) -> (f64, Tensor
             for c in 0..k {
                 z += (logits.data()[(n * k + c) * hw + i] - maxv).exp();
             }
-            let t = targets[n][i] as usize;
+            let t = t_raw as usize;
             let logit_t = logits.data()[(n * k + t) * hw + i];
             loss += -((logit_t - maxv) as f64 - (z as f64).ln());
             for c in 0..k {
@@ -233,7 +233,7 @@ impl MaskDetector {
     pub fn detect_with_masks(&mut self, images: &Tensor) -> (Vec<Vec<Detection>>, Vec<Vec<Tensor>>) {
         let pyramid = self.backbone.forward_eval(images);
         let outputs = self.det_head.forward(&pyramid, CacheMode::None);
-        let dets = decode_detections(&outputs, &self.det_head.strides().to_vec(), self.det_head.cfg());
+        let dets = decode_detections(&outputs, self.det_head.strides(), self.det_head.cfg());
         let seg_logits = self.seg_head.forward(&pyramid[0], CacheMode::None);
         let masks = dets
             .iter()

@@ -10,7 +10,7 @@ use crate::mode::CacheMode;
 use crate::module::Layer;
 use crate::param::Param;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use revbifpn_tensor::{Shape, Tensor};
 
 fn element_mask(seed: u64, shape: Shape, keep: f32) -> Tensor {
@@ -144,8 +144,7 @@ impl DropPath {
         let mask = sample_mask(seed, xs.n, keep);
         let mut y = x.clone();
         let chw = xs.chw();
-        for n in 0..xs.n {
-            let m = mask[n];
+        for (n, &m) in mask.iter().enumerate().take(xs.n) {
             for v in &mut y.data_mut()[n * chw..(n + 1) * chw] {
                 *v *= m;
             }

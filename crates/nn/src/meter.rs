@@ -6,8 +6,17 @@
 //! activation bytes must be *resident simultaneously* to run backprop.
 //!
 //! The meter is thread-local, so parallel tests do not interfere.
+//!
+//! Alongside activation accounting, this module re-exports the kernel
+//! scratch-arena counters from `revbifpn_tensor` (see [`scratch_stats`]) so
+//! training loops can assert that steady-state conv/GEMM calls perform zero
+//! heap allocations, and [`report`] bundles both views into one snapshot.
 
 use std::cell::Cell;
+
+pub use revbifpn_tensor::scratch::{
+    reset_stats as reset_scratch_stats, stats as scratch_stats, ScratchStats,
+};
 
 thread_local! {
     static CURRENT: Cell<usize> = const { Cell::new(0) };
@@ -54,6 +63,25 @@ pub fn current() -> usize {
 /// High-water mark since the last [`reset`].
 pub fn peak() -> usize {
     PEAK.with(|p| p.get())
+}
+
+/// One snapshot of both memory views: cached activations (this module) and
+/// the kernel scratch arena (`revbifpn_tensor::scratch`).
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryReport {
+    /// Bytes of activation state currently cached for backward.
+    pub cached_current: usize,
+    /// High-water mark of cached activation bytes since the last [`reset`].
+    pub cached_peak: usize,
+    /// Kernel scratch-arena counters (borrows, heap growths, peak/resident
+    /// bytes). `heap_growths` staying flat across steps means conv/GEMM calls
+    /// are allocation-free at steady state.
+    pub scratch: ScratchStats,
+}
+
+/// Captures a [`MemoryReport`] for the current thread.
+pub fn report() -> MemoryReport {
+    MemoryReport { cached_current: current(), cached_peak: peak(), scratch: scratch_stats() }
 }
 
 /// A slot for backward-pass state whose size is tracked by the meter.

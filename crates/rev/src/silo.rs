@@ -16,6 +16,12 @@
 //! `K < N` input streams the missing inputs are treated as absent (the paper
 //! sets them to 0), growing a K-stream pyramid to N streams.
 
+// The `(i, j)` range loops below deliberately mirror the paper's stream
+// indices in Equations 1–16 and index several collections (`xs`, `mids`,
+// `self.down[i][j]`, ...) in lockstep; iterator chains would obscure the
+// correspondence with the math.
+#![allow(clippy::needless_range_loop)]
+
 use revbifpn_nn::{CacheMode, Layer, Param};
 use revbifpn_tensor::{Shape, Tensor};
 

@@ -1,9 +1,32 @@
 //! 2-D convolution: forward and exact backward, with fast paths for the two
 //! shapes RevBiFPN uses constantly (1x1 pointwise and depthwise) and a
 //! general im2col path for everything else (dense 3x3 stems, baselines).
+//!
+//! # Parallelism and determinism
+//!
+//! Every path parallelizes at two granularities and picks between them by
+//! batch size:
+//!
+//! - **batch splitting** when the batch has at least one sample per worker
+//!   (per-sample output slices are disjoint, inner kernels run inline);
+//! - **intra-sample tiling** otherwise: the packed GEMM fans its macro-tiles
+//!   out over the pool, im2col fills column rows in parallel, col2im and the
+//!   depthwise kernels tile over `(sample, channel)` planes.
+//!
+//! Both regimes compute each output element from the same sequence of
+//! operations, so `conv2d` / `conv2d_backward` results are **bitwise
+//! identical for any thread count** (see `tests/determinism.rs`). Weight
+//! gradients are reduced from per-*sample* partial slabs merged in a fixed
+//! pairwise tree — never from per-*thread* accumulators, whose count would
+//! vary with the pool size.
+//!
+//! Workspace buffers (im2col columns, gradient slabs) come from the
+//! thread-local scratch arena ([`crate::scratch`]), so steady-state calls
+//! perform no heap allocation beyond the output tensors themselves.
 
 use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b};
-use crate::par::{parallel_map_reduce, parallel_over_slices};
+use crate::par::{num_threads_for, parallel_over_slices, parallel_tiles, SyncPtr};
+use crate::scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -146,6 +169,65 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, nee
     }
 }
 
+// -------------------------------------------------------------- scheduling
+
+/// Runs `f(sample, out_slice)` for each per-sample chunk of `out`:
+/// batch-parallel when the batch covers the thread budget, otherwise
+/// sequential so each sample's inner kernels can fan out over the pool.
+fn for_each_sample<F>(out: &mut [f32], chw: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let slices: Vec<&mut [f32]> = out.chunks_mut(chw).collect();
+    let n = slices.len();
+    if n >= num_threads_for(usize::MAX) {
+        parallel_over_slices(slices, f);
+    } else {
+        for (i, s) in slices.into_iter().enumerate() {
+            f(i, s);
+        }
+    }
+}
+
+/// Accumulates per-**sample** weight-gradient slabs into `dw`.
+///
+/// `fill(sample, slab)` writes sample `sample`'s gradient contribution into
+/// a zeroed `len`-float slab; slabs are then merged with a fixed pairwise
+/// tree (`stride` doubling). Because the slab count is the batch size — a
+/// property of the problem, not of the machine — and the merge order is a
+/// fixed tree, the reduction is bitwise thread-count-invariant, unlike a
+/// per-thread-accumulator fold.
+fn reduce_sample_grads<F>(n: usize, len: usize, dw: &mut [f32], fill: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let mut slabs = scratch::take(n * len);
+    for_each_sample(&mut slabs, len, fill);
+    let mut stride = 1;
+    while stride < n {
+        let pairs: Vec<usize> = (0..n).step_by(2 * stride).filter(|i| i + stride < n).collect();
+        let ptr = SyncPtr::new(slabs.as_mut_ptr());
+        parallel_tiles(pairs.len(), |t| {
+            let i = pairs[t];
+            // SAFETY: pair tiles touch disjoint slab pairs, and
+            // `parallel_tiles` is a barrier between merge levels.
+            let (dst, src) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(ptr.get().add(i * len), len),
+                    std::slice::from_raw_parts(ptr.get().add((i + stride) * len), len),
+                )
+            };
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        });
+        stride *= 2;
+    }
+    for (d, s) in dw.iter_mut().zip(&slabs[..len]) {
+        *d += s;
+    }
+}
+
 // ---------------------------------------------------------------- pointwise
 
 fn pointwise_forward(x: &Tensor, w: &Tensor, out: &mut Tensor) {
@@ -156,8 +238,7 @@ fn pointwise_forward(x: &Tensor, w: &Tensor, out: &mut Tensor) {
     let chw_out = out.shape().chw();
     let xdata = x.data();
     let wdata = w.data();
-    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
-    parallel_over_slices(slices, |n, yslice| {
+    for_each_sample(out.data_mut(), chw_out, |n, yslice| {
         let xn = &xdata[n * chw_in..(n + 1) * chw_in];
         // y [c_out, hw] = w [c_out, c_in] @ x [c_in, hw]
         sgemm(c_out, xs.c, hw, 1.0, wdata, xn, 0.0, yslice);
@@ -176,29 +257,15 @@ fn pointwise_backward(x: &Tensor, w: &Tensor, dy: &Tensor, need_dx: bool) -> (Op
 
     // dw [c_out, c_in] = sum_n dy_n [c_out, hw] @ x_n^T [hw, c_in]
     let mut dw = Tensor::zeros(w.shape());
-    parallel_map_reduce(
-        xs.n,
-        |a, b| {
-            let mut part = vec![0.0f32; c_out * xs.c];
-            for n in a..b {
-                let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
-                let xn = &xdata[n * chw_in..(n + 1) * chw_in];
-                sgemm_a_bt(c_out, hw, xs.c, 1.0, dyn_, xn, 1.0, &mut part);
-            }
-            part
-        },
-        &mut dw,
-        |acc, part| {
-            for (a, p) in acc.data_mut().iter_mut().zip(part) {
-                *a += p;
-            }
-        },
-    );
+    reduce_sample_grads(xs.n, c_out * xs.c, dw.data_mut(), |n, slab| {
+        let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+        sgemm_a_bt(c_out, hw, xs.c, 1.0, dyn_, xn, 1.0, slab);
+    });
 
     let dx = if need_dx {
         let mut dx = Tensor::zeros(xs);
-        let slices: Vec<&mut [f32]> = dx.data_mut().chunks_mut(chw_in).collect();
-        parallel_over_slices(slices, |n, dxslice| {
+        for_each_sample(dx.data_mut(), chw_in, |n, dxslice| {
             let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
             // dx [c_in, hw] = w^T [c_in, c_out] @ dy [c_out, hw]
             sgemm_at_b(xs.c, c_out, hw, 1.0, wdata, dyn_, 0.0, dxslice);
@@ -212,43 +279,58 @@ fn pointwise_backward(x: &Tensor, w: &Tensor, dy: &Tensor, need_dx: bool) -> (Op
 
 // ---------------------------------------------------------------- depthwise
 
+/// Computes one `(sample, channel)` output plane of a depthwise forward.
+fn depthwise_plane_forward(
+    xplane: &[f32],
+    kern: &[f32],
+    spec: &ConvSpec,
+    xs: Shape,
+    oh: usize,
+    ow: usize,
+    yplane: &mut [f32],
+) {
+    for oy in 0..oh {
+        let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+        for ox in 0..ow {
+            let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+            let mut acc = 0.0f32;
+            for ky in 0..spec.kh {
+                let iy = iy0 + ky as isize;
+                if iy < 0 || iy >= xs.h as isize {
+                    continue;
+                }
+                let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
+                let krow = &kern[ky * spec.kw..(ky + 1) * spec.kw];
+                for (kx, &kv) in krow.iter().enumerate() {
+                    let ix = ix0 + kx as isize;
+                    if ix < 0 || ix >= xs.w as isize {
+                        continue;
+                    }
+                    acc += xrow[ix as usize] * kv;
+                }
+            }
+            yplane[oy * ow + ox] = acc;
+        }
+    }
+}
+
 fn depthwise_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
     let xs = x.shape();
     let os = out.shape();
     let (oh, ow) = (os.h, os.w);
     let xdata = x.data();
     let wdata = w.data();
-    let chw_out = os.chw();
-    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
-    parallel_over_slices(slices, |n, yslice| {
-        for c in 0..xs.c {
-            let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
-            let kern = &wdata[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
-            let yplane = &mut yslice[c * oh * ow..(c + 1) * oh * ow];
-            for oy in 0..oh {
-                let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
-                for ox in 0..ow {
-                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
-                    let mut acc = 0.0f32;
-                    for ky in 0..spec.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= xs.h as isize {
-                            continue;
-                        }
-                        let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
-                        let krow = &kern[ky * spec.kw..(ky + 1) * spec.kw];
-                        for kx in 0..spec.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= xs.w as isize {
-                                continue;
-                            }
-                            acc += xrow[ix as usize] * krow[kx];
-                        }
-                    }
-                    yplane[oy * ow + ox] = acc;
-                }
-            }
-        }
+    let ohw = oh * ow;
+    let yptr = SyncPtr::new(out.data_mut().as_mut_ptr());
+    // One tile per (sample, channel) plane: fine enough to keep every worker
+    // busy even at batch 1, and planes are disjoint by construction.
+    parallel_tiles(xs.n * xs.c, |tile| {
+        let (n, c) = (tile / xs.c, tile % xs.c);
+        let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+        let kern = &wdata[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
+        // SAFETY: tile exclusively owns output plane (n, c).
+        let yplane = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
+        depthwise_plane_forward(xplane, kern, spec, xs, oh, ow, yplane);
     });
 }
 
@@ -268,79 +350,70 @@ fn depthwise_backward(
     let ksz = spec.kh * spec.kw;
 
     let mut dw = Tensor::zeros(w.shape());
-    parallel_map_reduce(
-        xs.n,
-        |a, b| {
-            let mut part = vec![0.0f32; xs.c * ksz];
-            for n in a..b {
-                for c in 0..xs.c {
-                    let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
-                    let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
-                    let dkern = &mut part[c * ksz..(c + 1) * ksz];
-                    for oy in 0..oh {
-                        let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
-                        for ox in 0..ow {
-                            let g = dyplane[oy * ow + ox];
-                            if g == 0.0 {
+    reduce_sample_grads(xs.n, xs.c * ksz, dw.data_mut(), |n, slab| {
+        // Channels within a sample are independent; tile over them so a
+        // single-sample backward still fills the pool.
+        let slab_ptr = SyncPtr::new(slab.as_mut_ptr());
+        parallel_tiles(xs.c, |c| {
+            let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+            let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
+            // SAFETY: channel tiles own disjoint `ksz` stretches of the slab.
+            let dkern = unsafe { std::slice::from_raw_parts_mut(slab_ptr.get().add(c * ksz), ksz) };
+            for oy in 0..oh {
+                let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                for ox in 0..ow {
+                    let g = dyplane[oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                    for ky in 0..spec.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= xs.h as isize {
+                            continue;
+                        }
+                        for kx in 0..spec.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= xs.w as isize {
                                 continue;
                             }
-                            let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
-                            for ky in 0..spec.kh {
-                                let iy = iy0 + ky as isize;
-                                if iy < 0 || iy >= xs.h as isize {
-                                    continue;
-                                }
-                                for kx in 0..spec.kw {
-                                    let ix = ix0 + kx as isize;
-                                    if ix < 0 || ix >= xs.w as isize {
-                                        continue;
-                                    }
-                                    dkern[ky * spec.kw + kx] += g * xplane[iy as usize * xs.w + ix as usize];
-                                }
-                            }
+                            dkern[ky * spec.kw + kx] += g * xplane[iy as usize * xs.w + ix as usize];
                         }
                     }
                 }
             }
-            part
-        },
-        &mut dw,
-        |acc, part| {
-            for (a, p) in acc.data_mut().iter_mut().zip(part) {
-                *a += p;
-            }
-        },
-    );
+        });
+    });
 
     let dx = if need_dx {
         let mut dx = Tensor::zeros(xs);
-        let chw_in = xs.chw();
-        let slices: Vec<&mut [f32]> = dx.data_mut().chunks_mut(chw_in).collect();
-        parallel_over_slices(slices, |n, dxslice| {
-            for c in 0..xs.c {
-                let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
-                let kern = &wdata[c * ksz..(c + 1) * ksz];
-                let dxplane = &mut dxslice[c * xs.hw()..(c + 1) * xs.hw()];
-                for oy in 0..oh {
-                    let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
-                    for ox in 0..ow {
-                        let g = dyplane[oy * ow + ox];
-                        if g == 0.0 {
+        let hw = xs.hw();
+        let dxptr = SyncPtr::new(dx.data_mut().as_mut_ptr());
+        parallel_tiles(xs.n * xs.c, |tile| {
+            let (n, c) = (tile / xs.c, tile % xs.c);
+            let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
+            let kern = &wdata[c * ksz..(c + 1) * ksz];
+            // SAFETY: tile exclusively owns input-gradient plane (n, c).
+            let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(tile * hw), hw) };
+            for oy in 0..oh {
+                let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                for ox in 0..ow {
+                    let g = dyplane[oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                    for ky in 0..spec.kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= xs.h as isize {
                             continue;
                         }
-                        let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
-                        for ky in 0..spec.kh {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= xs.h as isize {
+                        for kx in 0..spec.kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= xs.w as isize {
                                 continue;
                             }
-                            for kx in 0..spec.kw {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= xs.w as isize {
-                                    continue;
-                                }
-                                dxplane[iy as usize * xs.w + ix as usize] += g * kern[ky * spec.kw + kx];
-                            }
+                            dxplane[iy as usize * xs.w + ix as usize] += g * kern[ky * spec.kw + kx];
                         }
                     }
                 }
@@ -355,41 +428,81 @@ fn depthwise_backward(
 
 // ------------------------------------------------------------------ general
 
-fn im2col(xn: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, col: &mut [f32]) {
-    // col: [(c1-c0) * kh * kw, oh * ow]
-    let ohw = oh * ow;
-    let mut row = 0;
-    for c in c0..c1 {
-        let xplane = &xn[c * xs.hw()..(c + 1) * xs.hw()];
-        for ky in 0..spec.kh {
-            for kx in 0..spec.kw {
-                let dst = &mut col[row * ohw..(row + 1) * ohw];
-                for oy in 0..oh {
-                    let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
-                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
-                    if iy < 0 || iy >= xs.h as isize {
-                        dst_row.iter_mut().for_each(|v| *v = 0.0);
-                        continue;
-                    }
-                    let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
-                    for (ox, d) in dst_row.iter_mut().enumerate() {
-                        let ix = (ox * spec.sw + kx) as isize - spec.pw as isize;
-                        *d = if ix < 0 || ix >= xs.w as isize { 0.0 } else { xrow[ix as usize] };
-                    }
-                }
-                row += 1;
+/// Fills one row of the im2col matrix: input channel `c`, kernel offset
+/// `(ky, kx)`, all output positions.
+#[allow(clippy::too_many_arguments)]
+fn im2col_row(
+    xn: &[f32],
+    xs: Shape,
+    spec: &ConvSpec,
+    c: usize,
+    ky: usize,
+    kx: usize,
+    oh: usize,
+    ow: usize,
+    dst: &mut [f32],
+) {
+    let xplane = &xn[c * xs.hw()..(c + 1) * xs.hw()];
+    // `ix = ox*sw + kx - pw` is monotone in `ox`, so the in-bounds outputs
+    // form one contiguous run `[ox_lo, ox_end)`; everything outside it is
+    // padding. Computing the run bounds once removes the per-element branch.
+    let (sw, pw) = (spec.sw, spec.pw);
+    let ox_lo = if pw > kx { (pw - kx).div_ceil(sw).min(ow) } else { 0 };
+    let ox_end = if xs.w + pw > kx { ((xs.w + pw - kx - 1) / sw + 1).min(ow) } else { 0 };
+    let ox_end = ox_end.max(ox_lo);
+    for oy in 0..oh {
+        let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+        let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy >= xs.h as isize {
+            dst_row.iter_mut().for_each(|v| *v = 0.0);
+            continue;
+        }
+        let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
+        dst_row[..ox_lo].iter_mut().for_each(|v| *v = 0.0);
+        dst_row[ox_end..].iter_mut().for_each(|v| *v = 0.0);
+        let ix0 = ox_lo * sw + kx - pw;
+        if sw == 1 {
+            dst_row[ox_lo..ox_end].copy_from_slice(&xrow[ix0..ix0 + (ox_end - ox_lo)]);
+        } else {
+            for (i, d) in dst_row[ox_lo..ox_end].iter_mut().enumerate() {
+                *d = xrow[ix0 + i * sw];
             }
         }
     }
 }
 
+/// Builds the `[(c1-c0) * kh * kw, oh * ow]` column matrix, one parallel
+/// tile per row (each row is written by exactly one tile).
+#[allow(clippy::too_many_arguments)]
+fn im2col(xn: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, col: &mut [f32]) {
+    let ohw = oh * ow;
+    let ksz = spec.kh * spec.kw;
+    let rows = (c1 - c0) * ksz;
+    let colptr = SyncPtr::new(col.as_mut_ptr());
+    parallel_tiles(rows, |row| {
+        let c = c0 + row / ksz;
+        let (ky, kx) = ((row % ksz) / spec.kw, row % spec.kw);
+        // SAFETY: each tile owns exactly one `ohw` row of the matrix.
+        let dst = unsafe { std::slice::from_raw_parts_mut(colptr.get().add(row * ohw), ohw) };
+        im2col_row(xn, xs, spec, c, ky, kx, oh, ow, dst);
+    });
+}
+
+/// Scatters column-gradient rows back onto the input gradient, one parallel
+/// tile per input channel (a channel's `kh*kw` rows all land on its plane).
+#[allow(clippy::too_many_arguments)]
 fn col2im(col: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, dxn: &mut [f32]) {
     let ohw = oh * ow;
-    let mut row = 0;
-    for c in c0..c1 {
-        let dxplane = &mut dxn[c * xs.hw()..(c + 1) * xs.hw()];
+    let ksz = spec.kh * spec.kw;
+    let hw = xs.hw();
+    let dxptr = SyncPtr::new(dxn.as_mut_ptr());
+    parallel_tiles(c1 - c0, |ci| {
+        let c = c0 + ci;
+        // SAFETY: each tile owns input-gradient plane `c` exclusively.
+        let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(c * hw), hw) };
         for ky in 0..spec.kh {
             for kx in 0..spec.kw {
+                let row = ci * ksz + ky * spec.kw + kx;
                 let src = &col[row * ohw..(row + 1) * ohw];
                 for oy in 0..oh {
                     let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
@@ -405,10 +518,9 @@ fn col2im(col: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usi
                         dxplane[iy as usize * xs.w + ix as usize] += s;
                     }
                 }
-                row += 1;
             }
         }
-    }
+    });
 }
 
 fn general_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
@@ -423,10 +535,9 @@ fn general_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
     let wdata = w.data();
     let chw_in = xs.chw();
     let chw_out = os.chw();
-    let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chw_out).collect();
-    parallel_over_slices(slices, |n, yslice| {
+    for_each_sample(out.data_mut(), chw_out, |n, yslice| {
         let xn = &xdata[n * chw_in..(n + 1) * chw_in];
-        let mut col = vec![0.0f32; k * oh * ow];
+        let mut col = scratch::take(k * oh * ow);
         for g in 0..spec.groups {
             im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
             let wg = &wdata[g * cout_g * k..(g + 1) * cout_g * k];
@@ -452,106 +563,32 @@ fn general_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, need_d
 
     let mut dw = Tensor::zeros(w.shape());
     let mut dx = if need_dx { Some(Tensor::zeros(xs)) } else { None };
+    let dw_len = w.shape().numel();
 
-    // dx per batch item is independent -> parallel; dw reduced across batch.
-    struct Part {
-        dw: Vec<f32>,
-    }
-    let dx_ptr: Option<Vec<&mut [f32]>> = dx.as_mut().map(|t| t.data_mut().chunks_mut(chw_in).collect());
-    match dx_ptr {
-        Some(dx_slices) => {
-            // Process batch items in parallel, each computing its dx slice and a dw partial.
-            let dw_acc = parking_slices_run(dx_slices, |n, dxslice| {
-                let xn = &xdata[n * chw_in..(n + 1) * chw_in];
-                let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
-                let mut col = vec![0.0f32; k * ohw];
-                let mut dcol = vec![0.0f32; k * ohw];
-                let mut dw_part = vec![0.0f32; dw_len(w)];
-                for g in 0..spec.groups {
-                    im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
-                    let dyg = &dyn_[g * cout_g * ohw..(g + 1) * cout_g * ohw];
-                    let dwg = &mut dw_part[g * cout_g * k..(g + 1) * cout_g * k];
-                    sgemm_a_bt(cout_g, ohw, k, 1.0, dyg, &col, 1.0, dwg);
-                    let wg = &wdata[g * cout_g * k..(g + 1) * cout_g * k];
-                    sgemm_at_b(k, cout_g, ohw, 1.0, wg, dyg, 0.0, &mut dcol);
-                    col2im(&dcol, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, dxslice);
-                }
-                Part { dw: dw_part }
-            });
-            for p in dw_acc {
-                for (a, b) in dw.data_mut().iter_mut().zip(p.dw) {
-                    *a += b;
-                }
+    // One pass per sample computes both the dw slab (reduced tree-wise by
+    // reduce_sample_grads) and, when requested, the sample's dx slice —
+    // sharing a single im2col per (sample, group).
+    let dxptr = dx.as_mut().map(|t| SyncPtr::new(t.data_mut().as_mut_ptr()));
+    reduce_sample_grads(xs.n, dw_len, dw.data_mut(), |n, slab| {
+        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+        let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
+        let mut col = scratch::take(k * ohw);
+        let mut dcol = dxptr.as_ref().map(|_| scratch::take(k * ohw));
+        for g in 0..spec.groups {
+            im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+            let dyg = &dyn_[g * cout_g * ohw..(g + 1) * cout_g * ohw];
+            let dwg = &mut slab[g * cout_g * k..(g + 1) * cout_g * k];
+            sgemm_a_bt(cout_g, ohw, k, 1.0, dyg, &col, 1.0, dwg);
+            if let (Some(dcol), Some(p)) = (dcol.as_mut(), dxptr.as_ref()) {
+                let wg = &wdata[g * cout_g * k..(g + 1) * cout_g * k];
+                sgemm_at_b(k, cout_g, ohw, 1.0, wg, dyg, 0.0, dcol);
+                // SAFETY: each sample tile owns dx slice `n` exclusively.
+                let dxs = unsafe { std::slice::from_raw_parts_mut(p.get().add(n * chw_in), chw_in) };
+                col2im(dcol, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, dxs);
             }
         }
-        None => {
-            parallel_map_reduce(
-                xs.n,
-                |a, b| {
-                    let mut dw_part = vec![0.0f32; dw_len(w)];
-                    let mut col = vec![0.0f32; k * ohw];
-                    for n in a..b {
-                        let xn = &xdata[n * chw_in..(n + 1) * chw_in];
-                        let dyn_ = &dydata[n * chw_out..(n + 1) * chw_out];
-                        for g in 0..spec.groups {
-                            im2col(xn, xs, spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
-                            let dyg = &dyn_[g * cout_g * ohw..(g + 1) * cout_g * ohw];
-                            let dwg = &mut dw_part[g * cout_g * k..(g + 1) * cout_g * k];
-                            sgemm_a_bt(cout_g, ohw, k, 1.0, dyg, &col, 1.0, dwg);
-                        }
-                    }
-                    dw_part
-                },
-                &mut dw,
-                |acc, part| {
-                    for (a, b) in acc.data_mut().iter_mut().zip(part) {
-                        *a += b;
-                    }
-                },
-            );
-        }
-    }
+    });
     (dx, dw)
-}
-
-fn dw_len(w: &Tensor) -> usize {
-    w.shape().numel()
-}
-
-/// Runs `f` over per-item mutable slices, collecting each item's return value.
-fn parking_slices_run<T: Send, F>(slices: Vec<&mut [f32]>, f: F) -> Vec<T>
-where
-    F: Fn(usize, &mut [f32]) -> T + Sync,
-{
-    let items = slices.len();
-    let threads = crate::par::num_threads_for(items);
-    if threads <= 1 {
-        return slices.into_iter().enumerate().map(|(i, s)| f(i, s)).collect();
-    }
-    let chunk = items.div_ceil(threads);
-    let mut partitions: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
-    let mut current: Vec<(usize, &mut [f32])> = Vec::new();
-    for (i, s) in slices.into_iter().enumerate() {
-        current.push((i, s));
-        if current.len() == chunk {
-            partitions.push(std::mem::take(&mut current));
-        }
-    }
-    if !current.is_empty() {
-        partitions.push(current);
-    }
-    let nested = crossbeam::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .map(|part| {
-                let f = &f;
-                scope.spawn(move |_| part.into_iter().map(|(i, s)| f(i, s)).collect::<Vec<T>>())
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("conv worker panicked")).collect::<Vec<Vec<T>>>()
-    })
-    .expect("conv scope failed");
-    nested.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -686,6 +723,18 @@ mod tests {
             let want = conv_ref(&x, &w, None, &spec);
             assert!(got.max_abs_diff(&want) < 1e-4, "k={k} s={s} g={g}");
         }
+    }
+
+    #[test]
+    fn larger_shapes_match_reference() {
+        // Big enough to engage the blocked GEMM and multi-tile im2col paths.
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Tensor::randn(Shape::new(1, 12, 24, 24), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(20, 12, 3, 3), 0.3, &mut rng);
+        let spec = ConvSpec::kxk(3, 2);
+        let got = conv2d(&x, &w, None, &spec);
+        let want = conv_ref(&x, &w, None, &spec);
+        assert!(got.max_abs_diff(&want) < 1e-3);
     }
 
     #[test]

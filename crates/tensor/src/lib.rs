@@ -29,11 +29,12 @@ pub mod par;
 mod pool;
 mod resize;
 mod s2d;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use conv::{conv2d, conv2d_backward, ConvGrads, ConvSpec};
-pub use matmul::{sgemm, sgemm_a_bt, sgemm_at_b};
+pub use matmul::{reference, sgemm, sgemm_a_bt, sgemm_at_b};
 pub use pool::{
     avg_pool, avg_pool_backward, global_avg_pool, global_avg_pool_backward, max_pool, max_pool_backward,
 };

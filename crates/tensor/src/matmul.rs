@@ -1,7 +1,238 @@
-//! Small row-major single-precision GEMM used by the convolution kernels.
+//! Row-major single-precision GEMM: a cache-blocked, panel-packing engine
+//! with a register-tiled micro-kernel, parallelized over macro-tiles.
 //!
-//! Not a BLAS replacement: the models in this repository are small enough
-//! that a register-blocked scalar kernel with good loop order is sufficient.
+//! The three public entry points ([`sgemm`], [`sgemm_at_b`], [`sgemm_a_bt`])
+//! share one engine that views its operands through arbitrary row/column
+//! strides, so the transposed variants cost one packing pass instead of a
+//! materialized transpose.
+//!
+//! # Blocking scheme
+//!
+//! BLIS-style three-level blocking with fixed tile sizes:
+//!
+//! - micro-kernel: `MR x NR = 6 x 16` register tile (12 AVX2 accumulators +
+//!   broadcast + two B vectors fits the 16 ymm registers);
+//! - `KC = 256` depth slices, packed into contiguous A panels (`MR`-row
+//!   interleave) and B panels (`NR`-column interleave) held in thread-local
+//!   scratch (see [`crate::scratch`]);
+//! - `MC x NC = 96 x 512` macro-tiles of C, distributed over the worker
+//!   pool with [`crate::par::parallel_tiles`].
+//!
+//! The macro-tile grid depends only on `(m, n)` and the constants — never on
+//! the worker count — and each tile accumulates its `KC` slices
+//! sequentially, so results are **byte-identical for any thread count**.
+//! The micro-kernel uses AVX2+FMA when the CPU has it (checked once at
+//! runtime) with a portable scalar fallback; those two paths may round
+//! differently, but the choice is per-process, not per-call.
+//!
+//! Problems too small to amortize packing fall through to the simple
+//! [`reference`] kernels, which are also kept as the oracle for tests and
+//! the baseline for before/after benchmarks.
+
+use crate::par::{parallel_tiles, SyncPtr};
+use crate::scratch;
+
+/// Micro-kernel rows (register-tile height).
+const MR: usize = 6;
+/// Micro-kernel columns (register-tile width, two 8-float AVX2 vectors).
+const NR: usize = 16;
+/// Depth of one packed slice; `KC * (MR + NR) * 4` bytes of panel data stay
+/// L1/L2-resident while a macro-tile multiplies.
+const KC: usize = 256;
+/// Macro-tile height (multiple of `MR`).
+const MC: usize = 96;
+/// Macro-tile width (multiple of `NR`).
+const NC: usize = 512;
+
+/// Problems with `m*n*k` at or below this run on the [`reference`] kernels:
+/// packing overhead would dominate.
+const SMALL_FLOP_CUTOFF: usize = 32 * 32 * 32;
+
+/// A strided read-only view of a row-major matrix: element `(i, j)` lives at
+/// `data[i * rs + j * cs]`. Transposition is `rs`/`cs` swapping.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Packs rows `i0..i0+mc`, depth `p0..p0+kc` of `a` into `MR`-row panels:
+/// panel `ir` stores element `(p, r)` at `ir*MR*kc + p*MR + r`, zero-padded
+/// to a full `MR` rows so the micro-kernel never branches on the edge.
+fn pack_a(a: MatRef<'_>, i0: usize, mc: usize, p0: usize, kc: usize, dst: &mut [f32]) {
+    for ir in 0..mc.div_ceil(MR) {
+        let base = ir * MR * kc;
+        let rows = MR.min(mc - ir * MR);
+        for p in 0..kc {
+            let at = base + p * MR;
+            for r in 0..rows {
+                dst[at + r] = a.at(i0 + ir * MR + r, p0 + p);
+            }
+            for r in rows..MR {
+                dst[at + r] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs depth `p0..p0+kc`, columns `j0..j0+nc` of `b` into `NR`-column
+/// panels: panel `jr` stores element `(p, c)` at `jr*NR*kc + p*NR + c`,
+/// zero-padded to a full `NR` columns.
+fn pack_b(b: MatRef<'_>, j0: usize, nc: usize, p0: usize, kc: usize, dst: &mut [f32]) {
+    for jr in 0..nc.div_ceil(NR) {
+        let base = jr * NR * kc;
+        let cols = NR.min(nc - jr * NR);
+        for p in 0..kc {
+            let at = base + p * NR;
+            for c in 0..cols {
+                dst[at + c] = b.at(p0 + p, j0 + jr * NR + c);
+            }
+            for c in cols..NR {
+                dst[at + c] = 0.0;
+            }
+        }
+    }
+}
+
+/// Portable micro-kernel: `acc += A_panel @ B_panel` over `kc` depth steps.
+fn mk_scalar(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for (accrow, &av) in acc.iter_mut().zip(arow) {
+            for (c, &bv) in accrow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel: 6x16 tile in twelve ymm accumulators.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA, `ap` points to at least
+/// `kc * MR` floats, and `bp` to at least `kc * NR` floats.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn mk_avx2(kc: usize, ap: *const f32, bp: *const f32, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_ps(); MR];
+    let mut hi = [_mm256_setzero_ps(); MR];
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.add(p * NR + 8));
+        for r in 0..MR {
+            let av = _mm256_set1_ps(*ap.add(p * MR + r));
+            lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+            hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+        }
+    }
+    for r in 0..MR {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx2_fma() -> bool {
+    static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+#[inline]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2_fma() {
+        // SAFETY: feature presence checked above; pointer extents checked by
+        // the debug assert and guaranteed by the packed-panel layout.
+        unsafe { mk_avx2(kc, ap.as_ptr(), bp.as_ptr(), acc) };
+        return;
+    }
+    mk_scalar(kc, ap, bp, acc);
+}
+
+/// `c[m, n] = beta * c + alpha * a[m, k] @ b[k, n]` through strided views,
+/// blocked and parallelized as described in the module docs. Beta is folded
+/// into the first KC slice's write-back: with `beta == 0` the output is
+/// written without being read or pre-zeroed, which matters for small-k GEMMs
+/// (e.g. the 3x3 stem conv) where output traffic rivals the FLOPs.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(m: usize, k: usize, n: usize, alpha: f32, beta: f32, a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+    let n_ic = m.div_ceil(MC);
+    let n_jc = n.div_ceil(NC);
+    let cptr = SyncPtr::new(c.as_mut_ptr());
+    parallel_tiles(n_ic * n_jc, |tile| {
+        let (ic, jc) = (tile / n_jc, tile % n_jc);
+        let i0 = ic * MC;
+        let j0 = jc * NC;
+        let mc = MC.min(m - i0);
+        let nc = NC.min(n - j0);
+        let mut apack = scratch::take(mc.div_ceil(MR) * MR * KC.min(k));
+        let mut bpack = scratch::take(nc.div_ceil(NR) * NR * KC.min(k));
+        for p0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - p0);
+            let first_slice = p0 == 0;
+            pack_a(a, i0, mc, p0, kc, &mut apack);
+            pack_b(b, j0, nc, p0, kc, &mut bpack);
+            for jr in 0..nc.div_ceil(NR) {
+                let bpanel = &bpack[jr * NR * kc..(jr + 1) * NR * kc];
+                let cols = NR.min(nc - jr * NR);
+                for ir in 0..mc.div_ceil(MR) {
+                    let apanel = &apack[ir * MR * kc..(ir + 1) * MR * kc];
+                    let rows = MR.min(mc - ir * MR);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel(kc, apanel, bpanel, &mut acc);
+                    for (r, accrow) in acc.iter().enumerate().take(rows) {
+                        // SAFETY: this tile exclusively owns C rows
+                        // i0..i0+mc x cols j0..j0+nc; tiles are disjoint.
+                        let crow = unsafe {
+                            let start = (i0 + ir * MR + r) * n + j0 + jr * NR;
+                            std::slice::from_raw_parts_mut(cptr.get().add(start), cols)
+                        };
+                        if first_slice && beta == 0.0 {
+                            for (cv, &av) in crow.iter_mut().zip(accrow) {
+                                *cv = alpha * av;
+                            }
+                        } else if first_slice && beta != 1.0 {
+                            for (cv, &av) in crow.iter_mut().zip(accrow) {
+                                *cv = beta * *cv + alpha * av;
+                            }
+                        } else {
+                            for (cv, &av) in crow.iter_mut().zip(accrow) {
+                                *cv += alpha * av;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Applies the `beta` scaling of the full output buffer.
+fn apply_beta(beta: f32, c: &mut [f32]) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+}
+
+fn is_small(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) <= SMALL_FLOP_CUTOFF
+}
 
 /// `c = alpha * a @ b + beta * c` with row-major `a: [m, k]`, `b: [k, n]`,
 /// `c: [m, n]`.
@@ -9,38 +240,20 @@
 /// # Panics
 ///
 /// Panics if the slice lengths disagree with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
 pub fn sgemm(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "a must be m*k");
     assert_eq!(b.len(), k * n, "b must be k*n");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    if beta == 0.0 {
-        c.iter_mut().for_each(|v| *v = 0.0);
-    } else if beta != 1.0 {
-        c.iter_mut().for_each(|v| *v *= beta);
-    }
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        apply_beta(beta, c);
         return;
     }
-    // ikj loop order: the inner loop is a contiguous axpy over rows of b,
-    // which vectorizes well and is cache-friendly for both b and c.
-    const KB: usize = 64;
-    for kb in (0..k).step_by(KB) {
-        let k_end = (kb + KB).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for p in kb..k_end {
-                let av = alpha * arow[p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
+    if is_small(m, k, n) {
+        reference::sgemm(m, k, n, alpha, a, b, beta, c);
+        return;
     }
+    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: k, cs: 1 }, MatRef { data: b, rs: n, cs: 1 }, c);
 }
 
 /// `c = alpha * a^T @ b + beta * c` with `a: [k, m]`, `b: [k, n]`, `c: [m, n]`.
@@ -48,32 +261,20 @@ pub fn sgemm(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], bet
 /// # Panics
 ///
 /// Panics if the slice lengths disagree with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
 pub fn sgemm_at_b(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
     assert_eq!(a.len(), k * m, "a must be k*m (transposed)");
     assert_eq!(b.len(), k * n, "b must be k*n");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    if beta == 0.0 {
-        c.iter_mut().for_each(|v| *v = 0.0);
-    } else if beta != 1.0 {
-        c.iter_mut().for_each(|v| *v *= beta);
-    }
-    if alpha == 0.0 {
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        apply_beta(beta, c);
         return;
     }
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = alpha * arow[i];
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
+    if is_small(m, k, n) {
+        reference::sgemm_at_b(m, k, n, alpha, a, b, beta, c);
+        return;
     }
+    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: 1, cs: m }, MatRef { data: b, rs: n, cs: 1 }, c);
 }
 
 /// `c = alpha * a @ b^T + beta * c` with `a: [m, k]`, `b: [n, k]`, `c: [m, n]`.
@@ -81,17 +282,122 @@ pub fn sgemm_at_b(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32]
 /// # Panics
 ///
 /// Panics if the slice lengths disagree with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
 pub fn sgemm_a_bt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "a must be m*k");
     assert_eq!(b.len(), n * k, "b must be n*k (transposed)");
     assert_eq!(c.len(), m * n, "c must be m*n");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-            let cv = &mut c[i * n + j];
-            *cv = alpha * dot + beta * *cv;
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        apply_beta(beta, c);
+        return;
+    }
+    if is_small(m, k, n) {
+        reference::sgemm_a_bt(m, k, n, alpha, a, b, beta, c);
+        return;
+    }
+    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: k, cs: 1 }, MatRef { data: b, rs: 1, cs: k }, c);
+}
+
+/// The pre-optimization scalar kernels: register-light, loop-order-tuned,
+/// single-threaded. Retained verbatim as (a) the correctness oracle for the
+/// packed engine's tests, (b) the dispatch target for tiny problems, and
+/// (c) the "before" side of the kernel benchmarks.
+pub mod reference {
+    /// `c = alpha * a @ b + beta * c` with row-major `a: [m, k]`,
+    /// `b: [k, n]`, `c: [m, n]` (scalar ikj kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "a must be m*k");
+        assert_eq!(b.len(), k * n, "b must be k*n");
+        assert_eq!(c.len(), m * n, "c must be m*n");
+        if beta == 0.0 {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        } else if beta != 1.0 {
+            c.iter_mut().for_each(|v| *v *= beta);
+        }
+        if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        // ikj loop order: the inner loop is a contiguous axpy over rows of
+        // b, which vectorizes well and is cache-friendly for both b and c.
+        const KB: usize = 64;
+        for kb in (0..k).step_by(KB) {
+            let k_end = (kb + KB).min(k);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for p in kb..k_end {
+                    let av = alpha * arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `c = alpha * a^T @ b + beta * c` with `a: [k, m]`, `b: [k, n]`,
+    /// `c: [m, n]` (scalar kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm_at_b(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+        assert_eq!(a.len(), k * m, "a must be k*m (transposed)");
+        assert_eq!(b.len(), k * n, "b must be k*n");
+        assert_eq!(c.len(), m * n, "c must be m*n");
+        if beta == 0.0 {
+            c.iter_mut().for_each(|v| *v = 0.0);
+        } else if beta != 1.0 {
+            c.iter_mut().for_each(|v| *v *= beta);
+        }
+        if alpha == 0.0 {
+            return;
+        }
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for i in 0..m {
+                let av = alpha * arow[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `c = alpha * a @ b^T + beta * c` with `a: [m, k]`, `b: [n, k]`,
+    /// `c: [m, n]` (scalar dot-product kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `(m, k, n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm_a_bt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+        assert_eq!(a.len(), m * k, "a must be m*k");
+        assert_eq!(b.len(), n * k, "b must be n*k (transposed)");
+        assert_eq!(c.len(), m * n, "c must be m*n");
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+                let cv = &mut c[i * n + j];
+                *cv = alpha * dot + beta * *cv;
+            }
         }
     }
 }
@@ -138,6 +444,67 @@ mod tests {
     }
 
     #[test]
+    fn blocked_path_matches_reference() {
+        // Shapes chosen to exceed SMALL_FLOP_CUTOFF and to hit every edge
+        // case: non-multiples of MR/NR/MC/NC and of KC.
+        for &(m, k, n) in &[(64, 64, 64), (97, 130, 101), (6, 300, 520), (200, 37, 65), (130, 257, 17)] {
+            assert!(!is_small(m, k, n), "shape must take the blocked path");
+            let a = rand_vec(m * k, 11);
+            let b = rand_vec(k * n, 12);
+            let mut c = rand_vec(m * n, 13);
+            let mut want = c.clone();
+            sgemm(m, k, n, 0.7, &a, &b, 0.3, &mut c);
+            reference::sgemm(m, k, n, 0.7, &a, &b, 0.3, &mut want);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_at_b_matches_reference() {
+        let (m, k, n) = (70, 150, 90);
+        let at = rand_vec(k * m, 21);
+        let b = rand_vec(k * n, 22);
+        let mut c = rand_vec(m * n, 23);
+        let mut want = c.clone();
+        sgemm_at_b(m, k, n, 1.3, &at, &b, 0.5, &mut c);
+        reference::sgemm_at_b(m, k, n, 1.3, &at, &b, 0.5, &mut want);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_a_bt_matches_reference() {
+        let (m, k, n) = (80, 120, 75);
+        let a = rand_vec(m * k, 31);
+        let bt = rand_vec(n * k, 32);
+        let mut c = rand_vec(m * n, 33);
+        let mut want = c.clone();
+        sgemm_a_bt(m, k, n, 0.9, &a, &bt, 1.0, &mut c);
+        reference::sgemm_a_bt(m, k, n, 0.9, &a, &bt, 1.0, &mut want);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_result_is_thread_count_invariant() {
+        let (m, k, n) = (150, 96, 333);
+        let a = rand_vec(m * k, 41);
+        let b = rand_vec(k * n, 42);
+        let mut c1 = vec![0.0; m * n];
+        let mut c8 = vec![0.0; m * n];
+        crate::par::set_max_threads(1);
+        sgemm(m, k, n, 1.0, &a, &b, 0.0, &mut c1);
+        crate::par::set_max_threads(8);
+        sgemm(m, k, n, 1.0, &a, &b, 0.0, &mut c8);
+        crate::par::set_max_threads(0);
+        assert_eq!(c1, c8, "tiling must make results bitwise thread-invariant");
+    }
+
+    #[test]
     fn alpha_beta_semantics() {
         let a = vec![1.0, 2.0];
         let b = vec![3.0, 4.0];
@@ -145,6 +512,15 @@ mod tests {
         // 1x2 @ 2x1 = [11]; c = 2*11 + 0.5*10 = 27
         sgemm(1, 2, 1, 2.0, &a, &b, 0.5, &mut c);
         assert!((c[0] - 27.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_zero_only_scales(){
+        let a = rand_vec(40 * 50, 51);
+        let b = rand_vec(50 * 60, 52);
+        let mut c = vec![2.0; 40 * 60];
+        sgemm(40, 50, 60, 0.0, &a, &b, 0.5, &mut c);
+        assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-6));
     }
 
     #[test]

@@ -1,33 +1,271 @@
-//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//! Data-parallel helpers backed by a persistent worker pool.
 //!
-//! Convolution kernels parallelize over the batch dimension. Work is split
-//! into contiguous index chunks, one per worker. The number of workers is
-//! `min(available_parallelism, items)` and can be capped globally with
-//! [`set_max_threads`] (useful to make benchmarks deterministic).
+//! The kernels in this crate parallelize in two styles: coarse batch
+//! splitting ([`parallel_chunks`], [`parallel_over_slices`]) and fine
+//! intra-sample tiling ([`parallel_tiles`], used by the blocked GEMM and the
+//! convolution engines). Both run on one shared pool of long-lived worker
+//! threads, so a conv layer pays the thread-spawn cost once per process, not
+//! once per call — and pool threads keep their thread-local scratch arenas
+//! (see [`crate::scratch`]) warm across calls.
+//!
+//! # Threading model
+//!
+//! - The caller always participates in its own job, so a "w-way" parallel
+//!   section uses `w - 1` pool workers plus the calling thread.
+//! - [`parallel_tiles`] hands out tile indices from a shared atomic counter
+//!   (dynamic load balancing). Every tile computes a value that depends only
+//!   on the tile index, never on which worker ran it, so results are
+//!   byte-identical for any worker count.
+//! - Nested parallel sections run inline on the current thread: a kernel
+//!   that is already inside a parallel region never fans out again, which
+//!   keeps the pool deadlock-free without a work-stealing scheduler.
+//! - Worker panics are captured and re-raised on the calling thread after
+//!   all participants finish, so a failing tile cannot leave the pool wedged
+//!   or let a caller observe partially-written output silently.
+//!
+//! The worker count defaults to `std::thread::available_parallelism`, can be
+//! capped process-wide with the `REVBIFPN_MAX_THREADS` environment variable
+//! (read once at first use), and can be overridden programmatically with
+//! [`set_max_threads`], which takes precedence over both. An explicit
+//! override is honored verbatim even when it exceeds the physical core
+//! count; that is deliberate so the multi-threaded code paths stay testable
+//! on small CI machines.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Caps the number of worker threads used by [`parallel_chunks`].
+/// Upper bound on pool size; guards against pathological
+/// `set_max_threads(huge)` calls. Far above any sensible worker count.
+const MAX_POOL_WORKERS: usize = 192;
+
+thread_local! {
+    /// True while this thread is executing inside a parallel section
+    /// (either as a pool worker or as a participating caller). Used to run
+    /// nested parallel calls inline.
+    static IN_PARALLEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets the worker-thread budget for all parallel helpers in this crate.
 ///
-/// `0` (the default) means "use `std::thread::available_parallelism`".
+/// `0` (the default) means "use the process default" — the
+/// `REVBIFPN_MAX_THREADS` environment variable when set, otherwise
+/// `std::thread::available_parallelism`. Any
+/// other value is used verbatim — including values larger than the physical
+/// core count, which oversubscribes the CPU but lets tests exercise the
+/// multi-threaded paths on machines with few cores. The pool grows lazily;
+/// lowering the budget leaves already-spawned workers idle but parked.
 pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Effective worker count for `items` parallel items.
+/// Default thread budget when no [`set_max_threads`] override is active:
+/// the `REVBIFPN_MAX_THREADS` environment variable if set to a positive
+/// integer (read once, so CI can cap a whole test run), otherwise
+/// `std::thread::available_parallelism`.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let from_env = std::env::var("REVBIFPN_MAX_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    })
+}
+
+/// Effective worker count (callers + pool workers) for `items` parallel items.
 pub fn num_threads_for(items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let cap = MAX_THREADS.load(Ordering::Relaxed);
-    let t = if cap == 0 { hw } else { hw.min(cap) };
+    let t = if cap == 0 { default_threads() } else { cap.min(MAX_POOL_WORKERS + 1) };
     t.max(1).min(items.max(1))
 }
 
-/// Runs `f(start, end)` over disjoint chunks of `0..items` on scoped threads.
+/// Countdown latch: the caller blocks until every dispatched worker has
+/// finished its share of the job, collecting panic flags along the way.
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self { state: Mutex::new((count, false)), cv: Condvar::new() }
+    }
+
+    fn done(&self, panicked: bool) {
+        let mut g = self.state.lock().unwrap();
+        g.0 -= 1;
+        g.1 |= panicked;
+        if g.0 == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the count reaches zero; returns whether any participant
+    /// panicked.
+    fn wait(&self) -> bool {
+        let mut g = self.state.lock().unwrap();
+        while g.0 > 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        g.1
+    }
+}
+
+/// A borrowed job closure smuggled to a worker thread. The raw pointer is
+/// only dereferenced before `latch.done()` runs, and the dispatching caller
+/// blocks on the latch before the closure's stack frame unwinds, so the
+/// borrow is live for every dereference.
+struct SendTask {
+    task: *const (dyn Fn() + Sync),
+    latch: Arc<Latch>,
+}
+
+// SAFETY: see the struct docs — lifetime is enforced by the latch protocol,
+// and the closure itself is `Sync` so shared execution is sound.
+unsafe impl Send for SendTask {}
+
+/// One pool worker's mailbox. Tasks queue so concurrent dispatchers never
+/// overwrite each other; each queued task is a tile-puller that exits
+/// immediately if its job is already drained.
+struct WorkerSlot {
+    queue: Mutex<Vec<SendTask>>,
+    cv: Condvar,
+}
+
+fn worker_main(slot: Arc<WorkerSlot>) {
+    IN_PARALLEL.with(|f| f.set(true));
+    loop {
+        let job = {
+            let mut q = slot.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop() {
+                    break job;
+                }
+                q = slot.cv.wait(q).unwrap();
+            }
+        };
+        // SAFETY: the dispatching caller keeps the closure alive until the
+        // latch (decremented below, after the call) reaches zero.
+        let task = unsafe { &*job.task };
+        let panicked = catch_unwind(AssertUnwindSafe(task)).is_err();
+        job.latch.done(panicked);
+    }
+}
+
+fn pool() -> &'static Mutex<Vec<Arc<WorkerSlot>>> {
+    static POOL: OnceLock<Mutex<Vec<Arc<WorkerSlot>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Number of pool threads spawned so far (they persist for the process).
+pub fn pool_size() -> usize {
+    pool().lock().unwrap().len()
+}
+
+/// Grows the pool to at least `want` workers and returns handles to `want`
+/// of them (fewer if thread spawning fails, e.g. under resource limits).
+fn acquire_workers(want: usize) -> Vec<Arc<WorkerSlot>> {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let want = want.min(MAX_POOL_WORKERS);
+    let mut slots = pool().lock().unwrap();
+    while slots.len() < want {
+        let slot = Arc::new(WorkerSlot { queue: Mutex::new(Vec::new()), cv: Condvar::new() });
+        let for_thread = Arc::clone(&slot);
+        let spawned = std::thread::Builder::new()
+            .name(format!("revbifpn-par-{}", slots.len()))
+            .spawn(move || worker_main(for_thread));
+        match spawned {
+            Ok(_) => slots.push(slot),
+            Err(_) => break,
+        }
+    }
+    let n = slots.len().min(want);
+    // Rotate the starting worker between jobs so back-to-back small jobs
+    // from different callers don't all pile onto worker 0.
+    let start = NEXT.fetch_add(1, Ordering::Relaxed);
+    (0..n).map(|i| Arc::clone(&slots[(start + i) % slots.len()])).collect()
+}
+
+/// Runs `task` on `extra` pool workers and the current thread, returning
+/// once every participant is done. Panics from any participant are
+/// re-raised here.
+fn run_job(extra: usize, task: &(dyn Fn() + Sync)) {
+    let workers = acquire_workers(extra);
+    let latch = Arc::new(Latch::new(workers.len()));
+    // SAFETY: the lifetime is erased to smuggle the borrow into SendTask;
+    // the latch-drain below keeps the referent alive past every worker use.
+    let ptr: *const (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task) };
+    for slot in &workers {
+        slot.queue.lock().unwrap().push(SendTask { task: ptr, latch: Arc::clone(&latch) });
+        slot.cv.notify_one();
+    }
+    IN_PARALLEL.with(|f| f.set(true));
+    let caller = catch_unwind(AssertUnwindSafe(task));
+    IN_PARALLEL.with(|f| f.set(false));
+    // Always drain the latch before unwinding: workers hold a raw borrow of
+    // `task` until their `done()`.
+    let worker_panicked = latch.wait();
+    match caller {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) if worker_panicked => panic!("parallel worker panicked"),
+        Ok(()) => {}
+    }
+}
+
+/// Runs `f(tile_index)` for every index in `0..tiles`, distributing tiles
+/// over the worker pool via a shared atomic counter.
 ///
-/// `f` is called once per worker with that worker's half-open index range.
-/// With a single worker the call happens on the current thread (no spawn).
+/// This is the primitive the blocked GEMM and the conv engines build on:
+/// callers carve their output into disjoint tiles, and each tile's result
+/// must depend only on its index — under that contract the output is
+/// byte-identical for any thread count, because tile-to-worker assignment
+/// affects only scheduling, never values.
+///
+/// Nested calls (from inside another parallel section) run inline.
+pub fn parallel_tiles<F>(tiles: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if tiles == 0 {
+        return;
+    }
+    let threads = num_threads_for(tiles);
+    if threads == 1 || IN_PARALLEL.with(|flag| flag.get()) {
+        for t in 0..tiles {
+            f(t);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let puller = || loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= tiles {
+            break;
+        }
+        f(t);
+    };
+    run_job(threads - 1, &puller);
+}
+
+/// Splits `0..items` into `num_threads_for(items)` contiguous chunks and
+/// returns the half-open range of chunk `t`.
+fn chunk_range(items: usize, chunks: usize, t: usize) -> (usize, usize) {
+    let chunk = items.div_ceil(chunks);
+    (t * chunk, ((t + 1) * chunk).min(items))
+}
+
+/// Runs `f(start, end)` over disjoint contiguous chunks of `0..items`.
+///
+/// `f` is called once per chunk with that chunk's half-open index range.
+/// With a single worker the call happens on the current thread (no
+/// dispatch).
 pub fn parallel_chunks<F>(items: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -40,24 +278,39 @@ where
         f(0, items);
         return;
     }
-    let chunk = items.div_ceil(threads);
-    crossbeam::scope(|s| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(items);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            s.spawn(move |_| f(start, end));
+    parallel_tiles(threads, |t| {
+        let (start, end) = chunk_range(items, threads, t);
+        if start < end {
+            f(start, end);
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
-/// Like [`parallel_chunks`] but each worker produces a partial result that is
-/// sequentially folded into `init` afterwards (used for weight-gradient
-/// reductions over the batch).
+/// Wrapper making a raw pointer shareable across the pool. Soundness is the
+/// caller's obligation: every tile must touch disjoint memory. Used by the
+/// kernels in this crate to let tiles write disjoint regions of one buffer.
+///
+/// The pointer is deliberately private: edition-2021 closures capture
+/// *fields*, and capturing the bare pointer would sidestep this wrapper's
+/// `Sync` impl. Going through [`SyncPtr::get`] keeps the wrapper itself the
+/// captured value.
+pub(crate) struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Like [`parallel_chunks`] but each chunk produces a partial result, and
+/// the partials are reduced into `init` **in chunk order** after all chunks
+/// finish. The reduction order is therefore a deterministic function of
+/// `items` and the thread budget, independent of scheduling.
 pub fn parallel_map_reduce<A, T, F, R>(items: usize, f: F, init: &mut A, mut reduce: R)
 where
     A: ?Sized,
@@ -74,30 +327,26 @@ where
         reduce(init, part);
         return;
     }
-    let chunk = items.div_ceil(threads);
-    let parts = crossbeam::scope(|s| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(items);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            handles.push(s.spawn(move |_| f(start, end)));
+    let mut parts: Vec<Option<T>> = (0..threads).map(|_| None).collect();
+    let out = SyncPtr::new(parts.as_mut_ptr());
+    parallel_tiles(threads, |t| {
+        let (start, end) = chunk_range(items, threads, t);
+        if start < end {
+            let part = f(start, end);
+            // SAFETY: tile t is the only writer of slot t, and `parts`
+            // outlives the parallel section (we're still borrowing it).
+            unsafe { *out.get().add(t) = Some(part) };
         }
-        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect::<Vec<T>>()
-    })
-    .expect("parallel scope failed");
-    for p in parts {
-        reduce(init, p);
+    });
+    for part in parts.into_iter().flatten() {
+        reduce(init, part);
     }
 }
 
 /// Runs `f(item_index, slice)` for every slice in `slices`, distributing the
 /// items over worker threads. Slices are disjoint `&mut` borrows (typically
-/// per-batch-item chunks of an output buffer), so this is safe parallelism by
-/// construction.
+/// per-batch-item chunks of an output buffer), so this is safe parallelism
+/// by construction.
 pub fn parallel_over_slices<F>(slices: Vec<&mut [f32]>, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -106,42 +355,37 @@ where
     if items == 0 {
         return;
     }
-    let threads = num_threads_for(items);
-    if threads == 1 {
+    if num_threads_for(items) == 1 {
         for (i, s) in slices.into_iter().enumerate() {
             f(i, s);
         }
         return;
     }
-    let chunk = items.div_ceil(threads);
-    let mut partitions: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
-    let mut current: Vec<(usize, &mut [f32])> = Vec::new();
-    for (i, s) in slices.into_iter().enumerate() {
-        current.push((i, s));
-        if current.len() == chunk {
-            partitions.push(std::mem::take(&mut current));
-        }
-    }
-    if !current.is_empty() {
-        partitions.push(current);
-    }
-    crossbeam::scope(|scope| {
-        for part in partitions {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (i, s) in part {
-                    f(i, s);
-                }
-            });
-        }
-    })
-    .expect("parallel worker panicked");
+    let raw: Vec<(*mut f32, usize)> =
+        slices.into_iter().map(|s| (s.as_mut_ptr(), s.len())).collect();
+    let raw = SyncPtr::new(raw.as_ptr() as *mut (*mut f32, usize));
+    parallel_tiles(items, |i| {
+        // SAFETY: the source slices were disjoint `&mut` borrows and each
+        // index is visited by exactly one tile.
+        let (ptr, len) = unsafe { *raw.get().add(i) };
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        f(i, slice);
+    });
+}
+
+/// Serializes tests (crate-wide) that touch the global thread budget.
+#[cfg(test)]
+pub(crate) fn tests_budget_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    use super::tests_budget_lock as budget_lock;
 
     #[test]
     fn chunks_cover_all_items_once() {
@@ -157,6 +401,7 @@ mod tests {
     #[test]
     fn zero_items_is_noop() {
         parallel_chunks(0, |_, _| panic!("should not run"));
+        parallel_tiles(0, |_| panic!("should not run"));
     }
 
     #[test]
@@ -187,9 +432,94 @@ mod tests {
 
     #[test]
     fn thread_cap_respected() {
+        let _g = budget_lock();
         set_max_threads(1);
         assert_eq!(num_threads_for(64), 1);
         set_max_threads(0);
         assert!(num_threads_for(64) >= 1);
+    }
+
+    #[test]
+    fn explicit_budget_may_exceed_core_count() {
+        let _g = budget_lock();
+        set_max_threads(7);
+        assert_eq!(num_threads_for(64), 7);
+        assert_eq!(num_threads_for(3), 3);
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn tiles_visit_each_index_exactly_once_oversubscribed() {
+        let _g = budget_lock();
+        set_max_threads(5);
+        let hits: Vec<AtomicU64> = (0..137).map(|_| AtomicU64::new(0)).collect();
+        parallel_tiles(hits.len(), |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        set_max_threads(0);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_threads_are_reused() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        parallel_tiles(16, |_| {});
+        let after_first = pool_size();
+        for _ in 0..8 {
+            parallel_tiles(16, |_| {});
+        }
+        set_max_threads(0);
+        assert!(after_first >= 1, "pool should have spawned workers");
+        assert_eq!(pool_size(), after_first, "repeat jobs must not grow the pool");
+    }
+
+    #[test]
+    fn nested_parallel_sections_run_inline() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let counter = AtomicU64::new(0);
+        parallel_tiles(8, |_| {
+            // Inner section must not deadlock; it runs inline.
+            parallel_tiles(8, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        set_max_threads(0);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_tiles(64, |t| {
+                if t == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic inside a tile must propagate");
+        // The pool must still be usable after a panicked job.
+        let counter = AtomicU64::new(0);
+        parallel_tiles(32, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        set_max_threads(0);
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn map_reduce_order_is_chunk_order() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let mut seen: Vec<usize> = Vec::new();
+        parallel_map_reduce(100, |start, _end| start, &mut seen, |acc, s| acc.push(s));
+        set_max_threads(0);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "partials must reduce in chunk order");
+        assert_eq!(seen[0], 0);
     }
 }

@@ -1,6 +1,14 @@
 //! Pooling operators: global average pooling (classification heads,
 //! squeeze-excite) and windowed average/max pooling (baselines).
+//!
+//! All forward/backward kernels are parallelised over `(n, c)` planes with
+//! [`crate::par::parallel_tiles`]. Each tile owns one output plane, so the
+//! writes are disjoint and the results are bitwise identical for any thread
+//! count. [`max_pool_backward`] is the one exception: it scatters through a
+//! caller-supplied argmax table, so it stays sequential rather than trust
+//! that the table's indices are plane-disjoint.
 
+use crate::par::{parallel_tiles, SyncPtr};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -8,14 +16,15 @@ use crate::tensor::Tensor;
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
     let xs = x.shape();
     let mut out = Tensor::zeros(Shape::new(xs.n, xs.c, 1, 1));
-    let hw = xs.hw() as f32;
-    for n in 0..xs.n {
-        for c in 0..xs.c {
-            let base = (n * xs.c + c) * xs.hw();
-            let s: f32 = x.data()[base..base + xs.hw()].iter().sum();
-            out.data_mut()[n * xs.c + c] = s / hw;
-        }
-    }
+    let hw = xs.hw();
+    let inv = 1.0 / hw as f32;
+    let xd = x.data();
+    let optr = SyncPtr::new(out.data_mut().as_mut_ptr());
+    parallel_tiles(xs.n * xs.c, |p| {
+        let s: f32 = xd[p * hw..(p + 1) * hw].iter().sum();
+        // SAFETY: tile `p` writes only element `p` of the [n*c] output.
+        unsafe { *optr.get().add(p) = s * inv };
+    });
     out
 }
 
@@ -25,15 +34,16 @@ pub fn global_avg_pool_backward(dy: &Tensor, in_shape: Shape) -> Tensor {
     let mut dx = Tensor::zeros(in_shape);
     let hw = in_shape.hw();
     let inv = 1.0 / hw as f32;
-    for n in 0..in_shape.n {
-        for c in 0..in_shape.c {
-            let g = dy.data()[n * in_shape.c + c] * inv;
-            let base = (n * in_shape.c + c) * hw;
-            for v in &mut dx.data_mut()[base..base + hw] {
-                *v = g;
-            }
+    let dyd = dy.data();
+    let dxptr = SyncPtr::new(dx.data_mut().as_mut_ptr());
+    parallel_tiles(in_shape.n * in_shape.c, |p| {
+        let g = dyd[p] * inv;
+        // SAFETY: tile `p` owns the disjoint plane `[p*hw, (p+1)*hw)`.
+        let plane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(p * hw), hw) };
+        for v in plane {
+            *v = g;
         }
-    }
+    });
     dx
 }
 
@@ -52,29 +62,38 @@ pub fn max_pool(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
     let os = xs.with_hw(oh, ow);
     let mut out = Tensor::zeros(os);
     let mut arg = vec![0usize; os.numel()];
-    for n in 0..xs.n {
-        for c in 0..xs.c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let idx = xs.offset(n, c, oy * k + ky, ox * k + kx);
-                            let v = x.data()[idx];
-                            if v > best {
-                                best = v;
-                                best_idx = idx;
-                            }
+    let ohw = oh * ow;
+    let xd = x.data();
+    let optr = SyncPtr::new(out.data_mut().as_mut_ptr());
+    let aptr = SyncPtr::new(arg.as_mut_ptr());
+    parallel_tiles(xs.n * xs.c, |p| {
+        let xbase = p * xs.hw();
+        // SAFETY: tile `p` owns the disjoint output/argmax plane `p`.
+        let (oplane, aplane) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(optr.get().add(p * ohw), ohw),
+                std::slice::from_raw_parts_mut(aptr.get().add(p * ohw), ohw),
+            )
+        };
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let idx = xbase + (oy * k + ky) * xs.w + ox * k + kx;
+                        let v = xd[idx];
+                        if v > best {
+                            best = v;
+                            best_idx = idx;
                         }
                     }
-                    let o = os.offset(n, c, oy, ox);
-                    out.data_mut()[o] = best;
-                    arg[o] = best_idx;
                 }
+                oplane[oy * ow + ox] = best;
+                aplane[oy * ow + ox] = best_idx;
             }
         }
-    }
+    });
     (out, arg)
 }
 
@@ -82,6 +101,8 @@ pub fn max_pool(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
 pub fn max_pool_backward(dy: &Tensor, arg: &[usize], in_shape: Shape) -> Tensor {
     assert_eq!(dy.shape().numel(), arg.len(), "argmax table size mismatch");
     let mut dx = Tensor::zeros(in_shape);
+    // Sequential: `arg` is caller-supplied, so nothing guarantees its entries
+    // are disjoint across planes and a parallel scatter could race.
     for (o, &idx) in arg.iter().enumerate() {
         dx.data_mut()[idx] += dy.data()[o];
     }
@@ -96,21 +117,25 @@ pub fn avg_pool(x: &Tensor, k: usize) -> Tensor {
     let os = xs.with_hw(oh, ow);
     let mut out = Tensor::zeros(os);
     let inv = 1.0 / (k * k) as f32;
-    for n in 0..xs.n {
-        for c in 0..xs.c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut s = 0.0;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            s += x.at(n, c, oy * k + ky, ox * k + kx);
-                        }
+    let ohw = oh * ow;
+    let xd = x.data();
+    let optr = SyncPtr::new(out.data_mut().as_mut_ptr());
+    parallel_tiles(xs.n * xs.c, |p| {
+        let xbase = p * xs.hw();
+        // SAFETY: tile `p` owns the disjoint output plane `p`.
+        let oplane = unsafe { std::slice::from_raw_parts_mut(optr.get().add(p * ohw), ohw) };
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut s = 0.0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        s += xd[xbase + (oy * k + ky) * xs.w + ox * k + kx];
                     }
-                    out.set(n, c, oy, ox, s * inv);
                 }
+                oplane[oy * ow + ox] = s * inv;
             }
         }
-    }
+    });
     out
 }
 
@@ -119,21 +144,24 @@ pub fn avg_pool_backward(dy: &Tensor, k: usize, in_shape: Shape) -> Tensor {
     let mut dx = Tensor::zeros(in_shape);
     let os = dy.shape();
     let inv = 1.0 / (k * k) as f32;
-    for n in 0..os.n {
-        for c in 0..os.c {
-            for oy in 0..os.h {
-                for ox in 0..os.w {
-                    let g = dy.at(n, c, oy, ox) * inv;
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let cur = dx.at(n, c, oy * k + ky, ox * k + kx);
-                            dx.set(n, c, oy * k + ky, ox * k + kx, cur + g);
-                        }
+    let ihw = in_shape.hw();
+    let ohw = os.hw();
+    let dyd = dy.data();
+    let dxptr = SyncPtr::new(dx.data_mut().as_mut_ptr());
+    parallel_tiles(os.n * os.c, |p| {
+        // SAFETY: tile `p` owns the disjoint input-gradient plane `p`.
+        let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(p * ihw), ihw) };
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                let g = dyd[p * ohw + oy * os.w + ox] * inv;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        dxplane[(oy * k + ky) * in_shape.w + ox * k + kx] += g;
                     }
                 }
             }
         }
-    }
+    });
     dx
 }
 
@@ -181,5 +209,32 @@ mod tests {
         let lhs = (&avg_pool(&x2, 2) * &m).sum();
         let rhs = (&x2 * &avg_pool_backward(&m, 2, x2.shape())).sum();
         assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pooling_is_thread_count_invariant() {
+        let _g = crate::par::tests_budget_lock();
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(Shape::new(3, 8, 12, 12), 1.0, &mut rng);
+        let dy = Tensor::randn(Shape::new(3, 8, 6, 6), 1.0, &mut rng);
+
+        crate::par::set_max_threads(1);
+        let gap1 = global_avg_pool(&x);
+        let (mx1, arg1) = max_pool(&x, 2);
+        let av1 = avg_pool(&x, 2);
+        let avb1 = avg_pool_backward(&dy, 2, x.shape());
+
+        crate::par::set_max_threads(8);
+        let gap8 = global_avg_pool(&x);
+        let (mx8, arg8) = max_pool(&x, 2);
+        let av8 = avg_pool(&x, 2);
+        let avb8 = avg_pool_backward(&dy, 2, x.shape());
+        crate::par::set_max_threads(0);
+
+        assert_eq!(gap1, gap8);
+        assert_eq!(mx1, mx8);
+        assert_eq!(arg1, arg8);
+        assert_eq!(av1, av8);
+        assert_eq!(avb1, avb8);
     }
 }

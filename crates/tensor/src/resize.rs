@@ -1,7 +1,13 @@
 //! Spatial resizing: bilinear and nearest-neighbour upsampling with exact
 //! adjoints. RevBiFPN upsamples features by powers of two inside RevSilos
 //! ("lu" = bilinear; the HRNet-style "su" ablation uses nearest mode).
+//!
+//! Per-axis interpolation weights are precomputed once, then the work is
+//! parallelised over `(n, c)` planes with [`crate::par::parallel_tiles`].
+//! Each tile reads one input plane and writes one disjoint output plane, so
+//! results are bitwise identical for any thread count.
 
+use crate::par::{parallel_tiles, SyncPtr};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -20,6 +26,23 @@ fn src_coord(dst: usize, scale: f64) -> f64 {
     (dst as f64 + 0.5) * scale - 0.5
 }
 
+/// Nearest-neighbour source index per output index along one axis.
+fn nearest_axis(out_len: usize, scale: f64, in_len: usize) -> Vec<usize> {
+    (0..out_len).map(|o| ((o as f64 * scale).floor() as usize).min(in_len - 1)).collect()
+}
+
+/// Bilinear `(lo, hi, frac)` per output index along one axis.
+fn bilinear_axis(out_len: usize, scale: f64, in_len: usize) -> Vec<(usize, usize, f32)> {
+    (0..out_len)
+        .map(|o| {
+            let f = src_coord(o, scale).clamp(0.0, (in_len - 1) as f64);
+            let lo = f.floor() as usize;
+            let hi = (lo + 1).min(in_len - 1);
+            (lo, hi, (f - lo as f64) as f32)
+        })
+        .collect()
+}
+
 /// Resizes `x` to spatial size `(oh, ow)`.
 ///
 /// # Panics
@@ -35,53 +58,46 @@ pub fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
     let mut out = Tensor::zeros(os);
     let sy = xs.h as f64 / oh as f64;
     let sx = xs.w as f64 / ow as f64;
+    let ihw = xs.hw();
+    let ohw = oh * ow;
+    let xd = x.data();
+    let optr = SyncPtr::new(out.data_mut().as_mut_ptr());
     match mode {
         ResizeMode::Nearest => {
-            for n in 0..xs.n {
-                for c in 0..xs.c {
-                    for oy in 0..oh {
-                        let iy = ((oy as f64 * sy).floor() as usize).min(xs.h - 1);
-                        for ox in 0..ow {
-                            let ix = ((ox as f64 * sx).floor() as usize).min(xs.w - 1);
-                            out.set(n, c, oy, ox, x.at(n, c, iy, ix));
-                        }
+            let iy = nearest_axis(oh, sy, xs.h);
+            let ix = nearest_axis(ow, sx, xs.w);
+            parallel_tiles(xs.n * xs.c, |p| {
+                let xplane = &xd[p * ihw..(p + 1) * ihw];
+                // SAFETY: tile `p` owns the disjoint output plane `p`.
+                let oplane = unsafe { std::slice::from_raw_parts_mut(optr.get().add(p * ohw), ohw) };
+                for oy in 0..oh {
+                    let row = iy[oy] * xs.w;
+                    for ox in 0..ow {
+                        oplane[oy * ow + ox] = xplane[row + ix[ox]];
                     }
                 }
-            }
+            });
         }
         ResizeMode::Bilinear => {
-            // Precompute per-axis interpolation weights.
-            let wy: Vec<(usize, usize, f32)> = (0..oh)
-                .map(|oy| {
-                    let f = src_coord(oy, sy).clamp(0.0, (xs.h - 1) as f64);
-                    let y0 = f.floor() as usize;
-                    let y1 = (y0 + 1).min(xs.h - 1);
-                    (y0, y1, (f - y0 as f64) as f32)
-                })
-                .collect();
-            let wx: Vec<(usize, usize, f32)> = (0..ow)
-                .map(|ox| {
-                    let f = src_coord(ox, sx).clamp(0.0, (xs.w - 1) as f64);
-                    let x0 = f.floor() as usize;
-                    let x1 = (x0 + 1).min(xs.w - 1);
-                    (x0, x1, (f - x0 as f64) as f32)
-                })
-                .collect();
-            for n in 0..xs.n {
-                for c in 0..xs.c {
-                    for (oy, &(y0, y1, ty)) in wy.iter().enumerate() {
-                        for (ox, &(x0, x1, tx)) in wx.iter().enumerate() {
-                            let v00 = x.at(n, c, y0, x0);
-                            let v01 = x.at(n, c, y0, x1);
-                            let v10 = x.at(n, c, y1, x0);
-                            let v11 = x.at(n, c, y1, x1);
-                            let top = v00 + tx * (v01 - v00);
-                            let bot = v10 + tx * (v11 - v10);
-                            out.set(n, c, oy, ox, top + ty * (bot - top));
-                        }
+            let wy = bilinear_axis(oh, sy, xs.h);
+            let wx = bilinear_axis(ow, sx, xs.w);
+            parallel_tiles(xs.n * xs.c, |p| {
+                let xplane = &xd[p * ihw..(p + 1) * ihw];
+                // SAFETY: tile `p` owns the disjoint output plane `p`.
+                let oplane = unsafe { std::slice::from_raw_parts_mut(optr.get().add(p * ohw), ohw) };
+                for (oy, &(y0, y1, ty)) in wy.iter().enumerate() {
+                    let (r0, r1) = (y0 * xs.w, y1 * xs.w);
+                    for (ox, &(x0, x1, tx)) in wx.iter().enumerate() {
+                        let v00 = xplane[r0 + x0];
+                        let v01 = xplane[r0 + x1];
+                        let v10 = xplane[r1 + x0];
+                        let v11 = xplane[r1 + x1];
+                        let top = v00 + tx * (v01 - v00);
+                        let bot = v10 + tx * (v11 - v10);
+                        oplane[oy * ow + ox] = top + ty * (bot - top);
                     }
                 }
-            }
+            });
         }
     }
     out
@@ -103,47 +119,44 @@ pub fn resize_backward(dy: &Tensor, in_shape: Shape, mode: ResizeMode) -> Tensor
     let mut dx = Tensor::zeros(in_shape);
     let sy = in_shape.h as f64 / os.h as f64;
     let sx = in_shape.w as f64 / os.w as f64;
+    let ihw = in_shape.hw();
+    let ohw = os.hw();
+    let dyd = dy.data();
+    let dxptr = SyncPtr::new(dx.data_mut().as_mut_ptr());
     match mode {
         ResizeMode::Nearest => {
-            for n in 0..os.n {
-                for c in 0..os.c {
-                    for oy in 0..os.h {
-                        let iy = ((oy as f64 * sy).floor() as usize).min(in_shape.h - 1);
-                        for ox in 0..os.w {
-                            let ix = ((ox as f64 * sx).floor() as usize).min(in_shape.w - 1);
-                            let v = dx.at(n, c, iy, ix) + dy.at(n, c, oy, ox);
-                            dx.set(n, c, iy, ix, v);
-                        }
+            let iy = nearest_axis(os.h, sy, in_shape.h);
+            let ix = nearest_axis(os.w, sx, in_shape.w);
+            parallel_tiles(os.n * os.c, |p| {
+                let dyplane = &dyd[p * ohw..(p + 1) * ohw];
+                // SAFETY: tile `p` owns the disjoint input-gradient plane `p`.
+                let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(p * ihw), ihw) };
+                for oy in 0..os.h {
+                    let row = iy[oy] * in_shape.w;
+                    for ox in 0..os.w {
+                        dxplane[row + ix[ox]] += dyplane[oy * os.w + ox];
                     }
                 }
-            }
+            });
         }
         ResizeMode::Bilinear => {
-            for n in 0..os.n {
-                for c in 0..os.c {
-                    for oy in 0..os.h {
-                        let fy = src_coord(oy, sy).clamp(0.0, (in_shape.h - 1) as f64);
-                        let y0 = fy.floor() as usize;
-                        let y1 = (y0 + 1).min(in_shape.h - 1);
-                        let ty = (fy - y0 as f64) as f32;
-                        for ox in 0..os.w {
-                            let fx = src_coord(ox, sx).clamp(0.0, (in_shape.w - 1) as f64);
-                            let x0 = fx.floor() as usize;
-                            let x1 = (x0 + 1).min(in_shape.w - 1);
-                            let tx = (fx - x0 as f64) as f32;
-                            let g = dy.at(n, c, oy, ox);
-                            let add = |t: &mut Tensor, yy: usize, xx: usize, v: f32| {
-                                let cur = t.at(n, c, yy, xx);
-                                t.set(n, c, yy, xx, cur + v);
-                            };
-                            add(&mut dx, y0, x0, g * (1.0 - ty) * (1.0 - tx));
-                            add(&mut dx, y0, x1, g * (1.0 - ty) * tx);
-                            add(&mut dx, y1, x0, g * ty * (1.0 - tx));
-                            add(&mut dx, y1, x1, g * ty * tx);
-                        }
+            let wy = bilinear_axis(os.h, sy, in_shape.h);
+            let wx = bilinear_axis(os.w, sx, in_shape.w);
+            parallel_tiles(os.n * os.c, |p| {
+                let dyplane = &dyd[p * ohw..(p + 1) * ohw];
+                // SAFETY: tile `p` owns the disjoint input-gradient plane `p`.
+                let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(p * ihw), ihw) };
+                for (oy, &(y0, y1, ty)) in wy.iter().enumerate() {
+                    let (r0, r1) = (y0 * in_shape.w, y1 * in_shape.w);
+                    for (ox, &(x0, x1, tx)) in wx.iter().enumerate() {
+                        let g = dyplane[oy * os.w + ox];
+                        dxplane[r0 + x0] += g * (1.0 - ty) * (1.0 - tx);
+                        dxplane[r0 + x1] += g * (1.0 - ty) * tx;
+                        dxplane[r1 + x0] += g * ty * (1.0 - tx);
+                        dxplane[r1 + x1] += g * ty * tx;
                     }
                 }
-            }
+            });
         }
     }
     dx
@@ -230,5 +243,25 @@ mod tests {
         let dy = Tensor::ones(Shape::new(1, 1, 8, 8));
         let dx = resize_backward(&dy, Shape::new(1, 1, 4, 4), ResizeMode::Bilinear);
         assert!((dx.sum() - 64.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn resize_is_thread_count_invariant() {
+        let _g = crate::par::tests_budget_lock();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(Shape::new(2, 5, 7, 9), 1.0, &mut rng);
+        let dy = Tensor::randn(Shape::new(2, 5, 14, 18), 1.0, &mut rng);
+
+        crate::par::set_max_threads(1);
+        let y1 = resize(&x, 14, 18, ResizeMode::Bilinear);
+        let b1 = resize_backward(&dy, x.shape(), ResizeMode::Bilinear);
+
+        crate::par::set_max_threads(6);
+        let y6 = resize(&x, 14, 18, ResizeMode::Bilinear);
+        let b6 = resize_backward(&dy, x.shape(), ResizeMode::Bilinear);
+        crate::par::set_max_threads(0);
+
+        assert_eq!(y1, y6);
+        assert_eq!(b1, b6);
     }
 }

@@ -16,7 +16,10 @@ use crate::tensor::Tensor;
 /// Panics if `b == 0` or the spatial dims are not divisible by `b`.
 pub fn space_to_depth_shape(x: Shape, b: usize) -> Shape {
     assert!(b > 0, "block size must be positive");
-    assert!(x.h % b == 0 && x.w % b == 0, "spatial dims {x} must be divisible by block {b}");
+    assert!(
+        x.h.is_multiple_of(b) && x.w.is_multiple_of(b),
+        "spatial dims {x} must be divisible by block {b}"
+    );
     Shape::new(x.n, x.c * b * b, x.h / b, x.w / b)
 }
 

@@ -1,5 +1,6 @@
 //! The dense `f32` NCHW tensor and its element-wise operations.
 
+use crate::par::{parallel_tiles, SyncPtr};
 use crate::shape::{Shape, ShapeMismatchError};
 use rand::{Rng, RngExt};
 use std::fmt;
@@ -265,15 +266,17 @@ impl Tensor {
     pub fn add_channel_bias(&mut self, bias: &Self) {
         assert_eq!(bias.shape, Shape::vector(self.shape.c), "bias must be a [1,c,1,1] vector");
         let hw = self.shape.hw();
-        for n in 0..self.shape.n {
-            for c in 0..self.shape.c {
-                let b = bias.data[c];
-                let base = (n * self.shape.c + c) * hw;
-                for v in &mut self.data[base..base + hw] {
-                    *v += b;
-                }
+        let c = self.shape.c;
+        let bd = &bias.data;
+        let ptr = SyncPtr::new(self.data.as_mut_ptr());
+        parallel_tiles(self.shape.n * c, |p| {
+            let b = bd[p % c];
+            // SAFETY: tile `p` owns the disjoint plane `[p*hw, (p+1)*hw)`.
+            let plane = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(p * hw), hw) };
+            for v in plane {
+                *v += b;
             }
-        }
+        });
     }
 
     /// Multiplies each channel by a per-channel factor `[1, c, 1, 1]`.
@@ -284,28 +287,39 @@ impl Tensor {
     pub fn mul_channel(&mut self, scale: &Self) {
         assert_eq!(scale.shape, Shape::vector(self.shape.c), "scale must be a [1,c,1,1] vector");
         let hw = self.shape.hw();
-        for n in 0..self.shape.n {
-            for c in 0..self.shape.c {
-                let s = scale.data[c];
-                let base = (n * self.shape.c + c) * hw;
-                for v in &mut self.data[base..base + hw] {
-                    *v *= s;
-                }
+        let c = self.shape.c;
+        let sd = &scale.data;
+        let ptr = SyncPtr::new(self.data.as_mut_ptr());
+        parallel_tiles(self.shape.n * c, |p| {
+            let s = sd[p % c];
+            // SAFETY: tile `p` owns the disjoint plane `[p*hw, (p+1)*hw)`.
+            let plane = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(p * hw), hw) };
+            for v in plane {
+                *v *= s;
             }
-        }
+        });
     }
 
     /// Per-channel sum over batch and spatial dims; returns `[1, c, 1, 1]`.
     pub fn sum_per_channel(&self) -> Self {
         let mut out = Tensor::zeros(Shape::vector(self.shape.c));
         let hw = self.shape.hw();
-        for n in 0..self.shape.n {
-            for c in 0..self.shape.c {
-                let base = (n * self.shape.c + c) * hw;
-                let s: f32 = self.data[base..base + hw].iter().sum();
-                out.data[c] += s;
+        let (n, c) = (self.shape.n, self.shape.c);
+        let xd = &self.data;
+        let optr = SyncPtr::new(out.data.as_mut_ptr());
+        // One tile per channel; the batch loop stays sequential inside the
+        // tile so the accumulation order (and the f32 result) is independent
+        // of the thread count.
+        parallel_tiles(c, |ch| {
+            let mut acc = 0.0_f32;
+            for ni in 0..n {
+                let base = (ni * c + ch) * hw;
+                let s: f32 = xd[base..base + hw].iter().sum();
+                acc += s;
             }
-        }
+            // SAFETY: tile `ch` writes only element `ch`.
+            unsafe { *optr.get().add(ch) = acc };
+        });
         out
     }
 

@@ -1,0 +1,110 @@
+//! Thread-count determinism of the parallel kernel engine.
+//!
+//! The engine is designed so that the floating-point result of every kernel
+//! is a function of the problem shape only, never of the thread count:
+//!
+//! - The GEMM tile grid (MC x NC macro-tiles) and the KC depth slices depend
+//!   only on (m, k, n). Dynamic scheduling decides *which worker* runs a
+//!   tile, not what the tile computes, and every accumulation order is fixed.
+//! - Conv weight gradients are accumulated into per-sample slabs that are
+//!   merged in a fixed pairwise tree, not into per-thread accumulators.
+//!
+//! Under that design the ISSUE's 1e-5 tolerance is met trivially: results
+//! are **bitwise identical** across thread counts, and these tests assert
+//! exact equality.
+//!
+//! What is NOT guaranteed to be bitwise stable:
+//! - Across *builds or machines*: the GEMM micro-kernel dispatches to an
+//!   AVX2+FMA path when the CPU has it and a scalar path otherwise. FMA
+//!   contracts `a*b+c` into one rounding, so the two paths can differ by
+//!   ~1 ulp per accumulation step.
+//! - Across *code versions*: retuning the tile constants (MR/NR/KC/MC/NC)
+//!   changes accumulation order and therefore rounding.
+//!
+//! Within one process on one machine, any `set_max_threads` value gives the
+//! same bytes. See DESIGN.md ("Determinism") for the full story.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_tensor::{conv2d, conv2d_backward, par, ConvSpec, Shape, Tensor};
+
+/// Runs `f` at 1 thread and at `threads` threads, restoring the default
+/// budget afterwards, and returns both results.
+fn at_thread_counts<T>(threads: usize, mut f: impl FnMut() -> T) -> (T, T) {
+    par::set_max_threads(1);
+    let one = f();
+    par::set_max_threads(threads);
+    let many = f();
+    par::set_max_threads(0);
+    (one, many)
+}
+
+struct Case {
+    name: &'static str,
+    x: Shape,
+    w: Shape,
+    spec: ConvSpec,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // RevBiFPN-S0 stem: general im2col path, strided, batch 1 and 4.
+        Case { name: "stem3x3s2_b1", x: Shape::new(1, 3, 32, 32), w: Shape::new(48, 3, 3, 3), spec: ConvSpec::kxk(3, 2) },
+        Case { name: "stem3x3s2_b4", x: Shape::new(4, 3, 32, 32), w: Shape::new(48, 3, 3, 3), spec: ConvSpec::kxk(3, 2) },
+        // RevSilo fusion: pointwise path.
+        Case { name: "revsilo1x1_b1", x: Shape::new(1, 48, 28, 28), w: Shape::new(64, 48, 1, 1), spec: ConvSpec::pointwise() },
+        Case { name: "revsilo1x1_b4", x: Shape::new(4, 48, 28, 28), w: Shape::new(64, 48, 1, 1), spec: ConvSpec::pointwise() },
+        // Depthwise path.
+        Case { name: "dw3x3_b2", x: Shape::new(2, 32, 20, 20), w: Shape::new(32, 1, 3, 3), spec: ConvSpec::depthwise(3, 1, 32) },
+    ]
+}
+
+#[test]
+fn conv2d_forward_is_bitwise_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for case in cases() {
+        let x = Tensor::randn(case.x, 1.0, &mut rng);
+        let w = Tensor::randn(case.w, 0.1, &mut rng);
+        let bias = Tensor::randn(Shape::vector(case.w.n), 0.1, &mut rng);
+        for threads in [2, 8, 32] {
+            let (one, many) = at_thread_counts(threads, || conv2d(&x, &w, Some(&bias), &case.spec));
+            // Bitwise, not approximate: Tensor equality compares raw f32s.
+            assert_eq!(one, many, "{} forward differs at {} threads", case.name, threads);
+        }
+    }
+}
+
+#[test]
+fn conv2d_backward_is_bitwise_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for case in cases() {
+        let x = Tensor::randn(case.x, 1.0, &mut rng);
+        let w = Tensor::randn(case.w, 0.1, &mut rng);
+        let dy = Tensor::randn(case.spec.out_shape(case.x, case.w.n), 1.0, &mut rng);
+        for threads in [2, 8, 32] {
+            let (one, many) = at_thread_counts(threads, || conv2d_backward(&x, &w, &dy, &case.spec, true));
+            assert_eq!(one.dw, many.dw, "{} dw differs at {} threads", case.name, threads);
+            assert_eq!(one.db, many.db, "{} db differs at {} threads", case.name, threads);
+            assert_eq!(one.dx, many.dx, "{} dx differs at {} threads", case.name, threads);
+        }
+    }
+}
+
+/// The ISSUE's stated acceptance bound (1e-5 agreement) as a separate test,
+/// so the contract survives even if a future change legitimately downgrades
+/// bitwise equality to close agreement.
+#[test]
+fn conv2d_matches_single_thread_within_1e5() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let x = Tensor::randn(Shape::new(2, 16, 24, 24), 1.0, &mut rng);
+    let w = Tensor::randn(Shape::new(24, 16, 3, 3), 0.1, &mut rng);
+    let spec = ConvSpec::kxk(3, 1);
+    let dy = Tensor::randn(spec.out_shape(x.shape(), 24), 1.0, &mut rng);
+
+    let (y1, y8) = at_thread_counts(8, || conv2d(&x, &w, None, &spec));
+    assert!(y1.max_abs_diff(&y8) <= 1e-5);
+
+    let (g1, g8) = at_thread_counts(8, || conv2d_backward(&x, &w, &dy, &spec, true));
+    assert!(g1.dw.max_abs_diff(&g8.dw) <= 1e-5);
+    assert!(g1.dx.as_ref().unwrap().max_abs_diff(g8.dx.as_ref().unwrap()) <= 1e-5);
+}

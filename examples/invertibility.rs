@@ -58,7 +58,7 @@ fn main() {
     };
     let mut silo = RevSilo::new(1, 3, &mut down, &mut up);
     let x0 = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
-    let ys = silo.forward(&[x0.clone()], CacheMode::None);
+    let ys = silo.forward(std::slice::from_ref(&x0), CacheMode::None);
     println!(
         "expansion silo grew 1 stream into {:?}",
         ys.iter().map(|y| y.shape()).collect::<Vec<_>>()

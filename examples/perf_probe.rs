@@ -1,0 +1,56 @@
+//! Decomposes the batch-1 RevBiFPN-S0 stem conv into its phases (im2col,
+//! GEMM, total conv2d) and prints per-phase wall-clock. Diagnostic tool for
+//! kernel tuning; not part of any paper experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_repro::tensor::{conv2d, sgemm, ConvSpec, Shape, Tensor};
+use std::time::Instant;
+
+fn time(label: &str, iters: usize, mut f: impl FnMut()) {
+    // Warm up.
+    for _ in 0..3 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{label:32} {:.3} ms", per * 1e3);
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let img = Tensor::randn(Shape::new(1, 3, 224, 224), 1.0, &mut rng);
+    let w_stem = Tensor::randn(Shape::new(48, 3, 3, 3), 0.1, &mut rng);
+    let stem = ConvSpec::kxk(3, 2);
+    let iters = 40;
+
+    time("conv2d stem total", iters, || {
+        let _ = conv2d(&img, &w_stem, None, &stem);
+    });
+
+    // The GEMM the stem lowers to: [48 x 27] * [27 x 12544].
+    let (m, k, n) = (48, 27, 112 * 112);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.1).collect();
+    let mut c = vec![0.0f32; m * n];
+    time("sgemm 48x27x12544", iters, || {
+        sgemm(m, k, n, 1.0, &a, &b, 0.0, &mut c);
+    });
+
+    // Same FLOPs, square-ish: the shape the blocked kernel likes.
+    let (m2, k2, n2) = (128, 128, 2048);
+    let a2: Vec<f32> = (0..m2 * k2).map(|i| (i % 7) as f32 * 0.1).collect();
+    let b2: Vec<f32> = (0..k2 * n2).map(|i| (i % 5) as f32 * 0.1).collect();
+    let mut c2 = vec![0.0f32; m2 * n2];
+    time("sgemm 128x128x2048", iters, || {
+        sgemm(m2, k2, n2, 1.0, &a2, &b2, 0.0, &mut c2);
+    });
+
+    // Output allocation cost: zeroing a [1,48,112,112] tensor.
+    time("Tensor::zeros out", iters, || {
+        let _ = Tensor::zeros(Shape::new(1, 48, 112, 112));
+    });
+}

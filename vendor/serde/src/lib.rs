@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the serialization data model this workspace actually exercises:
+//! the [`Serialize`] / [`Deserialize`] traits, the [`ser`] module with the
+//! standard `Serializer` trait family (mirroring upstream serde's shape so
+//! hand-written serializers port verbatim), and a deliberately small [`de`]
+//! module.
+//!
+//! The `de` side is a simplified, self-describing-reader model rather than
+//! upstream serde's visitor architecture: nothing in this workspace
+//! implements a `Deserializer`, so the trait exists to give the derive a
+//! concrete, honest target without hundreds of lines of visitor plumbing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized into any [`ser::Serializer`].
+pub trait Serialize {
+    /// Feeds `self` into `serializer`.
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from a [`de::Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads a value out of `deserializer`.
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: &mut D) -> Result<Self, D::Error>;
+}
+
+/// Serialization: the upstream-compatible `Serializer` trait family.
+pub mod ser {
+    pub use super::Serialize;
+
+    /// Errors produced by a serializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer for sequences.
+    pub trait SerializeSeq {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuples.
+    pub trait SerializeTuple {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one element.
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple structs.
+    pub trait SerializeTupleStruct {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the tuple struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple enum variants.
+    pub trait SerializeTupleVariant {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for maps.
+    pub trait SerializeMap {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one key.
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        /// Serializes one value.
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for structs.
+    pub trait SerializeStruct {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for struct enum variants.
+    pub trait SerializeStructVariant {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A data-format backend.
+    ///
+    /// Mirrors upstream serde's `Serializer` so hand-written backends (such
+    /// as the counting serializer in `revbifpn`'s tests) port verbatim.
+    pub trait Serializer: Sized {
+        /// Output type of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Compound type for sequences.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for tuples.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for tuple structs.
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for tuple variants.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for maps.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for structs.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Compound type for struct variants.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i8`.
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i16`.
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i32`.
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i64`.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u8`.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u16`.
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f32`.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `char`.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes raw bytes.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::Some`.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `()`.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit enum variant.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype enum variant.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a tuple.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        /// Begins a tuple struct.
+        fn serialize_tuple_struct(self, name: &'static str, len: usize) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        /// Begins a tuple variant.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Begins a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct.
+        fn serialize_struct(self, name: &'static str, len: usize) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a struct variant.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+}
+
+/// Deserialization: a compact reader-style model.
+pub mod de {
+    pub use super::Deserialize;
+
+    /// Errors produced by a deserializer.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A self-describing data source the derive-generated code reads from.
+    ///
+    /// Unlike upstream serde this is a plain pull-reader: struct fields are
+    /// read in declaration order between `begin_struct` / `end_struct`, and
+    /// enum variants resolve to an index into the declared variant list.
+    pub trait Deserializer<'de> {
+        /// Error type.
+        type Error: Error;
+        /// Reads a `bool`.
+        fn read_bool(&mut self) -> Result<bool, Self::Error>;
+        /// Reads any unsigned integer.
+        fn read_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Reads any signed integer.
+        fn read_i64(&mut self) -> Result<i64, Self::Error>;
+        /// Reads any float.
+        fn read_f64(&mut self) -> Result<f64, Self::Error>;
+        /// Reads an owned string.
+        fn read_string(&mut self) -> Result<String, Self::Error>;
+        /// Enters a struct with the given declared fields.
+        fn begin_struct(&mut self, name: &'static str, fields: &'static [&'static str]) -> Result<(), Self::Error>;
+        /// Leaves the current struct.
+        fn end_struct(&mut self) -> Result<(), Self::Error>;
+        /// Enters a sequence, returning its length.
+        fn begin_seq(&mut self) -> Result<usize, Self::Error>;
+        /// Leaves the current sequence.
+        fn end_seq(&mut self) -> Result<(), Self::Error>;
+        /// Reads a unit enum variant as an index into `variants`.
+        fn read_variant(&mut self, name: &'static str, variants: &'static [&'static str]) -> Result<usize, Self::Error>;
+    }
+}
+
+// ----------------------------------------------------------- impls: Serialize
+
+macro_rules! serialize_prim {
+    ($($t:ty => $m:ident),* $(,)?) => {
+        $(impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$m(*self)
+            }
+        })*
+    };
+}
+
+serialize_prim!(
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+);
+
+impl Serialize for usize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+// --------------------------------------------------------- impls: Deserialize
+
+macro_rules! deserialize_uint {
+    ($($t:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                Ok(d.read_u64()? as $t)
+            }
+        })*
+    };
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                Ok(d.read_i64()? as $t)
+            }
+        })*
+    };
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_bool()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(d.read_f64()? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_f64()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.read_string()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let len = d.begin_seq()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(d)?);
+        }
+        d.end_seq()?;
+        Ok(out)
+    }
+}

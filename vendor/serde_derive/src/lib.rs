@@ -1,0 +1,244 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes this workspace uses: structs with named fields and enums with
+//! unit variants. The parser walks the raw token stream directly (no `syn`
+//! available offline), so exotic inputs (generics, tuple structs, data
+//! variants) are rejected with a compile error rather than silently
+//! mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// modifiers at the current position.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body `[...]`.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional `(crate)` / `(super)` scope.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("unsupported item kind `{kind}`"));
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic types are not supported by the vendored serde derive".into())
+            }
+            Some(_) => continue,
+            None => return Err("missing `{ ... }` body".into()),
+        }
+    };
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut iter = body.into_iter().peekable();
+        loop {
+            skip_attrs_and_vis(&mut iter);
+            let field = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(other) => return Err(format!("expected field name, got {other:?}")),
+                None => break,
+            };
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+            }
+            fields.push(field);
+            // Skip the type: consume until a top-level comma. Generic
+            // arguments arrive as `<` punct tokens; track their nesting so
+            // commas inside `Vec<(A, B)>`-style types are not split points.
+            let mut angle_depth = 0i32;
+            loop {
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        angle_depth += 1;
+                        iter.next();
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        angle_depth -= 1;
+                        iter.next();
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                        iter.next();
+                        break;
+                    }
+                    Some(_) => {
+                        iter.next();
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(Item::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        let mut iter = body.into_iter().peekable();
+        loop {
+            skip_attrs_and_vis(&mut iter);
+            let variant = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(other) => return Err(format!("expected variant name, got {other:?}")),
+                None => break,
+            };
+            match iter.next() {
+                None => {
+                    variants.push(variant);
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    // Explicit discriminant: skip the expression.
+                    variants.push(variant);
+                    loop {
+                        match iter.next() {
+                            Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                            Some(_) => continue,
+                            None => break,
+                        }
+                    }
+                }
+                Some(_) => {
+                    return Err(format!(
+                        "variant `{variant}` has data; the vendored serde derive supports unit variants only"
+                    ))
+                }
+            }
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` for named-field structs and unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_struct(serializer, {name:?}, {})?;",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, {f:?}, &self.{f})?;"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    format!(
+                        "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(serializer, {name:?}, {i}u32, {v:?}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{ match *self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` for named-field structs and unit enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let field_list: String = fields.iter().map(|f| format!("{f:?}, ")).collect();
+            let reads: String = fields
+                .iter()
+                .map(|f| format!("let {f} = ::serde::Deserialize::deserialize(deserializer)?;"))
+                .collect();
+            let build: String = fields.iter().map(|f| format!("{f}, ")).collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: &mut D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         deserializer.begin_struct({name:?}, &[{field_list}])?;\n\
+                         {reads}\n\
+                         deserializer.end_struct()?;\n\
+                         ::core::result::Result::Ok({name} {{ {build} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let variant_list: String = variants.iter().map(|v| format!("{v:?}, ")).collect();
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("{i}usize => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: &mut D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         match deserializer.read_variant({name:?}, &[{variant_list}])? {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(::serde::de::Error::custom(\"variant index out of range\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
