@@ -20,4 +20,19 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test (REVBIFPN_MAX_THREADS=1)"
 REVBIFPN_MAX_THREADS=1 cargo test -q --workspace
 
+echo "== fault-injection suite (resilience layer, end to end)"
+cargo test -q --test fault_injection
+
+echo "== checkpoint cross-profile round-trip (release writes, debug reads)"
+CKPT_TMP="$(mktemp -d)/xprofile.ckpt"
+cargo run -q --release --example ckpt_tool -- write "$CKPT_TMP" | tee /tmp/ckpt_write.out
+cargo run -q --example ckpt_tool -- read "$CKPT_TMP" | tee /tmp/ckpt_read.out
+W="$(grep 'param checksum' /tmp/ckpt_write.out)"
+R="$(grep 'param checksum' /tmp/ckpt_read.out)"
+rm -rf "$(dirname "$CKPT_TMP")" /tmp/ckpt_write.out /tmp/ckpt_read.out
+if [ "$W" != "$R" ]; then
+    echo "checkpoint checksum mismatch: release wrote '$W', debug read '$R'" >&2
+    exit 1
+fi
+
 echo "ci.sh: all gates passed"

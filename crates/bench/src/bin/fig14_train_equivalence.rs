@@ -66,4 +66,30 @@ fn main() {
         rev.final_val_acc(),
         1.0 / data.num_classes() as f64
     );
+
+    // Drift-sentinel statistics from the reversible run: every backward pass
+    // compared reconstructed activations against their forward fingerprints.
+    let report = rev_model.backbone().body().drift_report();
+    println!(
+        "\ndrift sentinel — max reconstruction drift: {:.3e}, stages in cached fallback: {}",
+        report.max_drift(),
+        report.fallback_count()
+    );
+    let mut json = String::from("{\n  \"max_drift\": ");
+    json.push_str(&format!("{:e}", report.max_drift()));
+    json.push_str(&format!(",\n  \"fallback_count\": {},\n  \"stages\": [\n", report.fallback_count()));
+    for (i, s) in report.stages.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"max_drift\": {:e}, \"checks\": {}, \"fallback\": {}}}{}\n",
+            s.name,
+            s.max_drift,
+            s.checks,
+            s.fallback,
+            if i + 1 < report.stages.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("cannot create results/");
+    std::fs::write("results/DRIFT_sentinel.json", &json).expect("cannot write drift stats");
+    println!("wrote results/DRIFT_sentinel.json");
 }

@@ -145,6 +145,12 @@ impl RevBiFPN {
         &self.body
     }
 
+    /// Mutable access to the reversible body (drift-sentinel configuration
+    /// and fault injection).
+    pub fn body_mut(&mut self) -> &mut ReversibleSequence {
+        &mut self.body
+    }
+
     /// The stem.
     pub fn stem(&self) -> &Stem {
         &self.stem
@@ -220,6 +226,13 @@ impl RevBiFPN {
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.stem.visit_params(f);
         self.body.visit_params(f);
+    }
+
+    /// Visits all non-parameter persistent buffers (BatchNorm running
+    /// statistics), mirroring the `visit_params` order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.stem.visit_buffers(f);
+        self.body.visit_buffers(f);
     }
 
     /// Clears all caches.

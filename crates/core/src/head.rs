@@ -67,6 +67,13 @@ impl Neck {
         }
     }
 
+    /// Visits all non-parameter persistent buffers.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for b in &mut self.blocks {
+            b.visit_buffers(f);
+        }
+    }
+
     /// Clears caches.
     pub fn clear_cache(&mut self) {
         for b in &mut self.blocks {
@@ -152,6 +159,14 @@ impl ClsHead {
             d.visit_params(f);
         }
         self.tail.visit_params(f);
+    }
+
+    /// Visits all non-parameter persistent buffers.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for d in &mut self.downs {
+            d.visit_buffers(f);
+        }
+        self.tail.visit_buffers(f);
     }
 
     /// Clears caches.

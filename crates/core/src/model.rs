@@ -120,6 +120,14 @@ impl RevBiFPNClassifier {
         self.head.visit_params(f);
     }
 
+    /// Visits all non-parameter persistent buffers (backbone, neck, head),
+    /// mirroring the `visit_params` order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.backbone.visit_buffers(f);
+        self.neck.visit_buffers(f);
+        self.head.visit_buffers(f);
+    }
+
     /// Total scalar parameter count.
     pub fn param_count(&mut self) -> u64 {
         let mut total = 0u64;

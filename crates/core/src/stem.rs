@@ -192,6 +192,14 @@ impl Stem {
         }
     }
 
+    /// Visits persistent buffers (conv stem only; the space-to-depth stem is
+    /// parameter- and buffer-free).
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        if let Stem::Convolutional { body, .. } = self {
+            body.visit_buffers(f);
+        }
+    }
+
     /// Clears caches (conv stem only).
     pub fn clear_cache(&mut self) {
         if let Stem::Convolutional { body, .. } = self {

@@ -1,29 +1,195 @@
-//! Weight checkpointing: save/load every parameter reachable through a
-//! `visit_params`-style visitor to a simple, versioned binary format.
+//! Crash-safe checkpointing: save/load named f32 blobs (and every parameter
+//! reachable through a `visit_params`-style visitor) to a versioned,
+//! integrity-checked binary format.
 //!
-//! The format is deliberately minimal (magic, version, per-parameter name +
-//! element count + little-endian f32 payload) and the loader validates
-//! names and shapes in visit order, so a checkpoint can only be restored
-//! into the architecture that produced it.
+//! # Format v2 (`RBFNCKP2`)
+//!
+//! ```text
+//! magic    8 bytes  b"RBFNCKP2"
+//! version  4 bytes  u32 LE, currently 2
+//! count    8 bytes  u64 LE, number of blobs
+//! blob * count:
+//!   name_len  8 bytes  u64 LE
+//!   name      name_len bytes, UTF-8
+//!   numel     8 bytes  u64 LE
+//!   payload   numel * 4 bytes, f32 LE
+//!   crc       4 bytes  u32 LE, CRC32 (IEEE) over name ‖ numel LE ‖ payload
+//! ```
+//!
+//! Robustness properties:
+//!
+//! - **Atomic writes**: data is written to `<path>.tmp`, flushed and fsynced,
+//!   then renamed over `path` (with a best-effort directory fsync), so a
+//!   crash mid-write can never leave a half-written file at `path`.
+//! - **Per-blob CRC32** over the name, element count, and payload: any
+//!   single-byte corruption is rejected at load time.
+//! - **Bounds-checked parsing** from an in-memory buffer: corrupt length
+//!   fields are rejected before any allocation is sized from them, and
+//!   trailing garbage after the last blob is an error.
+//! - The *entire* file is parsed and CRC-verified before any model mutation,
+//!   so a corrupt checkpoint never partially overwrites a model; only an
+//!   architecture mismatch (different name/shape in visit order) can error
+//!   out mid-load.
+//!
+//! The v1 magic (`RBFNCKP1`, no CRCs) is explicitly rejected.
 
 use crate::param::Param;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::fs::{self, File};
+use std::io::{self, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"RBFNCKP1";
+const MAGIC: &[u8; 8] = b"RBFNCKP2";
+const VERSION: u32 = 2;
+const MAX_NAME_LEN: usize = 4096;
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`, seeded by
+/// `seed` so multi-slice digests can be chained.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    // Nibble-at-a-time table; small and fast enough for checkpoint I/O.
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1db7_1064,
+        0x3b6e_20c8,
+        0x26d9_30ac,
+        0x76dc_4190,
+        0x6b6b_51f4,
+        0x4db2_6158,
+        0x5005_713c,
+        0xedb8_8320,
+        0xf00f_9344,
+        0xd6d6_a3e8,
+        0xcb61_b38c,
+        0x9b64_c2b0,
+        0x86d3_d2d4,
+        0xa00a_e278,
+        0xbdbd_f21c,
+    ];
+    for &b in data {
+        crc ^= b as u32;
+        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
+        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
+    }
+    crc
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+fn blob_crc(name: &str, data: &[f32]) -> u32 {
+    let mut crc = crc32_update(0xffff_ffff, name.as_bytes());
+    crc = crc32_update(crc, &(data.len() as u64).to_le_bytes());
+    for v in data {
+        crc = crc32_update(crc, &v.to_le_bytes());
+    }
+    !crc
 }
 
-/// Saves all visited parameters to `path`.
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Saves named f32 blobs to `path` atomically (tmp + fsync + rename).
+///
+/// Any stale `<path>.tmp` left by an earlier crash is overwritten.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on error the destination `path` is left untouched.
+pub fn save_blobs<P: AsRef<Path>>(path: P, blobs: &[(String, Vec<f32>)]) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+    for (name, data) in blobs {
+        buf.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        for v in data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&blob_crc(name, data).to_le_bytes());
+    }
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Best effort: persist the rename itself. Not all platforms support
+    // fsync on directories, so failures here are ignored.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The temporary sibling used by [`save_blobs`] for atomic writes.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Loads all named f32 blobs from `path`, verifying structure and per-blob
+/// CRCs before returning anything.
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a bad magic/version, any out-of-bounds length
+/// field, CRC mismatch, non-UTF-8 name, or trailing bytes after the last
+/// blob; propagates underlying I/O errors.
+pub fn load_blobs<P: AsRef<Path>>(path: P) -> io::Result<Vec<(String, Vec<f32>)>> {
+    let buf = fs::read(path)?;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = pos.checked_add(n).filter(|&e| e <= buf.len()).ok_or_else(|| {
+            bad(format!("checkpoint truncated: need {} bytes at offset {}", n, *pos))
+        })?;
+        let s = &buf[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    if take(&mut pos, 8)? != MAGIC {
+        return Err(bad("not a RevBiFPN v2 checkpoint"));
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let mut blobs: Vec<(String, Vec<f32>)> = Vec::new();
+    for i in 0..count {
+        let name_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(bad(format!("blob {i}: name length {name_len} too long")));
+        }
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+            .map_err(|_| bad(format!("blob {i}: non-utf8 name")))?;
+        let numel = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        // Bounds-check before allocating: a corrupt numel must not drive a
+        // huge allocation.
+        let payload_bytes =
+            numel.checked_mul(4).filter(|&b| pos + b <= buf.len()).ok_or_else(|| {
+                bad(format!("blob {i} ('{name}'): payload of {numel} elements exceeds file size"))
+            })?;
+        let payload = take(&mut pos, payload_bytes)?;
+        let data: Vec<f32> =
+            payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if crc != blob_crc(&name, &data) {
+            return Err(bad(format!("blob {i} ('{name}'): CRC mismatch, checkpoint corrupt")));
+        }
+        blobs.push((name, data));
+    }
+    if pos != buf.len() {
+        return Err(bad(format!("{} trailing bytes after last blob", buf.len() - pos)));
+    }
+    Ok(blobs)
+}
+
+/// Saves all visited parameters to `path` (atomically, format v2).
 ///
 /// # Errors
 ///
@@ -37,57 +203,27 @@ pub fn save_params<P: AsRef<Path>>(
     visit(&mut |p: &mut Param| {
         blobs.push((p.name.to_string(), p.value.data().to_vec()));
     });
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    write_u64(&mut w, blobs.len() as u64)?;
-    for (name, data) in &blobs {
-        write_u64(&mut w, name.len() as u64)?;
-        w.write_all(name.as_bytes())?;
-        write_u64(&mut w, data.len() as u64)?;
-        for v in data {
-            w.write_all(&v.to_le_bytes())?;
-        }
-    }
-    w.flush()
+    save_blobs(path, &blobs)
 }
 
 /// Loads parameters from `path` into the visited parameters, in order.
 ///
+/// The whole file is parsed and CRC-verified before any parameter is
+/// touched, so a *corrupt* checkpoint never mutates the model. A checkpoint
+/// from a different architecture (name/shape mismatch) errors out mid-visit
+/// and may leave earlier parameters already loaded; treat the model as
+/// undefined after such an error.
+///
 /// # Errors
 ///
-/// Fails with `InvalidData` on magic/count/name/shape mismatches, so a
-/// checkpoint cannot silently load into a different architecture.
+/// Fails with `InvalidData` on magic/CRC/count/name/shape mismatches, so a
+/// corrupt checkpoint or one from a different architecture can never load.
 pub fn load_params<P: AsRef<Path>>(
     path: P,
     visit: impl FnOnce(&mut dyn FnMut(&mut Param)),
 ) -> io::Result<()> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RevBiFPN checkpoint"));
-    }
-    let count = read_u64(&mut r)? as usize;
-    // Read everything up front (visitor is FnOnce and infallible).
-    let mut blobs: Vec<(String, Vec<f32>)> = Vec::with_capacity(count);
-    for _ in 0..count {
-        let name_len = read_u64(&mut r)? as usize;
-        if name_len > 4096 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "parameter name too long"));
-        }
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 parameter name"))?;
-        let numel = read_u64(&mut r)? as usize;
-        let mut data = vec![0f32; numel];
-        let mut buf = [0u8; 4];
-        for v in &mut data {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
-        blobs.push((name, data));
-    }
+    let blobs = load_blobs(path)?;
+    let count = blobs.len();
     let mut idx = 0usize;
     let mut error: Option<String> = None;
     visit(&mut |p: &mut Param| {
@@ -98,7 +234,8 @@ pub fn load_params<P: AsRef<Path>>(
             None => error = Some(format!("checkpoint has {count} parameters, model has more")),
             Some((name, data)) => {
                 if name != p.name {
-                    error = Some(format!("parameter {idx}: checkpoint '{name}' vs model '{}'", p.name));
+                    error =
+                        Some(format!("parameter {idx}: checkpoint '{name}' vs model '{}'", p.name));
                 } else if data.len() != p.numel() {
                     error = Some(format!(
                         "parameter {idx} ('{name}'): checkpoint {} elements vs model {}",
@@ -113,13 +250,10 @@ pub fn load_params<P: AsRef<Path>>(
         idx += 1;
     });
     if let Some(e) = error {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+        return Err(bad(e));
     }
     if idx != count {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("checkpoint has {count} parameters, model visited {idx}"),
-        ));
+        return Err(bad(format!("checkpoint has {count} parameters, model visited {idx}")));
     }
     Ok(())
 }
@@ -137,6 +271,12 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_reference_vector() {
+        // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+        assert_eq!(!crc32_update(0xffff_ffff, b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
     fn roundtrip_restores_values() {
         let dir = std::env::temp_dir().join("revbifpn_ckpt_test_rt");
         let mut ps = params();
@@ -148,6 +288,20 @@ mod tests {
         assert_eq!(qs[0].value.data(), ps[0].value.data());
         assert_eq!(qs[1].value.data(), ps[1].value.data());
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn blob_roundtrip_preserves_everything() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_blobs");
+        let blobs = vec![
+            ("meta".to_string(), vec![2.0, 17.0]),
+            ("empty".to_string(), vec![]),
+            ("w".to_string(), vec![-0.25; 9]),
+        ];
+        save_blobs(&path, &blobs).unwrap();
+        assert!(!tmp_path(&path).exists(), "tmp file must not survive a successful save");
+        assert_eq!(load_blobs(&path).unwrap(), blobs);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
@@ -175,6 +329,23 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_load_leaves_model_untouched() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_atomic_load");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        // Corrupt a payload byte: CRC validation happens before any model
+        // mutation, so the target params must stay exactly as they were.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[50] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut other = params();
+        other[0].value.fill_zero();
+        assert!(load_params(&path, |f| other.iter_mut().for_each(f)).is_err());
+        assert_eq!(other[0].value.data(), &[0.0; 4]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn truncated_model_is_rejected() {
         let path = std::env::temp_dir().join("revbifpn_ckpt_test_trunc");
         let mut ps = params();
@@ -190,6 +361,57 @@ mod tests {
         std::fs::write(&path, b"NOTACKPT").unwrap();
         let mut ps = params();
         assert!(load_params(&path, |f| ps.iter_mut().for_each(f)).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn v1_magic_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_v1");
+        // A minimal v1 file: old magic + zero params.
+        let mut v1 = b"RBFNCKP1".to_vec();
+        v1.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, v1).unwrap();
+        assert!(load_blobs(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_rejected() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_flip");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first payload (after magic+version+count+
+        // name_len+name("conv.weight")+numel = 8+4+8+8+11+8 = 47).
+        let mut dirty = clean.clone();
+        dirty[48] ^= 0x10;
+        std::fs::write(&path, &dirty).unwrap();
+        assert!(load_blobs(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_numel_does_not_allocate() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_numel");
+        let mut ps = params();
+        save_params(&path, |f| ps.iter_mut().for_each(f)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Overwrite the first blob's numel (offset 39) with u64::MAX: the
+        // loader must reject it via bounds checking, not try to allocate.
+        bytes[39..47].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_blobs(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stale_tmp_is_replaced_by_next_save() {
+        let path = std::env::temp_dir().join("revbifpn_ckpt_test_stale_tmp");
+        std::fs::write(tmp_path(&path), b"garbage from a crashed writer").unwrap();
+        let blobs = vec![("x".to_string(), vec![1.0, 2.0])];
+        save_blobs(&path, &blobs).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(load_blobs(&path).unwrap(), blobs);
         let _ = std::fs::remove_file(path);
     }
 }

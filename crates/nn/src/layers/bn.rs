@@ -226,6 +226,11 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
     fn clear_cache(&mut self) {
         self.frozen.clear();
         self.saved.clear();

@@ -248,6 +248,10 @@ impl Layer for Residual {
         self.branch.visit_params(f);
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.branch.visit_buffers(f);
+    }
+
     fn clear_cache(&mut self) {
         self.branch.clear_cache();
         self.drop_path.clear_cache();

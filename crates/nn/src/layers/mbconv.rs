@@ -227,6 +227,10 @@ impl Layer for MBConv {
         self.inner.visit_params(f);
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.inner.visit_buffers(f);
+    }
+
     fn clear_cache(&mut self) {
         self.inner.clear_cache();
     }

@@ -30,7 +30,10 @@ pub fn softmax(logits: &Tensor) -> Tensor {
 ///
 /// # Panics
 ///
-/// Panics if shapes differ or are not `[n, k, 1, 1]`.
+/// Panics if shapes differ or are not `[n, k, 1, 1]`. Also panics if the
+/// computed loss is non-finite, reporting which input (logits or targets)
+/// carried non-finite values, so a poisoned batch is diagnosed at the loss
+/// instead of propagating NaN silently through the backward pass.
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
     let s = logits.shape();
     assert_eq!(s, targets.shape(), "logits/targets shape mismatch");
@@ -46,6 +49,13 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &Tensor) -> (f64, Tensor)
         }
     }
     loss /= s.n as f64;
+    // NaN probabilities are clamped away by `q.max(1e-12)` above (f64::max
+    // ignores NaN), so check the softmax output as well as the loss.
+    if !loss.is_finite() || !p.is_finite() {
+        logits.assert_finite("softmax_cross_entropy: non-finite loss; logits");
+        targets.assert_finite("softmax_cross_entropy: non-finite loss; targets");
+        panic!("softmax_cross_entropy: non-finite loss {loss} with finite inputs");
+    }
     let mut d = &p - targets;
     d.scale(1.0 / s.n as f32);
     (loss, d)
@@ -212,6 +222,24 @@ mod tests {
             let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!((num - d.data()[i]).abs() < 1e-3, "coord {i}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite loss; logits")]
+    fn ce_reports_nonfinite_logits() {
+        let mut l = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![0.0, 0.0]).unwrap();
+        l.data_mut()[0] = f32::NAN;
+        let t = one_hot(&[0], 2);
+        let _ = softmax_cross_entropy(&l, &t);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite loss; targets")]
+    fn ce_reports_nonfinite_targets() {
+        let l = Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![0.0, 0.0]).unwrap();
+        let mut t = one_hot(&[0], 2);
+        t.data_mut()[0] = f32::INFINITY;
+        let _ = softmax_cross_entropy(&l, &t);
     }
 
     #[test]

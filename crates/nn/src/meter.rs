@@ -12,7 +12,8 @@
 //! training loops can assert that steady-state conv/GEMM calls perform zero
 //! heap allocations, and [`report`] bundles both views into one snapshot.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 
 pub use revbifpn_tensor::scratch::{
     reset_stats as reset_scratch_stats, stats as scratch_stats, ScratchStats,
@@ -21,12 +22,46 @@ pub use revbifpn_tensor::scratch::{
 thread_local! {
     static CURRENT: Cell<usize> = const { Cell::new(0) };
     static PEAK: Cell<usize> = const { Cell::new(0) };
+    static EVENTS: RefCell<BTreeMap<&'static str, u64>> = const { RefCell::new(BTreeMap::new()) };
 }
 
 /// Resets both the current and peak counters to zero.
+///
+/// Named event counters are *not* cleared: training loops call [`reset`]
+/// every step to re-arm the peak tracker, while events (drift warnings,
+/// skipped steps, ...) are run-level statistics. Use [`reset_events`] for
+/// those.
 pub fn reset() {
     CURRENT.with(|c| c.set(0));
     PEAK.with(|p| p.set(0));
+}
+
+/// Increments the named event counter by one.
+///
+/// Events are thread-local run-level counters (e.g. `"rev.drift_warn"`,
+/// `"train.nonfinite_step"`) that survive the per-step byte-meter [`reset`].
+pub fn count(name: &'static str) {
+    count_n(name, 1);
+}
+
+/// Increments the named event counter by `n`.
+pub fn count_n(name: &'static str, n: u64) {
+    EVENTS.with(|e| *e.borrow_mut().entry(name).or_insert(0) += n);
+}
+
+/// Current value of the named event counter (0 if never incremented).
+pub fn event_count(name: &str) -> u64 {
+    EVENTS.with(|e| e.borrow().get(name).copied().unwrap_or(0))
+}
+
+/// Snapshot of all named event counters, sorted by name.
+pub fn events() -> Vec<(&'static str, u64)> {
+    EVENTS.with(|e| e.borrow().iter().map(|(&k, &v)| (k, v)).collect())
+}
+
+/// Clears all named event counters.
+pub fn reset_events() {
+    EVENTS.with(|e| e.borrow_mut().clear());
 }
 
 /// Registers `bytes` of newly cached activation state.
@@ -209,6 +244,23 @@ mod tests {
         assert_eq!(current(), 30);
         slot.clear();
         assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn event_counters_survive_byte_reset() {
+        reset_events();
+        count("test.alpha");
+        count_n("test.alpha", 2);
+        count("test.beta");
+        reset(); // must not clear events
+        assert_eq!(event_count("test.alpha"), 3);
+        assert_eq!(event_count("test.beta"), 1);
+        assert_eq!(event_count("test.never"), 0);
+        let all = events();
+        assert!(all.contains(&("test.alpha", 3)));
+        reset_events();
+        assert_eq!(event_count("test.alpha"), 0);
+        assert!(events().is_empty());
     }
 
     #[test]

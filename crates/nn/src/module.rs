@@ -43,6 +43,14 @@ pub trait Layer: std::fmt::Debug {
         let _ = f;
     }
 
+    /// Visits every non-parameter persistent buffer (e.g. BatchNorm running
+    /// statistics) in a stable order. Checkpointing uses this so a resumed
+    /// run restores inference-relevant state bit-exactly, not just the
+    /// trainable parameters.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        let _ = f;
+    }
+
     /// Drops all cached state (both `Stats` and `Full` caches).
     fn clear_cache(&mut self) {}
 
@@ -176,6 +184,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for l in &mut self.layers {
             l.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for l in &mut self.layers {
+            l.visit_buffers(f);
         }
     }
 

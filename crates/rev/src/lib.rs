@@ -47,4 +47,7 @@ mod stage;
 
 pub use revblock::RevBlock;
 pub use silo::{RevSilo, TransformFactory};
-pub use stage::{BlockStage, RevStage, ReversibleSequence, TrainMode};
+pub use stage::{
+    BlockStage, DriftConfig, DriftPolicy, DriftReport, DriftStageReport, ReconFault, RevStage,
+    ReversibleSequence, TrainMode, FP_SAMPLES,
+};

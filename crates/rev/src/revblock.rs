@@ -119,6 +119,13 @@ impl RevBlock {
         self.g.visit_params(f);
     }
 
+    /// Visits all non-parameter persistent buffers (`F` then `G`), mirroring
+    /// [`RevBlock::visit_params`].
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.f.visit_buffers(f);
+        self.g.visit_buffers(f);
+    }
+
     /// Clears all sub-module caches.
     pub fn clear_cache(&mut self) {
         self.f.clear_cache();

@@ -278,6 +278,22 @@ impl RevSilo {
         }
     }
 
+    /// Visits all non-parameter persistent buffers, mirroring the
+    /// [`RevSilo::visit_params`] traversal order (all down rows, then all up
+    /// rows).
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for row in &mut self.down {
+            for l in row {
+                l.visit_buffers(f);
+            }
+        }
+        for row in &mut self.up {
+            for l in row {
+                l.visit_buffers(f);
+            }
+        }
+    }
+
     /// Clears all transform caches.
     pub fn clear_cache(&mut self) {
         for row in &mut self.down {

@@ -9,7 +9,7 @@
 
 use crate::revblock::RevBlock;
 use crate::silo::RevSilo;
-use revbifpn_nn::{CacheMode, Param};
+use revbifpn_nn::{meter, CacheMode, Cached, Param};
 use revbifpn_tensor::{Shape, Tensor};
 
 /// A reversible transformation over a vector of feature streams.
@@ -42,6 +42,12 @@ pub trait RevStage: std::fmt::Debug {
 
     /// Visits all parameters.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits all non-parameter persistent buffers (BatchNorm running
+    /// statistics) in a stable order, for checkpoint/resume.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        let _ = f;
+    }
 
     /// Clears all caches.
     fn clear_cache(&mut self);
@@ -90,6 +96,10 @@ impl RevStage for RevSilo {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         RevSilo::visit_params(self, f)
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        RevSilo::visit_buffers(self, f)
     }
 
     fn clear_cache(&mut self) {
@@ -208,6 +218,14 @@ impl RevStage for BlockStage {
         }
     }
 
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for chain in &mut self.blocks {
+            for b in chain {
+                b.visit_buffers(f);
+            }
+        }
+    }
+
     fn clear_cache(&mut self) {
         for chain in &mut self.blocks {
             for b in chain {
@@ -239,17 +257,158 @@ pub enum TrainMode {
     Conventional,
 }
 
+/// Policy applied by the drift sentinel when a stage's reconstructed
+/// activations drift from their forward-pass fingerprint beyond tolerance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftPolicy {
+    /// Count the event (`rev.drift_warn` in `nn::meter`) and continue.
+    Warn,
+    /// Switch the offending stage to conventional activation caching for the
+    /// rest of the run (hybrid-reversible); counted as `rev.drift_fallback`.
+    FallbackToCached,
+    /// Panic: the run is unrecoverable by policy.
+    Abort,
+}
+
+/// Configuration of the reversible-drift sentinel.
+///
+/// During a `Stats`-mode forward, each stage's *input* streams are
+/// fingerprinted with a strided sample (at most [`FP_SAMPLES`] values per
+/// stream, not counted by the activation meter). The reversible backward
+/// compares the reconstructed inputs against the fingerprint; drift above
+/// `tolerance` triggers `policy`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Master switch; when `false` no fingerprints are captured or checked.
+    pub enabled: bool,
+    /// Max-abs-diff budget per sampled element. The default, `5e-2`, is the
+    /// same bound the inversion tests use: measured whole-network
+    /// reconstruction error is ~1.7e-2 (toolchain-dependent), while
+    /// structural corruption produces O(1) errors.
+    pub tolerance: f32,
+    /// What to do when drift exceeds `tolerance`.
+    pub policy: DriftPolicy,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self { enabled: true, tolerance: 5e-2, policy: DriftPolicy::Warn }
+    }
+}
+
+/// Per-stage drift statistics from the sentinel.
+#[derive(Clone, Debug)]
+pub struct DriftStageReport {
+    /// Stage identifier ([`RevStage::name`]).
+    pub name: String,
+    /// Largest drift observed across all checked backward passes.
+    pub max_drift: f32,
+    /// Number of backward passes in which this stage was checked.
+    pub checks: u64,
+    /// `true` if the stage has been switched to conventional caching.
+    pub fallback: bool,
+}
+
+/// Sentinel statistics for a whole [`ReversibleSequence`].
+#[derive(Clone, Debug, Default)]
+pub struct DriftReport {
+    /// One entry per stage, in forward order.
+    pub stages: Vec<DriftStageReport>,
+}
+
+impl DriftReport {
+    /// Number of stages currently running in cached-fallback mode.
+    pub fn fallback_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.fallback).count()
+    }
+
+    /// Largest drift observed across all stages.
+    pub fn max_drift(&self) -> f32 {
+        self.stages.iter().fold(0.0, |m, s| m.max(s.max_drift))
+    }
+}
+
+/// A one-shot injected reconstruction fault (deterministic test harness):
+/// before stage `stage`'s reversible backward, bit `bit` of element
+/// `index` (modulo length) in output stream `stream` is flipped —
+/// simulating a corrupted activation inside the reversible chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconFault {
+    /// Stage index (forward order) whose *output* is corrupted.
+    pub stage: usize,
+    /// Stream index within that stage's outputs.
+    pub stream: usize,
+    /// Element index (taken modulo the stream length).
+    pub index: usize,
+    /// Bit to flip (taken modulo 32).
+    pub bit: u32,
+}
+
+/// Samples per stream used for drift fingerprints. The cost per stage is a
+/// strided read of at most this many elements — negligible next to the
+/// stage's own recomputation, and deliberately *not* registered with the
+/// activation meter (it is O(1) diagnostic state, not an activation cache).
+pub const FP_SAMPLES: usize = 64;
+
+fn fingerprint(xs: &[Tensor]) -> Vec<Vec<f32>> {
+    xs.iter()
+        .map(|x| {
+            let d = x.data();
+            let stride = (d.len() / FP_SAMPLES).max(1);
+            d.iter().step_by(stride).take(FP_SAMPLES).copied().collect()
+        })
+        .collect()
+}
+
+fn flip_bit(t: &mut Tensor, index: usize, bit: u32) {
+    let d = t.data_mut();
+    let i = index % d.len();
+    d[i] = f32::from_bits(d[i].to_bits() ^ (1u32 << (bit % 32)));
+}
+
+fn fingerprint_drift(fp: &[Vec<f32>], xs: &[Tensor]) -> f32 {
+    let mut worst = 0.0f32;
+    for (samples, x) in fp.iter().zip(xs) {
+        let d = x.data();
+        let stride = (d.len() / FP_SAMPLES).max(1);
+        for (s, v) in samples.iter().zip(d.iter().step_by(stride)) {
+            let diff = (s - v).abs();
+            // A NaN reconstruction is infinite drift, not zero: naive
+            // f32::max would silently ignore it.
+            worst = worst.max(if diff.is_finite() { diff } else { f32::INFINITY });
+        }
+    }
+    worst
+}
+
+/// Per-stage sentinel state (fingerprint, fallback status, statistics).
+#[derive(Debug, Default)]
+struct StageSentinel {
+    fingerprint: Option<Vec<Vec<f32>>>,
+    fallback: bool,
+    /// Input streams stored when the stage runs in cached-fallback mode.
+    /// Unlike fingerprints this is real activation memory, so it *is*
+    /// registered with the meter.
+    fallback_inputs: Cached<Vec<Tensor>>,
+    max_drift: f32,
+    checks: u64,
+}
+
 /// A chain of [`RevStage`]s with a single backward entry point that
-/// dispatches on [`TrainMode`].
+/// dispatches on [`TrainMode`], guarded by a reversible-drift sentinel (see
+/// [`DriftConfig`]).
 #[derive(Debug, Default)]
 pub struct ReversibleSequence {
     stages: Vec<Box<dyn RevStage>>,
+    sentinels: Vec<StageSentinel>,
+    drift: DriftConfig,
+    recon_fault: Option<ReconFault>,
 }
 
 impl ReversibleSequence {
     /// An empty sequence (identity).
     pub fn new() -> Self {
-        Self { stages: Vec::new() }
+        Self::default()
     }
 
     /// Appends a stage.
@@ -264,6 +423,54 @@ impl ReversibleSequence {
             );
         }
         self.stages.push(stage);
+        self.sentinels.push(StageSentinel::default());
+    }
+
+    /// Replaces the drift-sentinel configuration and resets all sentinel
+    /// state (fingerprints, fallback flags, statistics, pending faults).
+    pub fn set_drift_config(&mut self, cfg: DriftConfig) {
+        self.drift = cfg;
+        self.recon_fault = None;
+        for s in &mut self.sentinels {
+            *s = StageSentinel::default();
+        }
+    }
+
+    /// Current drift-sentinel configuration.
+    pub fn drift_config(&self) -> DriftConfig {
+        self.drift
+    }
+
+    /// Per-stage drift statistics.
+    pub fn drift_report(&self) -> DriftReport {
+        DriftReport {
+            stages: self
+                .stages
+                .iter()
+                .zip(&self.sentinels)
+                .map(|(stage, s)| DriftStageReport {
+                    name: stage.name().to_string(),
+                    max_drift: s.max_drift,
+                    checks: s.checks,
+                    fallback: s.fallback,
+                })
+                .collect(),
+        }
+    }
+
+    /// Arms a one-shot [`ReconFault`]: the next reversible backward flips the
+    /// requested bit before the target stage's reconstruction. Test harness
+    /// for the drift sentinel; a no-op for conventional backward.
+    pub fn inject_recon_fault(&mut self, fault: ReconFault) {
+        assert!(fault.stage < self.stages.len(), "fault stage {} out of range", fault.stage);
+        self.recon_fault = Some(fault);
+    }
+
+    /// Visits all non-parameter persistent buffers, in stage order.
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for s in &mut self.stages {
+            s.visit_buffers(f);
+        }
     }
 
     /// Number of stages.
@@ -283,9 +490,24 @@ impl ReversibleSequence {
 
     /// Forward through all stages. For training, pass `CacheMode::Stats`
     /// (reversible) or `CacheMode::Full` (conventional).
+    ///
+    /// In `Stats` mode the drift sentinel (when enabled) fingerprints each
+    /// stage's input, and any stage in cached-fallback mode runs with `Full`
+    /// caches plus a stored copy of its input (hybrid-reversible).
     pub fn forward(&mut self, xs: Vec<Tensor>, mode: CacheMode) -> Vec<Tensor> {
         let mut cur = xs;
-        for s in &mut self.stages {
+        for (s, sent) in self.stages.iter_mut().zip(self.sentinels.iter_mut()) {
+            if mode == CacheMode::Stats {
+                if self.drift.enabled {
+                    sent.fingerprint = Some(fingerprint(&cur));
+                }
+                if sent.fallback {
+                    let bytes = cur.iter().map(Tensor::bytes).sum();
+                    sent.fallback_inputs.put(cur.clone(), bytes);
+                    cur = s.forward(&cur, CacheMode::Full);
+                    continue;
+                }
+            }
             cur = s.forward(&cur, mode);
         }
         cur
@@ -312,8 +534,50 @@ impl ReversibleSequence {
             TrainMode::Reversible => {
                 let mut cur_y: Vec<Tensor> = ys.to_vec();
                 let mut cur_dy = dys;
-                for s in self.stages.iter_mut().rev() {
+                let cfg = self.drift;
+                let fault = self.recon_fault.take();
+                let iter = self.stages.iter_mut().zip(self.sentinels.iter_mut());
+                for (i, (s, sent)) in iter.enumerate().rev() {
+                    if sent.fallback {
+                        // Hybrid-reversible: consume the Full caches and the
+                        // stored input instead of reconstructing.
+                        let dxs = s.backward_cached(&cur_dy);
+                        cur_y = sent
+                            .fallback_inputs
+                            .take()
+                            .expect("fallback stage has no stored input (Stats forward missing)");
+                        cur_dy = dxs;
+                        continue;
+                    }
+                    if let Some(f) = fault {
+                        if f.stage == i {
+                            let stream = f.stream % cur_y.len();
+                            flip_bit(&mut cur_y[stream], f.index, f.bit);
+                        }
+                    }
                     let (xs, dxs) = s.backward_rev(&cur_y, &cur_dy);
+                    if cfg.enabled {
+                        if let Some(fp) = sent.fingerprint.take() {
+                            let drift = fingerprint_drift(&fp, &xs);
+                            sent.checks += 1;
+                            sent.max_drift = sent.max_drift.max(drift);
+                            if drift > cfg.tolerance {
+                                match cfg.policy {
+                                    DriftPolicy::Warn => meter::count("rev.drift_warn"),
+                                    DriftPolicy::FallbackToCached => {
+                                        sent.fallback = true;
+                                        meter::count("rev.drift_fallback");
+                                    }
+                                    DriftPolicy::Abort => panic!(
+                                        "reversible drift {drift:.3e} exceeds tolerance {:.3e} \
+                                         at stage {i} ({})",
+                                        cfg.tolerance,
+                                        s.name()
+                                    ),
+                                }
+                            }
+                        }
+                    }
                     cur_y = xs;
                     cur_dy = dxs;
                 }
@@ -356,10 +620,17 @@ impl ReversibleSequence {
         }
     }
 
-    /// Clears all stage caches.
+    /// Clears all stage caches, pending fingerprints, and stored fallback
+    /// inputs. Fallback *flags* and drift statistics persist (a stage that
+    /// tripped the sentinel stays on the cached path for the rest of the
+    /// run); use [`ReversibleSequence::set_drift_config`] to fully reset.
     pub fn clear_cache(&mut self) {
         for s in &mut self.stages {
             s.clear_cache();
+        }
+        for sent in &mut self.sentinels {
+            sent.fingerprint = None;
+            sent.fallback_inputs.clear();
         }
     }
 
@@ -616,6 +887,126 @@ mod tests {
         // A single segment rematerializes the whole network at once, so it
         // costs *more* than the sqrt schedule: sqrt is the optimum.
         assert!(one_ckpt >= sqrt_ckpt);
+    }
+
+    #[test]
+    fn drift_sentinel_clean_path_is_quiet() {
+        let mut seq = make_seq(11);
+        randomize_bn(&mut seq, 110);
+        let warns = revbifpn_nn::meter::event_count("rev.drift_warn");
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = seq.out_shapes(&[x.shape()]);
+        let ys = seq.forward(vec![x], CacheMode::Stats);
+        let dys: Vec<Tensor> =
+            out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+        let _ = seq.backward(&ys, dys, TrainMode::Reversible);
+        let report = seq.drift_report();
+        assert_eq!(report.stages.len(), 5);
+        assert!(report.stages.iter().all(|s| s.checks == 1 && !s.fallback));
+        assert!(
+            report.max_drift() < seq.drift_config().tolerance,
+            "clean drift {} >= tolerance",
+            report.max_drift()
+        );
+        assert_eq!(revbifpn_nn::meter::event_count("rev.drift_warn"), warns);
+    }
+
+    #[test]
+    fn injected_fault_trips_warn_policy() {
+        let mut seq = make_seq(13);
+        randomize_bn(&mut seq, 130);
+        let warns = revbifpn_nn::meter::event_count("rev.drift_warn");
+        let mut rng = StdRng::seed_from_u64(14);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = seq.out_shapes(&[x.shape()]);
+        let ys = seq.forward(vec![x], CacheMode::Stats);
+        let dys: Vec<Tensor> =
+            out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+        seq.inject_recon_fault(ReconFault { stage: 0, stream: 0, index: 0, bit: 30 });
+        let _ = seq.backward(&ys, dys, TrainMode::Reversible);
+        let report = seq.drift_report();
+        assert!(report.max_drift() > seq.drift_config().tolerance);
+        assert_eq!(report.fallback_count(), 0, "Warn policy must not switch stages");
+        assert!(revbifpn_nn::meter::event_count("rev.drift_warn") > warns);
+    }
+
+    #[test]
+    fn injected_fault_with_fallback_switches_stage_to_cached() {
+        let mut seq = make_seq(15);
+        randomize_bn(&mut seq, 150);
+        seq.set_drift_config(DriftConfig {
+            policy: DriftPolicy::FallbackToCached,
+            ..DriftConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(16);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = seq.out_shapes(&[x.shape()]);
+        let dys: Vec<Tensor> =
+            out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+
+        // Faulted step: stage 0 trips and is switched to the cached path.
+        let ys = seq.forward(vec![x.clone()], CacheMode::Stats);
+        seq.inject_recon_fault(ReconFault { stage: 0, stream: 0, index: 0, bit: 30 });
+        let _ = seq.backward(&ys, dys.clone(), TrainMode::Reversible);
+        assert_eq!(seq.drift_report().fallback_count(), 1);
+        assert!(seq.drift_report().stages[0].fallback);
+        seq.clear_cache();
+        assert_eq!(seq.drift_report().fallback_count(), 1, "fallback must survive clear_cache");
+
+        // Next step runs hybrid: stage 0 cached, the rest reversible. The
+        // stored fallback input is an exact clone, so the sequence input is
+        // reconstructed bit-exactly.
+        seq.visit_params(&mut |p| p.zero_grad());
+        let ys = seq.forward(vec![x.clone()], CacheMode::Stats);
+        let (x_rec, _) = seq.backward(&ys, dys, TrainMode::Reversible);
+        assert_eq!(x_rec[0], x);
+        // The fallback stage skips drift checks from then on.
+        assert_eq!(seq.drift_report().stages[0].checks, 1);
+        assert_eq!(seq.drift_report().stages[1].checks, 2);
+        let mut finite = true;
+        seq.visit_params(&mut |p| finite &= p.grad.is_finite());
+        assert!(finite, "hybrid backward produced non-finite gradients");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tolerance")]
+    fn abort_policy_panics_on_drift() {
+        let mut seq = make_seq(17);
+        randomize_bn(&mut seq, 170);
+        seq.set_drift_config(DriftConfig { policy: DriftPolicy::Abort, ..DriftConfig::default() });
+        let mut rng = StdRng::seed_from_u64(18);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = seq.out_shapes(&[x.shape()]);
+        let ys = seq.forward(vec![x], CacheMode::Stats);
+        let dys: Vec<Tensor> =
+            out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+        seq.inject_recon_fault(ReconFault { stage: 0, stream: 0, index: 0, bit: 30 });
+        let _ = seq.backward(&ys, dys, TrainMode::Reversible);
+    }
+
+    #[test]
+    fn disabled_sentinel_skips_checks() {
+        let mut seq = make_seq(19);
+        randomize_bn(&mut seq, 190);
+        seq.set_drift_config(DriftConfig { enabled: false, ..DriftConfig::default() });
+        let mut rng = StdRng::seed_from_u64(20);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let out_shapes = seq.out_shapes(&[x.shape()]);
+        let ys = seq.forward(vec![x], CacheMode::Stats);
+        let dys: Vec<Tensor> =
+            out_shapes.iter().map(|&sh| Tensor::randn(sh, 1.0, &mut rng)).collect();
+        let _ = seq.backward(&ys, dys, TrainMode::Reversible);
+        assert!(seq.drift_report().stages.iter().all(|s| s.checks == 0));
+    }
+
+    #[test]
+    fn sequence_visits_bn_buffers() {
+        let mut seq = make_seq(21);
+        let mut n = 0usize;
+        seq.visit_buffers(&mut |_| n += 1);
+        assert!(n > 0, "expected BatchNorm running stats to be visited");
+        assert_eq!(n % 2, 0, "buffers come in mean/var pairs");
     }
 
     #[test]

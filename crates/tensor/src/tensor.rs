@@ -258,6 +258,28 @@ impl Tensor {
         self.data.iter().all(|x| x.is_finite())
     }
 
+    /// Number of non-finite (NaN or infinite) elements.
+    pub fn count_nonfinite(&self) -> usize {
+        self.data.iter().filter(|x| !x.is_finite()).count()
+    }
+
+    /// Asserts that every element is finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `tag`, the non-finite count, and the tensor shape when any
+    /// element is NaN or infinite, so tripwires can report *which* tensor in
+    /// a pipeline went bad.
+    pub fn assert_finite(&self, tag: &str) {
+        let bad = self.count_nonfinite();
+        assert!(
+            bad == 0,
+            "{tag}: {bad} non-finite element(s) out of {} (shape {})",
+            self.data.len(),
+            self.shape
+        );
+    }
+
     /// Adds a per-channel bias `[1, c, 1, 1]` to every spatial/batch position.
     ///
     /// # Panics
@@ -547,5 +569,27 @@ mod tests {
         assert!(x.is_finite());
         x.data_mut()[0] = f32::NAN;
         assert!(!x.is_finite());
+    }
+
+    #[test]
+    fn count_nonfinite_counts_nan_and_inf() {
+        let mut x = t(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.count_nonfinite(), 0);
+        x.data_mut()[1] = f32::NAN;
+        x.data_mut()[3] = f32::INFINITY;
+        assert_eq!(x.count_nonfinite(), 2);
+    }
+
+    #[test]
+    fn assert_finite_passes_on_finite() {
+        t(&[0.0, -1.0]).assert_finite("ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "logits: 1 non-finite")]
+    fn assert_finite_panics_with_tag() {
+        let mut x = t(&[1.0, 2.0]);
+        x.data_mut()[0] = f32::NEG_INFINITY;
+        x.assert_finite("logits");
     }
 }

@@ -54,6 +54,23 @@ impl Ema {
         });
     }
 
+    /// The shadow tensors in parameter-visit order (empty before the first
+    /// update). Exposed for checkpointing.
+    pub fn shadow(&self) -> &[Tensor] {
+        &self.shadow
+    }
+
+    /// Replaces the shadow tensors (checkpoint resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if EMA weights are currently swapped into the model (between
+    /// [`Ema::apply`] and [`Ema::restore`]).
+    pub fn set_shadow(&mut self, shadow: Vec<Tensor>) {
+        assert!(self.stashed.is_empty(), "cannot set shadow while EMA weights are applied");
+        self.shadow = shadow;
+    }
+
     /// Restores the live weights stashed by [`Ema::apply`].
     ///
     /// # Panics

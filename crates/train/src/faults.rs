@@ -1,0 +1,127 @@
+//! Deterministic fault injection for exercising the resilience layer.
+//!
+//! Every fault is pinned to a global step index, so an injected run is fully
+//! reproducible: the same plan on the same seed produces the same trip, the
+//! same recovery, and the same final weights. The integration tests in
+//! `tests/fault_injection.rs` use this to prove each recovery path end to
+//! end (faulted run completes and stays within tolerance of a clean run).
+
+use revbifpn_rev::ReconFault;
+use std::io;
+use std::path::Path;
+
+/// One fault injected into a training run at a fixed global step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Poisons the loss gradient with a NaN before the backward pass of the
+    /// given step, exercising the non-finite tripwire + step-skip path.
+    NanGrad {
+        /// 0-based global step index.
+        step: usize,
+    },
+    /// Flips one bit in a reconstructed activation stream during the
+    /// reversible backward pass of the given step, exercising the drift
+    /// sentinel (see [`ReconFault`] for the location fields). Ignored by
+    /// conventional training, which never reconstructs.
+    ActivationBitFlip {
+        /// 0-based global step index.
+        step: usize,
+        /// Where in the reversible body to flip.
+        fault: ReconFault,
+    },
+    /// Simulates a crash: the run returns early (with
+    /// `TrainHistory::killed` set) at the end of the given step, after any
+    /// due checkpoint write. A follow-up run with auto-resume picks the run
+    /// back up from the newest valid checkpoint.
+    Kill {
+        /// 0-based global step index.
+        step: usize,
+    },
+}
+
+/// A deterministic schedule of faults, queried by the trainer each step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a clean run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Should the loss gradient be poisoned at `step`?
+    pub fn nan_grad_at(&self, step: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::NanGrad { step: s } if *s == step))
+    }
+
+    /// The activation bit-flip scheduled for `step`, if any.
+    pub fn bit_flip_at(&self, step: usize) -> Option<ReconFault> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ActivationBitFlip { step: s, fault } if *s == step => Some(*fault),
+            _ => None,
+        })
+    }
+
+    /// Should the run be killed after `step`?
+    pub fn kill_at(&self, step: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::Kill { step: s } if *s == step))
+    }
+}
+
+/// Truncates the file at `path` to its first `keep_bytes` bytes, simulating
+/// a torn write (e.g. power loss mid-`write`). Used by tests to prove the
+/// checkpoint loader rejects and quarantines partial files.
+pub fn tear_file(path: &Path, keep_bytes: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep_bytes)?;
+    f.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_queries_are_step_exact() {
+        let plan = FaultPlan::none()
+            .with(Fault::NanGrad { step: 3 })
+            .with(Fault::Kill { step: 7 })
+            .with(Fault::ActivationBitFlip {
+                step: 5,
+                fault: ReconFault { stage: 0, stream: 1, index: 2, bit: 30 },
+            });
+        assert!(!plan.is_empty());
+        assert!(plan.nan_grad_at(3));
+        assert!(!plan.nan_grad_at(4));
+        assert!(plan.kill_at(7));
+        assert!(!plan.kill_at(3));
+        let f = plan.bit_flip_at(5).unwrap();
+        assert_eq!((f.stage, f.stream, f.index, f.bit), (0, 1, 2, 30));
+        assert!(plan.bit_flip_at(6).is_none());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn tear_file_truncates() {
+        let dir = std::env::temp_dir().join("revbifpn_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        tear_file(&path, 37).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 37);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

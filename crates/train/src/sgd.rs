@@ -2,24 +2,36 @@
 //! recipe (Appendix D.1: SGD, momentum 0.9, per-parameter weight decay on
 //! weights but not on biases / normalization parameters).
 
-use revbifpn_nn::Param;
+use revbifpn_nn::{meter, Param};
 use revbifpn_tensor::Tensor;
 
 /// Scales all gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clip norm. Standard stabilizer for detection fine-tuning
-/// (and for reversible couplings, whose activation gain compounds when
-/// weights grow fast).
+/// Returns the pre-clip norm (over the *cleaned* gradients). Standard
+/// stabilizer for detection fine-tuning (and for reversible couplings, whose
+/// activation gain compounds when weights grow fast).
+///
+/// Non-finite gradient elements are zeroed **element-wise** first (counted
+/// under the `train.nonfinite_grad_zeroed` meter event), so a handful of
+/// poisoned elements neither veto the clip nor discard every healthy
+/// gradient in the model.
 pub fn clip_grad_norm(mut visit: impl FnMut(&mut dyn FnMut(&mut Param)), max_norm: f64) -> f64 {
     assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut zeroed = 0u64;
     let mut sq = 0.0f64;
-    visit(&mut |p: &mut Param| sq += p.grad.sq_sum());
+    visit(&mut |p: &mut Param| {
+        if !p.grad.is_finite() {
+            zeroed += p.grad.count_nonfinite() as u64;
+            p.grad.map_inplace(|g| if g.is_finite() { g } else { 0.0 });
+        }
+        sq += p.grad.sq_sum();
+    });
+    if zeroed > 0 {
+        meter::count_n("train.nonfinite_grad_zeroed", zeroed);
+    }
     let norm = sq.sqrt();
-    if norm > max_norm && norm.is_finite() {
+    if norm > max_norm {
         let scale = (max_norm / norm) as f32;
         visit(&mut |p: &mut Param| p.grad.scale(scale));
-    } else if !norm.is_finite() {
-        // Non-finite gradients: drop the step entirely (zero them).
-        visit(&mut |p: &mut Param| p.grad.fill_zero());
     }
     norm
 }
@@ -72,6 +84,18 @@ impl Sgd {
     /// Bytes of optimizer state currently held.
     pub fn state_bytes(&self) -> usize {
         self.buffers.iter().map(|b| b.bytes()).sum()
+    }
+
+    /// The momentum buffers in parameter-visit order (empty before the first
+    /// step). Exposed for checkpointing.
+    pub fn buffers(&self) -> &[Tensor] {
+        &self.buffers
+    }
+
+    /// Replaces the momentum buffers (checkpoint resume). Shapes are
+    /// validated lazily by [`Sgd::step`]'s parameter-order assertion.
+    pub fn set_buffers(&mut self, buffers: Vec<Tensor>) {
+        self.buffers = buffers;
     }
 }
 
@@ -143,6 +167,37 @@ mod tests {
         p.grad = Tensor::from_vec(Shape::vector(1), vec![f32::NAN]).unwrap();
         let _ = clip_grad_norm(|f| f(&mut p), 1.0);
         assert_eq!(p.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn clip_zeroes_only_the_non_finite_elements() {
+        let mut p = Param::new(Tensor::zeros(Shape::vector(4)), false, "w");
+        p.grad = Tensor::from_vec(
+            Shape::vector(4),
+            vec![3.0, f32::NAN, 4.0, f32::INFINITY],
+        )
+        .unwrap();
+        let before = revbifpn_nn::meter::event_count("train.nonfinite_grad_zeroed");
+        let norm = clip_grad_norm(|f| f(&mut p), 10.0);
+        // Norm is over the cleaned gradient: sqrt(3^2 + 4^2) = 5, under the
+        // cap, so the finite elements survive untouched.
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert_eq!(p.grad.data(), &[3.0, 0.0, 4.0, 0.0]);
+        let after = revbifpn_nn::meter::event_count("train.nonfinite_grad_zeroed");
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    fn buffers_roundtrip_through_accessors() {
+        let mut p = Param::new(Tensor::zeros(Shape::vector(3)), false, "w");
+        p.grad = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]).unwrap();
+        let mut opt = Sgd::new(0.9, 0.0);
+        opt.step(0.1, |f| f(&mut p));
+        let saved: Vec<Tensor> = opt.buffers().to_vec();
+        assert_eq!(saved.len(), 1);
+        let mut opt2 = Sgd::new(0.9, 0.0);
+        opt2.set_buffers(saved);
+        assert_eq!(opt2.buffers(), opt.buffers());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
 use revbifpn_data::augment::AugmentPolicy;
 use revbifpn_data::{SynthScale, SynthScaleConfig};
-use revbifpn_train::{train_classifier, TrainConfig};
+use revbifpn_train::{train_classifier, ResilienceConfig, TrainConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -40,6 +40,7 @@ fn main() {
         ema_decay: 0.95,
         augment: AugmentPolicy { hflip: true, jitter: 0.1, cutout: 0, mixup: 0.1, cutmix: 0.5 },
         seed: 0,
+        resilience: ResilienceConfig::default(),
     };
     let history = train_classifier(&mut model, &data, &cfg, RunMode::TrainReversible);
     println!("\nepoch  train-loss  train-acc  val-acc(EMA)  peak-act-bytes");

@@ -1,0 +1,48 @@
+//! Measures the clean-path cost of the reversible-drift sentinel: the same
+//! reversible train step (forward in `Stats` mode + reconstructing
+//! backward) timed with fingerprint capture/checking enabled vs disabled.
+//! The sentinel reads at most `FP_SAMPLES` strided elements per stream per
+//! stage, so the expected overhead is well under the 3% acceptance budget.
+//!
+//! Run with: `cargo run --release --example drift_overhead`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_nn::loss::{one_hot, softmax_cross_entropy};
+use revbifpn_rev::DriftConfig;
+use revbifpn_tensor::{Shape, Tensor};
+use std::time::Instant;
+
+fn time_steps(model: &mut RevBiFPNClassifier, x: &Tensor, targets: &Tensor, iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let logits = model.forward(x, RunMode::TrainReversible);
+        let (_, dlogits) = softmax_cross_entropy(&logits, targets);
+        model.zero_grads();
+        model.backward(&dlogits);
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let mut model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10));
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(Shape::new(8, 3, 32, 32), 1.0, &mut rng);
+    let targets = one_hot(&[0, 1, 2, 3, 4, 5, 6, 7], 10);
+    // Warm up pools/scratch, then interleave off/on blocks and keep the
+    // minimum per config — robust to scheduler and thermal noise.
+    time_steps(&mut model, &x, &targets, 5);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..12 {
+        model.backbone_mut().body_mut().set_drift_config(DriftConfig { enabled: false, ..DriftConfig::default() });
+        off = off.min(time_steps(&mut model, &x, &targets, 10));
+        model.backbone_mut().body_mut().set_drift_config(DriftConfig::default());
+        on = on.min(time_steps(&mut model, &x, &targets, 10));
+    }
+
+    let overhead = (on / off - 1.0) * 100.0;
+    println!("reversible step, sentinel off: {:.3} ms (min over 12 blocks)", off * 1e3);
+    println!("reversible step, sentinel on:  {:.3} ms", on * 1e3);
+    println!("drift-sentinel overhead: {overhead:+.2}% (budget: < 3%)");
+}
