@@ -23,6 +23,10 @@ REVBIFPN_MAX_THREADS=1 cargo test -q --workspace
 echo "== fault-injection suite (resilience layer, end to end)"
 cargo test -q --test fault_injection
 
+echo "== serving soak (2x overload + injected faults, bounded memory)"
+cargo test -q --test serve_soak
+cargo test -q -p revbifpn-serve
+
 echo "== checkpoint cross-profile round-trip (release writes, debug reads)"
 CKPT_TMP="$(mktemp -d)/xprofile.ckpt"
 cargo run -q --release --example ckpt_tool -- write "$CKPT_TMP" | tee /tmp/ckpt_write.out

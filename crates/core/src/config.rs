@@ -2,6 +2,79 @@
 //! Table 6 / Appendix C.6).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Typed rejection of an inconsistent [`RevBiFPNConfig`].
+///
+/// Produced by [`RevBiFPNConfig::validate`] and [`RevBiFPNConfig::try_scaled`]
+/// so untrusted configuration (deserialized files, serving requests) surfaces
+/// as a value rather than a panic deep inside model construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Scale index outside the paper's S0..S6 family.
+    UnknownScale {
+        /// The requested scale index.
+        s: usize,
+    },
+    /// Fewer than 2 resolution streams.
+    TooFewStreams {
+        /// The number of streams provided.
+        n: usize,
+    },
+    /// So many streams that the cumulative stride overflows `usize`.
+    TooManyStreams {
+        /// The number of streams provided.
+        n: usize,
+    },
+    /// A per-stream vector's length disagrees with the number of streams.
+    StreamLenMismatch {
+        /// Which field is mis-sized.
+        field: &'static str,
+        /// Entries provided.
+        len: usize,
+        /// Number of streams.
+        n: usize,
+    },
+    /// A channel/resolution divisibility requirement is violated.
+    Indivisible {
+        /// What must be divisible (static description).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The required divisor.
+        divisor: usize,
+    },
+    /// The SpaceToDepth stem would see fewer than 3 duplicated image channels.
+    StemTooNarrow {
+        /// Duplicated image channels available, `c0 / stem_block^2`.
+        dup: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownScale { s } => {
+                write!(f, "RevBiFPN variants are S0..S6, got S{s}")
+            }
+            ConfigError::TooFewStreams { n } => write!(f, "need at least 2 streams, got {n}"),
+            ConfigError::TooManyStreams { n } => {
+                write!(f, "{n} streams overflow the cumulative stride")
+            }
+            ConfigError::StreamLenMismatch { field, len, n } => {
+                write!(f, "{field} has {len} entries for {n} streams")
+            }
+            ConfigError::Indivisible { what, value, divisor } => {
+                write!(f, "{what}: {value} must be divisible by {divisor}")
+            }
+            ConfigError::StemTooNarrow { dup } => {
+                write!(f, "SpaceToDepth stem needs c0/stem_block^2 >= 3 image channels, got {dup}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How features are downsampled inside RevSilos and heads
 /// (Table 3 ablation).
@@ -158,14 +231,26 @@ impl RevBiFPNConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `s > 6`.
+    /// Panics if `s > 6`; [`Self::try_scaled`] reports the same violation as
+    /// a [`ConfigError`] for untrusted scale indices.
     pub fn scaled(s: usize, num_classes: usize) -> Self {
+        Self::try_scaled(s, num_classes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::scaled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownScale`] if `s > 6`.
+    pub fn try_scaled(s: usize, num_classes: usize) -> Result<Self, ConfigError> {
         const MW: [f32; 7] = [1.0, 1.33, 2.0, 2.67, 4.0, 5.33, 6.67];
         const D: [usize; 7] = [2, 2, 2, 3, 4, 4, 5];
         const RES: [usize; 7] = [224, 256, 256, 288, 320, 352, 352];
         const DROPOUT: [f32; 7] = [0.25, 0.25, 0.3, 0.3, 0.4, 0.4, 0.6];
         const DROP_PATH: [f32; 7] = [0.0, 0.0, 0.0, 0.05, 0.1, 0.1, 0.3];
-        assert!(s <= 6, "RevBiFPN variants are S0..S6");
+        if s > 6 {
+            return Err(ConfigError::UnknownScale { s });
+        }
         let mw = MW[s];
         let mut cfg = Self::s0(num_classes);
         cfg.name = format!("RevBiFPN-S{s}");
@@ -175,7 +260,7 @@ impl RevBiFPNConfig {
         cfg.resolution = RES[s];
         cfg.dropout = DROPOUT[s];
         cfg.drop_path = DROP_PATH[s];
-        cfg
+        Ok(cfg)
     }
 
     /// A miniature configuration for CPU tests and synthetic-data training:
@@ -235,38 +320,70 @@ impl RevBiFPNConfig {
 
     /// Validates internal consistency.
     ///
+    /// Total over arbitrary field values: degenerate configurations (zero
+    /// `stem_block`, zero channels, absurd stream counts) are rejected with
+    /// a typed error — this function never panics (see
+    /// `tests/proptest_config.rs`).
+    ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first inconsistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ConfigError`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         let n = self.num_streams();
         if n < 2 {
-            return Err("need at least 2 streams".into());
+            return Err(ConfigError::TooFewStreams { n });
         }
         if self.expansion.len() != n {
-            return Err(format!("expansion has {} entries for {} streams", self.expansion.len(), n));
+            return Err(ConfigError::StreamLenMismatch {
+                field: "expansion",
+                len: self.expansion.len(),
+                n,
+            });
         }
         if self.neck_channels.len() != n {
-            return Err(format!("neck_channels has {} entries for {} streams", self.neck_channels.len(), n));
+            return Err(ConfigError::StreamLenMismatch {
+                field: "neck_channels",
+                len: self.neck_channels.len(),
+                n,
+            });
+        }
+        if self.stem_block == 0 {
+            return Err(ConfigError::Indivisible { what: "stem_block", value: 0, divisor: 1 });
+        }
+        for &c in &self.channels {
+            if c == 0 || !c.is_multiple_of(2) {
+                return Err(ConfigError::Indivisible {
+                    what: "stream channels (RevBlock split needs even, non-zero)",
+                    value: c,
+                    divisor: 2,
+                });
+            }
         }
         let b2 = self.stem_block * self.stem_block;
         if !self.channels[0].is_multiple_of(b2) {
-            return Err(format!("c0 = {} must be divisible by stem_block^2 = {b2}", self.channels[0]));
+            return Err(ConfigError::Indivisible {
+                what: "c0 vs stem_block^2",
+                value: self.channels[0],
+                divisor: b2,
+            });
         }
         if self.stem == StemKind::SpaceToDepth && self.stem_dup_channels() < 3 {
-            return Err(format!(
-                "SpaceToDepth stem needs c0/stem_block^2 >= 3 image channels, got {}",
-                self.stem_dup_channels()
-            ));
+            return Err(ConfigError::StemTooNarrow { dup: self.stem_dup_channels() });
         }
-        for (i, &c) in self.channels.iter().enumerate() {
-            if !c.is_multiple_of(2) {
-                return Err(format!("stream {i} channels {c} must be even (RevBlock split)"));
-            }
-        }
-        let total_down = self.stem_block << (n - 1);
-        if !self.resolution.is_multiple_of(total_down) {
-            return Err(format!("resolution {} must be divisible by {total_down}", self.resolution));
+        // `stem_block << (n-1)` must not overflow usize: reject stream counts
+        // deeper than any plausible pyramid before shifting.
+        let Some(total_down) = ((n - 1) < usize::BITS as usize - 1)
+            .then(|| self.stem_block.checked_shl((n - 1) as u32))
+            .flatten()
+        else {
+            return Err(ConfigError::TooManyStreams { n });
+        };
+        if self.resolution == 0 || !self.resolution.is_multiple_of(total_down) {
+            return Err(ConfigError::Indivisible {
+                what: "resolution vs total downsampling",
+                value: self.resolution,
+                divisor: total_down,
+            });
         }
         Ok(())
     }
@@ -353,6 +470,34 @@ mod tests {
         let mut cfg = RevBiFPNConfig::tiny(10);
         cfg.channels = vec![15, 24, 32];
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn try_scaled_rejects_unknown_scale() {
+        assert_eq!(RevBiFPNConfig::try_scaled(7, 10).unwrap_err(), ConfigError::UnknownScale { s: 7 });
+        assert_eq!(
+            RevBiFPNConfig::try_scaled(usize::MAX, 10).unwrap_err(),
+            ConfigError::UnknownScale { s: usize::MAX }
+        );
+        assert!(RevBiFPNConfig::try_scaled(6, 10).is_ok());
+    }
+
+    #[test]
+    fn validate_is_total_on_degenerate_configs() {
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.stem_block = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.channels = vec![0, 0, 0];
+        assert!(cfg.validate().is_err());
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.resolution = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.channels = vec![16; 100];
+        cfg.expansion = vec![1.0; 100];
+        cfg.neck_channels = vec![16; 100];
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::TooManyStreams { n: 100 });
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod stats;
 mod stem;
 
 pub use backbone::RevBiFPN;
-pub use config::{DownsampleMode, RevBiFPNConfig, SePlacement, StemKind, UpsampleMode};
+pub use config::{ConfigError, DownsampleMode, RevBiFPNConfig, SePlacement, StemKind, UpsampleMode};
 pub use head::{ClsHead, Neck};
 pub use model::{RevBiFPNClassifier, RunMode};
 pub use stem::Stem;

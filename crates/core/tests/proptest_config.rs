@@ -1,0 +1,78 @@
+//! Property-based totality tests for configuration validation: arbitrary
+//! (including degenerate) configurations either validate cleanly or return a
+//! typed [`ConfigError`] — classification never panics. This is the contract
+//! the serving layer's admission control relies on.
+
+use proptest::prelude::*;
+use revbifpn::{ConfigError, RevBiFPNConfig, StemKind};
+
+/// Builds a config from scalar knobs, deliberately spanning degenerate
+/// territory: empty/odd/mismatched channel vectors, zero stem blocks, zero
+/// or indivisible resolutions, absurd stream counts.
+#[allow(clippy::too_many_arguments)]
+fn build_config(
+    n_ch: usize,
+    ch_base: usize,
+    n_exp: usize,
+    n_neck: usize,
+    depth: usize,
+    resolution: usize,
+    stem_block: usize,
+    stem: StemKind,
+) -> RevBiFPNConfig {
+    let mut cfg = RevBiFPNConfig::tiny(10);
+    cfg.channels = (0..n_ch).map(|i| ch_base + 2 * i).collect();
+    cfg.expansion = (0..n_exp).map(|i| 1.0 + i as f32 * 0.5).collect();
+    cfg.neck_channels = (0..n_neck).map(|i| ch_base / 2 + 2 * i).collect();
+    cfg.depth = depth;
+    cfg.resolution = resolution;
+    cfg.stem_block = stem_block;
+    cfg.stem = stem;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `validate` is total: it classifies every configuration without
+    /// panicking, and a config it accepts has self-consistent dimensions.
+    #[test]
+    fn validate_never_panics(
+        (n_ch, ch_base) in (0usize..66, 0usize..400),
+        (n_exp, n_neck) in (0usize..8, 0usize..8),
+        (depth, resolution) in (0usize..16, 0usize..512),
+        stem_block in 0usize..8,
+        stem in prop::sample::select(vec![StemKind::SpaceToDepth, StemKind::Convolutional]),
+    ) {
+        let cfg = build_config(n_ch, ch_base, n_exp, n_neck, depth, resolution, stem_block, stem);
+        match cfg.validate() {
+            Ok(()) => {
+                let n = cfg.num_streams();
+                prop_assert!(n >= 2);
+                prop_assert_eq!(cfg.expansion.len(), n);
+                prop_assert_eq!(cfg.neck_channels.len(), n);
+                prop_assert!(cfg.stem_block > 0);
+                prop_assert!(cfg.resolution > 0);
+                // Every stream resolution divides out evenly.
+                let r0 = cfg.stream0_res();
+                prop_assert!(r0.is_multiple_of(1 << (n - 1)));
+            }
+            Err(e) => {
+                // The error formats without panicking too.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// `try_scaled` is total over the scale index.
+    #[test]
+    fn try_scaled_never_panics(s in any::<usize>()) {
+        match RevBiFPNConfig::try_scaled(s, 10) {
+            Ok(cfg) => {
+                prop_assert!(s <= 6);
+                prop_assert!(cfg.validate().is_ok());
+            }
+            Err(e) => prop_assert_eq!(e, ConfigError::UnknownScale { s }),
+        }
+    }
+}

@@ -1,6 +1,13 @@
 //! Detections and greedy non-maximum suppression.
+//!
+//! NMS sits directly downstream of model outputs, so it is hardened against
+//! numerically poisoned detections: non-finite scores or coordinates are
+//! dropped up front (counted under the `detect.nonfinite_dropped` meter
+//! event) and the sort uses total ordering, so a NaN can neither crash the
+//! comparator nor scramble the ranking.
 
 use revbifpn_data::iou;
+use revbifpn_nn::meter;
 
 /// One scored detection.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,10 +27,28 @@ impl Detection {
     }
 }
 
+impl Detection {
+    /// `true` when score and all four coordinates are finite.
+    fn is_finite(&self) -> bool {
+        self.score.is_finite() && self.bbox.iter().all(|v| v.is_finite())
+    }
+}
+
 /// Greedy per-class NMS: keeps the highest-scoring boxes, suppressing
 /// same-class boxes with IoU above `iou_thresh`; returns at most `max_dets`.
+///
+/// Detections with a non-finite score or coordinate are dropped before the
+/// sort (each drop increments the `detect.nonfinite_dropped` meter event);
+/// remaining ties are broken by total ordering, so the result is
+/// deterministic for any input.
 pub fn nms(mut dets: Vec<Detection>, iou_thresh: f32, max_dets: usize) -> Vec<Detection> {
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let before = dets.len();
+    dets.retain(Detection::is_finite);
+    let dropped = before - dets.len();
+    if dropped > 0 {
+        meter::count_n("detect.nonfinite_dropped", dropped as u64);
+    }
+    dets.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut keep: Vec<Detection> = Vec::new();
     for d in dets {
         if keep.len() >= max_dets {
@@ -77,5 +102,51 @@ mod tests {
         let dets = vec![d([0.0, 0.0, 5.0, 5.0], 0, 0.2), d([40.0, 40.0, 45.0, 45.0], 0, 0.9)];
         let kept = nms(dets, 0.5, 10);
         assert!(kept[0].score > kept[1].score);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(nms(Vec::new(), 0.5, 100).is_empty());
+    }
+
+    #[test]
+    fn all_nan_scores_are_dropped() {
+        meter::reset_events();
+        let dets = vec![
+            d([0.0, 0.0, 10.0, 10.0], 0, f32::NAN),
+            d([5.0, 5.0, 15.0, 15.0], 1, f32::NAN),
+        ];
+        assert!(nms(dets, 0.5, 100).is_empty());
+        assert_eq!(meter::event_count("detect.nonfinite_dropped"), 2);
+    }
+
+    #[test]
+    fn nan_does_not_poison_the_sort() {
+        meter::reset_events();
+        // A NaN score and a NaN coordinate interleaved with good boxes: the
+        // finite, well-separated boxes must all survive in score order.
+        let dets = vec![
+            d([0.0, 0.0, 10.0, 10.0], 0, 0.3),
+            d([20.0, 20.0, 30.0, 30.0], 0, f32::NAN),
+            d([40.0, 40.0, 50.0, 50.0], 0, 0.9),
+            d([60.0, 60.0, f32::INFINITY, 70.0], 0, 0.8),
+            d([80.0, 80.0, 90.0, 90.0], 0, 0.5),
+        ];
+        let kept = nms(dets, 0.5, 100);
+        let scores: Vec<f32> = kept.iter().map(|k| k.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.3]);
+        assert_eq!(meter::event_count("detect.nonfinite_dropped"), 2);
+    }
+
+    #[test]
+    fn duplicate_boxes_collapse_to_one() {
+        let dets = vec![
+            d([0.0, 0.0, 10.0, 10.0], 0, 0.9),
+            d([0.0, 0.0, 10.0, 10.0], 0, 0.9),
+            d([0.0, 0.0, 10.0, 10.0], 0, 0.9),
+        ];
+        let kept = nms(dets, 0.5, 100);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.9);
     }
 }

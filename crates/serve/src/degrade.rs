@@ -1,0 +1,246 @@
+//! The graceful-degradation ladder and its hysteresis controller.
+//!
+//! Under sustained overload the engine steps *down* the ladder, trading
+//! quality for throughput; once load subsides it steps back *up* after a
+//! calm hold. Transitions are a pure function of the observed signals and
+//! an explicit clock, so the state machine is deterministic and unit-testable
+//! with synthetic event sequences.
+//!
+//! | level | meaning |
+//! |-------|---------|
+//! | 0 | full quality |
+//! | 1 | max batch halved (bounds per-batch latency and memory) |
+//! | 2 | + inputs bilinear-downscaled to the next-lower resolution rung |
+//! | 3 | + requests routed to the registered fallback (smaller) variant |
+
+use revbifpn::RevBiFPNConfig;
+use std::sync::Mutex;
+
+/// Thresholds and timing of the degradation state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeConfig {
+    /// Deepest level the engine may step down to (settable to 2 when no
+    /// fallback variant is registered).
+    pub max_level: u8,
+    /// Step down when the queue depth reaches this watermark.
+    pub high_depth: usize,
+    /// Depth at or below which the system counts as calm.
+    pub low_depth: usize,
+    /// Step down when the p99 latency exceeds this, in milliseconds.
+    pub p99_high_ms: f64,
+    /// p99 at or below which the system counts as calm.
+    pub p99_low_ms: f64,
+    /// Minimum milliseconds between any two transitions (anti-flap).
+    pub cooldown_ms: u64,
+    /// The system must stay calm this long before a step up.
+    pub calm_hold_ms: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self {
+            max_level: 3,
+            high_depth: 12,
+            low_depth: 2,
+            p99_high_ms: 250.0,
+            p99_low_ms: 100.0,
+            cooldown_ms: 200,
+            calm_hold_ms: 400,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct State {
+    level: u8,
+    last_transition_ms: Option<u64>,
+    calm_since_ms: Option<u64>,
+}
+
+/// Hysteresis controller driving the ladder level from load observations.
+#[derive(Debug)]
+pub struct DegradeController {
+    cfg: DegradeConfig,
+    state: Mutex<State>,
+}
+
+impl DegradeController {
+    /// A controller starting at level 0.
+    pub fn new(cfg: DegradeConfig) -> Self {
+        Self { cfg, state: Mutex::new(State { level: 0, last_transition_ms: None, calm_since_ms: None }) }
+    }
+
+    /// The configuration in force.
+    pub fn cfg(&self) -> &DegradeConfig {
+        &self.cfg
+    }
+
+    /// Current ladder level without recording an observation.
+    pub fn level(&self) -> u8 {
+        self.state.lock().unwrap().level
+    }
+
+    /// Feeds one load observation at time `now_ms` (milliseconds on any
+    /// monotonic clock) and returns the level in force afterwards.
+    ///
+    /// Deterministic: the same sequence of `(queue_depth, p99_ms, now_ms)`
+    /// observations always produces the same sequence of levels.
+    pub fn observe(&self, queue_depth: usize, p99_ms: f64, now_ms: u64) -> u8 {
+        let mut st = self.state.lock().unwrap();
+        let overloaded = queue_depth >= self.cfg.high_depth || p99_ms > self.cfg.p99_high_ms;
+        let calm = queue_depth <= self.cfg.low_depth && p99_ms <= self.cfg.p99_low_ms;
+        let cooled = st
+            .last_transition_ms
+            .is_none_or(|t| now_ms.saturating_sub(t) >= self.cfg.cooldown_ms);
+
+        if overloaded {
+            st.calm_since_ms = None;
+            if st.level < self.cfg.max_level && cooled {
+                st.level += 1;
+                st.last_transition_ms = Some(now_ms);
+                revbifpn_nn::meter::count("serve.degrade_step_down");
+            }
+        } else if calm {
+            let since = *st.calm_since_ms.get_or_insert(now_ms);
+            if st.level > 0 && cooled && now_ms.saturating_sub(since) >= self.cfg.calm_hold_ms {
+                st.level -= 1;
+                st.last_transition_ms = Some(now_ms);
+                // Each step up must re-earn its calm hold: prevents a single
+                // long-calm stretch from collapsing the ladder in one poll.
+                st.calm_since_ms = Some(now_ms);
+                revbifpn_nn::meter::count("serve.degrade_step_up");
+            }
+        } else {
+            // Between the watermarks: neither escalate nor recover.
+            st.calm_since_ms = None;
+        }
+        st.level
+    }
+}
+
+/// The next-lower resolution rung for a config: half the input resolution,
+/// rounded down to the model's total downsampling factor (the stem and
+/// stream pyramid require divisibility; e.g. S0's 224 drops to 96, not 112).
+///
+/// Returns `None` when the config cannot be downscaled further (the ladder
+/// then skips level 2 behaviour and serves full-resolution inputs).
+pub fn downscale_rung(cfg: &RevBiFPNConfig) -> Option<usize> {
+    let n = cfg.num_streams();
+    let total_down = cfg.stem_block << (n - 1);
+    let rung = (cfg.resolution / 2) / total_down * total_down;
+    (rung >= total_down).then_some(rung)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> DegradeConfig {
+        DegradeConfig {
+            max_level: 3,
+            high_depth: 8,
+            low_depth: 1,
+            p99_high_ms: 100.0,
+            p99_low_ms: 40.0,
+            cooldown_ms: 10,
+            calm_hold_ms: 30,
+        }
+    }
+
+    #[test]
+    fn steps_down_under_depth_overload_with_cooldown() {
+        let c = DegradeController::new(quick_cfg());
+        assert_eq!(c.observe(10, 0.0, 0), 1);
+        // Cooldown not yet elapsed: holds.
+        assert_eq!(c.observe(10, 0.0, 5), 1);
+        assert_eq!(c.observe(10, 0.0, 10), 2);
+        assert_eq!(c.observe(10, 0.0, 20), 3);
+        // Clamped at max_level.
+        assert_eq!(c.observe(50, 500.0, 40), 3);
+    }
+
+    #[test]
+    fn p99_alone_can_escalate() {
+        let c = DegradeController::new(quick_cfg());
+        assert_eq!(c.observe(0, 150.0, 0), 1);
+    }
+
+    #[test]
+    fn steps_up_only_after_calm_hold() {
+        let c = DegradeController::new(quick_cfg());
+        c.observe(10, 0.0, 0); // -> 1
+        // Calm starts at t=20; hold is 30ms.
+        assert_eq!(c.observe(0, 10.0, 20), 1);
+        assert_eq!(c.observe(0, 10.0, 40), 1); // 20ms calm < 30
+        assert_eq!(c.observe(0, 10.0, 51), 0); // 31ms calm
+    }
+
+    #[test]
+    fn each_step_up_re_earns_the_hold() {
+        let c = DegradeController::new(quick_cfg());
+        c.observe(10, 0.0, 0);
+        c.observe(10, 0.0, 10);
+        assert_eq!(c.level(), 2);
+        // One long calm stretch must not collapse both levels at once.
+        assert_eq!(c.observe(0, 0.0, 20), 2);
+        assert_eq!(c.observe(0, 0.0, 60), 1);
+        assert_eq!(c.observe(0, 0.0, 70), 1);
+        assert_eq!(c.observe(0, 0.0, 95), 0);
+    }
+
+    #[test]
+    fn middle_band_freezes_the_ladder() {
+        let c = DegradeController::new(quick_cfg());
+        c.observe(10, 0.0, 0); // -> 1
+        // Depth between low (1) and high (8): no transitions ever.
+        for t in 0..20 {
+            assert_eq!(c.observe(4, 60.0, 20 + t * 50), 1);
+        }
+    }
+
+    #[test]
+    fn transition_sequence_is_deterministic() {
+        let events: Vec<(usize, f64, u64)> = vec![
+            (0, 10.0, 0),
+            (9, 10.0, 10),
+            (12, 10.0, 25),
+            (12, 200.0, 40),
+            (3, 60.0, 55),
+            (0, 10.0, 70),
+            (0, 10.0, 105),
+            (0, 10.0, 140),
+            (0, 10.0, 175),
+            (10, 10.0, 190),
+            (0, 10.0, 205),
+            (0, 10.0, 240),
+        ];
+        let run = || {
+            let c = DegradeController::new(quick_cfg());
+            events.iter().map(|&(d, p, t)| c.observe(d, p, t)).collect::<Vec<u8>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0, 1, 2, 3, 3, 3, 2, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn downscale_rungs_for_the_family() {
+        // Every paper variant S0..S6 has a valid lower rung.
+        for s in 0..=6 {
+            let cfg = RevBiFPNConfig::scaled(s, 10);
+            let n = cfg.num_streams();
+            let total_down = cfg.stem_block << (n - 1);
+            let rung = downscale_rung(&cfg).expect("S-variant must have a rung");
+            assert!(rung <= cfg.resolution / 2, "S{s} rung must halve or better");
+            assert!(rung >= total_down && rung.is_multiple_of(total_down));
+            assert!(cfg.clone().with_resolution(rung).validate().is_ok(), "S{s} rung invalid");
+        }
+        // tiny: 32 -> 16 with total_down 8.
+        let tiny = RevBiFPNConfig::tiny(10);
+        assert_eq!(downscale_rung(&tiny), Some(16));
+        // A config already at its minimum has no rung.
+        let floor = tiny.with_resolution(8);
+        assert_eq!(downscale_rung(&floor), None);
+    }
+}

@@ -1,0 +1,672 @@
+//! The serving engine: worker pool, batch assembly, panic bisection,
+//! degradation routing, and the watchdog.
+//!
+//! Ownership layout: all cross-thread state lives in one `Arc<Shared>`.
+//! Worker threads own their model replicas outright (the model needs
+//! `&mut self` to forward; replicas are built from the same seeded config,
+//! so every worker holds identical weights). The watchdog owns nothing but
+//! the `Arc` and the right to replace worker slots.
+
+use crate::degrade::{downscale_rung, DegradeConfig, DegradeController};
+use crate::error::ServeError;
+use crate::health::{Counters, HealthSnapshot, LatencyWindow};
+use crate::queue::BoundedQueue;
+use crate::request::{InferResponse, Outcome, PendingResponse, Ticket};
+use crate::validate::{Quarantine, ValidationPolicy};
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_nn::meter;
+use revbifpn_tensor::{try_resize, ResizeMode, Shape, Tensor};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything needed to start a [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Primary model variant served at level 0..=2.
+    pub model: RevBiFPNConfig,
+    /// Optional smaller variant served at degradation level 3.
+    pub fallback: Option<RevBiFPNConfig>,
+    /// Worker threads (each owns a model replica).
+    pub workers: usize,
+    /// Bounded queue capacity; admissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Largest batch a worker assembles at level 0 (halved at level >= 1).
+    pub max_batch: usize,
+    /// Default per-request deadline, milliseconds from admission.
+    pub default_timeout_ms: u64,
+    /// Validation bound on input magnitude.
+    pub max_abs_input: f32,
+    /// Degradation-ladder thresholds.
+    pub degrade: DegradeConfig,
+    /// Watchdog poll period, milliseconds.
+    pub watchdog_poll_ms: u64,
+    /// A worker whose heartbeat is older than this is declared stalled and
+    /// replaced.
+    pub stall_limit_ms: u64,
+    /// Capacity of the rejected-payload quarantine ring.
+    pub quarantine_capacity: usize,
+    /// Latency samples retained for the p50/p99 window.
+    pub latency_window: usize,
+}
+
+impl ServeConfig {
+    /// Defaults around a model config; fields are public for tuning.
+    pub fn new(model: RevBiFPNConfig) -> Self {
+        Self {
+            model,
+            fallback: None,
+            workers: 2,
+            queue_capacity: 32,
+            max_batch: 4,
+            default_timeout_ms: 2_000,
+            max_abs_input: 64.0,
+            degrade: DegradeConfig::default(),
+            watchdog_poll_ms: 20,
+            stall_limit_ms: 2_000,
+            quarantine_capacity: 64,
+            latency_window: 256,
+        }
+    }
+}
+
+/// State shared by clients, workers, and the watchdog.
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue,
+    policy: ValidationPolicy,
+    quarantine: Quarantine,
+    degrade: DegradeController,
+    latency: LatencyWindow,
+    counters: Counters,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    start: Instant,
+    /// Per-slot wall-clock heartbeat (ms since `start`).
+    heartbeats: Vec<AtomicU64>,
+    /// Per-slot generation; a worker exits when its generation is stale.
+    generations: Vec<AtomicU64>,
+    /// Test hook: a set flag makes the slot's worker panic outside the
+    /// batch `catch_unwind`, killing the thread (watchdog must recover).
+    crash_flags: Vec<AtomicBool>,
+    /// Test hook: milliseconds the slot's worker should sleep without
+    /// heart-beating (stall simulation; watchdog must replace it).
+    stall_flags: Vec<AtomicU64>,
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A running inference engine. Submit with [`ServeEngine::submit`], poll
+/// with [`ServeEngine::health`], stop with [`ServeEngine::shutdown`] (also
+/// runs on drop).
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Tag value that makes the batch runner panic on the tagged request —
+    /// the test hook behind the panic-isolation soak.
+    pub const POISON_TAG: u64 = 0xDEAD_BEEF;
+
+    /// Builds replicas, spawns the worker pool and the watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model (or fallback) configuration fails
+    /// [`RevBiFPNConfig::validate`] — a construction-time error, not a
+    /// serving-path one.
+    pub fn start(cfg: ServeConfig) -> Self {
+        cfg.model.validate().unwrap_or_else(|e| panic!("serve: invalid model config: {e}"));
+        if let Some(fb) = &cfg.fallback {
+            fb.validate().unwrap_or_else(|e| panic!("serve: invalid fallback config: {e}"));
+        }
+        assert!(cfg.workers > 0, "serve: need at least one worker");
+        assert!(cfg.max_batch > 0, "serve: max_batch must be positive");
+
+        let n = cfg.workers;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            policy: ValidationPolicy::for_resolution(cfg.model.resolution, cfg.max_abs_input),
+            quarantine: Quarantine::new(cfg.quarantine_capacity),
+            degrade: DegradeController::new(cfg.degrade),
+            latency: LatencyWindow::new(cfg.latency_window),
+            counters: Counters::default(),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            heartbeats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            generations: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            crash_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            stall_flags: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            workers: Mutex::new(Vec::new()),
+            cfg,
+        });
+
+        {
+            let mut workers = shared.workers.lock().unwrap();
+            for slot in 0..n {
+                workers.push(Some(spawn_worker(Arc::clone(&shared), slot, 0)));
+            }
+        }
+        let watchdog = spawn_watchdog(Arc::clone(&shared));
+        Self { shared, watchdog: Mutex::new(Some(watchdog)) }
+    }
+
+    /// Submits one image with the default deadline.
+    ///
+    /// # Errors
+    ///
+    /// Any admission-time [`ServeError`]: validation rejections, queue-full
+    /// shedding, or shutdown.
+    pub fn submit(&self, image: Tensor) -> Result<PendingResponse, ServeError> {
+        self.submit_with(image, self.shared.cfg.default_timeout_ms, None)
+    }
+
+    /// Submits one image with an explicit deadline and optional test tag.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn submit_with(
+        &self,
+        image: Tensor,
+        timeout_ms: u64,
+        tag: Option<u64>,
+    ) -> Result<PendingResponse, ServeError> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Err(e) = self.shared.policy.check(&image) {
+            self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.quarantine.record(&image, e.label());
+            meter::count("serve.rejected_input");
+            return Err(e);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket {
+            id,
+            image,
+            tag,
+            enqueued: now,
+            deadline: now + Duration::from_millis(timeout_ms),
+            responder: tx,
+        };
+        match self.shared.queue.push(ticket) {
+            Ok(()) => Ok(PendingResponse { id, rx }),
+            Err(rejected) => {
+                let (_, e) = *rejected;
+                if e.is_shed() {
+                    self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    meter::count("serve.shed_admission");
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// One health poll; cheap and callable from any thread.
+    pub fn health(&self) -> HealthSnapshot {
+        let s = &self.shared;
+        HealthSnapshot {
+            queue_depth: s.queue.depth(),
+            shed_count: s.counters.shed.load(Ordering::Relaxed),
+            rejected_count: s.counters.rejected.load(Ordering::Relaxed),
+            completed_count: s.counters.completed.load(Ordering::Relaxed),
+            quarantined_count: s.counters.quarantined.load(Ordering::Relaxed),
+            batch_panic_count: s.counters.batch_panics.load(Ordering::Relaxed),
+            degrade_level: s.degrade.level(),
+            p50_ms: s.latency.percentile(0.50),
+            p99_ms: s.latency.percentile(0.99),
+            worker_restarts: s.counters.worker_restarts.load(Ordering::Relaxed),
+            peak_cached_bytes: s.counters.peak_cached_bytes.load(Ordering::Relaxed),
+            peak_scratch_bytes: s.counters.peak_scratch_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the quarantine ring, oldest first.
+    pub fn quarantine_records(&self) -> Vec<crate::validate::QuarantineRecord> {
+        self.shared.quarantine.records()
+    }
+
+    /// Current degradation level (0 = full quality).
+    pub fn degrade_level(&self) -> u8 {
+        self.shared.degrade.level()
+    }
+
+    /// Test hook: kill worker `slot`'s thread with a panic outside the
+    /// batch guard. The watchdog must observe the death and respawn.
+    pub fn inject_worker_crash(&self, slot: usize) {
+        self.shared.crash_flags[slot].store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: make worker `slot` sleep `ms` without heart-beating, so
+    /// the watchdog declares it stalled and replaces it.
+    pub fn inject_worker_stall(&self, slot: usize, ms: u64) {
+        self.shared.stall_flags[slot].store(ms, Ordering::Relaxed);
+    }
+
+    /// Stops admission, delivers [`ServeError::ShuttingDown`] to every
+    /// queued request, and joins all threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        for ticket in self.shared.queue.drain() {
+            ticket.respond(Err(ServeError::ShuttingDown));
+        }
+        if let Some(h) = self.watchdog.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        let mut workers = self.shared.workers.lock().unwrap();
+        for slot in workers.iter_mut() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{slot}"))
+        .spawn(move || worker_loop(shared, slot, generation))
+        .expect("serve: failed to spawn worker thread")
+}
+
+fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
+    let mut primary = RevBiFPNClassifier::new(shared.cfg.model.clone());
+    let mut fallback = shared.cfg.fallback.clone().map(RevBiFPNClassifier::new);
+    let rung = downscale_rung(&shared.cfg.model);
+
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if shared.generations[slot].load(Ordering::Relaxed) != generation {
+            // The watchdog declared this thread stalled and replaced it;
+            // bow out quietly instead of double-serving the slot.
+            return;
+        }
+        shared.heartbeats[slot].store(shared.now_ms(), Ordering::Relaxed);
+        let stall_ms = shared.stall_flags[slot].swap(0, Ordering::Relaxed);
+        if stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(stall_ms));
+            continue;
+        }
+        if shared.crash_flags[slot].swap(false, Ordering::Relaxed) {
+            // Deliberately OUTSIDE any catch_unwind: the thread dies and
+            // recovery is the watchdog's job, not ours.
+            panic!("injected worker crash (slot {slot})");
+        }
+
+        let level = shared.degrade.level();
+        let max_batch = if level >= 1 {
+            (shared.cfg.max_batch / 2).max(1)
+        } else {
+            shared.cfg.max_batch
+        };
+        let (batch, shed) = shared.queue.pop_batch(max_batch, Duration::from_millis(20));
+        if shed > 0 {
+            shared.counters.shed.fetch_add(shed as u64, Ordering::Relaxed);
+            meter::count_n("serve.shed_deadline", shed as u64);
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        run_partition(&shared, &mut primary, &mut fallback, rung, batch, level);
+    }
+}
+
+/// Runs one partition of a batch, bisecting on panic until the poisoned
+/// request is isolated and quarantined. Well-behaved co-batched requests
+/// are always eventually served.
+fn run_partition(
+    shared: &Shared,
+    primary: &mut RevBiFPNClassifier,
+    fallback: &mut Option<RevBiFPNClassifier>,
+    rung: Option<usize>,
+    mut tickets: Vec<Ticket>,
+    level: u8,
+) {
+    if tickets.is_empty() {
+        return;
+    }
+    let use_fallback = level >= 3 && fallback.is_some();
+    let target_res = if use_fallback {
+        fallback.as_ref().unwrap().cfg().resolution
+    } else if level >= 2 {
+        rung.unwrap_or(shared.cfg.model.resolution)
+    } else {
+        shared.cfg.model.resolution
+    };
+
+    // Assemble the input outside the guard: any per-request preparation
+    // failure is delivered individually, not allowed to sink the batch.
+    let mut kept: Vec<Ticket> = Vec::with_capacity(tickets.len());
+    let mut data: Vec<f32> = Vec::new();
+    for ticket in tickets.drain(..) {
+        if ticket.image.shape().h == target_res {
+            data.extend_from_slice(ticket.image.data());
+            kept.push(ticket);
+            continue;
+        }
+        match try_resize(&ticket.image, target_res, target_res, ResizeMode::Bilinear) {
+            Ok(img) => {
+                data.extend_from_slice(img.data());
+                kept.push(ticket);
+            }
+            Err(e) => {
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                ticket.respond(Err(ServeError::InvalidShape(e)));
+            }
+        }
+    }
+    if kept.is_empty() {
+        return;
+    }
+    let input = Tensor::from_vec(Shape::new(kept.len(), 3, target_res, target_res), data)
+        .expect("serve: batch assembly produced a mis-sized buffer");
+
+    let poison = kept.iter().any(|t| t.tag == Some(ServeEngine::POISON_TAG));
+    let model: &mut RevBiFPNClassifier =
+        if use_fallback { fallback.as_mut().unwrap() } else { &mut *primary };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        assert!(!poison, "poisoned request in batch (injected)");
+        model.forward(&input, RunMode::Eval)
+    }));
+
+    match result {
+        Ok(logits) => {
+            // Publish memory peaks before delivering, so a client that polls
+            // health() right after its response sees this batch accounted.
+            let report = meter::report();
+            Counters::raise_peak(&shared.counters.peak_cached_bytes, report.cached_peak);
+            Counters::raise_peak(
+                &shared.counters.peak_scratch_bytes,
+                report.scratch.peak_bytes as usize,
+            );
+            deliver(shared, kept, &logits, level);
+        }
+        Err(_) => {
+            shared.counters.batch_panics.fetch_add(1, Ordering::Relaxed);
+            meter::count("serve.batch_panic");
+            // The model may hold partial cache state from the aborted
+            // forward; drop it before touching the model again.
+            primary.clear_cache();
+            if let Some(fb) = fallback.as_mut() {
+                fb.clear_cache();
+            }
+            if kept.len() == 1 {
+                let ticket = kept.pop().unwrap();
+                shared.quarantine.record(&ticket.image, "poisoned");
+                shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.quarantined");
+                ticket.respond(Err(ServeError::Poisoned));
+            } else {
+                let right = kept.split_off(kept.len() / 2);
+                run_partition(shared, primary, fallback, rung, kept, level);
+                run_partition(shared, primary, fallback, rung, right, level);
+            }
+        }
+    }
+}
+
+/// Splits batched logits `[n, classes, 1, 1]` back into per-ticket
+/// responses.
+fn deliver(shared: &Shared, tickets: Vec<Ticket>, logits: &Tensor, level: u8) {
+    let classes = logits.shape().c;
+    let now = Instant::now();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let lvec = logits.data()[i * classes..(i + 1) * classes].to_vec();
+        let (class, score) = lvec
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0, f32::NEG_INFINITY));
+        let latency_ms = ticket.waited_ms(now) as f64;
+        shared.latency.record(latency_ms);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let response = InferResponse {
+            id: ticket.id,
+            class,
+            score,
+            logits: lvec,
+            degrade_level: level,
+            latency_ms,
+        };
+        let outcome: Outcome = Ok(response);
+        ticket.respond(outcome);
+    }
+}
+
+fn spawn_watchdog(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-watchdog".into())
+        .spawn(move || watchdog_loop(shared))
+        .expect("serve: failed to spawn watchdog thread")
+}
+
+fn watchdog_loop(shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(shared.cfg.watchdog_poll_ms));
+        let now = shared.now_ms();
+        shared.degrade.observe(shared.queue.depth(), shared.latency.percentile(0.99), now);
+
+        let mut workers = shared.workers.lock().unwrap();
+        for slot in 0..workers.len() {
+            let dead = workers[slot].as_ref().is_none_or(|h| h.is_finished());
+            let stalled = !dead
+                && now.saturating_sub(shared.heartbeats[slot].load(Ordering::Relaxed))
+                    > shared.cfg.stall_limit_ms;
+            if dead || stalled {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    // Workers exiting at shutdown are not casualties.
+                    return;
+                }
+                // Bump the generation first so a merely-stalled thread
+                // retires itself when it wakes instead of double-serving.
+                let gen = shared.generations[slot].fetch_add(1, Ordering::Relaxed) + 1;
+                shared.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                shared.heartbeats[slot].store(now, Ordering::Relaxed);
+                let handle = spawn_worker(Arc::clone(&shared), slot, gen);
+                // Dropping the old handle detaches a stalled-but-alive
+                // thread; it exits on its own at the generation check.
+                let _old = workers[slot].replace(handle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_engine(workers: usize, queue: usize) -> ServeEngine {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = workers;
+        cfg.queue_capacity = queue;
+        cfg.max_batch = 2;
+        cfg.watchdog_poll_ms = 10;
+        ServeEngine::start(cfg)
+    }
+
+    fn image(fill: f32) -> Tensor {
+        Tensor::full(Shape::new(1, 3, 32, 32), fill)
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let engine = tiny_engine(1, 8);
+        let pending = engine.submit(image(0.1)).unwrap();
+        let resp = pending.wait().expect("inference should succeed");
+        assert_eq!(resp.logits.len(), 10);
+        assert!(resp.logits.iter().all(|v| v.is_finite()));
+        assert_eq!(resp.degrade_level, 0);
+        let h = engine.health();
+        assert_eq!(h.completed_count, 1);
+        assert!(h.peak_scratch_bytes > 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batching_preserves_per_request_results() {
+        let engine = tiny_engine(1, 8);
+        // Identical inputs through a deterministic model: identical logits,
+        // whether batched together or not.
+        let a = engine.submit(image(0.2)).unwrap();
+        let b = engine.submit(image(0.2)).unwrap();
+        let ra = a.wait().unwrap();
+        let rb = b.wait().unwrap();
+        assert_eq!(ra.logits, rb.logits);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_and_quarantined() {
+        let engine = tiny_engine(1, 8);
+        let bad_shape = Tensor::zeros(Shape::new(1, 3, 16, 16));
+        assert!(matches!(
+            engine.submit(bad_shape),
+            Err(ServeError::InvalidShape(_))
+        ));
+        let mut nan = image(0.0);
+        nan.data_mut()[0] = f32::NAN;
+        assert!(matches!(
+            engine.submit(nan),
+            Err(ServeError::NonFiniteInput { count: 1 })
+        ));
+        assert!(matches!(
+            engine.submit(image(1e9)),
+            Err(ServeError::OutOfRange { .. })
+        ));
+        let h = engine.health();
+        assert_eq!(h.rejected_count, 3);
+        assert_eq!(h.completed_count, 0);
+        assert_eq!(engine.quarantine_records().len(), 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn poison_pill_is_bisected_out_and_neighbours_survive() {
+        let engine = tiny_engine(1, 8);
+        let good1 = engine.submit(image(0.1)).unwrap();
+        let poison = engine
+            .submit_with(image(0.2), 5_000, Some(ServeEngine::POISON_TAG))
+            .unwrap();
+        let good2 = engine.submit(image(0.3)).unwrap();
+        assert_eq!(poison.wait(), Err(ServeError::Poisoned));
+        assert!(good1.wait().is_ok());
+        assert!(good2.wait().is_ok());
+        let h = engine.health();
+        assert_eq!(h.quarantined_count, 1);
+        assert!(h.batch_panic_count >= 1);
+        assert_eq!(h.completed_count, 2);
+        // The worker survived: serve one more.
+        assert!(engine.submit(image(0.4)).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn watchdog_restarts_a_crashed_worker() {
+        let engine = tiny_engine(1, 8);
+        assert!(engine.submit(image(0.1)).unwrap().wait().is_ok());
+        engine.inject_worker_crash(0);
+        // The crash fires on the worker's next loop pass; the watchdog then
+        // respawns. Serve again to prove recovery.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if engine.health().worker_restarts >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "watchdog never restarted the worker");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(engine.submit(image(0.2)).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn watchdog_replaces_a_stalled_worker() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.watchdog_poll_ms = 10;
+        cfg.stall_limit_ms = 50;
+        let engine = ServeEngine::start(cfg);
+        assert!(engine.submit(image(0.1)).unwrap().wait().is_ok());
+        engine.inject_worker_stall(0, 400);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if engine.health().worker_restarts >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "watchdog never replaced the stalled worker");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(engine.submit(image(0.2)).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_typed_error() {
+        // No workers draining: fill the queue synchronously.
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 2;
+        cfg.max_batch = 1;
+        // Stall the only worker so nothing drains while we overfill.
+        let engine = ServeEngine::start(cfg);
+        engine.inject_worker_stall(0, 300);
+        std::thread::sleep(Duration::from_millis(30));
+        let mut shed = 0;
+        let mut pendings = Vec::new();
+        for _ in 0..6 {
+            match engine.submit(image(0.1)) {
+                Ok(p) => pendings.push(p),
+                Err(ServeError::QueueFull { .. }) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(shed >= 1, "overfill should shed at least one request");
+        assert!(engine.health().shed_count >= shed);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_delivers_typed_error_to_queued_requests() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 8;
+        let engine = ServeEngine::start(cfg);
+        engine.inject_worker_stall(0, 500);
+        std::thread::sleep(Duration::from_millis(30));
+        let pending = engine.submit(image(0.1)).unwrap();
+        engine.shutdown();
+        // Either the worker drained it just before the stall took effect,
+        // or it was still queued and must get ShuttingDown — never a hang.
+        match pending.wait() {
+            Ok(_) | Err(ServeError::ShuttingDown) => {}
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+        assert!(matches!(engine.submit(image(0.2)), Err(ServeError::ShuttingDown)));
+    }
+}

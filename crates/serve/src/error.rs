@@ -1,0 +1,145 @@
+//! The serving error taxonomy.
+//!
+//! Every request submitted to the engine terminates in exactly one of two
+//! ways: an [`crate::InferResponse`] or a [`ServeError`]. There are no
+//! silent drops — rejection at admission, shedding under load, deadline
+//! expiry, quarantine after a panic, and shutdown all produce a typed value
+//! the client can branch on.
+
+use revbifpn_tensor::ShapeError;
+use std::fmt;
+
+/// Why a request did not produce an inference result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control: the bounded queue was at capacity (load shedding).
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a worker could start it.
+    DeadlineExceeded {
+        /// How long the request waited before being shed, in milliseconds.
+        waited_ms: u64,
+    },
+    /// Input validation: the payload violates the model's shape contract.
+    InvalidShape(ShapeError),
+    /// Input validation: the payload contains NaN or infinite values.
+    NonFiniteInput {
+        /// Number of non-finite elements found.
+        count: usize,
+    },
+    /// Input validation: finite but outside the accepted dynamic range.
+    OutOfRange {
+        /// Largest absolute value in the payload.
+        max_abs: f32,
+        /// Configured admission limit.
+        limit: f32,
+    },
+    /// The request made a batch panic and was quarantined after bisection
+    /// isolated it.
+    Poisoned,
+    /// The worker processing the request died and the request could not be
+    /// recovered.
+    WorkerLost,
+    /// The engine is shutting down and will not start new work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// `true` for the load-shedding outcomes (queue overflow / deadline),
+    /// which say nothing about the request's own validity.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServeError::QueueFull { .. } | ServeError::DeadlineExceeded { .. })
+    }
+
+    /// `true` for rejections caused by the request payload itself.
+    pub fn is_rejected_input(&self) -> bool {
+        matches!(
+            self,
+            ServeError::InvalidShape(_) | ServeError::NonFiniteInput { .. } | ServeError::OutOfRange { .. }
+        )
+    }
+
+    /// Stable short label used for quarantine records and event counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::InvalidShape(_) => "invalid_shape",
+            ServeError::NonFiniteInput { .. } => "non_finite",
+            ServeError::OutOfRange { .. } => "out_of_range",
+            ServeError::Poisoned => "poisoned",
+            ServeError::WorkerLost => "worker_lost",
+            ServeError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => {
+                write!(f, "queue full: depth {depth} at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after waiting {waited_ms} ms")
+            }
+            ServeError::InvalidShape(e) => write!(f, "invalid input: {e}"),
+            ServeError::NonFiniteInput { count } => {
+                write!(f, "input contains {count} non-finite value(s)")
+            }
+            ServeError::OutOfRange { max_abs, limit } => {
+                write!(f, "input magnitude {max_abs} exceeds admission limit {limit}")
+            }
+            ServeError::Poisoned => write!(f, "request quarantined: it repeatedly crashed the model"),
+            ServeError::WorkerLost => write!(f, "worker died while holding the request"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::InvalidShape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for ServeError {
+    fn from(e: ShapeError) -> Self {
+        ServeError::InvalidShape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revbifpn_tensor::Shape;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(ServeError::QueueFull { depth: 8, capacity: 8 }.is_shed());
+        assert!(ServeError::DeadlineExceeded { waited_ms: 5 }.is_shed());
+        assert!(!ServeError::Poisoned.is_shed());
+        assert!(ServeError::NonFiniteInput { count: 1 }.is_rejected_input());
+        assert!(ServeError::OutOfRange { max_abs: 9.0, limit: 1.0 }.is_rejected_input());
+        assert!(!ServeError::ShuttingDown.is_rejected_input());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ServeError::InvalidShape(ShapeError::DimMismatch {
+            what: "request shape",
+            expected: Shape::new(1, 3, 32, 32),
+            got: Shape::new(1, 1, 32, 32),
+        });
+        let s = e.to_string();
+        assert!(s.contains("request shape"), "{s}");
+        assert_eq!(e.label(), "invalid_shape");
+    }
+}

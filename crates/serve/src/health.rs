@@ -1,0 +1,150 @@
+//! Engine observability: latency window, atomic counters, and the
+//! poll-style [`HealthSnapshot`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sliding window of recent request latencies with percentile queries.
+#[derive(Debug)]
+pub struct LatencyWindow {
+    window: Mutex<VecDeque<f64>>,
+    capacity: usize,
+}
+
+impl LatencyWindow {
+    /// A window over the last `capacity` latencies.
+    pub fn new(capacity: usize) -> Self {
+        Self { window: Mutex::new(VecDeque::with_capacity(capacity)), capacity }
+    }
+
+    /// Records one latency in milliseconds.
+    pub fn record(&self, ms: f64) {
+        let mut w = self.window.lock().unwrap();
+        if w.len() == self.capacity {
+            w.pop_front();
+        }
+        w.push_back(ms);
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`) over the window; 0.0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let w = self.window.lock().unwrap();
+        if w.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = w.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Number of recorded samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.lock().unwrap().len()
+    }
+
+    /// `true` before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cross-thread engine counters (the meter is thread-local; these are the
+/// authoritative whole-engine statistics).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests completed with an [`crate::InferResponse`].
+    pub completed: AtomicU64,
+    /// Requests shed by admission control or deadline expiry.
+    pub shed: AtomicU64,
+    /// Requests rejected by input validation.
+    pub rejected: AtomicU64,
+    /// Requests quarantined after poisoning a batch.
+    pub quarantined: AtomicU64,
+    /// Batch panics caught (a single poison pill can contribute several
+    /// while bisection narrows it down).
+    pub batch_panics: AtomicU64,
+    /// Worker threads restarted by the watchdog.
+    pub worker_restarts: AtomicU64,
+    /// Peak cached activation bytes observed on any worker (from
+    /// `nn::meter`).
+    pub peak_cached_bytes: AtomicUsize,
+    /// Peak kernel scratch-arena bytes observed on any worker.
+    pub peak_scratch_bytes: AtomicUsize,
+}
+
+impl Counters {
+    /// Raises a peak gauge to at least `value`.
+    pub fn raise_peak(gauge: &AtomicUsize, value: usize) {
+        gauge.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// One poll of the engine's health, safe to call from any thread at any
+/// time (all sources are atomics or short critical sections).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthSnapshot {
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Requests shed so far (queue-full + deadline).
+    pub shed_count: u64,
+    /// Requests rejected by validation so far.
+    pub rejected_count: u64,
+    /// Requests completed successfully so far.
+    pub completed_count: u64,
+    /// Requests quarantined after panicking the model.
+    pub quarantined_count: u64,
+    /// Caught batch panics.
+    pub batch_panic_count: u64,
+    /// Current degradation-ladder level (0 = full quality).
+    pub degrade_level: u8,
+    /// Median request latency over the recent window, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency over the recent window, milliseconds.
+    pub p99_ms: f64,
+    /// Worker threads restarted by the watchdog.
+    pub worker_restarts: u64,
+    /// Peak cached activation bytes on any worker thread.
+    pub peak_cached_bytes: usize,
+    /// Peak kernel scratch bytes on any worker thread.
+    pub peak_scratch_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let w = LatencyWindow::new(10);
+        assert_eq!(w.percentile(0.5), 0.0);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            w.record(v);
+        }
+        assert_eq!(w.percentile(0.5), 20.0);
+        assert_eq!(w.percentile(0.99), 40.0);
+        assert_eq!(w.percentile(0.0), 10.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let w = LatencyWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            w.record(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.percentile(0.0), 2.0);
+        assert_eq!(w.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn raise_peak_is_monotone() {
+        let g = AtomicUsize::new(0);
+        Counters::raise_peak(&g, 100);
+        Counters::raise_peak(&g, 40);
+        assert_eq!(g.load(Ordering::Relaxed), 100);
+    }
+}

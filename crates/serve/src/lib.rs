@@ -1,0 +1,54 @@
+//! Hardened inference serving for RevBiFPN.
+//!
+//! A synchronous multi-threaded engine wrapping [`revbifpn::RevBiFPNClassifier`]
+//! behind a bounded-queue batching pipeline, built so that hostile inputs,
+//! overload, and model panics degrade service instead of crashing it:
+//!
+//! - **Admission control & load shedding** — a bounded MPMC queue is the
+//!   only way in ([`queue::BoundedQueue`]). Beyond capacity, requests are
+//!   refused with [`ServeError::QueueFull`]; requests that outlive their
+//!   deadline are shed at dequeue with [`ServeError::DeadlineExceeded`].
+//!   Nothing queues unboundedly.
+//! - **Input validation & quarantine** — shape, non-finite scan, and
+//!   dynamic-range checks run at admission ([`ValidationPolicy`]); rejected
+//!   payloads leave digest records in a fixed-size [`Quarantine`] ring.
+//! - **Panic isolation** — batches run under `catch_unwind`; on panic the
+//!   batch is bisected until the poisoned request is isolated, quarantined,
+//!   and answered with [`ServeError::Poisoned`]. Co-batched requests are
+//!   served; the worker survives.
+//! - **Graceful degradation** — under sustained overload a hysteresis
+//!   controller ([`DegradeController`]) steps down a ladder: halve the max
+//!   batch, bilinear-downscale inputs to the next resolution rung, route to
+//!   a smaller fallback variant. It steps back up only after a calm hold.
+//! - **Watchdog & health** — a watchdog thread replaces crashed or stalled
+//!   workers (heartbeat + generation tokens) and drives the degradation
+//!   controller; [`ServeEngine::health`] returns a [`HealthSnapshot`] with
+//!   queue depth, shed/rejection counts, latency percentiles, and memory
+//!   peaks from the [`revbifpn_nn::meter`].
+//!
+//! ```no_run
+//! use revbifpn::RevBiFPNConfig;
+//! use revbifpn_serve::{ServeConfig, ServeEngine};
+//! use revbifpn_tensor::{Shape, Tensor};
+//!
+//! let engine = ServeEngine::start(ServeConfig::new(RevBiFPNConfig::tiny(10)));
+//! let image = Tensor::zeros(Shape::new(1, 3, 32, 32));
+//! let response = engine.submit(image).unwrap().wait().unwrap();
+//! println!("class {} at level {}", response.class, response.degrade_level);
+//! engine.shutdown();
+//! ```
+
+pub mod degrade;
+pub mod engine;
+pub mod error;
+pub mod health;
+pub mod queue;
+pub mod request;
+pub mod validate;
+
+pub use degrade::{downscale_rung, DegradeConfig, DegradeController};
+pub use engine::{ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use health::{HealthSnapshot, LatencyWindow};
+pub use request::{InferResponse, Outcome, PendingResponse};
+pub use validate::{payload_digest, Quarantine, QuarantineRecord, ValidationPolicy};

@@ -1,0 +1,208 @@
+//! Bounded MPMC ticket queue: the admission-control choke point.
+//!
+//! Implemented with `Mutex<VecDeque> + Condvar` rather than an unbounded
+//! channel: the whole point is that `push` can refuse. Capacity is enforced
+//! at admission (`QueueFull`), deadlines at dequeue (`DeadlineExceeded`) —
+//! a request that waited too long is shed by the worker that pops it, with
+//! its typed error delivered on the ticket's responder.
+
+use crate::error::ServeError;
+use crate::request::Ticket;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bounded multi-producer/multi-consumer queue of [`Ticket`]s.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tickets: VecDeque<Ticket>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    /// A queue admitting at most `capacity` concurrent tickets.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { tickets: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().tickets.len()
+    }
+
+    /// Admits a ticket, or returns it with the typed rejection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// after [`BoundedQueue::close`].
+    pub fn push(&self, ticket: Ticket) -> Result<(), Box<(Ticket, ServeError)>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(Box::new((ticket, ServeError::ShuttingDown)));
+        }
+        if inner.tickets.len() >= self.capacity {
+            let depth = inner.tickets.len();
+            return Err(Box::new((ticket, ServeError::QueueFull { depth, capacity: self.capacity })));
+        }
+        inner.tickets.push_back(ticket);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` tickets, waiting up to `wait` for the first one.
+    ///
+    /// Tickets whose deadline has already passed are shed here: each gets
+    /// [`ServeError::DeadlineExceeded`] on its responder and is *not*
+    /// returned. Returns an empty vec on timeout or once closed-and-empty;
+    /// `shed` is incremented via the returned count's second element.
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> (Vec<Ticket>, usize) {
+        let deadline_wait = Instant::now() + wait;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.tickets.is_empty() || inner.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline_wait {
+                return (Vec::new(), 0);
+            }
+            let (guard, _timeout) =
+                self.not_empty.wait_timeout(inner, deadline_wait - now).unwrap();
+            inner = guard;
+        }
+        let mut batch = Vec::new();
+        let mut shed = 0usize;
+        let now = Instant::now();
+        while batch.len() < max {
+            let Some(ticket) = inner.tickets.pop_front() else { break };
+            if now > ticket.deadline {
+                let waited = ticket.waited_ms(now);
+                ticket.respond(Err(ServeError::DeadlineExceeded { waited_ms: waited }));
+                shed += 1;
+            } else {
+                batch.push(ticket);
+            }
+        }
+        (batch, shed)
+    }
+
+    /// Closes the queue: subsequent pushes fail and sleeping consumers wake.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// `true` once closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Removes and returns every queued ticket (used at shutdown to deliver
+    /// `ShuttingDown` rather than dropping responders silently).
+    pub fn drain(&self) -> Vec<Ticket> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tickets.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Outcome;
+    use revbifpn_tensor::{Shape, Tensor};
+    use std::sync::mpsc;
+
+    fn ticket(deadline_in: Duration) -> (Ticket, mpsc::Receiver<Outcome>) {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        (
+            Ticket {
+                id: 0,
+                image: Tensor::zeros(Shape::new(1, 3, 4, 4)),
+                tag: None,
+                enqueued: now,
+                deadline: now + deadline_in,
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_typed_error() {
+        let q = BoundedQueue::new(2);
+        let (t1, _r1) = ticket(Duration::from_secs(1));
+        let (t2, _r2) = ticket(Duration::from_secs(1));
+        let (t3, _r3) = ticket(Duration::from_secs(1));
+        q.push(t1).unwrap();
+        q.push(t2).unwrap();
+        let (_, err) = *q.push(t3).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { depth: 2, capacity: 2 });
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let q = BoundedQueue::new(8);
+        let mut rxs = Vec::new();
+        for _ in 0..5 {
+            let (t, r) = ticket(Duration::from_secs(1));
+            q.push(t).unwrap();
+            rxs.push(r);
+        }
+        let (batch, shed) = q.pop_batch(3, Duration::from_millis(10));
+        assert_eq!((batch.len(), shed), (3, 0));
+        let (batch, _) = q.pop_batch(3, Duration::from_millis(10));
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn expired_tickets_are_shed_at_dequeue() {
+        let q = BoundedQueue::new(8);
+        let (t, rx) = ticket(Duration::from_millis(0));
+        q.push(t).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let (batch, shed) = q.pop_batch(4, Duration::from_millis(10));
+        assert!(batch.is_empty());
+        assert_eq!(shed, 1);
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_wakes_poppers() {
+        let q = BoundedQueue::new(2);
+        q.close();
+        let (t, _r) = ticket(Duration::from_secs(1));
+        let (_, err) = *q.push(t).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        let (batch, _) = q.pop_batch(4, Duration::from_secs(5)); // returns fast
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q = BoundedQueue::new(2);
+        let start = Instant::now();
+        let (batch, _) = q.pop_batch(4, Duration::from_millis(20));
+        assert!(batch.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,133 @@
+//! Request/response plumbing: the in-flight ticket, the completed response,
+//! and the client-side handle used to await one.
+
+use crate::error::ServeError;
+use revbifpn_tensor::Tensor;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One completed inference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InferResponse {
+    /// Engine-assigned request id (monotonic per engine).
+    pub id: u64,
+    /// Argmax class index.
+    pub class: usize,
+    /// Raw logit of the argmax class.
+    pub score: f32,
+    /// Full logit vector, one entry per class.
+    pub logits: Vec<f32>,
+    /// Degradation level the request was served at (0 = full quality).
+    pub degrade_level: u8,
+    /// Wall-clock latency from admission to response, in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The terminal outcome of a request: response or typed error.
+pub type Outcome = Result<InferResponse, ServeError>;
+
+/// An admitted request travelling through the engine.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Engine-assigned request id.
+    pub id: u64,
+    /// Validated input image `[1, 3, r, r]`.
+    pub image: Tensor,
+    /// Test-only poison tag (see `ServeEngine::POISON_TAG`); `None` in
+    /// production traffic.
+    pub tag: Option<u64>,
+    /// When the request was admitted.
+    pub enqueued: Instant,
+    /// When the request stops being worth serving.
+    pub deadline: Instant,
+    /// Channel the outcome is delivered on.
+    pub responder: mpsc::Sender<Outcome>,
+}
+
+impl Ticket {
+    /// Delivers the outcome, ignoring a client that stopped listening.
+    pub fn respond(self, outcome: Outcome) {
+        let _ = self.responder.send(outcome);
+    }
+
+    /// Milliseconds the ticket has been waiting since admission.
+    pub fn waited_ms(&self, now: Instant) -> u64 {
+        now.saturating_duration_since(self.enqueued).as_millis() as u64
+    }
+}
+
+/// Client-side handle to a submitted request.
+///
+/// Dropping the handle abandons the response (the engine still completes
+/// the work); [`PendingResponse::wait`] blocks until the outcome arrives.
+#[derive(Debug)]
+pub struct PendingResponse {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Outcome>,
+}
+
+impl PendingResponse {
+    /// The engine-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the outcome arrives. A worker dying with the request in
+    /// flight surfaces as [`ServeError::WorkerLost`], never a hang-forever.
+    pub fn wait(self) -> Outcome {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Blocks up to `timeout`; `None` means the outcome is still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revbifpn_tensor::Shape;
+
+    fn ticket() -> (Ticket, mpsc::Receiver<Outcome>) {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        (
+            Ticket {
+                id: 7,
+                image: Tensor::zeros(Shape::new(1, 3, 8, 8)),
+                tag: None,
+                enqueued: now,
+                deadline: now + Duration::from_secs(1),
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn respond_delivers_outcome() {
+        let (t, rx) = ticket();
+        t.respond(Err(ServeError::Poisoned));
+        assert_eq!(rx.recv().unwrap(), Err(ServeError::Poisoned));
+    }
+
+    #[test]
+    fn respond_survives_dropped_client() {
+        let (t, rx) = ticket();
+        drop(rx);
+        t.respond(Err(ServeError::ShuttingDown)); // must not panic
+    }
+
+    #[test]
+    fn pending_wait_reports_worker_loss_on_disconnect() {
+        let (tx, rx) = mpsc::channel();
+        let p = PendingResponse { id: 1, rx };
+        drop(tx);
+        assert_eq!(p.wait(), Err(ServeError::WorkerLost));
+    }
+}

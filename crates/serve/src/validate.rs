@@ -1,0 +1,205 @@
+//! Admission-time input validation and the quarantine ring buffer.
+//!
+//! Every payload is checked *before* it can occupy queue budget: shape
+//! contract, non-finite scan (via [`Tensor::count_nonfinite`]), and dynamic
+//! range. Rejected payloads leave a digest record in a fixed-size ring so a
+//! misbehaving client can be debugged after the fact without retaining the
+//! (possibly large, possibly hostile) payloads themselves.
+
+use crate::error::ServeError;
+use revbifpn_tensor::{Shape, ShapeError, Tensor};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What the engine accepts at admission.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationPolicy {
+    /// Required request shape: `[1, 3, resolution, resolution]`.
+    pub expected: Shape,
+    /// Maximum accepted absolute value; anything larger (while finite) is
+    /// rejected as out-of-range.
+    pub max_abs: f32,
+}
+
+impl ValidationPolicy {
+    /// Policy for a model served at `resolution`.
+    pub fn for_resolution(resolution: usize, max_abs: f32) -> Self {
+        Self { expected: Shape::new(1, 3, resolution, resolution), max_abs }
+    }
+
+    /// Classifies a payload. `Ok(())` admits it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidShape`] on any dimension disagreement,
+    /// [`ServeError::NonFiniteInput`] if the scan finds NaN/Inf,
+    /// [`ServeError::OutOfRange`] if magnitudes exceed the policy limit.
+    pub fn check(&self, image: &Tensor) -> Result<(), ServeError> {
+        let got = image.shape();
+        if got != self.expected {
+            return Err(ServeError::InvalidShape(ShapeError::DimMismatch {
+                what: "request image shape",
+                expected: self.expected,
+                got,
+            }));
+        }
+        let bad = image.count_nonfinite();
+        if bad > 0 {
+            return Err(ServeError::NonFiniteInput { count: bad });
+        }
+        let max_abs = image.abs_max();
+        if max_abs > self.max_abs {
+            return Err(ServeError::OutOfRange { max_abs, limit: self.max_abs });
+        }
+        Ok(())
+    }
+}
+
+/// A digest of one rejected or quarantined payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// FNV-1a digest of the payload bits (see [`payload_digest`]).
+    pub digest: u64,
+    /// Shape the payload arrived with.
+    pub shape: Shape,
+    /// Stable reason label ([`ServeError::label`]).
+    pub reason: &'static str,
+}
+
+/// Fixed-capacity ring of the most recent [`QuarantineRecord`]s.
+#[derive(Debug)]
+pub struct Quarantine {
+    ring: Mutex<VecDeque<QuarantineRecord>>,
+    capacity: usize,
+}
+
+impl Quarantine {
+    /// A ring retaining the last `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self { ring: Mutex::new(VecDeque::with_capacity(capacity)), capacity }
+    }
+
+    /// Records a rejected payload, evicting the oldest record when full.
+    pub fn record(&self, image: &Tensor, reason: &'static str) {
+        let rec =
+            QuarantineRecord { digest: payload_digest(image), shape: image.shape(), reason };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    /// Snapshot of the ring, oldest first.
+    pub fn records(&self) -> Vec<QuarantineRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of records currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// `true` when no payload has been quarantined yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over the payload's bit pattern (sampled for large payloads: the
+/// first 256 elements, every 997th element after that, and the shape), so
+/// identical hostile payloads map to identical digests at O(1)-ish cost.
+pub fn payload_digest(image: &Tensor) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let s = image.shape();
+    mix(s.n as u64);
+    mix(s.c as u64);
+    mix(s.h as u64);
+    mix(s.w as u64);
+    let data = image.data();
+    for (i, &v) in data.iter().enumerate() {
+        if i >= 256 && i % 997 != 0 {
+            continue;
+        }
+        mix(v.to_bits() as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(shape: Shape, fill: f32) -> Tensor {
+        Tensor::full(shape, fill)
+    }
+
+    #[test]
+    fn policy_accepts_conforming_input() {
+        let p = ValidationPolicy::for_resolution(32, 8.0);
+        assert!(p.check(&img(Shape::new(1, 3, 32, 32), 0.5)).is_ok());
+    }
+
+    #[test]
+    fn policy_rejects_shape_nan_and_range() {
+        let p = ValidationPolicy::for_resolution(32, 8.0);
+        // Wrong spatial size.
+        assert!(matches!(
+            p.check(&img(Shape::new(1, 3, 64, 64), 0.5)),
+            Err(ServeError::InvalidShape(_))
+        ));
+        // Wrong channel count.
+        assert!(matches!(
+            p.check(&img(Shape::new(1, 1, 32, 32), 0.5)),
+            Err(ServeError::InvalidShape(_))
+        ));
+        // Batched payloads are refused (one image per request).
+        assert!(matches!(
+            p.check(&img(Shape::new(2, 3, 32, 32), 0.5)),
+            Err(ServeError::InvalidShape(_))
+        ));
+        // NaN.
+        let mut x = img(Shape::new(1, 3, 32, 32), 0.5);
+        x.data_mut()[7] = f32::NAN;
+        x.data_mut()[11] = f32::INFINITY;
+        assert_eq!(p.check(&x), Err(ServeError::NonFiniteInput { count: 2 }));
+        // Range.
+        assert!(matches!(
+            p.check(&img(Shape::new(1, 3, 32, 32), 100.0)),
+            Err(ServeError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn quarantine_ring_evicts_oldest() {
+        let q = Quarantine::new(2);
+        assert!(q.is_empty());
+        q.record(&img(Shape::new(1, 3, 4, 4), 1.0), "non_finite");
+        q.record(&img(Shape::new(1, 3, 4, 4), 2.0), "out_of_range");
+        q.record(&img(Shape::new(1, 3, 4, 4), 3.0), "poisoned");
+        let recs = q.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].reason, "out_of_range");
+        assert_eq!(recs[1].reason, "poisoned");
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_payload_sensitive() {
+        let a = img(Shape::new(1, 3, 8, 8), 1.0);
+        let b = img(Shape::new(1, 3, 8, 8), 1.0);
+        let c = img(Shape::new(1, 3, 8, 8), 2.0);
+        assert_eq!(payload_digest(&a), payload_digest(&b));
+        assert_ne!(payload_digest(&a), payload_digest(&c));
+        // Shape-sensitive even with identical data values.
+        let d = img(Shape::new(1, 3, 4, 16), 1.0);
+        assert_ne!(payload_digest(&a), payload_digest(&d));
+    }
+}

@@ -1,0 +1,75 @@
+//! Degradation-ladder coverage: for every paper variant's resolution rung,
+//! a downscaled-input forward must produce finite, correctly-shaped pyramid
+//! outputs. The real S-variants are too wide to forward on the test
+//! machine, so each rung is exercised with the tiny channel plan at the
+//! S-family input resolutions — the spatial contract (what the ladder
+//! changes) is identical.
+
+use revbifpn::{RevBiFPN, RevBiFPNConfig};
+use revbifpn_nn::CacheMode;
+use revbifpn_serve::downscale_rung;
+use revbifpn_tensor::{resize, ResizeMode, Shape, Tensor};
+
+/// Tiny channel plan at an S-family input resolution.
+fn rung_probe_config(resolution: usize) -> RevBiFPNConfig {
+    RevBiFPNConfig::tiny(10).with_resolution(resolution)
+}
+
+#[test]
+fn every_family_rung_forwards_finite_and_correctly_shaped() {
+    // The S0..S6 input resolutions from the paper's scaling table.
+    let family: Vec<usize> =
+        (0..=6).map(|s| RevBiFPNConfig::scaled(s, 10).resolution).collect();
+
+    for (s, &res) in family.iter().enumerate() {
+        let cfg = rung_probe_config(res);
+        let rung = downscale_rung(&cfg)
+            .unwrap_or_else(|| panic!("S{s} resolution {res} must have a lower rung"));
+        assert!(rung < res, "rung must actually shrink the input");
+
+        // The ladder's level-2 move: bilinear-downscale a full-resolution
+        // input to the rung, then forward as usual.
+        let full = Tensor::full(Shape::new(1, 3, res, res), 0.25);
+        let small = resize(&full, rung, rung, ResizeMode::Bilinear);
+        assert_eq!(small.shape(), Shape::new(1, 3, rung, rung));
+
+        let rung_cfg = cfg.clone().with_resolution(rung);
+        assert!(rung_cfg.validate().is_ok(), "S{s} rung config must validate");
+        let mut backbone = RevBiFPN::new(rung_cfg.clone());
+        let pyramid = backbone.forward(&small, CacheMode::None);
+
+        assert_eq!(pyramid.len(), rung_cfg.num_streams(), "S{s}: stream count");
+        let mut stream_res = rung / rung_cfg.stem_block;
+        for (i, feat) in pyramid.iter().enumerate() {
+            let expected = Shape::new(1, rung_cfg.channels[i], stream_res, stream_res);
+            assert_eq!(feat.shape(), expected, "S{s} stream {i} shape");
+            assert_eq!(
+                feat.count_nonfinite(),
+                0,
+                "S{s} stream {i}: non-finite activations at rung {rung}"
+            );
+            stream_res /= 2;
+        }
+    }
+}
+
+#[test]
+fn rung_forward_matches_native_resolution_forward() {
+    // Serving a downscaled input through the full-resolution model must be
+    // equivalent to a native forward at the rung resolution: the backbone
+    // is fully convolutional, so only the spatial extent changes.
+    let cfg = RevBiFPNConfig::tiny(10);
+    let rung = downscale_rung(&cfg).unwrap();
+    let x = Tensor::full(Shape::new(1, 3, rung, rung), 0.5);
+
+    let mut at_full_cfg = RevBiFPN::new(cfg.clone());
+    let mut at_rung_cfg = RevBiFPN::new(cfg.with_resolution(rung));
+    let a = at_full_cfg.forward(&x, CacheMode::None);
+    let b = at_rung_cfg.forward(&x, CacheMode::None);
+
+    assert_eq!(a.len(), b.len());
+    for (fa, fb) in a.iter().zip(&b) {
+        assert_eq!(fa.shape(), fb.shape());
+        assert_eq!(fa.data(), fb.data(), "weights are seeded: outputs must be bit-equal");
+    }
+}

@@ -27,7 +27,7 @@
 use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b};
 use crate::par::{num_threads_for, parallel_over_slices, parallel_tiles, SyncPtr};
 use crate::scratch;
-use crate::shape::Shape;
+use crate::shape::{Shape, ShapeError};
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution.
@@ -110,22 +110,68 @@ pub struct ConvGrads {
     pub db: Tensor,
 }
 
-fn check_conv_args(x: &Tensor, w: &Tensor, spec: &ConvSpec) {
+fn check_conv_args(x: &Tensor, w: &Tensor, spec: &ConvSpec) -> Result<(), ShapeError> {
     let xs = x.shape();
     let ws = w.shape();
-    assert_eq!(xs.c % spec.groups, 0, "input channels not divisible by groups");
-    assert_eq!(ws.n % spec.groups, 0, "output channels not divisible by groups");
-    assert_eq!(ws.c, xs.c / spec.groups, "weight c_in/groups mismatch: {ws} vs input {xs}");
-    assert_eq!((ws.h, ws.w), (spec.kh, spec.kw), "weight kernel size mismatch");
+    if spec.groups == 0 || spec.kh == 0 || spec.kw == 0 || spec.sh == 0 || spec.sw == 0 {
+        return Err(ShapeError::ZeroWindow { what: "conv2d kernel/stride/groups" });
+    }
+    if !xs.c.is_multiple_of(spec.groups) {
+        return Err(ShapeError::Indivisible {
+            what: "conv2d input channels vs groups",
+            value: xs.c,
+            divisor: spec.groups,
+        });
+    }
+    if !ws.n.is_multiple_of(spec.groups) {
+        return Err(ShapeError::Indivisible {
+            what: "conv2d output channels vs groups",
+            value: ws.n,
+            divisor: spec.groups,
+        });
+    }
+    if ws.c != xs.c / spec.groups || (ws.h, ws.w) != (spec.kh, spec.kw) {
+        return Err(ShapeError::DimMismatch {
+            what: "conv2d weight shape (c_in/groups, kh, kw)",
+            expected: Shape::new(ws.n, xs.c / spec.groups, spec.kh, spec.kw),
+            got: ws,
+        });
+    }
+    // The spatial output must be non-empty: padded input at least one kernel.
+    if xs.h + 2 * spec.ph < spec.kh || xs.w + 2 * spec.pw < spec.kw {
+        return Err(ShapeError::DimMismatch {
+            what: "conv2d input smaller than kernel",
+            expected: Shape::new(xs.n, xs.c, spec.kh.saturating_sub(2 * spec.ph), spec.kw.saturating_sub(2 * spec.pw)),
+            got: xs,
+        });
+    }
+    Ok(())
 }
 
 /// Convolution forward pass.
 ///
 /// # Panics
 ///
-/// Panics if weight/bias shapes disagree with `spec` and `x`.
+/// Panics if weight/bias shapes disagree with `spec` and `x`. Untrusted
+/// inputs should go through [`try_conv2d`].
 pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: &ConvSpec) -> Tensor {
-    check_conv_args(x, w, spec);
+    try_conv2d(x, w, bias, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`conv2d`]: shape-contract violations come back as
+/// [`ShapeError`] values instead of panics.
+///
+/// # Errors
+///
+/// Returns an error if weight/bias shapes disagree with `spec` and `x`, or
+/// if the padded input is smaller than the kernel.
+pub fn try_conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &ConvSpec,
+) -> Result<Tensor, ShapeError> {
+    check_conv_args(x, w, spec)?;
     let xs = x.shape();
     let c_out = w.shape().n;
     let out_shape = spec.out_shape(xs, c_out);
@@ -138,9 +184,16 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: &ConvSpec) ->
         general_forward(x, w, spec, &mut out);
     }
     if let Some(b) = bias {
+        if b.shape().c != c_out || b.shape().numel() != c_out {
+            return Err(ShapeError::DimMismatch {
+                what: "conv2d bias shape",
+                expected: Shape::vector(c_out),
+                got: b.shape(),
+            });
+        }
         out.add_channel_bias(b);
     }
-    out
+    Ok(out)
 }
 
 /// Convolution backward pass.
@@ -153,7 +206,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: &ConvSpec) ->
 ///
 /// Panics on shape mismatches.
 pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, need_dx: bool) -> ConvGrads {
-    check_conv_args(x, w, spec);
+    check_conv_args(x, w, spec).unwrap_or_else(|e| panic!("{e}"));
     let c_out = w.shape().n;
     assert_eq!(dy.shape(), spec.out_shape(x.shape(), c_out), "dy shape mismatch");
     let db = dy.sum_per_channel();
@@ -666,6 +719,36 @@ mod tests {
             let ana = grads.dx.as_ref().unwrap().data()[idx];
             assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{idx}] num={num} ana={ana}");
         }
+    }
+
+    #[test]
+    fn try_conv2d_rejects_bad_shapes() {
+        let x = Tensor::ones(Shape::new(1, 3, 8, 8));
+        let w = Tensor::ones(Shape::new(16, 3, 3, 3));
+        assert!(try_conv2d(&x, &w, None, &ConvSpec::kxk(3, 1)).is_ok());
+        // Weight kernel size disagrees with the spec.
+        assert!(matches!(
+            try_conv2d(&x, &w, None, &ConvSpec::kxk(5, 1)),
+            Err(ShapeError::DimMismatch { .. })
+        ));
+        // Channels not divisible by groups.
+        let spec = ConvSpec { groups: 2, ..ConvSpec::kxk(3, 1) };
+        assert!(matches!(
+            try_conv2d(&x, &w, None, &spec),
+            Err(ShapeError::Indivisible { .. })
+        ));
+        // Bias with the wrong channel count.
+        let bad_bias = Tensor::ones(Shape::vector(4));
+        assert!(matches!(
+            try_conv2d(&x, &w, Some(&bad_bias), &ConvSpec::kxk(3, 1)),
+            Err(ShapeError::DimMismatch { .. })
+        ));
+        // Zero stride is a contract violation, not a divide-by-zero panic.
+        let spec = ConvSpec { sh: 0, ..ConvSpec::kxk(3, 1) };
+        assert!(matches!(
+            try_conv2d(&x, &w, None, &spec),
+            Err(ShapeError::ZeroWindow { .. })
+        ));
     }
 
     #[test]

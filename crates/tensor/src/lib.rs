@@ -33,12 +33,13 @@ pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, ConvGrads, ConvSpec};
+pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvSpec};
 pub use matmul::{reference, sgemm, sgemm_a_bt, sgemm_at_b};
 pub use pool::{
     avg_pool, avg_pool_backward, global_avg_pool, global_avg_pool_backward, max_pool, max_pool_backward,
+    try_avg_pool, try_max_pool,
 };
-pub use resize::{resize, resize_backward, upsample, ResizeMode};
+pub use resize::{resize, resize_backward, try_resize, try_resize_backward, upsample, ResizeMode};
 pub use s2d::{depth_to_space, space_to_depth, space_to_depth_shape};
-pub use shape::{Shape, ShapeMismatchError};
+pub use shape::{Shape, ShapeError, ShapeMismatchError};
 pub use tensor::Tensor;

@@ -9,7 +9,7 @@
 //! that the table's indices are plane-disjoint.
 
 use crate::par::{parallel_tiles, SyncPtr};
-use crate::shape::Shape;
+use crate::shape::{Shape, ShapeError};
 use crate::tensor::Tensor;
 
 /// Global average pool: `[n, c, h, w] -> [n, c, 1, 1]`.
@@ -56,7 +56,19 @@ pub fn global_avg_pool_backward(dy: &Tensor, in_shape: Shape) -> Tensor {
 ///
 /// Panics if `k == 0`.
 pub fn max_pool(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
-    assert!(k > 0, "pool window must be positive");
+    try_max_pool(x, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`max_pool`]: a zero window comes back as
+/// [`ShapeError::ZeroWindow`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`.
+pub fn try_max_pool(x: &Tensor, k: usize) -> Result<(Tensor, Vec<usize>), ShapeError> {
+    if k == 0 {
+        return Err(ShapeError::ZeroWindow { what: "max_pool" });
+    }
     let xs = x.shape();
     let (oh, ow) = (xs.h / k, xs.w / k);
     let os = xs.with_hw(oh, ow);
@@ -94,7 +106,7 @@ pub fn max_pool(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
             }
         }
     });
-    (out, arg)
+    Ok((out, arg))
 }
 
 /// Adjoint of [`max_pool`].
@@ -111,7 +123,18 @@ pub fn max_pool_backward(dy: &Tensor, arg: &[usize], in_shape: Shape) -> Tensor 
 
 /// Windowed average pool with stride == window (non-overlapping).
 pub fn avg_pool(x: &Tensor, k: usize) -> Tensor {
-    assert!(k > 0, "pool window must be positive");
+    try_avg_pool(x, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`avg_pool`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError::ZeroWindow`] if `k == 0`.
+pub fn try_avg_pool(x: &Tensor, k: usize) -> Result<Tensor, ShapeError> {
+    if k == 0 {
+        return Err(ShapeError::ZeroWindow { what: "avg_pool" });
+    }
     let xs = x.shape();
     let (oh, ow) = (xs.h / k, xs.w / k);
     let os = xs.with_hw(oh, ow);
@@ -136,7 +159,7 @@ pub fn avg_pool(x: &Tensor, k: usize) -> Tensor {
             }
         }
     });
-    out
+    Ok(out)
 }
 
 /// Adjoint of [`avg_pool`].
@@ -196,6 +219,15 @@ mod tests {
         let dy = Tensor::ones(y.shape());
         let dx = max_pool_backward(&dy, &arg, x.shape());
         assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn try_pools_reject_zero_window() {
+        let x = Tensor::ones(Shape::new(1, 1, 4, 4));
+        assert_eq!(try_max_pool(&x, 0).unwrap_err(), ShapeError::ZeroWindow { what: "max_pool" });
+        assert_eq!(try_avg_pool(&x, 0).unwrap_err(), ShapeError::ZeroWindow { what: "avg_pool" });
+        assert!(try_max_pool(&x, 2).is_ok());
+        assert!(try_avg_pool(&x, 2).is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! results are bitwise identical for any thread count.
 
 use crate::par::{parallel_tiles, SyncPtr};
-use crate::shape::Shape;
+use crate::shape::{Shape, ShapeError};
 use crate::tensor::Tensor;
 
 /// Interpolation mode for [`resize`].
@@ -47,12 +47,25 @@ fn bilinear_axis(out_len: usize, scale: f64, in_len: usize) -> Vec<(usize, usize
 ///
 /// # Panics
 ///
-/// Panics if `oh == 0 || ow == 0`.
+/// Panics if `oh == 0 || ow == 0`. Untrusted-input paths should prefer
+/// [`try_resize`], which reports the same violation as a [`ShapeError`].
 pub fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
-    assert!(oh > 0 && ow > 0, "output size must be positive");
+    try_resize(x, oh, ow, mode).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`resize`]: returns [`ShapeError::ZeroOutputSize`] instead of
+/// panicking when the requested output has a zero extent.
+///
+/// # Errors
+///
+/// Returns an error if `oh == 0 || ow == 0`.
+pub fn try_resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Result<Tensor, ShapeError> {
+    if oh == 0 || ow == 0 {
+        return Err(ShapeError::ZeroOutputSize { oh, ow });
+    }
     let xs = x.shape();
     if (oh, ow) == (xs.h, xs.w) {
-        return x.clone();
+        return Ok(x.clone());
     }
     let os = xs.with_hw(oh, ow);
     let mut out = Tensor::zeros(os);
@@ -100,7 +113,7 @@ pub fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Adjoint of [`resize`]: scatters output gradients back to input positions.
@@ -109,12 +122,29 @@ pub fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
 ///
 /// # Panics
 ///
-/// Panics if `dy`'s batch/channel dims disagree with `in_shape`.
+/// Panics if `dy`'s batch/channel dims disagree with `in_shape`. See
+/// [`try_resize_backward`] for the fallible variant.
 pub fn resize_backward(dy: &Tensor, in_shape: Shape, mode: ResizeMode) -> Tensor {
+    try_resize_backward(dy, in_shape, mode).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`resize_backward`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimMismatch`] if `dy`'s batch/channel dims disagree
+/// with `in_shape`.
+pub fn try_resize_backward(dy: &Tensor, in_shape: Shape, mode: ResizeMode) -> Result<Tensor, ShapeError> {
     let os = dy.shape();
-    assert_eq!((os.n, os.c), (in_shape.n, in_shape.c), "resize_backward dims mismatch");
+    if (os.n, os.c) != (in_shape.n, in_shape.c) {
+        return Err(ShapeError::DimMismatch {
+            what: "resize_backward batch/channel dims",
+            expected: in_shape,
+            got: os,
+        });
+    }
     if (os.h, os.w) == (in_shape.h, in_shape.w) {
-        return dy.clone();
+        return Ok(dy.clone());
     }
     let mut dx = Tensor::zeros(in_shape);
     let sy = in_shape.h as f64 / os.h as f64;
@@ -159,7 +189,7 @@ pub fn resize_backward(dy: &Tensor, in_shape: Shape, mode: ResizeMode) -> Tensor
             });
         }
     }
-    dx
+    Ok(dx)
 }
 
 /// Upsamples by an integer factor.
@@ -243,6 +273,27 @@ mod tests {
         let dy = Tensor::ones(Shape::new(1, 1, 8, 8));
         let dx = resize_backward(&dy, Shape::new(1, 1, 4, 4), ResizeMode::Bilinear);
         assert!((dx.sum() - 64.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn try_resize_rejects_zero_output() {
+        let x = Tensor::ones(Shape::new(1, 1, 4, 4));
+        assert_eq!(
+            try_resize(&x, 0, 4, ResizeMode::Bilinear),
+            Err(ShapeError::ZeroOutputSize { oh: 0, ow: 4 })
+        );
+        assert_eq!(
+            try_resize(&x, 2, 0, ResizeMode::Nearest),
+            Err(ShapeError::ZeroOutputSize { oh: 2, ow: 0 })
+        );
+        assert!(try_resize(&x, 2, 2, ResizeMode::Bilinear).is_ok());
+    }
+
+    #[test]
+    fn try_resize_backward_rejects_dim_mismatch() {
+        let dy = Tensor::ones(Shape::new(1, 2, 4, 4));
+        let err = try_resize_backward(&dy, Shape::new(1, 3, 2, 2), ResizeMode::Bilinear);
+        assert!(matches!(err, Err(ShapeError::DimMismatch { .. })));
     }
 
     #[test]

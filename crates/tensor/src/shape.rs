@@ -103,6 +103,65 @@ impl From<(usize, usize, usize, usize)> for Shape {
     }
 }
 
+/// Typed violation of a kernel's shape contract, returned by the fallible
+/// entry points (`try_resize`, `try_conv2d`, `try_max_pool`, ...).
+///
+/// The infallible wrappers panic with the same diagnostics; serving and
+/// other untrusted-input paths use the `try_*` variants so a malformed
+/// request surfaces as a value instead of unwinding through the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A requested output extent was zero (e.g. `resize` to `0 x w`).
+    ZeroOutputSize {
+        /// Requested output height.
+        oh: usize,
+        /// Requested output width.
+        ow: usize,
+    },
+    /// Two tensors disagree on dims the operation requires to match.
+    DimMismatch {
+        /// Which contract was violated (static description).
+        what: &'static str,
+        /// The shape the operation expected.
+        expected: Shape,
+        /// The shape that was provided.
+        got: Shape,
+    },
+    /// A count that must divide evenly does not (channels vs groups, ...).
+    Indivisible {
+        /// Which quantity is indivisible (static description).
+        what: &'static str,
+        /// The value that must be divisible.
+        value: usize,
+        /// The required divisor.
+        divisor: usize,
+    },
+    /// A window/kernel extent that must be positive was zero.
+    ZeroWindow {
+        /// Which operation required the positive window.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroOutputSize { oh, ow } => {
+                write!(f, "output size must be positive, got {oh}x{ow}")
+            }
+            ShapeError::DimMismatch { what, expected, got } => {
+                write!(f, "{what}: expected {expected}, got {got}")
+            }
+            ShapeError::Indivisible { what, value, divisor } => {
+                write!(f, "{what}: {value} not divisible by {divisor}")
+            }
+            ShapeError::ZeroWindow { what } => write!(f, "{what}: window must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// Error produced when tensor shapes disagree with an operation's contract.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShapeMismatchError {

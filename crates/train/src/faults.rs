@@ -81,6 +81,95 @@ impl FaultPlan {
     }
 }
 
+/// One fault injected into an inference-serving run, pinned to a 0-based
+/// request index. The serving analogue of [`Fault`]: the soak test in
+/// `tests/serve_soak.rs` corrupts the scheduled requests before submission
+/// (or trips the engine's crash hook) and asserts the engine classifies
+/// every one with a typed error while staying alive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Replaces one payload element with a NaN, exercising the non-finite
+    /// admission scan.
+    NanPayload {
+        /// 0-based request index.
+        request: usize,
+    },
+    /// Submits the request at double the expected spatial resolution,
+    /// exercising the shape check.
+    OversizedShape {
+        /// 0-based request index.
+        request: usize,
+    },
+    /// Tags the request as a poison pill that panics inside the model
+    /// forward, exercising batch `catch_unwind` + bisection quarantine.
+    PoisonPill {
+        /// 0-based request index.
+        request: usize,
+    },
+    /// Crashes a worker thread (outside batch execution) when this request
+    /// is submitted, exercising the watchdog restart path.
+    WorkerCrash {
+        /// 0-based request index.
+        request: usize,
+        /// Which worker slot to crash.
+        worker: usize,
+    },
+}
+
+/// A deterministic schedule of serving faults, queried by request index.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    faults: Vec<ServeFault>,
+}
+
+impl ServeFaultPlan {
+    /// The empty plan (a clean run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: ServeFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Should request `request`'s payload be NaN-poisoned?
+    pub fn nan_payload_at(&self, request: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, ServeFault::NanPayload { request: r } if *r == request))
+    }
+
+    /// Should request `request` be submitted oversized?
+    pub fn oversized_at(&self, request: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, ServeFault::OversizedShape { request: r } if *r == request))
+    }
+
+    /// Should request `request` carry the in-model panic tag?
+    pub fn poison_at(&self, request: usize) -> bool {
+        self.faults.iter().any(|f| matches!(f, ServeFault::PoisonPill { request: r } if *r == request))
+    }
+
+    /// The worker slot to crash when submitting request `request`, if any.
+    pub fn worker_crash_at(&self, request: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            ServeFault::WorkerCrash { request: r, worker } if *r == request => Some(*worker),
+            _ => None,
+        })
+    }
+
+    /// Total number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+}
+
 /// Truncates the file at `path` to its first `keep_bytes` bytes, simulating
 /// a torn write (e.g. power loss mid-`write`). Used by tests to prove the
 /// checkpoint loader rejects and quarantines partial files.
@@ -112,6 +201,23 @@ mod tests {
         assert_eq!((f.stage, f.stream, f.index, f.bit), (0, 1, 2, 30));
         assert!(plan.bit_flip_at(6).is_none());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn serve_plan_queries_are_request_exact() {
+        let plan = ServeFaultPlan::none()
+            .with(ServeFault::NanPayload { request: 2 })
+            .with(ServeFault::OversizedShape { request: 5 })
+            .with(ServeFault::PoisonPill { request: 9 })
+            .with(ServeFault::WorkerCrash { request: 11, worker: 1 });
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert!(plan.nan_payload_at(2) && !plan.nan_payload_at(3));
+        assert!(plan.oversized_at(5) && !plan.oversized_at(2));
+        assert!(plan.poison_at(9) && !plan.poison_at(10));
+        assert_eq!(plan.worker_crash_at(11), Some(1));
+        assert_eq!(plan.worker_crash_at(12), None);
+        assert!(ServeFaultPlan::none().is_empty());
     }
 
     #[test]

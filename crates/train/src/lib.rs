@@ -23,7 +23,7 @@ mod sgd;
 mod trainer;
 
 pub use ema::Ema;
-pub use faults::{tear_file, Fault, FaultPlan};
+pub use faults::{tear_file, Fault, FaultPlan, ServeFault, ServeFaultPlan};
 pub use metrics::{top1_accuracy, topk_accuracy, AverageMeter};
 pub use resume::{auto_resume, load_train_state, save_train_state, CheckpointCfg, ResumeMeta};
 pub use schedule::LrSchedule;

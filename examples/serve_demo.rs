@@ -1,0 +1,86 @@
+//! Serving demo: start the hardened inference engine, push a burst of
+//! traffic through it (including a hostile NaN payload and a poison pill),
+//! and watch it shed, quarantine, degrade, and recover — without crashing.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use revbifpn::RevBiFPNConfig;
+use revbifpn_serve::{DegradeConfig, ServeConfig, ServeEngine, ServeError};
+use revbifpn_tensor::{Shape, Tensor};
+use std::time::Duration;
+
+fn image(fill: f32) -> Tensor {
+    Tensor::full(Shape::new(1, 3, 32, 32), fill)
+}
+
+fn main() {
+    let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+    cfg.workers = 1;
+    cfg.queue_capacity = 8;
+    cfg.max_batch = 2;
+    cfg.degrade = DegradeConfig { high_depth: 4, low_depth: 1, ..DegradeConfig::default() };
+    let engine = ServeEngine::start(cfg);
+    println!("engine up: tiny model, 1 worker, queue capacity 8");
+
+    // A well-formed request.
+    let resp = engine.submit(image(0.1)).unwrap().wait().unwrap();
+    println!(
+        "clean request -> class {} (score {:.3}) at degrade level {} in {:.1}ms",
+        resp.class, resp.score, resp.degrade_level, resp.latency_ms
+    );
+
+    // A hostile payload: rejected at admission, never reaches the model.
+    let mut nan = image(0.1);
+    nan.data_mut()[7] = f32::NAN;
+    match engine.submit(nan) {
+        Err(e @ ServeError::NonFiniteInput { .. }) => println!("NaN payload -> {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // A poison pill that panics inside the model forward: the batch is
+    // bisected, the pill quarantined, and the worker survives.
+    let pill = engine
+        .submit_with(image(0.2), 5_000, Some(ServeEngine::POISON_TAG))
+        .unwrap();
+    println!("poison pill -> {:?}", pill.wait().unwrap_err());
+
+    // A burst beyond queue capacity: the excess is shed, not buffered.
+    let mut accepted = 0;
+    let mut shed = 0;
+    let mut pending = Vec::new();
+    for i in 0..24 {
+        match engine.submit(image(0.01 * i as f32)) {
+            Ok(p) => {
+                accepted += 1;
+                pending.push(p);
+            }
+            Err(ServeError::QueueFull { .. }) => shed += 1,
+            Err(e) => println!("unexpected: {e}"),
+        }
+    }
+    for p in pending {
+        let _ = p.wait();
+    }
+    println!("burst of 24 -> {accepted} served, {shed} shed at admission");
+
+    // Let the ladder settle, then report.
+    std::thread::sleep(Duration::from_millis(600));
+    let h = engine.health();
+    println!(
+        "health: completed={} shed={} rejected={} quarantined={} level={} p50={:.1}ms p99={:.1}ms restarts={} scratch_peak={}B",
+        h.completed_count,
+        h.shed_count,
+        h.rejected_count,
+        h.quarantined_count,
+        h.degrade_level,
+        h.p50_ms,
+        h.p99_ms,
+        h.worker_restarts,
+        h.peak_scratch_bytes
+    );
+    for rec in engine.quarantine_records() {
+        println!("quarantined: digest {:016x} shape {:?} reason {}", rec.digest, rec.shape, rec.reason);
+    }
+    engine.shutdown();
+    println!("engine drained and stopped");
+}

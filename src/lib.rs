@@ -5,5 +5,6 @@ pub use revbifpn_data as data;
 pub use revbifpn_detect as detect;
 pub use revbifpn_nn as nn;
 pub use revbifpn_rev as rev;
+pub use revbifpn_serve as serve;
 pub use revbifpn_tensor as tensor;
 pub use revbifpn_train as train;
