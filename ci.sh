@@ -27,6 +27,9 @@ echo "== serving soak (2x overload + injected faults, bounded memory)"
 cargo test -q --test serve_soak
 cargo test -q -p revbifpn-serve
 
+echo "== frozen inference fast path (parity + steady-state guarantees)"
+cargo test -q --test freeze_parity
+
 echo "== checkpoint cross-profile round-trip (release writes, debug reads)"
 CKPT_TMP="$(mktemp -d)/xprofile.ckpt"
 cargo run -q --release --example ckpt_tool -- write "$CKPT_TMP" | tee /tmp/ckpt_write.out

@@ -156,6 +156,16 @@ impl RevBiFPN {
         &self.stem
     }
 
+    /// Inference-only frozen form of the backbone: fused stem + fused body
+    /// (uncompiled; see [`crate::FrozenBackbone`]).
+    pub fn freeze(&self) -> Result<crate::FrozenBackbone, revbifpn_nn::FreezeError> {
+        Ok(crate::FrozenBackbone {
+            cfg: self.cfg.clone(),
+            stem: self.stem.freeze()?,
+            body: self.body.freeze()?,
+        })
+    }
+
     /// Cache mode the stem runs in: a non-reversible (convolutional) stem
     /// must cache conventionally whenever training, even in the reversible
     /// regime — its activations cannot be reconstructed.

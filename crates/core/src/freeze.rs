@@ -1,0 +1,189 @@
+//! The frozen (inference-only) RevBiFPN classifier: the whole model compiled
+//! into fused kernels.
+//!
+//! [`RevBiFPNClassifier::freeze`](crate::RevBiFPNClassifier::freeze) walks
+//! the trained model and produces a [`FrozenClassifier`] in which every
+//! `conv -> BN -> activation` chain is folded into a single fused convolution
+//! (BN folded into weights/bias, activation applied in the GEMM epilogue)
+//! and every conv's GEMM weight panels are packed once, up front. The frozen
+//! forward therefore performs no BN normalization, no separate activation
+//! passes, and no per-call weight packing — only im2col scratch (arena-
+//! recycled) is touched per call.
+//!
+//! Freezing clones the parameters it needs; the original model is untouched
+//! and can keep training. Packed panel bytes are registered with
+//! [`revbifpn_nn::meter`] (`packed_weight_bytes`, event
+//! `"freeze.weights_packed"`) and released when the frozen model drops.
+
+use crate::config::RevBiFPNConfig;
+use revbifpn_nn::{FreezeError, FrozenLayer};
+use revbifpn_rev::FrozenSequence;
+use revbifpn_tensor::{space_to_depth, Shape, Tensor};
+
+/// Frozen form of the [`crate::Stem`].
+#[derive(Debug)]
+pub enum FrozenStem {
+    /// Channel duplication + SpaceToDepth (pure data movement, no kernels).
+    SpaceToDepth {
+        /// Block size `b`.
+        block: usize,
+        /// Output channels `c0 = dup * b^2`.
+        c0: usize,
+        /// Expected image channels.
+        image_channels: usize,
+    },
+    /// The conventional conv stem as one fused chain.
+    Convolutional {
+        /// The fused conv-BN-act chain.
+        body: Box<FrozenLayer>,
+        /// Output channels.
+        c0: usize,
+    },
+}
+
+impl FrozenStem {
+    /// Forward pass (eval semantics).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            FrozenStem::SpaceToDepth { block, c0, image_channels } => {
+                assert_eq!(
+                    x.shape().c,
+                    *image_channels,
+                    "frozen stem expects {image_channels} image channels"
+                );
+                let dup = *c0 / (*block * *block);
+                let xd = crate::stem::duplicate_channels(x, dup);
+                space_to_depth(&xd, *block)
+            }
+            FrozenStem::Convolutional { body, .. } => body.forward(x),
+        }
+    }
+
+    fn compile(&mut self) {
+        if let FrozenStem::Convolutional { body, .. } = self {
+            body.compile();
+        }
+    }
+
+    fn packed_bytes(&self) -> usize {
+        match self {
+            FrozenStem::SpaceToDepth { .. } => 0,
+            FrozenStem::Convolutional { body, .. } => body.packed_bytes(),
+        }
+    }
+}
+
+/// Frozen classification head (downsample-aggregate chain + tail).
+#[derive(Debug)]
+pub struct FrozenClsHead {
+    pub(crate) downs: Vec<FrozenLayer>,
+    pub(crate) tail: FrozenLayer,
+    pub(crate) num_streams: usize,
+}
+
+impl FrozenClsHead {
+    /// Necked pyramid to class logits `[n, classes, 1, 1]`.
+    pub fn forward(&self, neck: &[Tensor]) -> Tensor {
+        assert_eq!(neck.len(), self.num_streams, "frozen head stream mismatch");
+        let mut h = neck[0].clone();
+        for (i, d) in self.downs.iter().enumerate() {
+            let down = d.forward(&h);
+            h = &down + &neck[i + 1];
+        }
+        self.tail.forward(&h)
+    }
+
+    fn compile(&mut self) {
+        for d in &mut self.downs {
+            d.compile();
+        }
+        self.tail.compile();
+    }
+
+    fn packed_bytes(&self) -> usize {
+        self.downs.iter().map(|d| d.packed_bytes()).sum::<usize>() + self.tail.packed_bytes()
+    }
+}
+
+/// The frozen RevBiFPN backbone: fused stem + fused reversible body.
+#[derive(Debug)]
+pub struct FrozenBackbone {
+    pub(crate) cfg: RevBiFPNConfig,
+    pub(crate) stem: FrozenStem,
+    pub(crate) body: FrozenSequence,
+}
+
+impl FrozenBackbone {
+    /// The configuration the source backbone was built from.
+    pub fn cfg(&self) -> &RevBiFPNConfig {
+        &self.cfg
+    }
+
+    /// Image `[n, 3, r, r]` to the N-stream feature pyramid.
+    pub fn forward(&self, x: &Tensor) -> Vec<Tensor> {
+        let s0 = self.stem.forward(x);
+        self.body.forward(vec![s0])
+    }
+
+    /// Packs all conv weight panels (idempotent).
+    pub fn compile(&mut self) {
+        self.stem.compile();
+        self.body.compile();
+    }
+
+    /// Total bytes of packed weight panels.
+    pub fn packed_bytes(&self) -> usize {
+        self.stem.packed_bytes() + self.body.packed_bytes()
+    }
+}
+
+/// The frozen end-to-end classifier (backbone + neck + head), produced by
+/// [`crate::RevBiFPNClassifier::freeze`]. Forward-only and `&self`: no
+/// caches, no training state.
+#[derive(Debug)]
+pub struct FrozenClassifier {
+    pub(crate) backbone: FrozenBackbone,
+    pub(crate) neck: Vec<FrozenLayer>,
+    pub(crate) head: FrozenClsHead,
+}
+
+impl FrozenClassifier {
+    /// The configuration the source model was built from.
+    pub fn cfg(&self) -> &RevBiFPNConfig {
+        self.backbone.cfg()
+    }
+
+    /// Images `[n, 3, r, r]` to logits `[n, classes, 1, 1]` using only fused
+    /// kernels.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let pyramid = self.backbone.forward(x);
+        let neck: Vec<Tensor> =
+            pyramid.iter().zip(&self.neck).map(|(t, b)| b.forward(t)).collect();
+        self.head.forward(&neck)
+    }
+
+    /// Logit shape for batch size `n`.
+    pub fn logit_shape(&self, n: usize) -> Shape {
+        Shape::new(n, self.cfg().num_classes, 1, 1)
+    }
+
+    /// Packs all conv weight panels (idempotent; called by
+    /// [`crate::RevBiFPNClassifier::freeze`]).
+    pub fn compile(&mut self) {
+        self.backbone.compile();
+        for b in &mut self.neck {
+            b.compile();
+        }
+        self.head.compile();
+    }
+
+    /// Total bytes of packed weight panels resident for this model.
+    pub fn packed_bytes(&self) -> usize {
+        self.backbone.packed_bytes()
+            + self.neck.iter().map(|b| b.packed_bytes()).sum::<usize>()
+            + self.head.packed_bytes()
+    }
+}
+
+/// Convenience result alias for model freezing.
+pub type FreezeResult<T> = Result<T, FreezeError>;

@@ -39,6 +39,11 @@ impl Neck {
         Self { blocks }
     }
 
+    /// Inference-only frozen form: one fused chain per stream (uncompiled).
+    pub fn freeze(&self) -> Result<Vec<revbifpn_nn::FrozenLayer>, revbifpn_nn::FreezeError> {
+        self.blocks.iter().map(|b| b.freeze()).collect()
+    }
+
     /// Forward over the pyramid.
     pub fn forward(&mut self, pyramid: &[Tensor], mode: CacheMode) -> Vec<Tensor> {
         assert_eq!(pyramid.len(), self.blocks.len(), "neck stream mismatch");
@@ -117,6 +122,15 @@ impl ClsHead {
         }
         tail.add(Box::new(Linear::new(cfg.head_dim, cfg.num_classes, &mut rng)));
         Self { downs, tail, num_streams: n }
+    }
+
+    /// Inference-only frozen form (uncompiled; see [`crate::FrozenClsHead`]).
+    pub fn freeze(&self) -> Result<crate::FrozenClsHead, revbifpn_nn::FreezeError> {
+        Ok(crate::FrozenClsHead {
+            downs: self.downs.iter().map(|d| d.freeze()).collect::<Result<Vec<_>, _>>()?,
+            tail: self.tail.freeze()?,
+            num_streams: self.num_streams,
+        })
     }
 
     /// Forward pass: necked pyramid to class logits `[n, classes, 1, 1]`.

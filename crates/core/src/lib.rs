@@ -26,6 +26,7 @@
 
 mod backbone;
 mod config;
+mod freeze;
 mod head;
 mod model;
 pub mod stats;
@@ -33,6 +34,7 @@ mod stem;
 
 pub use backbone::RevBiFPN;
 pub use config::{ConfigError, DownsampleMode, RevBiFPNConfig, SePlacement, StemKind, UpsampleMode};
+pub use freeze::{FreezeResult, FrozenBackbone, FrozenClassifier, FrozenClsHead, FrozenStem};
 pub use head::{ClsHead, Neck};
 pub use model::{RevBiFPNClassifier, RunMode};
 pub use stem::Stem;

@@ -74,6 +74,26 @@ impl RevBiFPNClassifier {
         &mut self.backbone
     }
 
+    /// Compiles the model into its frozen inference form: BN folded into the
+    /// convs, activations fused into GEMM epilogues, and every conv's weight
+    /// panels packed once. The returned [`crate::FrozenClassifier`] is ready
+    /// to run; this model is untouched (parameters are cloned) and can keep
+    /// training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`revbifpn_nn::FreezeError`] if any layer has no fused
+    /// equivalent.
+    pub fn freeze(&self) -> Result<crate::FrozenClassifier, revbifpn_nn::FreezeError> {
+        let mut frozen = crate::FrozenClassifier {
+            backbone: self.backbone.freeze()?,
+            neck: self.neck.freeze()?,
+            head: self.head.freeze()?,
+        };
+        frozen.compile();
+        Ok(frozen)
+    }
+
     /// Forward pass: images `[n, 3, r, r]` to logits `[n, classes, 1, 1]`.
     ///
     /// In [`RunMode::TrainReversible`], the output pyramid is retained (the
@@ -281,6 +301,52 @@ mod tests {
             (peak_rev as f64) < 0.7 * peak_conv as f64,
             "reversible {peak_rev} vs conventional {peak_conv}"
         );
+    }
+
+    #[test]
+    fn frozen_classifier_matches_eval_forward() {
+        let mut m = tiny();
+        let mut rng = StdRng::seed_from_u64(40);
+        m.visit_params(&mut |p| {
+            if p.name == "bn.gamma" {
+                p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+            }
+        });
+        // Move BN running stats off their init so folding is non-trivial.
+        for _ in 0..3 {
+            let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+            let _ = m.forward(&x, RunMode::TrainReversible);
+            m.clear_cache();
+        }
+
+        let frozen = m.freeze().unwrap();
+        assert!(frozen.packed_bytes() > 0);
+        assert_eq!(frozen.packed_bytes(), revbifpn_nn::meter::packed_current());
+
+        let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+        let want = m.forward(&x, RunMode::Eval);
+        let got = frozen.forward(&x);
+        assert_eq!(got.shape(), frozen.logit_shape(2));
+        let tol = 1e-4 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "logits diff {}", got.max_abs_diff(&want));
+
+        let before = revbifpn_nn::meter::packed_current();
+        drop(frozen);
+        assert!(revbifpn_nn::meter::packed_current() < before, "drop must release packed bytes");
+    }
+
+    #[test]
+    fn frozen_conv_stem_classifier_matches_eval_forward() {
+        let mut cfg = RevBiFPNConfig::tiny(10);
+        cfg.stem = crate::config::StemKind::Convolutional;
+        let mut m = RevBiFPNClassifier::new(cfg);
+        let mut rng = StdRng::seed_from_u64(41);
+        let x = Tensor::randn(Shape::new(1, 3, 32, 32), 1.0, &mut rng);
+        let frozen = m.freeze().unwrap();
+        let want = m.forward(&x, RunMode::Eval);
+        let got = frozen.forward(&x);
+        let tol = 1e-4 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "logits diff {}", got.max_abs_diff(&want));
     }
 
     #[test]

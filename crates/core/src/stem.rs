@@ -12,7 +12,7 @@ use revbifpn_nn::{CacheMode, Layer, Param, Sequential};
 use revbifpn_tensor::{depth_to_space, space_to_depth, ConvSpec, Shape, Tensor};
 
 /// Duplicates channels cyclically up to `c_target` (`c_target >= x.c`).
-fn duplicate_channels(x: &Tensor, c_target: usize) -> Tensor {
+pub(crate) fn duplicate_channels(x: &Tensor, c_target: usize) -> Tensor {
     let xs = x.shape();
     assert!(c_target >= xs.c, "cannot duplicate down");
     let mut out = Tensor::zeros(xs.with_c(c_target));
@@ -108,6 +108,20 @@ impl Stem {
         match self {
             Stem::SpaceToDepth { c0, .. } | Stem::Convolutional { c0, .. } => *c0,
         }
+    }
+
+    /// Inference-only frozen form (uncompiled; see [`crate::FrozenStem`]).
+    pub fn freeze(&self) -> Result<crate::FrozenStem, revbifpn_nn::FreezeError> {
+        Ok(match self {
+            Stem::SpaceToDepth { block, c0, image_channels } => crate::FrozenStem::SpaceToDepth {
+                block: *block,
+                c0: *c0,
+                image_channels: *image_channels,
+            },
+            Stem::Convolutional { body, c0, .. } => {
+                crate::FrozenStem::Convolutional { body: Box::new(body.freeze()?), c0: *c0 }
+            }
+        })
     }
 
     /// Forward pass.

@@ -32,6 +32,13 @@ pub trait Backbone: std::fmt::Debug {
 
     /// Human-readable name.
     fn name(&self) -> String;
+
+    /// Inference-only frozen form of the wrapped pyramid network (see
+    /// [`revbifpn::FrozenBackbone`]). The result is *uncompiled*. Backbones
+    /// without fused kernels return [`FreezeError::Unsupported`].
+    fn freeze(&self) -> Result<revbifpn::FrozenBackbone, revbifpn_nn::FreezeError> {
+        Err(revbifpn_nn::FreezeError::Unsupported(self.name()))
+    }
 }
 
 /// RevBiFPN backbone wrapper; `reversible` selects the training regime.
@@ -97,6 +104,10 @@ impl Backbone for RevBackbone {
 
     fn name(&self) -> String {
         format!("{}{}", self.net.cfg().name, if self.reversible { " (rev)" } else { " (conv)" })
+    }
+
+    fn freeze(&self) -> Result<revbifpn::FrozenBackbone, revbifpn_nn::FreezeError> {
+        self.net.freeze()
     }
 }
 

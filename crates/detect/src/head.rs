@@ -97,6 +97,22 @@ impl DetHead {
         &self.strides
     }
 
+    /// Inference-only frozen form (uncompiled; see
+    /// [`crate::freeze::FrozenDetHead`]).
+    pub fn freeze(&self) -> Result<crate::freeze::FrozenDetHead, revbifpn_nn::FreezeError> {
+        let freeze_all = |layers: &mut dyn Iterator<Item = &dyn Layer>| {
+            layers.map(|l| l.freeze()).collect::<Result<Vec<_>, _>>()
+        };
+        Ok(crate::freeze::FrozenDetHead {
+            cfg: self.cfg,
+            strides: self.strides.clone(),
+            laterals: freeze_all(&mut self.laterals.iter().map(|l| l as &dyn Layer))?,
+            towers: freeze_all(&mut self.towers.iter().map(|t| t as &dyn Layer))?,
+            cls: freeze_all(&mut self.cls.iter().map(|c| c as &dyn Layer))?,
+            reg: freeze_all(&mut self.reg.iter().map(|r| r as &dyn Layer))?,
+        })
+    }
+
     /// Forward over a pyramid.
     pub fn forward(&mut self, pyramid: &[Tensor], mode: CacheMode) -> Vec<LevelOutput> {
         assert_eq!(pyramid.len(), self.laterals.len(), "pyramid level mismatch");
@@ -327,10 +343,33 @@ impl Detector {
         (total, lc, lr)
     }
 
+    /// Compiles the detector into its frozen inference form (backbone and
+    /// head fused, weight panels packed). The original detector is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`revbifpn_nn::FreezeError`] if the backbone has no fused
+    /// kernels or any head layer cannot be fused.
+    pub fn freeze(&self) -> Result<crate::freeze::FrozenDetector, revbifpn_nn::FreezeError> {
+        let mut frozen = crate::freeze::FrozenDetector {
+            backbone: self.backbone.freeze()?,
+            head: self.head.freeze()?,
+        };
+        frozen.compile();
+        Ok(frozen)
+    }
+
+    /// Eval forward to the raw per-level head outputs, before decoding and
+    /// NMS — the unfused counterpart of
+    /// [`crate::freeze::FrozenDetector::forward_raw`], for parity checks.
+    pub fn forward_raw_eval(&mut self, images: &Tensor) -> Vec<LevelOutput> {
+        let pyramid = self.backbone.forward_eval(images);
+        self.head.forward(&pyramid, CacheMode::None)
+    }
+
     /// Inference: per-image detections.
     pub fn detect(&mut self, images: &Tensor) -> Vec<Vec<Detection>> {
-        let pyramid = self.backbone.forward_eval(images);
-        let outputs = self.head.forward(&pyramid, CacheMode::None);
+        let outputs = self.forward_raw_eval(images);
         decode_detections(&outputs, self.head.strides(), self.head.cfg())
     }
 
@@ -467,5 +506,44 @@ mod tests {
         let images = Tensor::randn(Shape::new(1, 3, 32, 32), 1.0, &mut rng);
         let dets = det.detect(&images);
         assert_eq!(dets.len(), 1);
+    }
+
+    #[test]
+    fn frozen_detector_matches_eval_forward() {
+        let backbone = RevBackbone::new(RevBiFPN::new(RevBiFPNConfig::tiny(4)), true);
+        let mut det = Detector::new(Box::new(backbone), DetHeadConfig::new(3), 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        det.visit_params(&mut |p| {
+            if p.name == "bn.gamma" {
+                p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+            }
+        });
+        // Move BN running stats off their init so the affine fold is
+        // non-trivial, then clear training caches.
+        let objs = vec![vec![BoxAnnotation { bbox: [4.0, 4.0, 20.0, 20.0], class: 0 }]];
+        for _ in 0..3 {
+            let images = Tensor::randn(Shape::new(1, 3, 32, 32), 1.0, &mut rng);
+            let _ = det.train_step(&images, &objs);
+            det.clear_cache();
+        }
+        det.zero_grads();
+
+        let frozen = det.freeze().unwrap();
+        assert!(frozen.packed_bytes() > 0);
+
+        let images = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+        let pyramid = det.backbone.forward_eval(&images);
+        let want = det.head.forward(&pyramid, CacheMode::None);
+        let got = frozen.forward_raw(&images);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            for (gt, wt) in [(&g.cls, &w.cls), (&g.reg, &w.reg)] {
+                let tol = 1e-4 * (1.0 + wt.abs_max());
+                assert!(gt.max_abs_diff(wt) < tol, "head output diff {}", gt.max_abs_diff(wt));
+            }
+        }
+        // The full pipeline (decode + NMS) runs on the fused outputs too.
+        let dets = frozen.detect(&images);
+        assert_eq!(dets.len(), 2);
     }
 }

@@ -17,11 +17,13 @@
 
 mod ap;
 mod backbone;
+pub mod freeze;
 mod head;
 mod nms;
 mod seghead;
 
 pub use ap::{evaluate_ap_with, evaluate_box_ap, ApResult, AreaRanges};
+pub use freeze::{FrozenDetHead, FrozenDetector};
 pub use backbone::{Backbone, FpnBackbone, HrBackbone, RevBackbone};
 pub use head::{
     assign_targets, decode_detections, detection_loss, DetHead, DetHeadConfig, Detector, LevelOutput,

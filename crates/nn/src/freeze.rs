@@ -1,0 +1,546 @@
+//! Inference-time model freezing: BN folding, conv–bias–activation fusion,
+//! and persistent pre-packed GEMM weight panels.
+//!
+//! `Layer::freeze` compiles an eval-mode layer graph into a [`FrozenLayer`]
+//! tree whose forward pass uses only fused kernels:
+//!
+//! * eval-mode BatchNorm becomes a per-channel affine (`scale = gamma /
+//!   sqrt(running_var + eps)`, `bias = beta - running_mean * scale`) which is
+//!   folded into the preceding convolution's weights and bias;
+//! * ReLU / hard-swish / hard-sigmoid following a convolution run inside the
+//!   GEMM epilogue ([`EpilogueAct`]) instead of as a separate pass;
+//! * each convolution's im2col-GEMM weight panels are packed exactly once
+//!   ([`revbifpn_tensor::ConvPlan`]) and reused across every subsequent
+//!   forward. The resident bytes are registered with [`meter::add_packed`]
+//!   so memory figures stay honest, and each packing increments the
+//!   `"freeze.weights_packed"` event counter so tests can assert zero
+//!   re-packing at steady state.
+//!
+//! Freezing is two-phase: [`Layer::freeze`] produces an *uncompiled* tree
+//! (cheap, fusion happens structurally via [`FrozenLayer::sequence`]), and
+//! [`FrozenLayer::compile`] packs the weights. [`freeze_layer`] does both.
+//!
+//! The packed-bytes accounting uses the thread-local meter, so a frozen
+//! layer should be compiled and dropped on the same thread.
+
+use crate::meter;
+use crate::module::Layer;
+use revbifpn_tensor::{
+    global_avg_pool, sgemm_a_bt, space_to_depth, upsample, ConvPlan, ConvSpec, EpilogueAct,
+    ResizeMode, Shape, Tensor,
+};
+
+/// Error returned when a layer (or one of its children) has no frozen form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FreezeError {
+    /// The named layer does not implement freezing.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unsupported(name) => write!(f, "layer `{name}` cannot be frozen"),
+        }
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// RAII registration of packed-weight bytes with the thread-local meter.
+#[derive(Debug)]
+struct PackedBytes {
+    bytes: usize,
+}
+
+impl PackedBytes {
+    fn new(bytes: usize) -> Self {
+        meter::add_packed(bytes);
+        Self { bytes }
+    }
+}
+
+impl Drop for PackedBytes {
+    fn drop(&mut self) {
+        meter::sub_packed(self.bytes);
+    }
+}
+
+/// A convolution with folded per-channel scale/bias and an optional fused
+/// epilogue activation, executed from persistently packed GEMM weight panels.
+#[derive(Debug)]
+pub struct FusedConv {
+    weight: Tensor,
+    bias: Vec<f32>,
+    spec: ConvSpec,
+    act: EpilogueAct,
+    plan: Option<ConvPlan>,
+    resident: Option<PackedBytes>,
+}
+
+impl FusedConv {
+    /// Builds an uncompiled fused conv from raw weights. A missing bias
+    /// becomes zeros (folding a BatchNorm in will overwrite it anyway).
+    pub fn new(weight: Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Self {
+        let c_out = weight.shape().n;
+        let bias = bias.map(|b| b.data().to_vec()).unwrap_or_else(|| vec![0.0; c_out]);
+        assert_eq!(bias.len(), c_out, "fused conv bias length mismatch");
+        Self { weight, bias, spec, act: EpilogueAct::None, plan: None, resident: None }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.weight.shape().n
+    }
+
+    /// Folds a following per-channel affine `y = scale * x + shift` into the
+    /// weights and bias: `w' = scale * w`, `b' = scale * b + shift`.
+    pub(crate) fn fold_affine(&mut self, scale: &[f32], shift: &[f32]) {
+        assert!(self.plan.is_none(), "cannot fold into a compiled conv");
+        let c_out = self.c_out();
+        assert_eq!(scale.len(), c_out, "affine scale length mismatch");
+        assert_eq!(shift.len(), c_out, "affine shift length mismatch");
+        let per = self.weight.shape().numel() / c_out;
+        for (o, chunk) in self.weight.data_mut().chunks_mut(per).enumerate() {
+            for w in chunk.iter_mut() {
+                *w *= scale[o];
+            }
+            self.bias[o] = self.bias[o] * scale[o] + shift[o];
+        }
+    }
+
+    /// Attaches `act` as the epilogue activation if none is set yet.
+    /// Returns `false` (leaving the conv unchanged) when an activation is
+    /// already fused or the conv is compiled.
+    pub(crate) fn try_set_act(&mut self, act: EpilogueAct) -> bool {
+        if self.act == EpilogueAct::None && act != EpilogueAct::None && self.plan.is_none() {
+            self.act = act;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Packs the weight panels (idempotent). Counts one
+    /// `"freeze.weights_packed"` event and registers the resident bytes.
+    pub fn compile(&mut self) {
+        if self.plan.is_none() {
+            let plan = ConvPlan::new(&self.weight, self.bias.clone(), self.spec, self.act);
+            meter::count("freeze.weights_packed");
+            self.resident = Some(PackedBytes::new(plan.packed_bytes()));
+            self.plan = Some(plan);
+        }
+    }
+
+    /// Bytes of packed panels (0 before [`FusedConv::compile`]).
+    pub fn packed_bytes(&self) -> usize {
+        self.plan.as_ref().map(|p| p.packed_bytes()).unwrap_or(0)
+    }
+
+    /// Output shape for input shape `x`.
+    pub fn out_shape(&self, x: Shape) -> Shape {
+        self.spec.out_shape(x, self.c_out())
+    }
+
+    /// Fused forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conv was not compiled.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.plan.as_ref().expect("FusedConv::forward before compile()").forward(x)
+    }
+}
+
+/// Standalone activation kinds, for positions where the activation cannot
+/// ride a GEMM epilogue (e.g. not preceded by a convolution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Hard-swish.
+    HardSwish,
+    /// Hard-sigmoid.
+    HardSigmoid,
+    /// Logistic sigmoid (never fused; has no epilogue form).
+    Sigmoid,
+}
+
+impl ActKind {
+    fn epilogue(self) -> Option<EpilogueAct> {
+        match self {
+            Self::Relu => Some(EpilogueAct::Relu),
+            Self::HardSwish => Some(EpilogueAct::HardSwish),
+            Self::HardSigmoid => Some(EpilogueAct::HardSigmoid),
+            Self::Sigmoid => None,
+        }
+    }
+
+    fn apply(self, x: &Tensor) -> Tensor {
+        // Formulas textually match the training-path layers in
+        // `layers::act` and the GEMM `EpilogueAct`.
+        match self {
+            Self::Relu => x.map(|v| v.max(0.0)),
+            Self::HardSwish => x.map(|v| v * (v + 3.0).clamp(0.0, 6.0) / 6.0),
+            Self::HardSigmoid => x.map(|v| (v + 3.0).clamp(0.0, 6.0) / 6.0),
+            Self::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+        }
+    }
+}
+
+/// The inference-only compiled form of a layer graph.
+#[derive(Debug)]
+pub enum FrozenLayer {
+    /// No-op (frozen dropout / drop-path / empty chains).
+    Identity,
+    /// A fused convolution (weights pre-packed, bias + activation in the
+    /// GEMM epilogue).
+    Conv(FusedConv),
+    /// Per-channel `y = scale * x + bias` (an unfused eval-mode BatchNorm).
+    Affine {
+        /// Per-channel multiplier, `[c]`.
+        scale: Tensor,
+        /// Per-channel offset, `[c]`.
+        bias: Tensor,
+    },
+    /// A standalone elementwise activation.
+    Act(ActKind),
+    /// Dense layer `y = x W^T + b`.
+    Linear {
+        /// Weight matrix stored `[out, in]`.
+        weight: Tensor,
+        /// Bias vector `[out]`.
+        bias: Tensor,
+    },
+    /// Integer-factor upsampling.
+    Upsample {
+        /// Scale factor.
+        factor: usize,
+        /// Interpolation mode.
+        mode: ResizeMode,
+    },
+    /// SpaceToDepth rearrangement.
+    SpaceToDepth {
+        /// Block size.
+        block: usize,
+    },
+    /// Global average pooling to `[n, c, 1, 1]`.
+    GlobalAvgPool,
+    /// Squeeze-excite gating with both 1x1 convs fused (ReLU and
+    /// hard-sigmoid run in the GEMM epilogues).
+    SqueezeExcite {
+        /// Bottleneck reduction conv (fused ReLU).
+        reduce: Box<FusedConv>,
+        /// Expansion conv (fused hard-sigmoid gate).
+        expand: Box<FusedConv>,
+    },
+    /// Identity skip around a branch: `y = x + branch(x)`.
+    Residual(Box<FrozenLayer>),
+    /// Layers applied in order.
+    Seq(Vec<FrozenLayer>),
+}
+
+impl FrozenLayer {
+    /// Builds a chain from already-frozen children, peephole-fusing as it
+    /// goes: nested sequences are spliced flat, identities dropped, a
+    /// [`FrozenLayer::Affine`] directly after a conv is folded into its
+    /// weights, and a fusable activation after a conv becomes its epilogue.
+    pub fn sequence(children: Vec<FrozenLayer>) -> FrozenLayer {
+        let mut out: Vec<FrozenLayer> = Vec::new();
+        for child in children {
+            Self::push_fused(&mut out, child);
+        }
+        match out.len() {
+            0 => FrozenLayer::Identity,
+            1 => out.pop().expect("len checked"),
+            _ => FrozenLayer::Seq(out),
+        }
+    }
+
+    fn push_fused(out: &mut Vec<FrozenLayer>, child: FrozenLayer) {
+        match child {
+            FrozenLayer::Identity => {}
+            FrozenLayer::Seq(inner) => {
+                for sub in inner {
+                    Self::push_fused(out, sub);
+                }
+            }
+            FrozenLayer::Affine { scale, bias } => {
+                if let Some(FrozenLayer::Conv(fc)) = out.last_mut() {
+                    if fc.act == EpilogueAct::None {
+                        fc.fold_affine(scale.data(), bias.data());
+                        return;
+                    }
+                }
+                out.push(FrozenLayer::Affine { scale, bias });
+            }
+            FrozenLayer::Act(kind) => {
+                if let (Some(FrozenLayer::Conv(fc)), Some(epi)) = (out.last_mut(), kind.epilogue())
+                {
+                    if fc.try_set_act(epi) {
+                        return;
+                    }
+                }
+                out.push(FrozenLayer::Act(kind));
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Packs every conv's weight panels (idempotent, recursive).
+    pub fn compile(&mut self) {
+        match self {
+            FrozenLayer::Conv(fc) => fc.compile(),
+            FrozenLayer::SqueezeExcite { reduce, expand } => {
+                reduce.compile();
+                expand.compile();
+            }
+            FrozenLayer::Residual(inner) => inner.compile(),
+            FrozenLayer::Seq(children) => {
+                for c in children {
+                    c.compile();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Total bytes of packed weight panels in this subtree.
+    pub fn packed_bytes(&self) -> usize {
+        match self {
+            FrozenLayer::Conv(fc) => fc.packed_bytes(),
+            FrozenLayer::SqueezeExcite { reduce, expand } => {
+                reduce.packed_bytes() + expand.packed_bytes()
+            }
+            FrozenLayer::Residual(inner) => inner.packed_bytes(),
+            FrozenLayer::Seq(children) => children.iter().map(|c| c.packed_bytes()).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Fused forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains an uncompiled conv.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            FrozenLayer::Identity => x.clone(),
+            FrozenLayer::Conv(fc) => fc.forward(x),
+            FrozenLayer::Affine { scale, bias } => {
+                let mut y = x.clone();
+                y.mul_channel(scale);
+                y.add_channel_bias(bias);
+                y
+            }
+            FrozenLayer::Act(kind) => kind.apply(x),
+            FrozenLayer::Linear { weight, bias } => {
+                let xs = x.shape();
+                let (out_f, in_f) = (weight.shape().n, weight.shape().c);
+                assert_eq!(
+                    (xs.c, xs.h, xs.w),
+                    (in_f, 1, 1),
+                    "frozen linear expects [n, {in_f}, 1, 1], got {xs}"
+                );
+                let mut y = Tensor::zeros(Shape::new(xs.n, out_f, 1, 1));
+                sgemm_a_bt(xs.n, in_f, out_f, 1.0, x.data(), weight.data(), 0.0, y.data_mut());
+                for n in 0..xs.n {
+                    for o in 0..out_f {
+                        y.data_mut()[n * out_f + o] += bias.data()[o];
+                    }
+                }
+                y
+            }
+            FrozenLayer::Upsample { factor, mode } => upsample(x, *factor, *mode),
+            FrozenLayer::SpaceToDepth { block } => space_to_depth(x, *block),
+            FrozenLayer::GlobalAvgPool => global_avg_pool(x),
+            FrozenLayer::SqueezeExcite { reduce, expand } => {
+                let s = global_avg_pool(x);
+                let g = expand.forward(&reduce.forward(&s));
+                let xs = x.shape();
+                let (c, hw) = (xs.c, xs.hw());
+                let mut y = x.clone();
+                for n in 0..xs.n {
+                    for ci in 0..c {
+                        let gv = g.data()[n * c + ci];
+                        let base = (n * c + ci) * hw;
+                        for v in &mut y.data_mut()[base..base + hw] {
+                            *v *= gv;
+                        }
+                    }
+                }
+                y
+            }
+            FrozenLayer::Residual(inner) => {
+                let b = inner.forward(x);
+                &b + x
+            }
+            FrozenLayer::Seq(children) => {
+                let mut cur = x.clone();
+                for c in children {
+                    cur = c.forward(&cur);
+                }
+                cur
+            }
+        }
+    }
+}
+
+/// Freezes a layer and compiles the result (packs all conv weight panels).
+pub fn freeze_layer(layer: &dyn Layer) -> Result<FrozenLayer, FreezeError> {
+    let mut frozen = layer.freeze()?;
+    frozen.compile();
+    Ok(frozen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{
+        BatchNorm2d, Conv2d, DropPath, Dropout, HardSwish, MBConv, MBConvCfg, Relu, Residual,
+        SqueezeExcite,
+    };
+    use crate::mode::CacheMode;
+    use crate::module::{Identity, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Trains the BN stats away from (0, 1) so folding is non-trivial.
+    fn warm_bn(seq: &mut dyn Layer, x: &Tensor) {
+        for _ in 0..3 {
+            let _ = seq.forward(x, CacheMode::Stats);
+            seq.clear_cache();
+        }
+    }
+
+    #[test]
+    fn conv_bn_act_chain_folds_to_one_fused_conv() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seq = Sequential::new()
+            .push(Box::new(Conv2d::pointwise(6, 10, false, &mut rng)))
+            .push(Box::new(BatchNorm2d::new(10)))
+            .push(Box::new(HardSwish::new()));
+        let x = Tensor::randn(Shape::new(2, 6, 8, 8), 1.0, &mut rng);
+        warm_bn(&mut seq, &x);
+
+        let frozen = freeze_layer(&seq).unwrap();
+        assert!(matches!(frozen, FrozenLayer::Conv(_)), "chain should fuse to one conv");
+        assert!(frozen.packed_bytes() > 0);
+
+        let want = seq.forward(&x, CacheMode::None);
+        let got = frozen.forward(&x);
+        let tol = 1e-5 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn dropout_and_droppath_freeze_to_identity() {
+        assert!(matches!(Dropout::new(0.5, 1).freeze().unwrap(), FrozenLayer::Identity));
+        assert!(matches!(DropPath::new(0.5, 1).freeze().unwrap(), FrozenLayer::Identity));
+        let seq = Sequential::new().push(Box::new(Identity)).push(Box::new(Dropout::new(0.3, 2)));
+        assert!(matches!(seq.freeze().unwrap(), FrozenLayer::Identity));
+    }
+
+    #[test]
+    fn squeeze_excite_freezes_with_fused_gates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut se = SqueezeExcite::new(8, 0.25, &mut rng);
+        let x = Tensor::randn(Shape::new(2, 8, 5, 5), 1.0, &mut rng);
+        let frozen = freeze_layer(&se).unwrap();
+        let want = se.forward(&x, CacheMode::None);
+        let got = frozen.forward(&x);
+        let tol = 1e-5 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn mbconv_freezes_and_matches_eval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for cfg in [
+            MBConvCfg::same(8, 3, 2.0).with_se(0.25),
+            MBConvCfg::down(8, 12, 1, 2.0),
+            MBConvCfg::up(8, 6, 1, 1.5),
+        ] {
+            let mut b = MBConv::new(cfg, &mut rng);
+            let x = Tensor::randn(Shape::new(2, 8, 8, 8), 1.0, &mut rng);
+            warm_bn(&mut b, &x);
+            let frozen = freeze_layer(&b).unwrap();
+            let want = b.forward(&x, CacheMode::None);
+            let got = frozen.forward(&x);
+            assert_eq!(got.shape(), want.shape());
+            let tol = 1e-4 * (1.0 + want.abs_max());
+            assert!(
+                got.max_abs_diff(&want) < tol,
+                "cfg {cfg:?}: diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn residual_freeze_keeps_the_skip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::pointwise(4, 4, true, &mut rng);
+        let mut res = Residual::new(Box::new(conv), 0.1, 7);
+        let x = Tensor::randn(Shape::new(1, 4, 6, 6), 1.0, &mut rng);
+        let frozen = freeze_layer(&res).unwrap();
+        let want = res.forward(&x, CacheMode::None);
+        let got = frozen.forward(&x);
+        let tol = 1e-5 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol);
+    }
+
+    #[test]
+    fn packing_is_metered_and_released_on_drop() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let before_events = meter::event_count("freeze.weights_packed");
+        let base = meter::packed_current();
+        let seq = Sequential::new()
+            .push(Box::new(Conv2d::pointwise(6, 10, false, &mut rng)))
+            .push(Box::new(BatchNorm2d::new(10)));
+        let frozen = freeze_layer(&seq).unwrap();
+        assert_eq!(meter::event_count("freeze.weights_packed"), before_events + 1);
+        assert_eq!(meter::packed_current(), base + frozen.packed_bytes());
+        // Forward passes never re-pack.
+        let x = Tensor::randn(Shape::new(1, 6, 4, 4), 1.0, &mut rng);
+        let _ = frozen.forward(&x);
+        let _ = frozen.forward(&x);
+        assert_eq!(meter::event_count("freeze.weights_packed"), before_events + 1);
+        drop(frozen);
+        assert_eq!(meter::packed_current(), base);
+    }
+
+    #[test]
+    fn compile_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let conv = Conv2d::pointwise(4, 4, true, &mut rng);
+        let before = meter::event_count("freeze.weights_packed");
+        let mut frozen = conv.freeze().unwrap();
+        assert_eq!(frozen.packed_bytes(), 0, "freeze alone must not pack");
+        frozen.compile();
+        frozen.compile();
+        assert_eq!(meter::event_count("freeze.weights_packed"), before + 1);
+    }
+
+    #[test]
+    fn unsupported_layers_report_their_name() {
+        #[derive(Debug)]
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, x: &Tensor, _mode: CacheMode) -> Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, dy: &Tensor) -> Tensor {
+                dy.clone()
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+        }
+        let err = Opaque.freeze().unwrap_err();
+        assert_eq!(err, FreezeError::Unsupported("opaque".into()));
+        // A chain containing it fails the same way.
+        let seq = Sequential::new().push(Box::new(Relu::new())).push(Box::new(Opaque));
+        assert!(seq.freeze().is_err());
+    }
+}

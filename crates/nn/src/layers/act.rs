@@ -1,6 +1,7 @@
 //! Element-wise activations: ReLU, hard-swish (the paper's non-linearity),
 //! hard-sigmoid, and sigmoid.
 
+use crate::freeze::{ActKind, FreezeError, FrozenLayer};
 use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
@@ -46,6 +47,10 @@ impl Layer for Relu {
 
     fn name(&self) -> &str {
         "relu"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Act(ActKind::Relu))
     }
 }
 
@@ -106,6 +111,10 @@ impl Layer for HardSwish {
     fn name(&self) -> &str {
         "hardswish"
     }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Act(ActKind::HardSwish))
+    }
 }
 
 #[inline]
@@ -163,6 +172,10 @@ impl Layer for HardSigmoid {
     fn name(&self) -> &str {
         "hardsigmoid"
     }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Act(ActKind::HardSigmoid))
+    }
 }
 
 /// Logistic sigmoid (caches its *output*, which determines the gradient).
@@ -206,6 +219,10 @@ impl Layer for Sigmoid {
 
     fn name(&self) -> &str {
         "sigmoid"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Act(ActKind::Sigmoid))
     }
 }
 

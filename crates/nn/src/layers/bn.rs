@@ -9,6 +9,7 @@
 //! exactly and the resulting gradients equal conventional training's
 //! bit-for-bit (up to f32 addition rounding in the couplings).
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
@@ -246,6 +247,22 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &str {
         "batchnorm2d"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        // Eval-mode BN is the per-channel affine
+        //   y = gamma * (x - mean) / sqrt(var + eps) + beta
+        //     = scale * x + bias
+        // with scale = gamma / sqrt(running_var + eps) and
+        // bias = beta - running_mean * scale.
+        let mut scale = Tensor::zeros(Shape::vector(self.c));
+        let mut bias = Tensor::zeros(Shape::vector(self.c));
+        for c in 0..self.c {
+            let s = self.gamma.value.data()[c] / (self.running_var.data()[c] + self.eps).sqrt();
+            scale.data_mut()[c] = s;
+            bias.data_mut()[c] = self.beta.value.data()[c] - self.running_mean.data()[c] * s;
+        }
+        Ok(FrozenLayer::Affine { scale, bias })
     }
 }
 

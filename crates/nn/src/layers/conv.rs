@@ -1,5 +1,6 @@
 //! Convolution layer wrapping the raw kernels with parameters and caching.
 
+use crate::freeze::{FreezeError, FrozenLayer, FusedConv};
 use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
@@ -63,6 +64,11 @@ impl Conv2d {
     pub fn weight_mut(&mut self) -> &mut Param {
         &mut self.weight
     }
+
+    /// This convolution's frozen (fusable, uncompiled) form.
+    pub fn fused(&self) -> FusedConv {
+        FusedConv::new(self.weight.value.clone(), self.bias.as_ref().map(|b| &b.value), self.spec)
+    }
 }
 
 impl Layer for Conv2d {
@@ -112,6 +118,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &str {
         "conv2d"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Conv(self.fused()))
     }
 }
 

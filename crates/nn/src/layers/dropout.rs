@@ -5,6 +5,7 @@
 //! `Stats`-mode forward freezes the seed; the recomputing `Full`-mode
 //! forward replays it.
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
@@ -106,6 +107,10 @@ impl Layer for Dropout {
     fn name(&self) -> &str {
         "dropout"
     }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Identity)
+    }
 }
 
 /// Stochastic depth (Huang et al. 2016): drops the whole residual branch per
@@ -198,6 +203,10 @@ impl Layer for DropPath {
     fn name(&self) -> &str {
         "drop_path"
     }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Identity)
+    }
 }
 
 /// Residual wrapper: `y = x + drop_path(branch(x))`.
@@ -263,6 +272,11 @@ impl Layer for Residual {
 
     fn name(&self) -> &str {
         "residual"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        // Eval-mode drop-path is the identity, so only the branch remains.
+        Ok(FrozenLayer::Residual(Box::new(self.branch.freeze()?)))
     }
 }
 

@@ -1,5 +1,6 @@
 //! Dense (fully connected) layer on `[n, c, 1, 1]` feature vectors.
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::init::kaiming_linear;
 use crate::meter::Cached;
 use crate::mode::CacheMode;
@@ -112,6 +113,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &str {
         "linear"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Linear { weight: self.weight.value.clone(), bias: self.bias.value.clone() })
     }
 }
 

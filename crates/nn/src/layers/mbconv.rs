@@ -8,6 +8,7 @@
 //! * upsample by `2^k`: depthwise stride 1 (kernel 3 or 5) followed by
 //!   bilinear upsampling.
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::layers::act::HardSwish;
 use crate::layers::bn::BatchNorm2d;
 use crate::layers::conv::Conv2d;
@@ -241,6 +242,10 @@ impl Layer for MBConv {
 
     fn name(&self) -> &str {
         "mbconv"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        self.inner.freeze()
     }
 }
 

@@ -2,6 +2,7 @@
 //! hard-sigmoid gate). RevBiFPN applies SE on the high-resolution streams
 //! (Ridnik et al. 2021; ablated in Table 5 of the paper).
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::layers::act::{HardSigmoid, Relu};
 use crate::layers::conv::Conv2d;
 use crate::meter::Cached;
@@ -9,7 +10,7 @@ use crate::mode::CacheMode;
 use crate::module::Layer;
 use crate::param::Param;
 use rand::Rng;
-use revbifpn_tensor::{global_avg_pool, global_avg_pool_backward, Shape, Tensor};
+use revbifpn_tensor::{global_avg_pool, global_avg_pool_backward, EpilogueAct, Shape, Tensor};
 
 /// `y = x * gate(x)` where `gate = hsigmoid(W2 relu(W1 gap(x)))`.
 #[derive(Debug)]
@@ -152,6 +153,14 @@ impl Layer for SqueezeExcite {
 
     fn name(&self) -> &str {
         "squeeze_excite"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        let mut reduce = self.reduce.fused();
+        let mut expand = self.expand.fused();
+        reduce.try_set_act(EpilogueAct::Relu);
+        expand.try_set_act(EpilogueAct::HardSigmoid);
+        Ok(FrozenLayer::SqueezeExcite { reduce: Box::new(reduce), expand: Box::new(expand) })
     }
 }
 

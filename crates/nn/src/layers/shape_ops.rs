@@ -1,6 +1,7 @@
 //! Parameter-free shape-changing layers: global average pooling, bilinear /
 //! nearest upsampling, and the invertible SpaceToDepth rearrangement.
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
@@ -53,6 +54,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &str {
         "gap"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::GlobalAvgPool)
     }
 }
 
@@ -113,6 +118,10 @@ impl Layer for Upsample {
     fn name(&self) -> &str {
         "upsample"
     }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Upsample { factor: self.factor, mode: self.mode })
+    }
 }
 
 /// SpaceToDepth rearrangement layer (the RevBiFPN stem body). Invertible and
@@ -159,6 +168,10 @@ impl Layer for SpaceToDepth {
 
     fn name(&self) -> &str {
         "space_to_depth"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::SpaceToDepth { block: self.block })
     }
 }
 

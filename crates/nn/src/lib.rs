@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod freeze;
 pub mod gradcheck;
 pub mod init;
 pub mod loss;
@@ -33,6 +34,7 @@ mod mode;
 mod module;
 mod param;
 
+pub use freeze::{freeze_layer, ActKind, FreezeError, FrozenLayer, FusedConv};
 pub use meter::Cached;
 pub use mode::CacheMode;
 pub use module::{grad_sq_norm, param_count, zero_grads, Identity, Layer, Sequential};

@@ -22,6 +22,7 @@ pub use revbifpn_tensor::scratch::{
 thread_local! {
     static CURRENT: Cell<usize> = const { Cell::new(0) };
     static PEAK: Cell<usize> = const { Cell::new(0) };
+    static PACKED: Cell<usize> = const { Cell::new(0) };
     static EVENTS: RefCell<BTreeMap<&'static str, u64>> = const { RefCell::new(BTreeMap::new()) };
 }
 
@@ -95,6 +96,24 @@ pub fn current() -> usize {
     CURRENT.with(|c| c.get())
 }
 
+/// Registers `bytes` of persistently packed inference weights (frozen-model
+/// GEMM panels). Tracked separately from the per-step activation counters:
+/// packed weights live for the lifetime of a frozen model and must survive
+/// the per-step [`reset`].
+pub fn add_packed(bytes: usize) {
+    PACKED.with(|p| p.set(p.get() + bytes));
+}
+
+/// Releases `bytes` of packed inference weights (frozen model dropped).
+pub fn sub_packed(bytes: usize) {
+    PACKED.with(|p| p.set(p.get().saturating_sub(bytes)));
+}
+
+/// Bytes of packed inference weights currently resident on this thread.
+pub fn packed_current() -> usize {
+    PACKED.with(|p| p.get())
+}
+
 /// High-water mark since the last [`reset`].
 pub fn peak() -> usize {
     PEAK.with(|p| p.get())
@@ -108,6 +127,9 @@ pub struct MemoryReport {
     pub cached_current: usize,
     /// High-water mark of cached activation bytes since the last [`reset`].
     pub cached_peak: usize,
+    /// Bytes of persistently packed frozen-model weight panels resident on
+    /// this thread (survives the per-step [`reset`]).
+    pub packed_weight_bytes: usize,
     /// Kernel scratch-arena counters (borrows, heap growths, peak/resident
     /// bytes). `heap_growths` staying flat across steps means conv/GEMM calls
     /// are allocation-free at steady state.
@@ -116,7 +138,12 @@ pub struct MemoryReport {
 
 /// Captures a [`MemoryReport`] for the current thread.
 pub fn report() -> MemoryReport {
-    MemoryReport { cached_current: current(), cached_peak: peak(), scratch: scratch_stats() }
+    MemoryReport {
+        cached_current: current(),
+        cached_peak: peak(),
+        packed_weight_bytes: packed_current(),
+        scratch: scratch_stats(),
+    }
 }
 
 /// A slot for backward-pass state whose size is tracked by the meter.

@@ -1,5 +1,6 @@
 //! The single-input [`Layer`] trait and generic helpers over it.
 
+use crate::freeze::{FreezeError, FrozenLayer};
 use crate::mode::CacheMode;
 use crate::param::Param;
 use revbifpn_tensor::{Shape, Tensor};
@@ -66,6 +67,16 @@ pub trait Layer: std::fmt::Debug {
     fn name(&self) -> &str {
         "layer"
     }
+
+    /// This layer's inference-only frozen form (see [`crate::freeze`]).
+    ///
+    /// The returned tree is *uncompiled*: call [`FrozenLayer::compile`] (or
+    /// use [`crate::freeze::freeze_layer`]) to pack the conv weights before
+    /// running it. Layers without a fused equivalent return
+    /// [`FreezeError::Unsupported`].
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Err(FreezeError::Unsupported(self.name().to_string()))
+    }
 }
 
 /// Counts scalar parameters of a layer.
@@ -103,6 +114,10 @@ impl Layer for Identity {
 
     fn name(&self) -> &str {
         "identity"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        Ok(FrozenLayer::Identity)
     }
 }
 
@@ -211,6 +226,11 @@ impl Layer for Sequential {
 
     fn name(&self) -> &str {
         "sequential"
+    }
+
+    fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
+        let children = self.layers.iter().map(|l| l.freeze()).collect::<Result<Vec<_>, _>>()?;
+        Ok(FrozenLayer::sequence(children))
     }
 }
 

@@ -1,0 +1,323 @@
+//! Frozen (inference-only) execution of the reversible backbone stages.
+//!
+//! The frozen forms replicate the eval-mode (`CacheMode::None`) stage math
+//! exactly — same stream indexing, same accumulation order — but every
+//! transform is a fused [`FrozenLayer`]: BN folded into the convs,
+//! activations in the GEMM epilogues, weight panels packed once. Frozen
+//! stages are forward-only; reversibility is a training-time property and
+//! the whole point of freezing is that inference does not pay for it.
+
+use revbifpn_nn::{FreezeError, FrozenLayer};
+use revbifpn_tensor::Tensor;
+
+/// Frozen form of a [`crate::RevBlock`]:
+/// `y1 = x1 + F(x2); y2 = x2 + G(y1)`.
+#[derive(Debug)]
+pub struct FrozenRevBlock {
+    pub(crate) f: FrozenLayer,
+    pub(crate) g: FrozenLayer,
+    pub(crate) c_split: usize,
+}
+
+impl FrozenRevBlock {
+    /// Fused forward pass (additive coupling, eval semantics).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (x1, x2) = x.split_channels(self.c_split);
+        let f_out = self.f.forward(&x2);
+        let y1 = &x1 + &f_out;
+        let g_out = self.g.forward(&y1);
+        let y2 = &x2 + &g_out;
+        Tensor::concat_channels(&[&y1, &y2])
+    }
+
+    fn compile(&mut self) {
+        self.f.compile();
+        self.g.compile();
+    }
+
+    fn packed_bytes(&self) -> usize {
+        self.f.packed_bytes() + self.g.packed_bytes()
+    }
+}
+
+/// Frozen form of a [`crate::RevSilo`]: the bidirectional fusion math of
+/// Equations 1–8 with fused transforms.
+#[derive(Debug)]
+pub struct FrozenSilo {
+    pub(crate) n_in: usize,
+    pub(crate) n_out: usize,
+    /// `down[i][j]`, `j < min(i, n_in)`: transform stream `j` -> `i`.
+    pub(crate) down: Vec<Vec<FrozenLayer>>,
+    /// `up[i][j - i - 1]`, `j in i+1..n_out`: transform stream `j` -> `i`.
+    pub(crate) up: Vec<Vec<FrozenLayer>>,
+}
+
+impl FrozenSilo {
+    /// Number of input streams.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of output streams.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Fused forward pass over `xs` (length `n_in`), producing `n_out`
+    /// streams. Mirrors [`crate::RevSilo::forward`] in eval mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != n_in`.
+    pub fn forward(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        assert_eq!(xs.len(), self.n_in, "FrozenSilo expects {} input streams", self.n_in);
+        // Down half: m_0 = x_0, m_i = x_i + sum_{j<i} D_ij(x_j).
+        let mut mids: Vec<Tensor> = Vec::with_capacity(self.n_out);
+        mids.push(xs[0].clone());
+        for i in 1..self.n_out {
+            let mut acc: Option<Tensor> = if i < self.n_in { Some(xs[i].clone()) } else { None };
+            for (j, d) in self.down[i].iter().enumerate().take(i.min(self.n_in)) {
+                let t = d.forward(&xs[j]);
+                match &mut acc {
+                    Some(a) => a.add_assign(&t),
+                    None => acc = Some(t),
+                }
+            }
+            mids.push(acc.expect("stream must receive at least one contribution"));
+        }
+        // Up half: o_{N-1} = m_{N-1}, o_i = m_i + sum_{j>i} U_ij(m_j).
+        let mut outs = vec![Tensor::zeros(revbifpn_tensor::Shape::new(1, 1, 1, 1)); self.n_out];
+        outs[self.n_out - 1] = mids[self.n_out - 1].clone();
+        for i in (0..self.n_out - 1).rev() {
+            let mut acc = mids[i].clone();
+            for (u, m) in self.up[i].iter().zip(&mids[i + 1..]) {
+                let t = u.forward(m);
+                acc.add_assign(&t);
+            }
+            outs[i] = acc;
+        }
+        outs
+    }
+
+    fn compile(&mut self) {
+        for row in self.down.iter_mut().chain(self.up.iter_mut()) {
+            for l in row {
+                l.compile();
+            }
+        }
+    }
+
+    fn packed_bytes(&self) -> usize {
+        self.down
+            .iter()
+            .chain(self.up.iter())
+            .flat_map(|row| row.iter())
+            .map(|l| l.packed_bytes())
+            .sum()
+    }
+}
+
+/// One frozen stage of a reversible sequence.
+#[derive(Debug)]
+pub enum FrozenStage {
+    /// A frozen fusion silo.
+    Silo(FrozenSilo),
+    /// Per-stream chains of frozen reversible residual blocks (streams do
+    /// not interact).
+    Blocks(Vec<Vec<FrozenRevBlock>>),
+}
+
+impl FrozenStage {
+    /// Fused forward pass over the stream vector.
+    pub fn forward(&self, xs: &[Tensor]) -> Vec<Tensor> {
+        match self {
+            FrozenStage::Silo(s) => s.forward(xs),
+            FrozenStage::Blocks(blocks) => {
+                assert_eq!(xs.len(), blocks.len(), "FrozenStage stream count mismatch");
+                xs.iter()
+                    .zip(blocks)
+                    .map(|(x, chain)| {
+                        let mut cur = x.clone();
+                        for b in chain {
+                            cur = b.forward(&cur);
+                        }
+                        cur
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Packs all conv weight panels in this stage (idempotent).
+    pub fn compile(&mut self) {
+        match self {
+            FrozenStage::Silo(s) => s.compile(),
+            FrozenStage::Blocks(blocks) => {
+                for chain in blocks {
+                    for b in chain {
+                        b.compile();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total bytes of packed weight panels in this stage.
+    pub fn packed_bytes(&self) -> usize {
+        match self {
+            FrozenStage::Silo(s) => s.packed_bytes(),
+            FrozenStage::Blocks(blocks) => {
+                blocks.iter().flat_map(|chain| chain.iter()).map(|b| b.packed_bytes()).sum()
+            }
+        }
+    }
+}
+
+/// A frozen [`crate::ReversibleSequence`]: the backbone chain with every
+/// stage in fused form.
+#[derive(Debug)]
+pub struct FrozenSequence {
+    stages: Vec<FrozenStage>,
+}
+
+impl FrozenSequence {
+    pub(crate) fn new(stages: Vec<FrozenStage>) -> Self {
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Fused forward through all stages.
+    pub fn forward(&self, xs: Vec<Tensor>) -> Vec<Tensor> {
+        let mut cur = xs;
+        for s in &self.stages {
+            cur = s.forward(&cur);
+        }
+        cur
+    }
+
+    /// Packs all conv weight panels (idempotent).
+    pub fn compile(&mut self) {
+        for s in &mut self.stages {
+            s.compile();
+        }
+    }
+
+    /// Total bytes of packed weight panels across all stages.
+    pub fn packed_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.packed_bytes()).sum()
+    }
+}
+
+/// Convenience error type alias used by the freeze hooks in this crate.
+pub type FreezeResult<T> = Result<T, FreezeError>;
+
+#[cfg(test)]
+mod tests {
+    use crate::stage::RevStage;
+    use crate::{BlockStage, RevBlock, RevSilo, ReversibleSequence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use revbifpn_nn::layers::{MBConv, MBConvCfg};
+    use revbifpn_nn::{CacheMode, Layer};
+    use revbifpn_tensor::{Shape, Tensor};
+
+    const C: [usize; 3] = [8, 12, 16];
+
+    fn make_silo(n_in: usize, n_out: usize, seed: u64) -> RevSilo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut down = |j: usize, i: usize| -> Box<dyn Layer> {
+            Box::new(MBConv::new(MBConvCfg::down(C[j], C[i], (i - j) as u32, 1.5), &mut rng))
+                as Box<dyn Layer>
+        };
+        let mut rng2 = StdRng::seed_from_u64(seed + 1);
+        let mut up = |j: usize, i: usize| -> Box<dyn Layer> {
+            Box::new(MBConv::new(MBConvCfg::up(C[j], C[i], (j - i) as u32, 1.5), &mut rng2))
+                as Box<dyn Layer>
+        };
+        RevSilo::new(n_in, n_out, &mut down, &mut up)
+    }
+
+    fn make_blocks(streams: usize, seed: u64) -> BlockStage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..streams)
+            .map(|i| {
+                let half = C[i] / 2;
+                let f = MBConv::new(MBConvCfg::same(half, 3, 1.5).plain(), &mut rng);
+                let g = MBConv::new(MBConvCfg::same(half, 3, 1.5).plain(), &mut rng);
+                vec![RevBlock::new(C[i], Box::new(f), Box::new(g))]
+            })
+            .collect();
+        BlockStage::new(blocks)
+    }
+
+    fn randomize_bn(seq: &mut ReversibleSequence, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        seq.visit_params(&mut |p| {
+            if p.name == "bn.gamma" {
+                p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+            }
+        });
+    }
+
+    #[test]
+    fn frozen_sequence_matches_eval_forward() {
+        let mut seq = ReversibleSequence::new();
+        seq.add(Box::new(make_silo(1, 2, 30)));
+        seq.add(Box::new(make_blocks(2, 31)));
+        seq.add(Box::new(make_silo(2, 3, 32)));
+        randomize_bn(&mut seq, 33);
+
+        let mut frozen = seq.freeze().unwrap();
+        frozen.compile();
+        assert_eq!(frozen.len(), 3);
+        assert!(frozen.packed_bytes() > 0);
+
+        let mut rng = StdRng::seed_from_u64(34);
+        let x = Tensor::randn(Shape::new(2, 8, 16, 16), 1.0, &mut rng);
+        let want = seq.forward(vec![x.clone()], CacheMode::None);
+        let got = frozen.forward(vec![x]);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.shape(), w.shape(), "stream {i}");
+            let tol = 1e-4 * (1.0 + w.abs_max());
+            assert!(g.max_abs_diff(w) < tol, "stream {i}: diff {}", g.max_abs_diff(w));
+        }
+    }
+
+    #[test]
+    fn frozen_stage_hooks_cover_both_stage_kinds() {
+        let silo = make_silo(2, 2, 40);
+        let blocks = make_blocks(2, 41);
+        let mut fs = RevStage::freeze(&silo).unwrap();
+        fs.compile();
+        let mut fb = RevStage::freeze(&blocks).unwrap();
+        fb.compile();
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = vec![
+            Tensor::randn(Shape::new(1, C[0], 8, 8), 1.0, &mut rng),
+            Tensor::randn(Shape::new(1, C[1], 4, 4), 1.0, &mut rng),
+        ];
+        let mut silo = silo;
+        let mut blocks = blocks;
+        for (stage, frozen) in
+            [(&mut silo as &mut dyn RevStage, &fs), (&mut blocks as &mut dyn RevStage, &fb)]
+        {
+            let want = stage.forward(&xs, CacheMode::None);
+            let got = frozen.forward(&xs);
+            for (g, w) in got.iter().zip(&want) {
+                let tol = 1e-4 * (1.0 + w.abs_max());
+                assert!(g.max_abs_diff(w) < tol, "diff {}", g.max_abs_diff(w));
+            }
+        }
+    }
+}

@@ -41,10 +41,12 @@
 
 #![warn(missing_docs)]
 
+mod freeze;
 mod revblock;
 mod silo;
 mod stage;
 
+pub use freeze::{FreezeResult, FrozenRevBlock, FrozenSequence, FrozenSilo, FrozenStage};
 pub use revblock::RevBlock;
 pub use silo::{RevSilo, TransformFactory};
 pub use stage::{

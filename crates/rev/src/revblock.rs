@@ -45,6 +45,17 @@ impl RevBlock {
         self.channels
     }
 
+    /// Inference-only frozen form: `F` and `G` are frozen via
+    /// [`Layer::freeze`] (BN folded, activations fused). The result is
+    /// *uncompiled*; see [`crate::FrozenRevBlock`].
+    pub fn freeze(&self) -> Result<crate::FrozenRevBlock, revbifpn_nn::FreezeError> {
+        Ok(crate::FrozenRevBlock {
+            f: self.f.freeze()?,
+            g: self.g.freeze()?,
+            c_split: self.c_split,
+        })
+    }
+
     /// Forward pass in the given cache mode.
     ///
     /// # Panics

@@ -86,6 +86,23 @@ impl RevSilo {
         &mut self.up[i][j - i - 1]
     }
 
+    /// Inference-only frozen form: every `D_ij`/`U_ij` transform is frozen
+    /// via [`Layer::freeze`] (BN folded, activations fused). The result is
+    /// *uncompiled*; see [`crate::FrozenSilo`].
+    pub fn freeze(&self) -> Result<crate::FrozenSilo, revbifpn_nn::FreezeError> {
+        let freeze_rows = |rows: &[Vec<Box<dyn Layer>>]| {
+            rows.iter()
+                .map(|row| row.iter().map(|l| l.freeze()).collect::<Result<Vec<_>, _>>())
+                .collect::<Result<Vec<_>, _>>()
+        };
+        Ok(crate::FrozenSilo {
+            n_in: self.n_in,
+            n_out: self.n_out,
+            down: freeze_rows(&self.down)?,
+            up: freeze_rows(&self.up)?,
+        })
+    }
+
     /// Down-half: mid-stream tensors from inputs.
     fn mids(&mut self, xs: &[Tensor], mode: CacheMode) -> Vec<Tensor> {
         let mut mids: Vec<Tensor> = Vec::with_capacity(self.n_out);

@@ -59,6 +59,13 @@ pub trait RevStage: std::fmt::Debug {
     fn name(&self) -> &str {
         "rev_stage"
     }
+
+    /// Inference-only frozen form of this stage (see [`crate::FrozenStage`]).
+    /// The result is *uncompiled*: call [`crate::FrozenStage::compile`] (or
+    /// freeze through [`ReversibleSequence::freeze`]) before running it.
+    fn freeze(&self) -> Result<crate::FrozenStage, revbifpn_nn::FreezeError> {
+        Err(revbifpn_nn::FreezeError::Unsupported(self.name().to_string()))
+    }
 }
 
 impl RevStage for RevSilo {
@@ -112,6 +119,10 @@ impl RevStage for RevSilo {
 
     fn name(&self) -> &str {
         "rev_silo"
+    }
+
+    fn freeze(&self) -> Result<crate::FrozenStage, revbifpn_nn::FreezeError> {
+        Ok(crate::FrozenStage::Silo(RevSilo::freeze(self)?))
     }
 }
 
@@ -243,6 +254,15 @@ impl RevStage for BlockStage {
 
     fn name(&self) -> &str {
         "block_stage"
+    }
+
+    fn freeze(&self) -> Result<crate::FrozenStage, revbifpn_nn::FreezeError> {
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|chain| chain.iter().map(RevBlock::freeze).collect::<Result<Vec<_>, _>>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(crate::FrozenStage::Blocks(blocks))
     }
 }
 
@@ -486,6 +506,14 @@ impl ReversibleSequence {
     /// Immutable stage access.
     pub fn stages(&self) -> &[Box<dyn RevStage>] {
         &self.stages
+    }
+
+    /// Inference-only frozen form of the whole chain: every stage frozen via
+    /// [`RevStage::freeze`]. The result is *uncompiled*; call
+    /// [`crate::FrozenSequence::compile`] to pack the conv weights.
+    pub fn freeze(&self) -> Result<crate::FrozenSequence, revbifpn_nn::FreezeError> {
+        let stages = self.stages.iter().map(|s| s.freeze()).collect::<Result<Vec<_>, _>>()?;
+        Ok(crate::FrozenSequence::new(stages))
     }
 
     /// Forward through all stages. For training, pass `CacheMode::Stats`

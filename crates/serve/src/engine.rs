@@ -2,10 +2,12 @@
 //! degradation routing, and the watchdog.
 //!
 //! Ownership layout: all cross-thread state lives in one `Arc<Shared>`.
-//! Worker threads own their model replicas outright (the model needs
-//! `&mut self` to forward; replicas are built from the same seeded config,
-//! so every worker holds identical weights). The watchdog owns nothing but
-//! the `Arc` and the right to replace worker slots.
+//! Worker threads own their model replicas outright as a [`ModelBank`] of
+//! *frozen* models ([`revbifpn::FrozenClassifier`]): BN folded into the
+//! convs, activations in the GEMM epilogues, weight panels pre-packed once
+//! at freeze time. Replicas are built from the same seeded config, so every
+//! worker holds identical weights. The watchdog owns nothing but the `Arc`
+//! and the right to replace worker slots.
 
 use crate::degrade::{downscale_rung, DegradeConfig, DegradeController};
 use crate::error::ServeError;
@@ -13,7 +15,7 @@ use crate::health::{Counters, HealthSnapshot, LatencyWindow};
 use crate::queue::BoundedQueue;
 use crate::request::{InferResponse, Outcome, PendingResponse, Ticket};
 use crate::validate::{Quarantine, ValidationPolicy};
-use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn::{FrozenClassifier, RevBiFPNClassifier, RevBiFPNConfig};
 use revbifpn_nn::meter;
 use revbifpn_tensor::{try_resize, ResizeMode, Shape, Tensor};
 use std::panic::{self, AssertUnwindSafe};
@@ -282,6 +284,59 @@ impl Drop for ServeEngine {
     }
 }
 
+/// A worker's resident frozen models: at most one variant's packed weight
+/// panels live at a time. The primary is frozen eagerly at worker start;
+/// routing to the fallback (ladder level 3) drops the primary's panels and
+/// freezes the fallback, and recovery does the reverse — weights are
+/// deterministic per config, so a rebuilt variant is identical to the one
+/// dropped. Every swap is metered as `serve.variant_swap`.
+struct ModelBank {
+    primary_cfg: RevBiFPNConfig,
+    fallback_cfg: Option<RevBiFPNConfig>,
+    primary: Option<FrozenClassifier>,
+    fallback: Option<FrozenClassifier>,
+}
+
+impl ModelBank {
+    fn new(primary_cfg: RevBiFPNConfig, fallback_cfg: Option<RevBiFPNConfig>) -> Self {
+        let primary = Some(freeze_variant(&primary_cfg));
+        Self { primary_cfg, fallback_cfg, primary, fallback: None }
+    }
+
+    /// Whether ladder level `level` routes to the fallback variant.
+    fn uses_fallback(&self, level: u8) -> bool {
+        level >= 3 && self.fallback_cfg.is_some()
+    }
+
+    /// The frozen model serving at ladder level `level`, building (and
+    /// invalidating the other variant's packed panels) on a swap.
+    fn select(&mut self, level: u8) -> &FrozenClassifier {
+        if self.uses_fallback(level) {
+            if self.fallback.is_none() {
+                self.primary = None; // release the primary's packed panels first
+                let cfg = self.fallback_cfg.as_ref().expect("uses_fallback checked the config");
+                self.fallback = Some(freeze_variant(cfg));
+                meter::count("serve.variant_swap");
+            }
+            self.fallback.as_ref().expect("fallback frozen above")
+        } else {
+            if self.primary.is_none() {
+                self.fallback = None;
+                self.primary = Some(freeze_variant(&self.primary_cfg));
+                meter::count("serve.variant_swap");
+            }
+            self.primary.as_ref().expect("primary frozen above")
+        }
+    }
+}
+
+/// Builds the seeded replica for `cfg` and compiles its frozen form.
+fn freeze_variant(cfg: &RevBiFPNConfig) -> FrozenClassifier {
+    RevBiFPNClassifier::new(cfg.clone())
+        .freeze()
+        .unwrap_or_else(|e| panic!("serve: model config does not freeze: {e}"))
+}
+
 fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("serve-worker-{slot}"))
@@ -290,8 +345,7 @@ fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle
 }
 
 fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
-    let mut primary = RevBiFPNClassifier::new(shared.cfg.model.clone());
-    let mut fallback = shared.cfg.fallback.clone().map(RevBiFPNClassifier::new);
+    let mut bank = ModelBank::new(shared.cfg.model.clone(), shared.cfg.fallback.clone());
     let rung = downscale_rung(&shared.cfg.model);
 
     loop {
@@ -329,7 +383,7 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
         if batch.is_empty() {
             continue;
         }
-        run_partition(&shared, &mut primary, &mut fallback, rung, batch, level);
+        run_partition(&shared, &mut bank, rung, batch, level);
     }
 }
 
@@ -338,8 +392,7 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
 /// are always eventually served.
 fn run_partition(
     shared: &Shared,
-    primary: &mut RevBiFPNClassifier,
-    fallback: &mut Option<RevBiFPNClassifier>,
+    bank: &mut ModelBank,
     rung: Option<usize>,
     mut tickets: Vec<Ticket>,
     level: u8,
@@ -347,9 +400,12 @@ fn run_partition(
     if tickets.is_empty() {
         return;
     }
-    let use_fallback = level >= 3 && fallback.is_some();
+    // The frozen models are fully convolutional, so the level-2 rung needs
+    // no model swap: the same packed panels serve any input resolution.
+    let use_fallback = bank.uses_fallback(level);
+    let model = bank.select(level);
     let target_res = if use_fallback {
-        fallback.as_ref().unwrap().cfg().resolution
+        model.cfg().resolution
     } else if level >= 2 {
         rung.unwrap_or(shared.cfg.model.resolution)
     } else {
@@ -384,11 +440,9 @@ fn run_partition(
         .expect("serve: batch assembly produced a mis-sized buffer");
 
     let poison = kept.iter().any(|t| t.tag == Some(ServeEngine::POISON_TAG));
-    let model: &mut RevBiFPNClassifier =
-        if use_fallback { fallback.as_mut().unwrap() } else { &mut *primary };
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
         assert!(!poison, "poisoned request in batch (injected)");
-        model.forward(&input, RunMode::Eval)
+        model.forward(&input)
     }));
 
     match result {
@@ -406,12 +460,9 @@ fn run_partition(
         Err(_) => {
             shared.counters.batch_panics.fetch_add(1, Ordering::Relaxed);
             meter::count("serve.batch_panic");
-            // The model may hold partial cache state from the aborted
-            // forward; drop it before touching the model again.
-            primary.clear_cache();
-            if let Some(fb) = fallback.as_mut() {
-                fb.clear_cache();
-            }
+            // Frozen models are stateless across forwards (`&self`, no
+            // activation caches), so an aborted batch leaves nothing to
+            // clear — bisect and retry directly.
             if kept.len() == 1 {
                 let ticket = kept.pop().unwrap();
                 shared.quarantine.record(&ticket.image, "poisoned");
@@ -420,8 +471,8 @@ fn run_partition(
                 ticket.respond(Err(ServeError::Poisoned));
             } else {
                 let right = kept.split_off(kept.len() / 2);
-                run_partition(shared, primary, fallback, rung, kept, level);
-                run_partition(shared, primary, fallback, rung, right, level);
+                run_partition(shared, bank, rung, kept, level);
+                run_partition(shared, bank, rung, right, level);
             }
         }
     }
@@ -648,6 +699,116 @@ mod tests {
         }
         assert!(shed >= 1, "overfill should shed at least one request");
         assert!(engine.health().shed_count >= shed);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn model_bank_swaps_packed_panels_with_the_ladder() {
+        let primary = RevBiFPNConfig::tiny(10);
+        let fallback = RevBiFPNConfig::tiny(10).with_resolution(16);
+        let swaps_before = meter::event_count("serve.variant_swap");
+
+        let mut bank = ModelBank::new(primary, Some(fallback));
+        let resident = meter::packed_current();
+        assert!(resident > 0, "primary must be frozen eagerly");
+
+        // Levels 0..=2 serve the primary without touching the panels.
+        for level in 0..=2 {
+            assert_eq!(bank.select(level).cfg().resolution, 32);
+        }
+        assert_eq!(meter::packed_current(), resident);
+        assert_eq!(meter::event_count("serve.variant_swap"), swaps_before);
+
+        // Level 3 swaps to the fallback: the primary's panels are gone,
+        // the (identical-plan, same channel widths) fallback's are resident.
+        assert_eq!(bank.select(3).cfg().resolution, 16);
+        assert_eq!(meter::event_count("serve.variant_swap"), swaps_before + 1);
+        assert!(bank.primary.is_none(), "primary must be dropped on swap");
+        assert!(meter::packed_current() > 0);
+
+        // Steady state at level 3: no re-freeze, no extra swap events.
+        let at_fallback = meter::packed_current();
+        assert_eq!(bank.select(3).cfg().resolution, 16);
+        assert_eq!(meter::packed_current(), at_fallback);
+        assert_eq!(meter::event_count("serve.variant_swap"), swaps_before + 1);
+
+        // Recovery below level 3 rebuilds the primary deterministically.
+        assert_eq!(bank.select(0).cfg().resolution, 32);
+        assert_eq!(meter::event_count("serve.variant_swap"), swaps_before + 2);
+        assert!(bank.fallback.is_none(), "fallback must be dropped on recovery");
+        assert_eq!(meter::packed_current(), resident, "rebuilt primary packs the same bytes");
+
+        drop(bank);
+        assert_eq!(meter::packed_current(), 0, "dropping the bank releases all panels");
+    }
+
+    #[test]
+    fn overload_routes_to_fallback_variant_and_recovers() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
+        cfg.workers = 1;
+        cfg.queue_capacity = 16;
+        cfg.max_batch = 2;
+        cfg.watchdog_poll_ms = 5;
+        cfg.default_timeout_ms = 20_000;
+        cfg.degrade = DegradeConfig {
+            max_level: 3,
+            high_depth: 4,
+            low_depth: 1,
+            p99_high_ms: f64::INFINITY, // depth-driven
+            p99_low_ms: f64::INFINITY,
+            cooldown_ms: 10,
+            calm_hold_ms: 20,
+        };
+        let engine = ServeEngine::start(cfg);
+
+        // Stall the only worker so the queue provably fills; the watchdog
+        // walks the ladder down to level 3 while the backlog sits.
+        engine.inject_worker_stall(0, 200);
+        std::thread::sleep(Duration::from_millis(20));
+        let mut pendings = Vec::new();
+        for _ in 0..10 {
+            if let Ok(p) = engine.submit(image(0.1)) {
+                pendings.push(p);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.degrade_level() < 3 {
+            assert!(Instant::now() < deadline, "backlog never drove the ladder to level 3");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The stalled worker wakes into level 3 and serves the backlog from
+        // the frozen fallback variant.
+        let mut served_at_fallback = 0;
+        for p in pendings {
+            let resp = p.wait().expect("backlog requests must be served");
+            assert!(resp.logits.iter().all(|v| v.is_finite()));
+            if resp.degrade_level >= 3 {
+                served_at_fallback += 1;
+            }
+        }
+        assert!(served_at_fallback > 0, "some responses must come from the fallback variant");
+
+        // Load gone: the ladder must recover to 0, and full-quality serving
+        // must work again (the worker re-freezes the primary on demand).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.degrade_level() != 0 {
+            assert!(Instant::now() < deadline, "ladder never recovered after the backlog drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The worker samples the level once per loop pass, so the first
+        // response after recovery may still carry a stale (higher) level;
+        // retry until one is served at full quality.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let resp = engine.submit(image(0.2)).unwrap().wait().unwrap();
+            if resp.degrade_level == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "full-quality serving never resumed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
         engine.shutdown();
     }
 

@@ -24,7 +24,7 @@
 //! thread-local scratch arena ([`crate::scratch`]), so steady-state calls
 //! perform no heap allocation beyond the output tensors themselves.
 
-use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b};
+use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b, sgemm_prepacked, Epilogue, EpilogueAct, PackedGemmA};
 use crate::par::{num_threads_for, parallel_over_slices, parallel_tiles, SyncPtr};
 use crate::scratch;
 use crate::shape::{Shape, ShapeError};
@@ -222,6 +222,195 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, nee
     }
 }
 
+// ------------------------------------------------------------- frozen plans
+
+/// Dispatch-specific payload of a [`ConvPlan`].
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// `[c_out, c_in]` weights packed once as the GEMM left operand.
+    Pointwise(PackedGemmA),
+    /// Depthwise kernels kept raw (the plane kernel consumes them directly);
+    /// bias and activation are applied plane-at-a-time while hot.
+    Depthwise { weight: Vec<f32> },
+    /// One packed left operand per group for the im2col path.
+    General { groups: Vec<PackedGemmA> },
+}
+
+/// A convolution compiled for frozen inference: weights pre-packed into the
+/// blocked GEMM's panel layout exactly once, with the per-channel bias and
+/// activation fused into the kernel write-back.
+///
+/// The plan is immutable after construction — repeated [`ConvPlan::forward`]
+/// calls never re-pack weights; only the per-call im2col columns and the
+/// GEMM's B panels go through the thread-local scratch arena.
+#[derive(Clone, Debug)]
+pub struct ConvPlan {
+    spec: ConvSpec,
+    c_in: usize,
+    c_out: usize,
+    bias: Vec<f32>,
+    act: EpilogueAct,
+    kind: PlanKind,
+}
+
+impl ConvPlan {
+    /// Compiles a plan from folded weights `[c_out, c_in/groups, kh, kw]`,
+    /// a per-channel bias (length `c_out`; pass zeros for a bias-free conv)
+    /// and the activation to fuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != c_out` or the weight shape disagrees with
+    /// `spec` (zero-sized kernels/groups included).
+    pub fn new(w: &Tensor, bias: Vec<f32>, spec: ConvSpec, act: EpilogueAct) -> Self {
+        let ws = w.shape();
+        let c_out = ws.n;
+        let c_in = ws.c * spec.groups;
+        assert_eq!(bias.len(), c_out, "conv plan bias must have c_out entries");
+        assert!(spec.groups > 0 && spec.kh > 0 && spec.kw > 0 && spec.sh > 0 && spec.sw > 0, "degenerate conv spec");
+        assert_eq!((ws.h, ws.w), (spec.kh, spec.kw), "weight kernel dims must match spec");
+        assert!(c_out.is_multiple_of(spec.groups), "c_out must divide into groups");
+        let kind = if spec.is_pointwise() {
+            PlanKind::Pointwise(PackedGemmA::pack(c_out, c_in, w.data()))
+        } else if spec.groups > 1 && ws.c == 1 && c_out == spec.groups {
+            PlanKind::Depthwise { weight: w.data().to_vec() }
+        } else {
+            let cout_g = c_out / spec.groups;
+            let k = ws.c * spec.kh * spec.kw;
+            let groups = (0..spec.groups)
+                .map(|g| PackedGemmA::pack(cout_g, k, &w.data()[g * cout_g * k..(g + 1) * cout_g * k]))
+                .collect();
+            PlanKind::General { groups }
+        };
+        Self { spec, c_in, c_out, bias, act, kind }
+    }
+
+    /// The convolution geometry this plan was compiled for.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Output channels.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Expected input channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Resident bytes of the persistent packed/retained weight image.
+    pub fn packed_bytes(&self) -> usize {
+        match &self.kind {
+            PlanKind::Pointwise(pa) => pa.bytes(),
+            PlanKind::Depthwise { weight } => weight.len() * std::mem::size_of::<f32>(),
+            PlanKind::General { groups } => groups.iter().map(PackedGemmA::bytes).sum(),
+        }
+    }
+
+    /// Output shape for input shape `xs`.
+    pub fn out_shape(&self, xs: Shape) -> Shape {
+        self.spec.out_shape(xs, self.c_out)
+    }
+
+    /// Fused forward: convolution, bias and activation in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-shape violations; see [`ConvPlan::try_forward`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.try_forward(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible fused forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x`'s channels disagree with the plan or the
+    /// padded input is smaller than the kernel.
+    pub fn try_forward(&self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        let xs = x.shape();
+        if xs.c != self.c_in {
+            return Err(ShapeError::DimMismatch {
+                what: "fused conv input channels",
+                expected: Shape::new(xs.n, self.c_in, xs.h, xs.w),
+                got: xs,
+            });
+        }
+        if xs.h + 2 * self.spec.ph < self.spec.kh || xs.w + 2 * self.spec.pw < self.spec.kw {
+            return Err(ShapeError::DimMismatch {
+                what: "fused conv input smaller than kernel",
+                expected: Shape::new(
+                    xs.n,
+                    xs.c,
+                    self.spec.kh.saturating_sub(2 * self.spec.ph),
+                    self.spec.kw.saturating_sub(2 * self.spec.pw),
+                ),
+                got: xs,
+            });
+        }
+        let mut out = Tensor::zeros(self.out_shape(xs));
+        match &self.kind {
+            PlanKind::Pointwise(pa) => {
+                let hw = xs.hw();
+                let chw_in = xs.chw();
+                let chw_out = out.shape().chw();
+                let xdata = x.data();
+                let epi = Epilogue::new(Some(&self.bias), self.act);
+                for_each_sample(out.data_mut(), chw_out, |n, yslice| {
+                    let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                    sgemm_prepacked(pa, hw, xn, yslice, &epi);
+                });
+            }
+            PlanKind::Depthwise { weight } => {
+                let os = out.shape();
+                let (oh, ow) = (os.h, os.w);
+                let ohw = oh * ow;
+                let spec = self.spec;
+                let xdata = x.data();
+                let bias = &self.bias;
+                let act = self.act;
+                let yptr = SyncPtr::new(out.data_mut().as_mut_ptr());
+                parallel_tiles(xs.n * xs.c, |tile| {
+                    let (_, c) = (tile / xs.c, tile % xs.c);
+                    let xplane = &xdata[tile * xs.hw()..(tile + 1) * xs.hw()];
+                    let kern = &weight[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
+                    // SAFETY: tile exclusively owns output plane (n, c).
+                    let yplane = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
+                    fused_depthwise_plane_forward(
+                        xplane, kern, &spec, xs, oh, ow, bias[c], act, yplane,
+                    );
+                });
+            }
+            PlanKind::General { groups } => {
+                let os = out.shape();
+                let (oh, ow) = (os.h, os.w);
+                let cin_g = xs.c / self.spec.groups;
+                let cout_g = self.c_out / self.spec.groups;
+                let k = cin_g * self.spec.kh * self.spec.kw;
+                let xdata = x.data();
+                let chw_in = xs.chw();
+                let chw_out = os.chw();
+                let spec = self.spec;
+                let bias = &self.bias;
+                let act = self.act;
+                for_each_sample(out.data_mut(), chw_out, |n, yslice| {
+                    let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                    let mut col = scratch::take(k * oh * ow);
+                    for (g, pa) in groups.iter().enumerate() {
+                        im2col(xn, xs, &spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+                        let yg = &mut yslice[g * cout_g * oh * ow..(g + 1) * cout_g * oh * ow];
+                        let epi = Epilogue::new(Some(&bias[g * cout_g..(g + 1) * cout_g]), act);
+                        sgemm_prepacked(pa, oh * ow, &col, yg, &epi);
+                    }
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
 // -------------------------------------------------------------- scheduling
 
 /// Runs `f(sample, out_slice)` for each per-sample chunk of `out`:
@@ -363,6 +552,110 @@ fn depthwise_plane_forward(
                 }
             }
             yplane[oy * ow + ox] = acc;
+        }
+    }
+}
+
+/// One `(sample, channel)` plane of the *fused* depthwise forward used by
+/// frozen [`ConvPlan`]s: interior/border split (no per-pixel bounds checks
+/// where the kernel window cannot leave the input) with the per-channel
+/// bias and activation applied in the same pass over the plane.
+///
+/// Accumulation order per output pixel is identical to
+/// [`depthwise_plane_forward`] (`ky` outer, `kx` inner), so the pre-bias
+/// sums are bitwise equal to the reference kernel's.
+#[allow(clippy::too_many_arguments)]
+fn fused_depthwise_plane_forward(
+    xplane: &[f32],
+    kern: &[f32],
+    spec: &ConvSpec,
+    xs: Shape,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    yplane: &mut [f32],
+) {
+    let (w, h) = (xs.w, xs.h);
+    let (kh, kw) = (spec.kh, spec.kw);
+    let (sh, sw) = (spec.sh, spec.sw);
+    let (ph, pw) = (spec.ph, spec.pw);
+
+    // Output ranges whose kernel window stays fully inside the input.
+    let ox_lo = pw.div_ceil(sw).min(ow);
+    let ox_hi = if w + pw >= kw { ((w + pw - kw) / sw + 1).min(ow) } else { 0 }.max(ox_lo);
+    let oy_lo = ph.div_ceil(sh).min(oh);
+    let oy_hi = if h + ph >= kh { ((h + ph - kh) / sh + 1).min(oh) } else { 0 }.max(oy_lo);
+
+    // Border pixels: the reference per-pixel kernel with the epilogue inline.
+    let border_px = |oy: usize, ox: usize| -> f32 {
+        let iy0 = (oy * sh) as isize - ph as isize;
+        let ix0 = (ox * sw) as isize - pw as isize;
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            let iy = iy0 + ky as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let xrow = &xplane[iy as usize * w..(iy as usize + 1) * w];
+            let krow = &kern[ky * kw..(ky + 1) * kw];
+            for (kx, &kv) in krow.iter().enumerate() {
+                let ix = ix0 + kx as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                acc += xrow[ix as usize] * kv;
+            }
+        }
+        act.apply(acc + bias)
+    };
+
+    for oy in 0..oh {
+        let yrow = &mut yplane[oy * ow..(oy + 1) * ow];
+        if oy < oy_lo || oy >= oy_hi {
+            for (ox, y) in yrow.iter_mut().enumerate() {
+                *y = border_px(oy, ox);
+            }
+            continue;
+        }
+        let iy0 = oy * sh - ph;
+        if sh == 1 && sw == 1 && ox_hi > ox_lo {
+            // Stride 1: accumulate whole row segments per kernel tap —
+            // contiguous loads that the compiler vectorises.
+            let len = ox_hi - ox_lo;
+            let seg = &mut yrow[ox_lo..ox_hi];
+            seg.fill(0.0);
+            for ky in 0..kh {
+                let xrow = &xplane[(iy0 + ky) * w..(iy0 + ky + 1) * w];
+                for (kx, &kv) in kern[ky * kw..(ky + 1) * kw].iter().enumerate() {
+                    let src = &xrow[ox_lo + kx - pw..ox_lo + kx - pw + len];
+                    for (d, s) in seg.iter_mut().zip(src) {
+                        *d += kv * *s;
+                    }
+                }
+            }
+            for v in seg.iter_mut() {
+                *v = act.apply(*v + bias);
+            }
+        } else {
+            // Strided interior: per-pixel accumulation, bounds checks hoisted.
+            for (ox, y) in yrow.iter_mut().enumerate().take(ox_hi).skip(ox_lo) {
+                let ix0 = ox * sw - pw;
+                let mut acc = 0.0f32;
+                for ky in 0..kh {
+                    let xrow = &xplane[(iy0 + ky) * w..(iy0 + ky + 1) * w];
+                    for (kx, &kv) in kern[ky * kw..(ky + 1) * kw].iter().enumerate() {
+                        acc += xrow[ix0 + kx] * kv;
+                    }
+                }
+                *y = act.apply(acc + bias);
+            }
+        }
+        for (ox, y) in yrow.iter_mut().enumerate().take(ox_lo) {
+            *y = border_px(oy, ox);
+        }
+        for (ox, y) in yrow.iter_mut().enumerate().skip(ox_hi) {
+            *y = border_px(oy, ox);
         }
     }
 }
@@ -719,6 +1012,70 @@ mod tests {
             let ana = grads.dx.as_ref().unwrap().data()[idx];
             assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{idx}] num={num} ana={ana}");
         }
+    }
+
+    /// Oracle for the fused plan: unfused conv, then bias, then activation
+    /// as separate passes.
+    fn fused_ref(x: &Tensor, w: &Tensor, bias: &[f32], spec: &ConvSpec, act: EpilogueAct) -> Tensor {
+        let b = Tensor::from_vec(Shape::vector(bias.len()), bias.to_vec()).unwrap();
+        let mut y = conv2d(x, w, Some(&b), spec);
+        y.map_inplace(|v| act.apply(v));
+        y
+    }
+
+    #[test]
+    fn conv_plan_matches_unfused_passes() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let acts = [EpilogueAct::Relu, EpilogueAct::HardSwish, EpilogueAct::HardSigmoid, EpilogueAct::None];
+        // (x shape, w shape, spec): pointwise, depthwise, general, grouped.
+        let cases = [
+            (Shape::new(2, 12, 9, 9), Shape::new(20, 12, 1, 1), ConvSpec::pointwise()),
+            (Shape::new(2, 8, 11, 10), Shape::new(8, 1, 3, 3), ConvSpec::depthwise(3, 2, 8)),
+            (Shape::new(2, 6, 12, 12), Shape::new(10, 6, 3, 3), ConvSpec::kxk(3, 2)),
+            (Shape::new(1, 8, 10, 10), Shape::new(12, 4, 3, 3), ConvSpec { groups: 2, ..ConvSpec::kxk(3, 1) }),
+        ];
+        for (i, (xs, ws, spec)) in cases.into_iter().enumerate() {
+            let x = Tensor::randn(xs, 1.0, &mut rng);
+            let w = Tensor::randn(ws, 0.4, &mut rng);
+            let bias: Vec<f32> = (0..ws.n).map(|c| 0.1 * c as f32 - 0.3).collect();
+            for act in acts {
+                let plan = ConvPlan::new(&w, bias.clone(), spec, act);
+                assert!(plan.packed_bytes() > 0);
+                assert_eq!(plan.c_out(), ws.n);
+                assert_eq!(plan.c_in(), xs.c);
+                let got = plan.forward(&x);
+                let want = fused_ref(&x, &w, &bias, &spec, act);
+                assert_eq!(got.shape(), want.shape());
+                assert!(
+                    got.max_abs_diff(&want) < 1e-4,
+                    "case {i} act {act:?}: diff {}",
+                    got.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_plan_forward_never_repacks() {
+        // Repeated forwards must not touch the packed image: scratch borrows
+        // happen (im2col, B panels) but the plan itself is read-only, so the
+        // output is bitwise stable call over call.
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor::randn(Shape::new(1, 8, 16, 16), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(16, 8, 3, 3), 0.4, &mut rng);
+        let plan = ConvPlan::new(&w, vec![0.05; 16], ConvSpec::kxk(3, 1), EpilogueAct::HardSwish);
+        let first = plan.forward(&x);
+        for _ in 0..3 {
+            assert_eq!(plan.forward(&x), first);
+        }
+    }
+
+    #[test]
+    fn conv_plan_rejects_wrong_channels() {
+        let w = Tensor::ones(Shape::new(4, 3, 1, 1));
+        let plan = ConvPlan::new(&w, vec![0.0; 4], ConvSpec::pointwise(), EpilogueAct::None);
+        let x = Tensor::ones(Shape::new(1, 5, 4, 4));
+        assert!(matches!(plan.try_forward(&x), Err(ShapeError::DimMismatch { .. })));
     }
 
     #[test]

@@ -33,8 +33,11 @@ pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvSpec};
-pub use matmul::{reference, sgemm, sgemm_a_bt, sgemm_at_b};
+pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvPlan, ConvSpec};
+pub use matmul::{
+    reference, sgemm, sgemm_a_bt, sgemm_at_b, sgemm_fused, sgemm_prepacked, Epilogue, EpilogueAct,
+    PackedGemmA,
+};
 pub use pool::{
     avg_pool, avg_pool_backward, global_avg_pool, global_avg_pool_backward, max_pool, max_pool_backward,
     try_avg_pool, try_max_pool,

@@ -32,6 +32,159 @@
 use crate::par::{parallel_tiles, SyncPtr};
 use crate::scratch;
 
+/// Activation applied by a fused GEMM epilogue during tile write-back.
+///
+/// The formulas are kept textually identical to the activation layers in the
+/// `nn` crate so a fused epilogue computes bit-for-bit the same value as the
+/// separate activation pass it replaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpilogueAct {
+    /// Pass the accumulated value through unchanged.
+    None,
+    /// `max(v, 0)`.
+    Relu,
+    /// `v * clamp(v + 3, 0, 6) / 6`.
+    HardSwish,
+    /// `clamp(v + 3, 0, 6) / 6`.
+    HardSigmoid,
+}
+
+impl EpilogueAct {
+    /// Applies the activation to one value.
+    #[inline(always)]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Self::None => v,
+            Self::Relu => v.max(0.0),
+            Self::HardSwish => v * (v + 3.0).clamp(0.0, 6.0) / 6.0,
+            Self::HardSigmoid => (v + 3.0).clamp(0.0, 6.0) / 6.0,
+        }
+    }
+}
+
+/// A fused GEMM epilogue: per-row (output-channel) bias plus an activation,
+/// applied to fully-accumulated output values during the final write-back
+/// instead of as separate full-tensor passes.
+///
+/// # Contract
+///
+/// For every output element the transformation is exactly
+/// `act(value + bias[row])` where `value` is what the same GEMM call would
+/// have produced with no epilogue. Both the blocked engine and the
+/// small-matrix reference fallback funnel through [`Epilogue::apply`], so on
+/// either dispatch path a fused call is **bit-identical** to the unfused
+/// call followed by a separate bias-and-activation pass.
+#[derive(Clone, Copy, Debug)]
+pub struct Epilogue<'a> {
+    bias: Option<&'a [f32]>,
+    act: EpilogueAct,
+}
+
+impl<'a> Epilogue<'a> {
+    /// An epilogue adding `bias[row]` (when present; length must be `m`)
+    /// then applying `act`.
+    pub fn new(bias: Option<&'a [f32]>, act: EpilogueAct) -> Self {
+        Self { bias, act }
+    }
+
+    /// The shared per-element transform: `act(v + bias[row])`.
+    #[inline(always)]
+    pub fn apply(&self, row: usize, v: f32) -> f32 {
+        let v = match self.bias {
+            Some(b) => v + b[row],
+            None => v,
+        };
+        self.act.apply(v)
+    }
+
+    /// Applies the epilogue to a row-major `[m, n]` buffer as a separate
+    /// pass (the reference-path fallback and the test oracle).
+    pub fn apply_rows(&self, m: usize, n: usize, c: &mut [f32]) {
+        debug_assert_eq!(c.len(), m * n);
+        for (row, crow) in c.chunks_mut(n.max(1)).enumerate().take(m) {
+            for v in crow.iter_mut() {
+                *v = self.apply(row, *v);
+            }
+        }
+    }
+}
+
+/// The left operand of the blocked GEMM, pre-packed once into the exact
+/// per-(macro-tile, KC-slice) panel layout [`pack_a`] produces, so repeated
+/// multiplies against changing right-hand sides (conv weights against
+/// per-call im2col columns) skip the A-packing pass entirely.
+#[derive(Clone, Debug)]
+pub struct PackedGemmA {
+    data: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+/// Padded row count of one full `MC`-high macro-tile.
+const MC_PAD: usize = MC.div_ceil(MR) * MR;
+
+impl PackedGemmA {
+    /// Packs a row-major `[m, k]` matrix. The packed image is laid out as
+    /// macro-tile blocks in `i0` order, each holding its `KC` slices in `p0`
+    /// order, matching the traversal of the blocked engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k` or either dimension is zero.
+    pub fn pack(m: usize, k: usize, a: &[f32]) -> Self {
+        assert_eq!(a.len(), m * k, "a must be m*k");
+        assert!(m > 0 && k > 0, "packed GEMM operand must be non-empty");
+        let view = MatRef { data: a, rs: k, cs: 1 };
+        let mut data = vec![0.0f32; Self::packed_len(m, k)];
+        let mut off = 0;
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            let rows_padded = mc.div_ceil(MR) * MR;
+            for p0 in (0..k).step_by(KC) {
+                let kc = KC.min(k - p0);
+                pack_a(view, i0, mc, p0, kc, &mut data[off..off + rows_padded * kc]);
+                off += rows_padded * kc;
+            }
+        }
+        Self { data, m, k }
+    }
+
+    fn packed_len(m: usize, k: usize) -> usize {
+        (0..m)
+            .step_by(MC)
+            .map(|i0| MC.min(m - i0).div_ceil(MR) * MR * k)
+            .sum()
+    }
+
+    /// The panel block for macro-tile `ic`, depth slice starting at `p0`.
+    ///
+    /// Only the last macro-tile can be partial, so the offset is closed-form:
+    /// full blocks before it are `MC_PAD * k` floats each, and within a
+    /// block the slices before `p0` hold exactly `rows_padded * p0` floats.
+    #[inline]
+    fn block(&self, ic: usize, p0: usize, kc: usize) -> &[f32] {
+        let i0 = ic * MC;
+        let rows_padded = MC.min(self.m - i0).div_ceil(MR) * MR;
+        let off = ic * MC_PAD * self.k + rows_padded * p0;
+        &self.data[off..off + rows_padded * kc]
+    }
+
+    /// Packed row count (`m` of the original matrix).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Packed depth (`k` of the original matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Resident size of the packed image in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
 /// Micro-kernel rows (register-tile height).
 const MR: usize = 6;
 /// Micro-kernel columns (register-tile width, two 8-float AVX2 vectors).
@@ -163,13 +316,36 @@ fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     mk_scalar(kc, ap, bp, acc);
 }
 
+/// The A operand of the blocked engine: a strided view packed per call into
+/// thread-local scratch, or a [`PackedGemmA`] whose panels are sliced
+/// directly (no per-call A traffic).
+#[derive(Clone, Copy)]
+enum ASrc<'a> {
+    Mat(MatRef<'a>),
+    Packed(&'a PackedGemmA),
+}
+
 /// `c[m, n] = beta * c + alpha * a[m, k] @ b[k, n]` through strided views,
 /// blocked and parallelized as described in the module docs. Beta is folded
 /// into the first KC slice's write-back: with `beta == 0` the output is
 /// written without being read or pre-zeroed, which matters for small-k GEMMs
 /// (e.g. the 3x3 stem conv) where output traffic rivals the FLOPs.
+///
+/// When an [`Epilogue`] is supplied it is applied to each output row chunk
+/// during the **last** KC slice's write-back — the values are then fully
+/// accumulated, still register/L1-resident, and written out exactly once.
 #[allow(clippy::too_many_arguments)]
-fn gemm_blocked(m: usize, k: usize, n: usize, alpha: f32, beta: f32, a: MatRef<'_>, b: MatRef<'_>, c: &mut [f32]) {
+fn gemm_blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+    a: ASrc<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    epi: Option<&Epilogue<'_>>,
+) {
     let n_ic = m.div_ceil(MC);
     let n_jc = n.div_ceil(NC);
     let cptr = SyncPtr::new(c.as_mut_ptr());
@@ -179,26 +355,38 @@ fn gemm_blocked(m: usize, k: usize, n: usize, alpha: f32, beta: f32, a: MatRef<'
         let j0 = jc * NC;
         let mc = MC.min(m - i0);
         let nc = NC.min(n - j0);
-        let mut apack = scratch::take(mc.div_ceil(MR) * MR * KC.min(k));
+        let mut apack = match a {
+            ASrc::Mat(_) => Some(scratch::take(mc.div_ceil(MR) * MR * KC.min(k))),
+            ASrc::Packed(_) => None,
+        };
         let mut bpack = scratch::take(nc.div_ceil(NR) * NR * KC.min(k));
         for p0 in (0..k).step_by(KC) {
             let kc = KC.min(k - p0);
             let first_slice = p0 == 0;
-            pack_a(a, i0, mc, p0, kc, &mut apack);
+            let last_slice = p0 + kc == k;
+            let apanels: &[f32] = match (a, apack.as_mut()) {
+                (ASrc::Mat(view), Some(buf)) => {
+                    pack_a(view, i0, mc, p0, kc, buf);
+                    buf
+                }
+                (ASrc::Packed(pa), _) => pa.block(ic, p0, kc),
+                (ASrc::Mat(_), None) => unreachable!("scratch panel allocated for view operands"),
+            };
             pack_b(b, j0, nc, p0, kc, &mut bpack);
             for jr in 0..nc.div_ceil(NR) {
                 let bpanel = &bpack[jr * NR * kc..(jr + 1) * NR * kc];
                 let cols = NR.min(nc - jr * NR);
                 for ir in 0..mc.div_ceil(MR) {
-                    let apanel = &apack[ir * MR * kc..(ir + 1) * MR * kc];
+                    let apanel = &apanels[ir * MR * kc..(ir + 1) * MR * kc];
                     let rows = MR.min(mc - ir * MR);
                     let mut acc = [[0.0f32; NR]; MR];
                     microkernel(kc, apanel, bpanel, &mut acc);
                     for (r, accrow) in acc.iter().enumerate().take(rows) {
+                        let row = i0 + ir * MR + r;
                         // SAFETY: this tile exclusively owns C rows
                         // i0..i0+mc x cols j0..j0+nc; tiles are disjoint.
                         let crow = unsafe {
-                            let start = (i0 + ir * MR + r) * n + j0 + jr * NR;
+                            let start = row * n + j0 + jr * NR;
                             std::slice::from_raw_parts_mut(cptr.get().add(start), cols)
                         };
                         if first_slice && beta == 0.0 {
@@ -212,6 +400,11 @@ fn gemm_blocked(m: usize, k: usize, n: usize, alpha: f32, beta: f32, a: MatRef<'
                         } else {
                             for (cv, &av) in crow.iter_mut().zip(accrow) {
                                 *cv += alpha * av;
+                            }
+                        }
+                        if let (true, Some(e)) = (last_slice, epi) {
+                            for cv in crow.iter_mut() {
+                                *cv = e.apply(row, *cv);
                             }
                         }
                     }
@@ -253,7 +446,89 @@ pub fn sgemm(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], bet
         reference::sgemm(m, k, n, alpha, a, b, beta, c);
         return;
     }
-    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: k, cs: 1 }, MatRef { data: b, rs: n, cs: 1 }, c);
+    gemm_blocked(
+        m,
+        k,
+        n,
+        alpha,
+        beta,
+        ASrc::Mat(MatRef { data: a, rs: k, cs: 1 }),
+        MatRef { data: b, rs: n, cs: 1 },
+        c,
+        None,
+    );
+}
+
+/// `c = epilogue(alpha * a @ b)` with row-major `a: [m, k]`, `b: [k, n]`,
+/// `c: [m, n]`: a beta-0 GEMM whose per-channel bias and activation are
+/// applied in the tile write-back instead of as separate passes.
+///
+/// Dispatches exactly like [`sgemm`] (small problems run on the reference
+/// kernel, with the epilogue as a post-pass through the same
+/// [`Epilogue::apply`]), so on either path the result is bit-identical to
+/// the unfused call followed by a separate epilogue pass.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `(m, k, n)` or a bias is
+/// present with length != `m`.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_fused(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32], epi: &Epilogue<'_>) {
+    assert_eq!(a.len(), m * k, "a must be m*k");
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    if let Some(bias) = epi.bias {
+        assert_eq!(bias.len(), m, "bias must have one entry per output row");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 || k == 0 {
+        apply_beta(0.0, c);
+        epi.apply_rows(m, n, c);
+        return;
+    }
+    if is_small(m, k, n) {
+        reference::sgemm(m, k, n, alpha, a, b, 0.0, c);
+        epi.apply_rows(m, n, c);
+        return;
+    }
+    gemm_blocked(
+        m,
+        k,
+        n,
+        alpha,
+        0.0,
+        ASrc::Mat(MatRef { data: a, rs: k, cs: 1 }),
+        MatRef { data: b, rs: n, cs: 1 },
+        c,
+        Some(epi),
+    );
+}
+
+/// `c = epilogue(pa @ b)` against a persistently packed left operand: the
+/// A-panel packing pass is skipped entirely, B still packs per call into
+/// thread-local scratch (its contents change every call).
+///
+/// Always runs the blocked engine — a packed operand exists precisely so
+/// repeated calls avoid per-call A traffic, and the reference kernels cannot
+/// consume panel layout.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `(pa.m(), pa.k(), n)` or a bias is
+/// present with length != `pa.m()`.
+pub fn sgemm_prepacked(pa: &PackedGemmA, n: usize, b: &[f32], c: &mut [f32], epi: &Epilogue<'_>) {
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "b must be k*n");
+    assert_eq!(c.len(), m * n, "c must be m*n");
+    if let Some(bias) = epi.bias {
+        assert_eq!(bias.len(), m, "bias must have one entry per output row");
+    }
+    if n == 0 {
+        return;
+    }
+    gemm_blocked(m, k, n, 1.0, 0.0, ASrc::Packed(pa), MatRef { data: b, rs: n, cs: 1 }, c, Some(epi));
 }
 
 /// `c = alpha * a^T @ b + beta * c` with `a: [k, m]`, `b: [k, n]`, `c: [m, n]`.
@@ -274,7 +549,17 @@ pub fn sgemm_at_b(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32]
         reference::sgemm_at_b(m, k, n, alpha, a, b, beta, c);
         return;
     }
-    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: 1, cs: m }, MatRef { data: b, rs: n, cs: 1 }, c);
+    gemm_blocked(
+        m,
+        k,
+        n,
+        alpha,
+        beta,
+        ASrc::Mat(MatRef { data: a, rs: 1, cs: m }),
+        MatRef { data: b, rs: n, cs: 1 },
+        c,
+        None,
+    );
 }
 
 /// `c = alpha * a @ b^T + beta * c` with `a: [m, k]`, `b: [n, k]`, `c: [m, n]`.
@@ -295,7 +580,17 @@ pub fn sgemm_a_bt(m: usize, k: usize, n: usize, alpha: f32, a: &[f32], b: &[f32]
         reference::sgemm_a_bt(m, k, n, alpha, a, b, beta, c);
         return;
     }
-    gemm_blocked(m, k, n, alpha, beta, MatRef { data: a, rs: k, cs: 1 }, MatRef { data: b, rs: 1, cs: k }, c);
+    gemm_blocked(
+        m,
+        k,
+        n,
+        alpha,
+        beta,
+        ASrc::Mat(MatRef { data: a, rs: k, cs: 1 }),
+        MatRef { data: b, rs: 1, cs: k },
+        c,
+        None,
+    );
 }
 
 /// The pre-optimization scalar kernels: register-light, loop-order-tuned,
@@ -521,6 +816,93 @@ mod tests {
         let mut c = vec![2.0; 40 * 60];
         sgemm(40, 50, 60, 0.0, &a, &b, 0.5, &mut c);
         assert!(c.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fused_epilogue_is_bit_identical_across_the_small_cutoff() {
+        // Shapes straddling SMALL_FLOP_CUTOFF (32*32*32): the first two run
+        // on the reference fallback, the rest on the blocked engine. On each
+        // path a fused call must be *bit-identical* to the unfused call on
+        // that same path followed by a separate epilogue pass, for every
+        // activation kind — i.e. enabling the epilogue never changes which
+        // numerical result the dispatch produces.
+        let shapes = [(8, 8, 8), (32, 32, 32), (32, 32, 33), (33, 32, 32), (97, 64, 120)];
+        let acts = [
+            EpilogueAct::None,
+            EpilogueAct::Relu,
+            EpilogueAct::HardSwish,
+            EpilogueAct::HardSigmoid,
+        ];
+        for &(m, k, n) in &shapes {
+            let a = rand_vec(m * k, 61);
+            let b = rand_vec(k * n, 62);
+            let bias = rand_vec(m, 63);
+            for act in acts {
+                for with_bias in [false, true] {
+                    let epi = Epilogue::new(with_bias.then_some(&bias[..]), act);
+                    let mut fused = vec![0.0; m * n];
+                    sgemm_fused(m, k, n, 1.0, &a, &b, &mut fused, &epi);
+                    let mut want = vec![0.0; m * n];
+                    sgemm(m, k, n, 1.0, &a, &b, 0.0, &mut want);
+                    epi.apply_rows(m, n, &mut want);
+                    assert_eq!(
+                        fused, want,
+                        "({m},{k},{n}) act={act:?} bias={with_bias}: fused must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_is_bit_identical_to_per_call_packing() {
+        // The persistent pack uses the same pack_a layout the engine builds
+        // per call, so the micro-kernel consumes identical panels and the
+        // result is bitwise equal — including M/K edges that pad panels.
+        for &(m, k, n) in &[(97, 130, 101), (200, 300, 65), (6, 520, 300)] {
+            let a = rand_vec(m * k, 71);
+            let b = rand_vec(k * n, 72);
+            let bias = rand_vec(m, 73);
+            let epi = Epilogue::new(Some(&bias), EpilogueAct::HardSwish);
+            let mut fused = vec![0.0; m * n];
+            sgemm_fused(m, k, n, 1.0, &a, &b, &mut fused, &epi);
+            let pa = PackedGemmA::pack(m, k, &a);
+            assert_eq!(pa.m(), m);
+            assert_eq!(pa.k(), k);
+            assert!(pa.bytes() >= m * k * 4);
+            let mut packed = vec![0.0; m * n];
+            sgemm_prepacked(&pa, n, &b, &mut packed, &epi);
+            assert_eq!(packed, fused, "({m},{k},{n}): prepacked must match per-call packing bitwise");
+        }
+    }
+
+    #[test]
+    fn prepacked_result_is_thread_count_invariant() {
+        let (m, k, n) = (150, 96, 333);
+        let a = rand_vec(m * k, 81);
+        let b = rand_vec(k * n, 82);
+        let bias = rand_vec(m, 83);
+        let pa = PackedGemmA::pack(m, k, &a);
+        let epi = Epilogue::new(Some(&bias), EpilogueAct::Relu);
+        let mut c1 = vec![0.0; m * n];
+        let mut c8 = vec![0.0; m * n];
+        crate::par::set_max_threads(1);
+        sgemm_prepacked(&pa, n, &b, &mut c1, &epi);
+        crate::par::set_max_threads(8);
+        sgemm_prepacked(&pa, n, &b, &mut c8, &epi);
+        crate::par::set_max_threads(0);
+        assert_eq!(c1, c8);
+    }
+
+    #[test]
+    fn epilogue_math_matches_the_definitions() {
+        let bias = [1.0f32];
+        let e = Epilogue::new(Some(&bias), EpilogueAct::HardSwish);
+        // v=2, +bias=3 -> hswish(3) = 3*6/6... clamp(6,0,6)=6 -> 3.0
+        assert_eq!(e.apply(0, 2.0), 3.0);
+        assert_eq!(EpilogueAct::Relu.apply(-2.0), 0.0);
+        assert_eq!(EpilogueAct::HardSigmoid.apply(3.0), 1.0);
+        assert_eq!(EpilogueAct::None.apply(-7.5), -7.5);
     }
 
     #[test]

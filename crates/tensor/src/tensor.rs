@@ -1,6 +1,6 @@
 //! The dense `f32` NCHW tensor and its element-wise operations.
 
-use crate::par::{parallel_tiles, SyncPtr};
+use crate::par::{parallel_chunks, parallel_tiles, SyncPtr};
 use crate::shape::{Shape, ShapeMismatchError};
 use rand::{Rng, RngExt};
 use std::fmt;
@@ -24,6 +24,13 @@ pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
+
+/// Minimum element count before the element-wise kernels (`map`, `zip`,
+/// `axpy`, ...) fan out over the worker pool; below this the dispatch
+/// overhead outweighs the work. Chunking never changes values — every
+/// element depends only on its own inputs — so the threshold affects speed,
+/// not results.
+const PAR_ELEMWISE_MIN: usize = 1 << 15;
 
 impl Tensor {
     /// A tensor of zeros.
@@ -150,38 +157,100 @@ impl Tensor {
     }
 
     /// Applies `f` element-wise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
-    }
-
-    /// Applies `f` element-wise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
+    ///
+    /// Large tensors fan the work out over the [`crate::par`] pool; each
+    /// element's value depends only on its own input, so results are bitwise
+    /// identical for any thread count or chunking.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.data.len();
+        if n < PAR_ELEMWISE_MIN {
+            return Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() };
         }
+        let mut data: Vec<f32> = Vec::with_capacity(n);
+        let ptr = SyncPtr::new(data.as_mut_ptr());
+        let src = &self.data;
+        parallel_chunks(n, |lo, hi| {
+            let base = ptr.get();
+            for (i, &x) in src[lo..hi].iter().enumerate() {
+                // SAFETY: chunks are disjoint and cover 0..n exactly once;
+                // `write` never reads the uninitialized destination.
+                unsafe { base.add(lo + i).write(f(x)) };
+            }
+        });
+        // SAFETY: every element of 0..n was initialized by exactly one chunk.
+        unsafe { data.set_len(n) };
+        Self { shape: self.shape, data }
     }
 
-    /// Element-wise binary zip producing a new tensor.
+    /// Applies `f` element-wise in place (pool-parallel for large tensors,
+    /// see [`Tensor::map`]).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        if self.data.len() < PAR_ELEMWISE_MIN {
+            for v in &mut self.data {
+                *v = f(*v);
+            }
+            return;
+        }
+        let ptr = SyncPtr::new(self.data.as_mut_ptr());
+        parallel_chunks(self.data.len(), |lo, hi| {
+            // SAFETY: chunks are disjoint sub-slices of the buffer.
+            let s = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+            for v in s {
+                *v = f(*v);
+            }
+        });
+    }
+
+    /// Element-wise binary zip producing a new tensor (pool-parallel for
+    /// large tensors, see [`Tensor::map`]).
     ///
     /// # Panics
     ///
     /// Panics if shapes differ.
-    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         assert_eq!(self.shape, other.shape, "zip requires equal shapes");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        let n = self.data.len();
+        if n < PAR_ELEMWISE_MIN {
+            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            return Self { shape: self.shape, data };
+        }
+        let mut data: Vec<f32> = Vec::with_capacity(n);
+        let ptr = SyncPtr::new(data.as_mut_ptr());
+        let (xa, xb) = (&self.data, &other.data);
+        parallel_chunks(n, |lo, hi| {
+            let base = ptr.get();
+            for (i, (&a, &b)) in xa[lo..hi].iter().zip(&xb[lo..hi]).enumerate() {
+                // SAFETY: chunks are disjoint and cover 0..n exactly once.
+                unsafe { base.add(lo + i).write(f(a, b)) };
+            }
+        });
+        // SAFETY: every element of 0..n was initialized by exactly one chunk.
+        unsafe { data.set_len(n) };
         Self { shape: self.shape, data }
     }
 
-    /// In-place `self += alpha * x`.
+    /// In-place `self += alpha * x` (pool-parallel for large tensors).
     ///
     /// # Panics
     ///
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f32, x: &Self) {
         assert_eq!(self.shape, x.shape, "axpy requires equal shapes");
-        for (a, &b) in self.data.iter_mut().zip(&x.data) {
-            *a += alpha * b;
+        if self.data.len() < PAR_ELEMWISE_MIN {
+            for (a, &b) in self.data.iter_mut().zip(&x.data) {
+                *a += alpha * b;
+            }
+            return;
         }
+        let ptr = SyncPtr::new(self.data.as_mut_ptr());
+        let xd = &x.data;
+        parallel_chunks(self.data.len(), |lo, hi| {
+            // SAFETY: chunks are disjoint sub-slices of the buffer.
+            let s = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+            for (a, &b) in s.iter_mut().zip(&xd[lo..hi]) {
+                *a += alpha * b;
+            }
+        });
     }
 
     /// In-place `self += x`.
@@ -194,11 +263,9 @@ impl Tensor {
         self.axpy(-1.0, x);
     }
 
-    /// In-place multiplication by a scalar.
+    /// In-place multiplication by a scalar (pool-parallel for large tensors).
     pub fn scale(&mut self, alpha: f32) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        self.map_inplace(|v| v * alpha);
     }
 
     /// Returns `self * alpha` as a new tensor.
@@ -547,6 +614,46 @@ mod tests {
         let y = x.repeat_channels(3);
         assert_eq!(y.shape(), Shape::new(1, 3, 1, 2));
         assert_eq!(y.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_elementwise_matches_serial_bitwise() {
+        // Large enough to cross PAR_ELEMWISE_MIN. Element-wise kernels must
+        // produce bitwise-identical results for any thread budget.
+        let _g = crate::par::tests_budget_lock();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = Shape::new(2, 8, 64, 64);
+        let x = Tensor::randn(s, 1.0, &mut rng);
+        let y = Tensor::randn(s, 1.0, &mut rng);
+        let act = |v: f32| v * (v + 3.0).clamp(0.0, 6.0) / 6.0;
+
+        crate::par::set_max_threads(1);
+        let m1 = x.map(act);
+        let z1 = x.zip(&y, |a, b| a * b + 0.25);
+        let mut a1 = x.clone();
+        a1.axpy(0.5, &y);
+        let mut i1 = x.clone();
+        i1.map_inplace(act);
+        let mut s1 = x.clone();
+        s1.scale(1.7);
+
+        crate::par::set_max_threads(8);
+        let m8 = x.map(act);
+        let z8 = x.zip(&y, |a, b| a * b + 0.25);
+        let mut a8 = x.clone();
+        a8.axpy(0.5, &y);
+        let mut i8 = x.clone();
+        i8.map_inplace(act);
+        let mut s8 = x.clone();
+        s8.scale(1.7);
+        crate::par::set_max_threads(0);
+
+        assert_eq!(m1, m8);
+        assert_eq!(z1, z8);
+        assert_eq!(a1, a8);
+        assert_eq!(i1, i8);
+        assert_eq!(s1, s8);
+        assert_eq!(m1, i1, "map and map_inplace must agree");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Frozen-vs-unfused inference benchmark: times eval-mode forwards of the
+//! training model against the `freeze()`d fast path (conv–BN–activation
+//! fusion + persistent pre-packed GEMM panels) for RevBiFPN-S0 and -S3 at
+//! batch 1 and 8, and writes `results/BENCH_infer_fused.json`.
+//!
+//! Run with `cargo run --release --example freeze_bench`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_repro::core::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_repro::tensor::{Shape, Tensor};
+use std::time::Instant;
+
+struct Stats {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+fn stats(mut samples: Vec<f64>) -> Stats {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    Stats {
+        min_ns: samples[0],
+        median_ns: samples[n / 2],
+        mean_ns: samples.iter().sum::<f64>() / n as f64,
+        max_ns: samples[n - 1],
+    }
+}
+
+fn time(iters: usize, mut f: impl FnMut()) -> Stats {
+    f(); // warm-up: scratch arena growth, page faults
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    stats(samples)
+}
+
+struct Row {
+    id: String,
+    batch: usize,
+    resolution: usize,
+    stats: Stats,
+}
+
+fn json_row(r: &Row) -> String {
+    format!(
+        "    {{\n      \"id\": \"{}\",\n      \"batch\": {},\n      \"resolution\": {},\n      \
+         \"min_ns\": {:.1},\n      \"median_ns\": {:.1},\n      \"mean_ns\": {:.1},\n      \
+         \"max_ns\": {:.1},\n      \"images_per_s\": {:.2}\n    }}",
+        r.id,
+        r.batch,
+        r.resolution,
+        r.stats.min_ns,
+        r.stats.median_ns,
+        r.stats.mean_ns,
+        r.stats.max_ns,
+        r.batch as f64 / (r.stats.median_ns * 1e-9)
+    )
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for (name, s) in [("s0", 0usize), ("s3", 3)] {
+        let cfg = RevBiFPNConfig::scaled(s, 1000);
+        let res = cfg.resolution;
+        let mut model = RevBiFPNClassifier::new(cfg.clone());
+        let frozen = model.freeze().expect("family configs must freeze");
+        println!(
+            "{name}: resolution {res}, packed panels {:.1} MiB",
+            frozen.packed_bytes() as f64 / (1 << 20) as f64
+        );
+
+        for batch in [1usize, 8] {
+            let iters = if batch == 1 { 5 } else { 3 };
+            let mut rng = StdRng::seed_from_u64(42);
+            let x = Tensor::randn(Shape::new(batch, 3, res, res), 1.0, &mut rng);
+
+            let unfused = time(iters, || {
+                let _ = model.forward(&x, RunMode::Eval);
+            });
+            let froz = time(iters, || {
+                let _ = frozen.forward(&x);
+            });
+            let speedup = unfused.median_ns / froz.median_ns;
+            println!(
+                "{name} b{batch}: unfused {:.1} ms, frozen {:.1} ms, speedup {speedup:.2}x",
+                unfused.median_ns / 1e6,
+                froz.median_ns / 1e6
+            );
+            rows.push(Row {
+                id: format!("infer_{name}_b{batch}_unfused"),
+                batch,
+                resolution: res,
+                stats: unfused,
+            });
+            rows.push(Row {
+                id: format!("infer_{name}_b{batch}_frozen"),
+                batch,
+                resolution: res,
+                stats: froz,
+            });
+            speedups.push((format!("{name}_b{batch}"), speedup));
+        }
+    }
+
+    let bench_rows: Vec<String> = rows.iter().map(json_row).collect();
+    let speedup_rows: Vec<String> = speedups
+        .iter()
+        .map(|(id, sp)| format!("    {{ \"id\": \"{id}\", \"frozen_over_unfused\": {sp:.3} }}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
+        bench_rows.join(",\n"),
+        speedup_rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_infer_fused.json", json).expect("write bench json");
+    println!("wrote results/BENCH_infer_fused.json");
+}

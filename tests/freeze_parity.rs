@@ -1,0 +1,144 @@
+//! Frozen-vs-unfused parity across the paper's scaling family, plus the
+//! steady-state resource guarantees of the inference fast path.
+//!
+//! `freeze()` rewrites every `conv -> bn -> act` chain into one fused conv
+//! with pre-packed GEMM panels; these properties pin down that the rewrite
+//! is numerically faithful (within conv-fusion rounding) for *random*
+//! S0–S6-shaped models — classification and detection — and that serving
+//! from a frozen model neither allocates nor re-packs after warm-up.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_detect::{DetHeadConfig, Detector, RevBackbone};
+use revbifpn_nn::meter;
+use revbifpn_tensor::{Shape, Tensor};
+
+/// A scaling-family config cut down to CPU-test size: the S-variant's
+/// channel plan at a miniature resolution and depth 1.
+fn family_config(s: usize, resolution: usize) -> RevBiFPNConfig {
+    RevBiFPNConfig::scaled(s, 5).with_resolution(resolution).with_depth(1)
+}
+
+/// Moves the BN affine parameters off their (1, 0) init so folding them
+/// into the convs is non-trivial.
+fn randomize_bn(model: &mut RevBiFPNClassifier, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.visit_params(&mut |p| {
+        if p.name == "bn.gamma" {
+            p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+        } else if p.name == "bn.beta" {
+            p.value = Tensor::uniform(p.value.shape(), -0.5, 0.5, &mut rng);
+        }
+    });
+}
+
+fn assert_close(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape");
+    let tol = 1e-4 * (1.0 + want.abs_max());
+    let diff = got.max_abs_diff(want);
+    assert!(diff < tol, "{what}: fused-vs-unfused diff {diff} exceeds {tol}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Classification: frozen logits match eval-mode logits for every
+    /// S-variant channel plan, input resolution, and batch size drawn.
+    #[test]
+    fn frozen_classifier_matches_eval(
+        s in 0usize..=6,
+        res_big in any::<bool>(),
+        batch in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = family_config(s, if res_big { 64 } else { 32 });
+        prop_assert!(cfg.validate().is_ok());
+        let mut model = RevBiFPNClassifier::new(cfg.clone());
+        randomize_bn(&mut model, seed);
+        let frozen = model.freeze().expect("family configs must freeze");
+        prop_assert!(frozen.packed_bytes() > 0);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let x = Tensor::randn(Shape::new(batch, 3, cfg.resolution, cfg.resolution), 1.0, &mut rng);
+        let want = model.forward(&x, RunMode::Eval);
+        let got = frozen.forward(&x);
+        assert_close(&got, &want, &format!("S{s} logits"));
+    }
+
+    /// Detection: the frozen detector's raw per-level head outputs match
+    /// the unfused eval forward on S-variant backbones.
+    #[test]
+    fn frozen_detector_matches_eval(
+        s in 0usize..=6,
+        batch in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = family_config(s, 32);
+        let backbone = RevBackbone::new(revbifpn::RevBiFPN::new(cfg), true);
+        let mut det = Detector::new(Box::new(backbone), DetHeadConfig::new(3), seed);
+        let frozen = det.freeze().expect("family detectors must freeze");
+        prop_assert!(frozen.packed_bytes() > 0);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let x = Tensor::randn(Shape::new(batch, 3, 32, 32), 1.0, &mut rng);
+        let want = det.forward_raw_eval(&x);
+        let got = frozen.forward_raw(&x);
+        prop_assert_eq!(got.len(), want.len());
+        for (lvl, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_close(&g.cls, &w.cls, &format!("S{s} level {lvl} cls"));
+            assert_close(&g.reg, &w.reg, &format!("S{s} level {lvl} reg"));
+        }
+    }
+}
+
+/// After warm-up, frozen forwards are steady-state clean: the scratch arena
+/// stops growing (zero allocations per forward) and the packed-panel cache
+/// is never rebuilt (zero re-packing) — the acceptance guarantee behind the
+/// serving fast path.
+#[test]
+fn steady_state_frozen_forwards_neither_allocate_nor_repack() {
+    let mut model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10));
+    randomize_bn(&mut model, 77);
+    let frozen = model.freeze().unwrap();
+    let packs = meter::event_count("freeze.weights_packed");
+    assert!(packs > 0, "freeze must have packed weight panels");
+
+    let mut rng = StdRng::seed_from_u64(78);
+    let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+
+    // Warm-up: grow the thread-local scratch arena to this shape's peak.
+    // The arena is shared per-thread, so retry until one full forward
+    // completes without any heap growth.
+    let mut warm = false;
+    for _ in 0..8 {
+        let before = meter::scratch_stats().heap_growths;
+        let _ = frozen.forward(&x);
+        if meter::scratch_stats().heap_growths == before {
+            warm = true;
+            break;
+        }
+    }
+    assert!(warm, "scratch arena never reached steady state");
+
+    let growths = meter::scratch_stats().heap_growths;
+    let borrows = meter::scratch_stats().borrows;
+    for _ in 0..4 {
+        let _ = frozen.forward(&x);
+    }
+    assert!(
+        meter::scratch_stats().borrows > borrows,
+        "forwards must actually use the scratch arena"
+    );
+    assert_eq!(
+        meter::scratch_stats().heap_growths,
+        growths,
+        "steady-state frozen forwards must not allocate"
+    );
+    assert_eq!(
+        meter::event_count("freeze.weights_packed"),
+        packs,
+        "steady-state frozen forwards must not re-pack weight panels"
+    );
+}
