@@ -40,3 +40,7 @@ print()
 EOF
 
 echo "wrote results/BENCH_kernels.json"
+
+# Training-step bench: serial seed step vs the sharded engine, per-phase
+# timings + on-the-spot bitwise determinism check.
+cargo run --release -q --example train_bench

@@ -30,6 +30,9 @@ cargo test -q -p revbifpn-serve
 echo "== frozen inference fast path (parity + steady-state guarantees)"
 cargo test -q --test freeze_parity
 
+echo "== sharded training step (bitwise shard/thread invariance smoke)"
+cargo run -q --release --example train_bench -- --smoke
+
 echo "== checkpoint cross-profile round-trip (release writes, debug reads)"
 CKPT_TMP="$(mktemp -d)/xprofile.ckpt"
 cargo run -q --release --example ckpt_tool -- write "$CKPT_TMP" | tee /tmp/ckpt_write.out

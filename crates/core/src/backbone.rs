@@ -245,6 +245,13 @@ impl RevBiFPN {
         self.body.visit_buffers(f);
     }
 
+    /// Visits every [`BatchNorm2d`](revbifpn_nn::layers::BatchNorm2d) in
+    /// `visit_params` order.
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        self.stem.visit_bn(f);
+        self.body.visit_bn(f);
+    }
+
     /// Clears all caches.
     pub fn clear_cache(&mut self) {
         self.stem.clear_cache();

@@ -79,6 +79,14 @@ impl Neck {
         }
     }
 
+    /// Visits every [`BatchNorm2d`](revbifpn_nn::layers::BatchNorm2d) in
+    /// `visit_params` order.
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        for b in &mut self.blocks {
+            b.visit_bn(f);
+        }
+    }
+
     /// Clears caches.
     pub fn clear_cache(&mut self) {
         for b in &mut self.blocks {
@@ -181,6 +189,15 @@ impl ClsHead {
             d.visit_buffers(f);
         }
         self.tail.visit_buffers(f);
+    }
+
+    /// Visits every [`BatchNorm2d`](revbifpn_nn::layers::BatchNorm2d) in
+    /// `visit_params` order.
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        for d in &mut self.downs {
+            d.visit_bn(f);
+        }
+        self.tail.visit_bn(f);
     }
 
     /// Clears caches.

@@ -148,6 +148,14 @@ impl RevBiFPNClassifier {
         self.head.visit_buffers(f);
     }
 
+    /// Visits every [`BatchNorm2d`](revbifpn_nn::layers::BatchNorm2d) in
+    /// `visit_params` order (backbone, neck, head).
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        self.backbone.visit_bn(f);
+        self.neck.visit_bn(f);
+        self.head.visit_bn(f);
+    }
+
     /// Total scalar parameter count.
     pub fn param_count(&mut self) -> u64 {
         let mut total = 0u64;

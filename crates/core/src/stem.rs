@@ -214,6 +214,14 @@ impl Stem {
         }
     }
 
+    /// Visits every [`BatchNorm2d`](revbifpn_nn::layers::BatchNorm2d) in
+    /// `visit_params` order (conv stem only).
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        if let Stem::Convolutional { body, .. } = self {
+            body.visit_bn(f);
+        }
+    }
+
     /// Clears caches (conv stem only).
     pub fn clear_cache(&mut self) {
         if let Stem::Convolutional { body, .. } = self {

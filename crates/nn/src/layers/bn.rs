@@ -14,7 +14,28 @@ use crate::meter::Cached;
 use crate::mode::CacheMode;
 use crate::module::Layer;
 use crate::param::Param;
-use revbifpn_tensor::{Shape, Tensor};
+use revbifpn_tensor::{par, Shape, Tensor};
+
+/// Per-sample channel moments recorded by a decoupled-mode training forward
+/// pass (see [`BatchNorm2d::set_decoupled`]).
+///
+/// `sum[n * c + ci]` / `sqsum[n * c + ci]` hold sample `n`'s f64 sum and
+/// sum of squares of channel `ci` over the `hw` spatial positions. Each
+/// entry depends only on its own sample, so a micro-batch shard records
+/// bitwise the same moments as the full batch would for those samples; the
+/// sharded trainer concatenates shard moments in sample order and reduces
+/// them with the pairwise sample tree into global batch statistics.
+#[derive(Debug, Clone)]
+pub struct BnMoments {
+    /// Number of samples in the recording pass.
+    pub samples: usize,
+    /// Spatial extent (`h * w`) each sum ranges over.
+    pub hw: usize,
+    /// Per-sample per-channel sums, sample-major.
+    pub sum: Vec<f64>,
+    /// Per-sample per-channel sums of squares, sample-major.
+    pub sqsum: Vec<f64>,
+}
 
 /// Per-channel batch normalization over `(n, h, w)`.
 #[derive(Debug)]
@@ -31,6 +52,14 @@ pub struct BatchNorm2d {
     frozen: Cached<(Tensor, Tensor)>,
     /// Backward cache: (xhat, inv_std).
     saved: Cached<(Tensor, Tensor)>,
+    /// Decoupled-statistics training mode (sharded data parallelism):
+    /// normalize with the pre-step running statistics instead of batch
+    /// statistics, record per-sample moments for the trainer to merge, and
+    /// leave the running statistics untouched until the trainer applies the
+    /// merged batch statistics after the step.
+    decoupled: bool,
+    /// Moments recorded by the last decoupled-mode training forward.
+    pending: Option<BnMoments>,
 }
 
 impl BatchNorm2d {
@@ -47,7 +76,65 @@ impl BatchNorm2d {
             c,
             frozen: Cached::empty(),
             saved: Cached::empty(),
+            decoupled: false,
+            pending: None,
         }
+    }
+
+    /// Switches decoupled-statistics mode on or off (clearing any recorded
+    /// moments). In decoupled mode a training forward normalizes with the
+    /// *running* statistics — so each sample's activations are independent
+    /// of which other samples share its micro-batch — records per-sample
+    /// moments, and defers the running-statistics update to
+    /// [`Self::apply_global_stats`].
+    pub fn set_decoupled(&mut self, on: bool) {
+        self.decoupled = on;
+        self.pending = None;
+    }
+
+    /// `true` when decoupled-statistics mode is active.
+    pub fn decoupled(&self) -> bool {
+        self.decoupled
+    }
+
+    /// Takes the per-sample moments recorded by the last decoupled-mode
+    /// training forward, if any.
+    pub fn take_moments(&mut self) -> Option<BnMoments> {
+        self.pending.take()
+    }
+
+    /// Applies externally merged batch statistics to the running statistics
+    /// (momentum update). The sharded trainer calls this once per step on
+    /// the primary replica after tree-merging per-sample moments from all
+    /// shards, reproducing what a coupled `Stats` pass over the full batch
+    /// would have contributed.
+    pub fn apply_global_stats(&mut self, mean: &Tensor, var: &Tensor) {
+        assert_eq!(mean.shape(), Shape::vector(self.c), "mean shape");
+        assert_eq!(var.shape(), Shape::vector(self.c), "var shape");
+        self.update_running(mean, var);
+    }
+
+    fn record_moments(&mut self, x: &Tensor) {
+        let xs = x.shape();
+        let hw = xs.hw();
+        let mut sum = vec![0.0f64; xs.n * self.c];
+        let mut sqsum = vec![0.0f64; xs.n * self.c];
+        for n in 0..xs.n {
+            for c in 0..self.c {
+                let base = (n * self.c + c) * hw;
+                let (mut s, mut q) = (0.0f64, 0.0f64);
+                for &v in &x.data()[base..base + hw] {
+                    let v = v as f64;
+                    s += v;
+                    q += v * v;
+                }
+                sum[n * self.c + c] = s;
+                sqsum[n * self.c + c] = q;
+            }
+        }
+        // Overwrite, never accumulate: if a step is skipped and retried
+        // (non-finite tripwire), only the latest pass's moments survive.
+        self.pending = Some(BnMoments { samples: xs.n, hw, sum, sqsum });
     }
 
     /// Zero-initializes `gamma`, used for the normalization layer before a
@@ -135,6 +222,40 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
         assert_eq!(x.shape().c, self.c, "BatchNorm channel mismatch");
+        if self.decoupled && mode != CacheMode::None {
+            return match mode {
+                CacheMode::Stats => {
+                    self.record_moments(x);
+                    let (y, _) = self.normalize(x, &self.running_mean, &self.running_var);
+                    // Freeze a copy of the (pre-step) running stats so the
+                    // Full-mode recomputation knows not to re-record moments
+                    // and the cache accounting matches the coupled mode.
+                    let frozen = (self.running_mean.clone(), self.running_var.clone());
+                    let bytes = frozen.0.bytes() + frozen.1.bytes();
+                    self.frozen.put(frozen, bytes);
+                    y
+                }
+                _ => {
+                    let (mean, var) = match self.frozen.take() {
+                        // Reversible recomputation: the Stats pass already
+                        // recorded this batch's moments.
+                        Some(mv) => mv,
+                        None => {
+                            self.record_moments(x);
+                            (self.running_mean.clone(), self.running_var.clone())
+                        }
+                    };
+                    let (y, xhat) = self.normalize(x, &mean, &var);
+                    let mut inv_std = Tensor::zeros(Shape::vector(self.c));
+                    for c in 0..self.c {
+                        inv_std.data_mut()[c] = 1.0 / (var.data()[c] + self.eps).sqrt();
+                    }
+                    let bytes = xhat.bytes() + inv_std.bytes();
+                    self.saved.put((xhat, inv_std), bytes);
+                    y
+                }
+            };
+        }
         match mode {
             CacheMode::None => {
                 let (y, _) = self.normalize(x, &self.running_mean.clone(), &self.running_var.clone());
@@ -174,6 +295,51 @@ impl Layer for BatchNorm2d {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let (xhat, inv_std) = self.saved.take().expect("BatchNorm2d::backward without Full forward");
+        if self.decoupled {
+            let xs = dy.shape();
+            let hw = xs.hw();
+            let c = self.c;
+            // dgamma/dbeta: per-sample channel partials (f64 inner sums over
+            // hw, cast to f32 per sample) merged with the pairwise sample
+            // tree, so shard-local trees compose into the global batch tree
+            // bit for bit (each partial depends only on its own sample).
+            let mut partial = vec![0.0f32; 2 * c];
+            let dyd = dy.data();
+            let xhd = xhat.data();
+            par::tree_reduce_with_slabs(xs.n, 2 * c, &mut partial, |n, slab| {
+                for ci in 0..c {
+                    let base = (n * c + ci) * hw;
+                    let (mut sg, mut sb) = (0.0f64, 0.0f64);
+                    for i in 0..hw {
+                        let d = dyd[base + i] as f64;
+                        sg += d * xhd[base + i] as f64;
+                        sb += d;
+                    }
+                    slab[ci] = sg as f32;
+                    slab[c + ci] = sb as f32;
+                }
+            });
+            let mut dgamma = Tensor::zeros(Shape::vector(c));
+            let mut dbeta = Tensor::zeros(Shape::vector(c));
+            dgamma.data_mut().copy_from_slice(&partial[..c]);
+            dbeta.data_mut().copy_from_slice(&partial[c..]);
+            self.gamma.accumulate(&dgamma);
+            self.beta.accumulate(&dbeta);
+            // The normalization statistics are pre-step running statistics —
+            // constants w.r.t. this batch — so dx is just the per-channel
+            // affine transpose: dx = gamma * inv_std * dy.
+            let mut dx = dy.clone();
+            for n in 0..xs.n {
+                for ci in 0..c {
+                    let k = self.gamma.value.data()[ci] * inv_std.data()[ci];
+                    let base = (n * c + ci) * hw;
+                    for v in &mut dx.data_mut()[base..base + hw] {
+                        *v *= k;
+                    }
+                }
+            }
+            return dx;
+        }
         let xs = dy.shape();
         let hw = xs.hw();
         let m = (xs.n * hw) as f32;
@@ -232,9 +398,14 @@ impl Layer for BatchNorm2d {
         f(&mut self.running_var);
     }
 
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(self);
+    }
+
     fn clear_cache(&mut self) {
         self.frozen.clear();
         self.saved.clear();
+        self.pending = None;
     }
 
     fn cache_bytes(&self, x: Shape, mode: CacheMode) -> u64 {
@@ -356,6 +527,118 @@ mod tests {
         let x = Tensor::randn(Shape::new(2, 2, 3, 3), 1.0, &mut rng);
         let y = bn.forward(&x, CacheMode::Full);
         assert!(y.abs_max() < 1e-6);
+        bn.clear_cache();
+    }
+
+    #[test]
+    fn decoupled_gradients_pass_finite_diff() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bn = BatchNorm2d::new(2);
+        bn.set_decoupled(true);
+        bn.gamma.value = Tensor::from_vec(Shape::vector(2), vec![1.3, 0.7]).unwrap();
+        bn.beta.value = Tensor::from_vec(Shape::vector(2), vec![0.2, -0.4]).unwrap();
+        // Non-trivial running stats so the normalization is not the identity.
+        bn.running_mean = Tensor::from_vec(Shape::vector(2), vec![0.3, -0.2]).unwrap();
+        bn.running_var = Tensor::from_vec(Shape::vector(2), vec![1.4, 0.6]).unwrap();
+        let x = Tensor::randn(Shape::new(3, 2, 4, 4), 1.0, &mut rng);
+        check_layer_training_mode(&mut bn, &x, 3e-2);
+    }
+
+    #[test]
+    fn decoupled_stats_pass_defers_running_update_and_records_moments() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bn = BatchNorm2d::new(3);
+        bn.set_decoupled(true);
+        let x = Tensor::randn(Shape::new(4, 3, 5, 5), 2.0, &mut rng).map(|v| v + 1.0);
+        let rm0 = bn.running_mean().clone();
+        let rv0 = bn.running_var().clone();
+        let y_stats = bn.forward(&x, CacheMode::Stats);
+        // Running statistics untouched by the forward pass.
+        assert_eq!(bn.running_mean(), &rm0);
+        assert_eq!(bn.running_var(), &rv0);
+        // Full recompute reproduces the Stats output bitwise (both normalize
+        // with the same running statistics) and does not re-record moments.
+        let y_full = bn.forward(&x, CacheMode::Full);
+        for (a, b) in y_stats.data().iter().zip(y_full.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let m = bn.take_moments().expect("moments recorded");
+        assert!(bn.take_moments().is_none(), "moments recorded exactly once");
+        assert_eq!((m.samples, m.hw), (4, 25));
+        // Merged moments reproduce the coupled batch statistics.
+        let (mean_ref, var_ref) = bn.batch_stats(&x);
+        let cnt = (m.samples * m.hw) as f64;
+        for c in 0..3 {
+            let s1: f64 = (0..m.samples).map(|n| m.sum[n * 3 + c]).sum();
+            let s2: f64 = (0..m.samples).map(|n| m.sqsum[n * 3 + c]).sum();
+            let mean = s1 / cnt;
+            let var = (s2 / cnt - mean * mean).max(0.0);
+            assert!((mean - mean_ref.data()[c] as f64).abs() < 1e-5, "mean c={c}");
+            assert!((var - var_ref.data()[c] as f64).abs() < 1e-4, "var c={c}");
+        }
+        // The deferred update is applied explicitly.
+        bn.apply_global_stats(&mean_ref, &var_ref);
+        assert!((bn.running_mean().data()[0] - (0.9 * rm0.data()[0] + 0.1 * mean_ref.data()[0])).abs() < 1e-6);
+        bn.clear_cache();
+    }
+
+    #[test]
+    fn decoupled_param_grads_are_shard_invariant() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, c, h) = (8usize, 3usize, 4usize);
+        let mut bn = BatchNorm2d::new(c);
+        bn.set_decoupled(true);
+        bn.gamma.value = Tensor::uniform(Shape::vector(c), 0.5, 1.5, &mut rng);
+        bn.running_mean = Tensor::uniform(Shape::vector(c), -0.5, 0.5, &mut rng);
+        bn.running_var = Tensor::uniform(Shape::vector(c), 0.5, 1.5, &mut rng);
+        let x = Tensor::randn(Shape::new(n, c, h, h), 1.0, &mut rng);
+        let dy = Tensor::randn(Shape::new(n, c, h, h), 1.0, &mut rng);
+        let _ = bn.forward(&x, CacheMode::Full);
+        let _ = bn.take_moments();
+        let _ = bn.backward(&dy);
+        let dg_full = bn.gamma.grad.clone();
+        let db_full = bn.beta.grad.clone();
+        let plane = c * h * h;
+        for shards in [2usize, 4] {
+            let m = n / shards;
+            let mut dgs: Vec<Vec<f32>> = Vec::new();
+            let mut dbs: Vec<Vec<f32>> = Vec::new();
+            for s in 0..shards {
+                bn.gamma.zero_grad();
+                bn.beta.zero_grad();
+                let xs = Tensor::from_vec(
+                    Shape::new(m, c, h, h),
+                    x.data()[s * m * plane..(s + 1) * m * plane].to_vec(),
+                )
+                .unwrap();
+                let dys = Tensor::from_vec(
+                    Shape::new(m, c, h, h),
+                    dy.data()[s * m * plane..(s + 1) * m * plane].to_vec(),
+                )
+                .unwrap();
+                let _ = bn.forward(&xs, CacheMode::Full);
+                let _ = bn.take_moments();
+                let _ = bn.backward(&dys);
+                dgs.push(bn.gamma.grad.data().to_vec());
+                dbs.push(bn.beta.grad.data().to_vec());
+            }
+            par::tree_reduce_serial(shards, |d, s| {
+                let (head, tail) = dgs.split_at_mut(s);
+                for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                    *a += *b;
+                }
+                let (head, tail) = dbs.split_at_mut(s);
+                for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                    *a += *b;
+                }
+            });
+            for (i, (a, b)) in dgs[0].iter().zip(dg_full.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dgamma shards={shards} idx {i}");
+            }
+            for (i, (a, b)) in dbs[0].iter().zip(db_full.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dbeta shards={shards} idx {i}");
+            }
+        }
         bn.clear_cache();
     }
 

@@ -261,6 +261,10 @@ impl Layer for Residual {
         self.branch.visit_buffers(f);
     }
 
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
+        self.branch.visit_bn(f);
+    }
+
     fn clear_cache(&mut self) {
         self.branch.clear_cache();
         self.drop_path.clear_cache();

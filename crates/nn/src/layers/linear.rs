@@ -7,7 +7,7 @@ use crate::mode::CacheMode;
 use crate::module::Layer;
 use crate::param::Param;
 use rand::Rng;
-use revbifpn_tensor::{sgemm_a_bt, sgemm_at_b, Shape, Tensor};
+use revbifpn_tensor::{par, sgemm_a_bt, Shape, Tensor};
 
 /// `y = x W^T + b` with `x: [n, in, 1, 1]`, `W: [out, in]`, `y: [n, out, 1, 1]`.
 #[derive(Debug)]
@@ -68,21 +68,28 @@ impl Layer for Linear {
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cache_x.take().expect("Linear::backward without Full forward");
         let n = x.shape().n;
-        // dW [out, in] = dy^T [out, n] @ x [n, in]
+        let (of, inf) = (self.out_features, self.in_features);
+        // dW [out, in] = sum_n dy_n [out, 1] @ x_n [1, in]. A single GEMM
+        // contracting over the batch would tie the f32 association to the
+        // batch extent; per-sample outer products merged with the pairwise
+        // sample tree keep dW bitwise invariant to micro-batch shard
+        // boundaries (same contract as the conv weight gradients).
         let mut dw = Tensor::zeros(self.weight.value.shape());
-        sgemm_at_b(self.out_features, n, self.in_features, 1.0, dy.data(), x.data(), 0.0, dw.data_mut());
+        let dyd = dy.data();
+        let xd = x.data();
+        par::tree_reduce_with_slabs(n, of * inf, dw.data_mut(), |i, slab| {
+            sgemm_a_bt(of, 1, inf, 1.0, &dyd[i * of..(i + 1) * of], &xd[i * inf..(i + 1) * inf], 1.0, slab);
+        });
         self.weight.accumulate(&dw);
-        // db = column sums of dy.
-        let mut db = Tensor::zeros(Shape::vector(self.out_features));
-        for i in 0..n {
-            for o in 0..self.out_features {
-                db.data_mut()[o] += dy.data()[i * self.out_features + o];
-            }
-        }
+        // db: per-sample rows of dy reduced with the same tree.
+        let mut db = Tensor::zeros(Shape::vector(of));
+        par::tree_reduce_with_slabs(n, of, db.data_mut(), |i, slab| {
+            slab.copy_from_slice(&dyd[i * of..(i + 1) * of]);
+        });
         self.bias.accumulate(&db);
         // dx [n, in] = dy [n, out] @ W [out, in]
         let mut dx = Tensor::zeros(x.shape());
-        revbifpn_tensor::sgemm(n, self.out_features, self.in_features, 1.0, dy.data(), self.weight.value.data(), 0.0, dx.data_mut());
+        revbifpn_tensor::sgemm(n, of, inf, 1.0, dyd, self.weight.value.data(), 0.0, dx.data_mut());
         dx
     }
 
@@ -154,5 +161,60 @@ mod tests {
         let mut l = Linear::new(6, 4, &mut rng);
         let x = Tensor::randn(Shape::new(3, 6, 1, 1), 1.0, &mut rng);
         check_layer(&mut l, &x, 2e-2);
+    }
+
+    #[test]
+    fn weight_grads_are_shard_invariant() {
+        // Per-shard backward + pairwise-tree merge must reproduce the
+        // full-batch gradients bit for bit (dW used to be one GEMM
+        // contracting over the batch, whose f32 association broke this).
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, inf, of) = (8usize, 6usize, 5usize);
+        let mut l = Linear::new(inf, of, &mut rng);
+        let x = Tensor::randn(Shape::new(n, inf, 1, 1), 1.0, &mut rng);
+        let dy = Tensor::randn(Shape::new(n, of, 1, 1), 1.0, &mut rng);
+        let _ = l.forward(&x, CacheMode::Full);
+        let _ = l.backward(&dy);
+        let dw_full = l.weight.grad.clone();
+        let db_full = l.bias.grad.clone();
+        for shards in [2usize, 4] {
+            let m = n / shards;
+            let mut dws: Vec<Vec<f32>> = Vec::new();
+            let mut dbs: Vec<Vec<f32>> = Vec::new();
+            for s in 0..shards {
+                l.weight.zero_grad();
+                l.bias.zero_grad();
+                let xs = Tensor::from_vec(
+                    Shape::new(m, inf, 1, 1),
+                    x.data()[s * m * inf..(s + 1) * m * inf].to_vec(),
+                )
+                .unwrap();
+                let dys = Tensor::from_vec(
+                    Shape::new(m, of, 1, 1),
+                    dy.data()[s * m * of..(s + 1) * m * of].to_vec(),
+                )
+                .unwrap();
+                let _ = l.forward(&xs, CacheMode::Full);
+                let _ = l.backward(&dys);
+                dws.push(l.weight.grad.data().to_vec());
+                dbs.push(l.bias.grad.data().to_vec());
+            }
+            par::tree_reduce_serial(shards, |d, s| {
+                let (head, tail) = dws.split_at_mut(s);
+                for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                    *a += *b;
+                }
+                let (head, tail) = dbs.split_at_mut(s);
+                for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                    *a += *b;
+                }
+            });
+            for (i, (a, b)) in dws[0].iter().zip(dw_full.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dW shards={shards} idx {i}");
+            }
+            for (i, (a, b)) in dbs[0].iter().zip(db_full.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "db shards={shards} idx {i}");
+            }
+        }
     }
 }

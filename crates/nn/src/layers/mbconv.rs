@@ -232,6 +232,10 @@ impl Layer for MBConv {
         self.inner.visit_buffers(f);
     }
 
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
+        self.inner.visit_bn(f);
+    }
+
     fn clear_cache(&mut self) {
         self.inner.clear_cache();
     }

@@ -52,7 +52,7 @@ pub mod layers {
     mod shape_ops;
 
     pub use act::{HardSigmoid, HardSwish, Relu, Sigmoid};
-    pub use bn::BatchNorm2d;
+    pub use bn::{BatchNorm2d, BnMoments};
     pub use conv::Conv2d;
     pub use dropout::{DropPath, Dropout, Residual};
     pub use linear::Linear;

@@ -61,6 +61,57 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &Tensor) -> (f64, Tensor)
     (loss, d)
 }
 
+/// Per-sample softmax cross-entropy for the sharded training step.
+///
+/// Returns `(losses, dlogits)` where `losses[i]` is sample `i`'s (unscaled)
+/// cross-entropy in f64 — summed over classes in ascending order, exactly
+/// the inner term sequence of [`softmax_cross_entropy`] — and `dlogits` is
+/// `(softmax - target) / batch_total` per element.
+///
+/// Contract with the sharded trainer: per-sample losses and per-element
+/// gradients depend only on that sample's row, never on the batch extent,
+/// so a shard computes identical values whether it holds 4 samples or 16.
+/// The trainer merges shard loss vectors in sample order and reduces them
+/// with the pairwise tree, then divides by `batch_total`, making the step
+/// loss bitwise invariant to the shard count. `batch_total` is the *global*
+/// batch size (not this shard's), so gradient scaling also matches.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-finite loss, with the same input
+/// attribution as [`softmax_cross_entropy`]. Callers on the tripwire path
+/// scan logits for finiteness before calling.
+pub fn softmax_cross_entropy_per_sample(
+    logits: &Tensor,
+    targets: &Tensor,
+    batch_total: usize,
+) -> (Vec<f64>, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s, targets.shape(), "logits/targets shape mismatch");
+    assert!(batch_total > 0, "batch_total must be positive");
+    let p = softmax(logits);
+    let mut losses = Vec::with_capacity(s.n);
+    for n in 0..s.n {
+        let mut loss = 0.0f64;
+        for k in 0..s.c {
+            let t = targets.data()[n * s.c + k] as f64;
+            if t != 0.0 {
+                let q = (p.data()[n * s.c + k] as f64).max(1e-12);
+                loss -= t * q.ln();
+            }
+        }
+        losses.push(loss);
+    }
+    if losses.iter().any(|l| !l.is_finite()) || !p.is_finite() {
+        logits.assert_finite("softmax_cross_entropy_per_sample: non-finite loss; logits");
+        targets.assert_finite("softmax_cross_entropy_per_sample: non-finite loss; targets");
+        panic!("softmax_cross_entropy_per_sample: non-finite loss with finite inputs");
+    }
+    let mut d = &p - targets;
+    d.scale(1.0 / batch_total as f32);
+    (losses, d)
+}
+
 /// One-hot targets `[n, k, 1, 1]` from class labels.
 ///
 /// # Panics
@@ -187,6 +238,50 @@ pub fn smooth_l1(pred: &Tensor, target: &Tensor, weights: &Tensor, normalizer: f
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn per_sample_ce_is_shard_invariant_and_matches_full_batch_gradient() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n, k) = (8usize, 5usize);
+        let logits = Tensor::randn(Shape::new(n, k, 1, 1), 2.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| (i * 3 + 1) % k).collect();
+        let targets = one_hot(&labels, k);
+        let (losses_full, d_full) = softmax_cross_entropy_per_sample(&logits, &targets, n);
+        assert_eq!(losses_full.len(), n);
+        // dlogits with batch_total == n must be bitwise identical to the
+        // legacy full-batch function's (p - t) / n.
+        let (_, d_legacy) = softmax_cross_entropy(&logits, &targets);
+        for (a, b) in d_full.data().iter().zip(d_legacy.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Splitting the batch into shards must reproduce the same per-sample
+        // losses and gradient rows bit for bit: every value depends only on
+        // its own sample's row plus the global batch_total.
+        for shards in [2usize, 4] {
+            let m = n / shards;
+            for s in 0..shards {
+                let ls = Tensor::from_vec(
+                    Shape::new(m, k, 1, 1),
+                    logits.data()[s * m * k..(s + 1) * m * k].to_vec(),
+                )
+                .unwrap();
+                let ts = Tensor::from_vec(
+                    Shape::new(m, k, 1, 1),
+                    targets.data()[s * m * k..(s + 1) * m * k].to_vec(),
+                )
+                .unwrap();
+                let (losses_s, d_s) = softmax_cross_entropy_per_sample(&ls, &ts, n);
+                for i in 0..m {
+                    assert_eq!(losses_s[i].to_bits(), losses_full[s * m + i].to_bits());
+                }
+                for (i, (a, b)) in d_s.data().iter().zip(&d_full.data()[s * m * k..]).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "shards={shards} s={s} idx={i}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn softmax_rows_sum_to_one() {

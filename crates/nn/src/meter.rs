@@ -14,16 +14,24 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 pub use revbifpn_tensor::scratch::{
     reset_stats as reset_scratch_stats, stats as scratch_stats, ScratchStats,
 };
 
 thread_local! {
-    static CURRENT: Cell<usize> = const { Cell::new(0) };
-    static PEAK: Cell<usize> = const { Cell::new(0) };
+    // Signed so that an *isolated* task (see [`isolated`]) may release a
+    // cache entry that was registered on a different thread: inside an
+    // isolation scope the local counter is a delta, and deltas go negative.
+    // Outside isolation the counter never drops below zero (debug-asserted).
+    static CURRENT: Cell<i64> = const { Cell::new(0) };
+    static PEAK: Cell<i64> = const { Cell::new(0) };
     static PACKED: Cell<usize> = const { Cell::new(0) };
     static EVENTS: RefCell<BTreeMap<&'static str, u64>> = const { RefCell::new(BTreeMap::new()) };
+    /// Nesting depth of [`isolated`] scopes on this thread.
+    static ISOLATION: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Resets both the current and peak counters to zero.
@@ -68,7 +76,7 @@ pub fn reset_events() {
 /// Registers `bytes` of newly cached activation state.
 pub fn add(bytes: usize) {
     CURRENT.with(|c| {
-        let v = c.get() + bytes;
+        let v = c.get() + bytes as i64;
         c.set(v);
         PEAK.with(|p| {
             if v > p.get() {
@@ -83,17 +91,25 @@ pub fn add(bytes: usize) {
 /// # Panics
 ///
 /// Debug builds panic on under-release (a layer freeing more than it
-/// registered), which would indicate an accounting bug.
+/// registered), which would indicate an accounting bug. Inside an
+/// [`isolated`] scope the check is waived: a task may legitimately release
+/// state registered on the dispatching thread, which shows up locally as a
+/// negative delta that [`absorb`] later reconciles.
 pub fn sub(bytes: usize) {
     CURRENT.with(|c| {
-        debug_assert!(c.get() >= bytes, "memory meter under-release: {} < {}", c.get(), bytes);
-        c.set(c.get().saturating_sub(bytes));
+        debug_assert!(
+            ISOLATION.with(|d| d.get()) > 0 || c.get() >= bytes as i64,
+            "memory meter under-release: {} < {}",
+            c.get(),
+            bytes
+        );
+        c.set(c.get() - bytes as i64);
     });
 }
 
 /// Bytes currently registered as cached.
 pub fn current() -> usize {
-    CURRENT.with(|c| c.get())
+    CURRENT.with(|c| c.get().max(0) as usize)
 }
 
 /// Registers `bytes` of persistently packed inference weights (frozen-model
@@ -116,7 +132,202 @@ pub fn packed_current() -> usize {
 
 /// High-water mark since the last [`reset`].
 pub fn peak() -> usize {
-    PEAK.with(|p| p.get())
+    PEAK.with(|p| p.get().max(0) as usize)
+}
+
+/// Byte/event deltas produced by one [`isolated`] task, ready to be
+/// [`absorb`]ed into the dispatching thread's meter.
+#[derive(Clone, Debug, Default)]
+pub struct TaskMeter {
+    /// Net change in cached activation bytes (may be negative when the task
+    /// released caches registered by the dispatcher).
+    pub cached_delta: i64,
+    /// The task's own cached-bytes high-water mark, relative to the bytes
+    /// resident when the task started. Never negative.
+    pub peak_above_start: i64,
+    /// Per-name event-counter increments recorded during the task.
+    pub events: Vec<(&'static str, u64)>,
+}
+
+/// Runs `f` with this thread's meter state fenced off: on return the
+/// thread's counters are exactly as they were before the call, and the
+/// task's net effect is returned as a [`TaskMeter`] delta.
+///
+/// This is the bridge between the thread-local meter and task parallelism:
+/// a worker executing a borrowed task must not leak meter state into
+/// whatever job the pool hands it next, and the dispatching thread — which
+/// owns the model being worked on — wants the task's accounting as if it
+/// had run locally. Wrap the task body in `isolated`, send the `TaskMeter`
+/// back, and [`absorb`] it on the dispatcher in task order: the resulting
+/// `current()` trace is byte-identical to running the tasks sequentially
+/// on the dispatcher, for any thread count.
+pub fn isolated<R>(f: impl FnOnce() -> R) -> (R, TaskMeter) {
+    struct Guard {
+        current: i64,
+        peak: i64,
+        packed: usize,
+        events: BTreeMap<&'static str, u64>,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            ISOLATION.with(|d| d.set(d.get() - 1));
+            CURRENT.with(|c| c.set(self.current));
+            PEAK.with(|p| p.set(self.peak));
+            PACKED.with(|p| p.set(self.packed));
+            EVENTS.with(|e| *e.borrow_mut() = std::mem::take(&mut self.events));
+        }
+    }
+    let guard = Guard {
+        current: CURRENT.with(|c| c.get()),
+        peak: PEAK.with(|p| p.get()),
+        packed: PACKED.with(|p| p.get()),
+        events: EVENTS.with(|e| e.borrow().clone()),
+    };
+    ISOLATION.with(|d| d.set(d.get() + 1));
+    // Track the task's own excursion: re-arm the peak tracker at the
+    // current level so PEAK − start measures this task alone.
+    PEAK.with(|p| p.set(guard.current));
+    EVENTS.with(|e| e.borrow_mut().clear());
+    let r = f();
+    let cached_delta = CURRENT.with(|c| c.get()) - guard.current;
+    let peak_above_start = (PEAK.with(|p| p.get()) - guard.current).max(0);
+    let events: Vec<(&'static str, u64)> =
+        EVENTS.with(|e| e.borrow().iter().map(|(&k, &v)| (k, v)).collect());
+    drop(guard);
+    (r, TaskMeter { cached_delta, peak_above_start, events })
+}
+
+/// Applies one [`isolated`] task's deltas to this thread's meter.
+///
+/// Absorbing in task order reproduces the byte trace of a sequential run:
+/// the peak is advanced as if the task's excursion happened at the absorb
+/// point, on top of whatever is currently resident. (Physical concurrent
+/// residency can exceed this serial-equivalent model by up to the number
+/// of simultaneously active tasks; the meter deliberately reports the
+/// schedule-independent quantity so tests stay exact.)
+pub fn absorb(m: &TaskMeter) {
+    CURRENT.with(|c| {
+        let candidate = c.get() + m.peak_above_start;
+        PEAK.with(|p| {
+            if candidate > p.get() {
+                p.set(candidate);
+            }
+        });
+        let v = c.get() + m.cached_delta;
+        debug_assert!(
+            ISOLATION.with(|d| d.get()) > 0 || v >= 0,
+            "memory meter under-release on absorb: {} + {} < 0",
+            c.get(),
+            m.cached_delta
+        );
+        c.set(v);
+    });
+    for &(name, n) in &m.events {
+        count_n(name, n);
+    }
+}
+
+/// Training-step phases timed by [`time_phase`]. The wall-clock spent in
+/// each phase accumulates into process-wide counters (sharded steps run
+/// phases on pool workers, so thread-local storage would lose them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Batch forward pass (loss included).
+    Forward,
+    /// Reversible re-forward used to reconstruct activations in backward.
+    Reconstruct,
+    /// Gradient (transpose) computation.
+    Backward,
+    /// Cross-shard / cross-sample gradient tree reduction.
+    Reduce,
+    /// Optimizer update (SGD step, EMA, clipping).
+    Optimizer,
+}
+
+const PHASE_COUNT: usize = 5;
+static PHASE_NANOS: [AtomicU64; PHASE_COUNT] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// Wall-clock nanoseconds accumulated per phase since the last
+/// [`reset_phase_timers`]. Copyable snapshot; subtract two snapshots to
+/// time a region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Time in [`Phase::Forward`].
+    pub forward_nanos: u64,
+    /// Time in [`Phase::Reconstruct`].
+    pub reconstruct_nanos: u64,
+    /// Time in [`Phase::Backward`].
+    pub backward_nanos: u64,
+    /// Time in [`Phase::Reduce`].
+    pub reduce_nanos: u64,
+    /// Time in [`Phase::Optimizer`].
+    pub optimizer_nanos: u64,
+}
+
+impl PhaseTimes {
+    /// Element-wise `self - earlier` (saturating), for timing a region
+    /// between two snapshots.
+    pub fn since(&self, earlier: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            forward_nanos: self.forward_nanos.saturating_sub(earlier.forward_nanos),
+            reconstruct_nanos: self.reconstruct_nanos.saturating_sub(earlier.reconstruct_nanos),
+            backward_nanos: self.backward_nanos.saturating_sub(earlier.backward_nanos),
+            reduce_nanos: self.reduce_nanos.saturating_sub(earlier.reduce_nanos),
+            optimizer_nanos: self.optimizer_nanos.saturating_sub(earlier.optimizer_nanos),
+        }
+    }
+
+    /// Sum of all phase counters, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.forward_nanos
+            + self.reconstruct_nanos
+            + self.backward_nanos
+            + self.reduce_nanos
+            + self.optimizer_nanos
+    }
+}
+
+/// Adds `nanos` to a phase counter directly (for callers that time with
+/// their own clock).
+pub fn phase_add_nanos(phase: Phase, nanos: u64) {
+    PHASE_NANOS[phase as usize].fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Runs `f`, charging its wall-clock time to `phase`.
+///
+/// Phase counters are process-global and additive: concurrent tasks in the
+/// same phase each charge their own wall time, so a counter reads as
+/// *aggregate thread-time* in that phase, not elapsed time.
+pub fn time_phase<R>(phase: Phase, f: impl FnOnce() -> R) -> R {
+    let t0 = Instant::now();
+    let r = f();
+    phase_add_nanos(phase, t0.elapsed().as_nanos() as u64);
+    r
+}
+
+/// Nanoseconds accumulated in one phase since the last
+/// [`reset_phase_timers`].
+pub fn phase_nanos(phase: Phase) -> u64 {
+    PHASE_NANOS[phase as usize].load(Ordering::Relaxed)
+}
+
+/// Snapshot of all phase counters.
+pub fn phase_times() -> PhaseTimes {
+    PhaseTimes {
+        forward_nanos: phase_nanos(Phase::Forward),
+        reconstruct_nanos: phase_nanos(Phase::Reconstruct),
+        backward_nanos: phase_nanos(Phase::Backward),
+        reduce_nanos: phase_nanos(Phase::Reduce),
+        optimizer_nanos: phase_nanos(Phase::Optimizer),
+    }
+}
+
+/// Zeroes all phase counters (process-wide).
+pub fn reset_phase_timers() {
+    for c in &PHASE_NANOS {
+        c.store(0, Ordering::Relaxed);
+    }
 }
 
 /// One snapshot of both memory views: cached activations (this module) and
@@ -288,6 +499,78 @@ mod tests {
         reset_events();
         assert_eq!(event_count("test.alpha"), 0);
         assert!(events().is_empty());
+    }
+
+    #[test]
+    fn isolated_reverts_thread_state_and_reports_delta() {
+        reset();
+        add(100);
+        let ((), m) = isolated(|| {
+            add(70);
+            sub(20);
+            count("test.iso");
+        });
+        // Thread state reverted: the task's ops are invisible locally.
+        assert_eq!(current(), 100);
+        assert_eq!(event_count("test.iso"), 0);
+        assert_eq!(m.cached_delta, 50);
+        assert_eq!(m.peak_above_start, 70);
+        assert_eq!(m.events, vec![("test.iso", 1)]);
+        absorb(&m);
+        assert_eq!(current(), 150);
+        assert_eq!(peak(), 170, "peak = current at absorb + task excursion");
+        assert_eq!(event_count("test.iso"), 1);
+        sub(150);
+        reset_events();
+    }
+
+    #[test]
+    fn isolated_task_may_release_foreign_bytes() {
+        reset();
+        add(40);
+        let ((), m) = isolated(|| {
+            // Releases state registered outside the scope: local delta goes
+            // negative without tripping the under-release assert.
+            sub(30);
+        });
+        assert_eq!(m.cached_delta, -30);
+        assert_eq!(m.peak_above_start, 0);
+        absorb(&m);
+        assert_eq!(current(), 10);
+        sub(10);
+    }
+
+    #[test]
+    fn absorb_in_order_matches_sequential_trace() {
+        reset();
+        let deltas: Vec<TaskMeter> = (0..4)
+            .map(|i| isolated(|| {
+                add(100 * (i + 1));
+                sub(50 * (i + 1));
+            }))
+            .map(|(_, m)| m)
+            .collect();
+        for m in &deltas {
+            absorb(m);
+        }
+        // Sequential run: current climbs 50, 100, 150, 200 → 500 total;
+        // peak reached inside task 4: 50+100+150 resident + 400 excursion.
+        assert_eq!(current(), 500);
+        assert_eq!(peak(), 700);
+        sub(500);
+    }
+
+    #[test]
+    fn phase_timers_accumulate() {
+        let before = phase_times();
+        let v = time_phase(Phase::Reduce, || {
+            std::hint::black_box(42u64)
+        });
+        assert_eq!(v, 42);
+        phase_add_nanos(Phase::Forward, 1000);
+        let delta = phase_times().since(&before);
+        assert!(delta.forward_nanos >= 1000);
+        assert!(delta.total_nanos() >= delta.forward_nanos);
     }
 
     #[test]

@@ -17,7 +17,13 @@ use revbifpn_tensor::{Shape, Tensor};
 ///
 /// `backward` consumes the `Full` cache, accumulates parameter gradients,
 /// and returns the gradient w.r.t. the input.
-pub trait Layer: std::fmt::Debug {
+///
+/// `Send` is a supertrait so reversible modules can schedule independent
+/// sub-layer reconstruction/backward calls on the worker pool and the
+/// sharded trainer can run whole model replicas on worker threads. Layers
+/// hold only owned tensors and plain state, so this costs implementations
+/// nothing.
+pub trait Layer: std::fmt::Debug + Send {
     /// Forward pass.
     fn forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor;
 
@@ -49,6 +55,15 @@ pub trait Layer: std::fmt::Debug {
     /// run restores inference-relevant state bit-exactly, not just the
     /// trainable parameters.
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        let _ = f;
+    }
+
+    /// Visits every [`crate::layers::BatchNorm2d`] in the module tree, in a
+    /// stable order that is identical across structurally equal models. The
+    /// sharded training step relies on this to switch model replicas into
+    /// decoupled-statistics mode and to pair up per-sample batch moments
+    /// across replicas by position.
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
         let _ = f;
     }
 
@@ -205,6 +220,12 @@ impl Layer for Sequential {
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         for l in &mut self.layers {
             l.visit_buffers(f);
+        }
+    }
+
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut crate::layers::BatchNorm2d)) {
+        for l in &mut self.layers {
+            l.visit_bn(f);
         }
     }
 

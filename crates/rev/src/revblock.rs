@@ -14,7 +14,7 @@
 //! activation survives the forward pass. RevBiFPN uses these blocks for all
 //! same-resolution transformations (paper Section 3), with MBConv bodies.
 
-use revbifpn_nn::{CacheMode, Layer, Param};
+use revbifpn_nn::{meter, CacheMode, Layer, Param};
 use revbifpn_tensor::{Shape, Tensor};
 
 /// A reversible residual block with additive coupling.
@@ -93,14 +93,15 @@ impl RevBlock {
         let (dy1, dy2) = dy.split_channels(self.c_split);
         // Reconstruct inputs, re-running F/G with Full caching (they consume
         // the frozen statistics recorded during the Stats forward).
-        let g_out = self.g.forward(&y1, CacheMode::Full);
+        let g_out = meter::time_phase(meter::Phase::Reconstruct, || self.g.forward(&y1, CacheMode::Full));
         let x2 = &y2 - &g_out;
-        let f_out = self.f.forward(&x2, CacheMode::Full);
+        let f_out = meter::time_phase(meter::Phase::Reconstruct, || self.f.forward(&x2, CacheMode::Full));
         let x1 = &y1 - &f_out;
-        // Gradients (standard RevNet recipe).
-        let dg_in = self.g.backward(&dy2);
+        // Gradients (standard RevNet recipe). F and G couple through dz1, so
+        // unlike silo edges they cannot run concurrently.
+        let dg_in = meter::time_phase(meter::Phase::Backward, || self.g.backward(&dy2));
         let dz1 = &dy1 + &dg_in;
-        let df_in = self.f.backward(&dz1);
+        let df_in = meter::time_phase(meter::Phase::Backward, || self.f.backward(&dz1));
         let dx2 = &dy2 + &df_in;
         let x = Tensor::concat_channels(&[&x1, &x2]);
         let dx = Tensor::concat_channels(&[&dz1, &dx2]);
@@ -135,6 +136,13 @@ impl RevBlock {
     pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         self.f.visit_buffers(f);
         self.g.visit_buffers(f);
+    }
+
+    /// Visits every BatchNorm in `F` then `G`, mirroring
+    /// [`RevBlock::visit_params`].
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        self.f.visit_bn(f);
+        self.g.visit_bn(f);
     }
 
     /// Clears all sub-module caches.

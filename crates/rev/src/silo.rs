@@ -22,8 +22,8 @@
 // correspondence with the math.
 #![allow(clippy::needless_range_loop)]
 
-use revbifpn_nn::{CacheMode, Layer, Param};
-use revbifpn_tensor::{Shape, Tensor};
+use revbifpn_nn::{meter, CacheMode, Layer, Param};
+use revbifpn_tensor::{par, Shape, Tensor};
 
 /// Factory signature for the silo's fusion transforms: `(from_stream,
 /// to_stream) -> Layer` mapping stream `from`'s shape to stream `to`'s.
@@ -147,23 +147,28 @@ impl RevSilo {
     /// are dropped.
     pub fn inverse(&mut self, ys: &[Tensor]) -> Vec<Tensor> {
         assert_eq!(ys.len(), self.n_out, "RevSilo inverse expects {} streams", self.n_out);
-        // Invert the up half, top (coarsest) stream first.
+        // Invert the up half, top (coarsest) stream first. Reconstructed
+        // mids are borrowed, not cloned, by the U_ij forwards; the only
+        // allocations are the per-stream accumulators.
         let mut mids: Vec<Option<Tensor>> = vec![None; self.n_out];
         mids[self.n_out - 1] = Some(ys[self.n_out - 1].clone());
         for i in (0..self.n_out - 1).rev() {
             let mut acc = ys[i].clone();
             for j in i + 1..self.n_out {
-                let mj = mids[j].clone().expect("mid already reconstructed");
-                let t = self.up_mut(i, j).forward(&mj, CacheMode::None);
+                let t = {
+                    let mj = mids[j].as_ref().expect("mid already reconstructed");
+                    self.up[i][j - i - 1].forward(mj, CacheMode::None)
+                };
                 acc.sub_assign(&t);
             }
             mids[i] = Some(acc);
         }
-        // Invert the down half, finest stream first.
+        // Invert the down half, finest stream first. Each mid is consumed
+        // exactly once, so move it into the accumulator instead of cloning.
         let mut xs: Vec<Tensor> = Vec::with_capacity(self.n_in);
-        xs.push(mids[0].clone().expect("mid 0"));
+        xs.push(mids[0].take().expect("mid 0"));
         for i in 1..self.n_in {
-            let mut acc = mids[i].clone().expect("mid");
+            let mut acc = mids[i].take().expect("mid");
             for j in 0..i.min(self.n_in) {
                 let t = self.down[i][j].forward(&xs[j], CacheMode::None);
                 acc.sub_assign(&t);
@@ -177,58 +182,104 @@ impl RevSilo {
     /// accumulating parameter gradients. Returns `(xs, dxs)`.
     ///
     /// Requires the forward pass to have run with [`CacheMode::Stats`].
+    ///
+    /// # Parallelism and determinism
+    ///
+    /// Within a row (fixed target stream `i`), the edges `U_ij` / `D_ij` are
+    /// independent: each task runs one edge's `Full` reconstruction forward
+    /// *and* its transpose backward (so its transient cache lives and dies
+    /// inside the task), producing `(t_ij, g_ij)`. Rows are processed
+    /// sequentially (reconstruction is triangular); after each row joins,
+    /// the accumulators are updated on the dispatching thread in fixed `j`
+    /// order — the same edge order as the serial loops — so results are
+    /// bitwise independent of the thread count. Edge tasks run under
+    /// [`meter::isolated`] and their byte/event traces are absorbed in edge
+    /// order, reproducing the serial activation-meter trace exactly.
     pub fn backward_rev(&mut self, ys: &[Tensor], dys: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>) {
         assert_eq!(ys.len(), self.n_out);
         assert_eq!(dys.len(), self.n_out);
-        // ---- Invert + differentiate the up half.
-        // Reconstruct mids coarsest-first, re-running U with Full caches.
+        // Every tensor clone below is accounted for: the coarsest mid (1),
+        // one accumulator per up row (n_out - 1), the dmids seed (n_out),
+        // and the dxs seed (n_in) — O(streams), never O(edges). The event
+        // lets tests assert the count stays that way.
+        meter::count_n("rev.silo.bwd_clones", (2 * self.n_out + self.n_in) as u64);
+        type EdgeSlot = Option<((Tensor, Tensor), meter::TaskMeter)>;
+        // ---- Invert + differentiate the up half, coarsest row first.
+        // o_i = m_i + Σ_{j>i} U_ij(m_j)  =>  dm_j = do_j + Σ_{i<j} U_ij^T do_i.
         let mut mids: Vec<Option<Tensor>> = vec![None; self.n_out];
         mids[self.n_out - 1] = Some(ys[self.n_out - 1].clone());
+        let mut dmids: Vec<Tensor> = dys.to_vec();
         for i in (0..self.n_out - 1).rev() {
+            let row = &mut self.up[i]; // row[k] transforms stream i+1+k -> i.
+            let dyi = &dys[i];
+            let mids_ref = &mids;
+            let mut slots: Vec<EdgeSlot> = (0..row.len()).map(|_| None).collect();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = row
+                .iter_mut()
+                .zip(slots.iter_mut())
+                .enumerate()
+                .map(|(k, (u, slot))| {
+                    Box::new(move || {
+                        let mj = mids_ref[i + 1 + k].as_ref().expect("mid already reconstructed");
+                        *slot = Some(meter::isolated(|| {
+                            let t = meter::time_phase(meter::Phase::Reconstruct, || u.forward(mj, CacheMode::Full));
+                            let g = meter::time_phase(meter::Phase::Backward, || u.backward(dyi));
+                            (t, g)
+                        }));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            par::parallel_join(tasks);
             let mut acc = ys[i].clone();
-            for j in i + 1..self.n_out {
-                let mj = mids[j].clone().expect("mid already reconstructed");
-                let t = self.up_mut(i, j).forward(&mj, CacheMode::Full);
+            for (k, slot) in slots.into_iter().enumerate() {
+                let ((t, g), tm) = slot.expect("edge task did not run");
+                meter::absorb(&tm);
                 acc.sub_assign(&t);
+                dmids[i + 1 + k].add_assign(&g);
             }
             mids[i] = Some(acc);
         }
-        let mids: Vec<Tensor> = mids.into_iter().map(|m| m.expect("mid")).collect();
-        // o_i = m_i + Σ_{j>i} U_ij(m_j)  =>  dm_j = do_j + Σ_{i<j} U_ij^T do_i.
-        let mut dmids: Vec<Tensor> = dys.to_vec();
-        for i in 0..self.n_out - 1 {
-            for j in i + 1..self.n_out {
-                let g = self.up_mut(i, j).backward(&dys[i]);
-                dmids[j].add_assign(&g);
-            }
-        }
 
-        // ---- Invert + differentiate the down half.
-        // Reconstruct real inputs finest-first with Full caches; virtual
-        // streams have no input to reconstruct but their D transforms still
-        // need Full caches for the gradient, so run them too.
+        // ---- Invert + differentiate the down half, finest row first.
+        // m_i = x_i + Σ_{j<i} D_ij(x_j)  =>  dx_j = dm_j + Σ_{i>j} D_ij^T dm_i.
+        // Virtual streams (i >= n_in) have no input to reconstruct but their
+        // D transforms still contribute gradients, so their edges run too.
         let mut xs: Vec<Tensor> = Vec::with_capacity(self.n_in);
-        xs.push(mids[0].clone());
+        xs.push(mids[0].take().expect("mid 0"));
+        let mut dxs: Vec<Tensor> = (0..self.n_in).map(|j| dmids[j].clone()).collect();
         for i in 1..self.n_out {
-            let mut acc = if i < self.n_in { Some(mids[i].clone()) } else { None };
-            for j in 0..i.min(self.n_in) {
-                let t = self.down[i][j].forward(&xs[j], CacheMode::Full);
+            let row = &mut self.down[i]; // row[j] transforms stream j -> i.
+            let dmi = &dmids[i];
+            let xs_ref = &xs;
+            let mut slots: Vec<EdgeSlot> = (0..row.len()).map(|_| None).collect();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = row
+                .iter_mut()
+                .zip(slots.iter_mut())
+                .enumerate()
+                .map(|(j, (d, slot))| {
+                    Box::new(move || {
+                        *slot = Some(meter::isolated(|| {
+                            let t = meter::time_phase(meter::Phase::Reconstruct, || {
+                                d.forward(&xs_ref[j], CacheMode::Full)
+                            });
+                            let g = meter::time_phase(meter::Phase::Backward, || d.backward(dmi));
+                            (t, g)
+                        }));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            par::parallel_join(tasks);
+            let mut acc = if i < self.n_in { Some(mids[i].take().expect("mid")) } else { None };
+            for (j, slot) in slots.into_iter().enumerate() {
+                let ((t, g), tm) = slot.expect("edge task did not run");
+                meter::absorb(&tm);
                 if let Some(a) = &mut acc {
                     a.sub_assign(&t);
                 }
+                dxs[j].add_assign(&g);
             }
             if let Some(a) = acc {
-                if i < self.n_in {
-                    xs.push(a);
-                }
-            }
-        }
-        // m_i = x_i + Σ_{j<i} D_ij(x_j)  =>  dx_j = dm_j + Σ_{i>j} D_ij^T dm_i.
-        let mut dxs: Vec<Tensor> = (0..self.n_in).map(|j| dmids[j].clone()).collect();
-        for i in 1..self.n_out {
-            for j in 0..i.min(self.n_in) {
-                let g = self.down[i][j].backward(&dmids[i]);
-                dxs[j].add_assign(&g);
+                xs.push(a);
             }
         }
         (xs, dxs)
@@ -307,6 +358,21 @@ impl RevSilo {
         for row in &mut self.up {
             for l in row {
                 l.visit_buffers(f);
+            }
+        }
+    }
+
+    /// Visits every BatchNorm in the transforms, mirroring the
+    /// [`RevSilo::visit_params`] traversal order.
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        for row in &mut self.down {
+            for l in row {
+                l.visit_bn(f);
+            }
+        }
+        for row in &mut self.up {
+            for l in row {
+                l.visit_bn(f);
             }
         }
     }
@@ -516,6 +582,58 @@ mod tests {
         nudge(&mut s, eps);
         let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
         assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "num {num} vs ana {ana}");
+    }
+
+    #[test]
+    fn backward_rev_clone_count_is_linear_in_streams() {
+        // The reversible backward allocates exactly 2*n_out + n_in tensor
+        // clones (per-stream accumulators and gradient seeds) — a count that
+        // does not grow with the edge count. The old implementation
+        // additionally cloned each reconstructed mid once per up edge, i.e.
+        // O(streams^2) extra full-tensor allocations.
+        let mut s = make_silo(4, 4, 30);
+        randomize_bn(&mut s, 300);
+        let xs = make_inputs(4, 16, 31);
+        let ys = s.forward(&xs, CacheMode::Stats);
+        let dys: Vec<Tensor> = ys.iter().map(|y| Tensor::ones(y.shape())).collect();
+        let before = revbifpn_nn::meter::event_count("rev.silo.bwd_clones");
+        let _ = s.backward_rev(&ys, &dys);
+        let clones = revbifpn_nn::meter::event_count("rev.silo.bwd_clones") - before;
+        assert_eq!(clones, (2 * 4 + 4) as u64);
+    }
+
+    #[test]
+    fn backward_rev_is_thread_count_invariant() {
+        // Same silo, same inputs, 1 vs 4 worker threads: reconstructed
+        // inputs, input gradients, and parameter gradients must be bitwise
+        // identical (PR 1's determinism contract extended to task-level
+        // parallelism).
+        let run = |threads: usize| {
+            revbifpn_tensor::par::set_max_threads(threads);
+            let mut s = make_silo(3, 4, 32);
+            randomize_bn(&mut s, 320);
+            let xs = make_inputs(3, 16, 33);
+            let ys = s.forward(&xs, CacheMode::Stats);
+            let mut rng = StdRng::seed_from_u64(34);
+            let dys: Vec<Tensor> = ys.iter().map(|y| Tensor::randn(y.shape(), 1.0, &mut rng)).collect();
+            s.visit_params(&mut |p| p.zero_grad());
+            let (xs_rec, dxs) = s.backward_rev(&ys, &dys);
+            let mut grads = Vec::new();
+            s.visit_params(&mut |p| grads.push(p.grad.clone()));
+            revbifpn_tensor::par::set_max_threads(0);
+            (xs_rec, dxs, grads)
+        };
+        let (xs1, dxs1, g1) = run(1);
+        let (xs4, dxs4, g4) = run(4);
+        for (a, b) in xs1.iter().zip(&xs4) {
+            assert_eq!(a, b, "reconstructed inputs differ across thread counts");
+        }
+        for (a, b) in dxs1.iter().zip(&dxs4) {
+            assert_eq!(a, b, "input gradients differ across thread counts");
+        }
+        for (a, b) in g1.iter().zip(&g4) {
+            assert_eq!(a, b, "parameter gradients differ across thread counts");
+        }
     }
 
     #[test]

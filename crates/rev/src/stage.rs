@@ -13,7 +13,11 @@ use revbifpn_nn::{meter, CacheMode, Cached, Param};
 use revbifpn_tensor::{Shape, Tensor};
 
 /// A reversible transformation over a vector of feature streams.
-pub trait RevStage: std::fmt::Debug {
+///
+/// `Send` mirrors the bound on [`revbifpn_nn::Layer`]: stages run inside
+/// worker-pool tasks (sharded training) and schedule their own sub-layer
+/// work on the pool.
+pub trait RevStage: std::fmt::Debug + Send {
     /// Forward pass: `n_in` streams in, `n_out` streams out.
     fn forward(&mut self, xs: &[Tensor], mode: CacheMode) -> Vec<Tensor>;
 
@@ -46,6 +50,13 @@ pub trait RevStage: std::fmt::Debug {
     /// Visits all non-parameter persistent buffers (BatchNorm running
     /// statistics) in a stable order, for checkpoint/resume.
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        let _ = f;
+    }
+
+    /// Visits every BatchNorm layer in a stable order (see
+    /// [`revbifpn_nn::Layer::visit_bn`]); the sharded trainer uses this to
+    /// manage decoupled batch statistics.
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
         let _ = f;
     }
 
@@ -107,6 +118,10 @@ impl RevStage for RevSilo {
 
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         RevSilo::visit_buffers(self, f)
+    }
+
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        RevSilo::visit_bn(self, f)
     }
 
     fn clear_cache(&mut self) {
@@ -176,18 +191,40 @@ impl RevStage for BlockStage {
     }
 
     fn backward_rev(&mut self, ys: &[Tensor], dys: &[Tensor]) -> (Vec<Tensor>, Vec<Tensor>) {
+        // Streams never interact, so each stream's whole reconstruct+backward
+        // chain is one independent task. Tasks run under `meter::isolated`
+        // and are absorbed in stream order, so the activation-meter trace and
+        // all results are bitwise independent of the thread count.
+        let mut slots: Vec<Option<((Tensor, Tensor), meter::TaskMeter)>> =
+            (0..self.blocks.len()).map(|_| None).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .blocks
+            .iter_mut()
+            .zip(slots.iter_mut())
+            .zip(ys.iter().zip(dys))
+            .map(|((chain, slot), (y, dy))| {
+                Box::new(move || {
+                    *slot = Some(meter::isolated(|| {
+                        let mut cur = y.clone();
+                        let mut dcur = dy.clone();
+                        for b in chain.iter_mut().rev() {
+                            let (x, dx) = b.backward_rev(&cur, &dcur);
+                            cur = x;
+                            dcur = dx;
+                        }
+                        (cur, dcur)
+                    }));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        revbifpn_tensor::par::parallel_join(tasks);
         let mut xs = Vec::with_capacity(ys.len());
         let mut dxs = Vec::with_capacity(ys.len());
-        for ((y, dy), chain) in ys.iter().zip(dys).zip(&mut self.blocks) {
-            let mut cur = y.clone();
-            let mut dcur = dy.clone();
-            for b in chain.iter_mut().rev() {
-                let (x, dx) = b.backward_rev(&cur, &dcur);
-                cur = x;
-                dcur = dx;
-            }
-            xs.push(cur);
-            dxs.push(dcur);
+        for slot in slots {
+            let ((x, dx), tm) = slot.expect("stream task did not run");
+            meter::absorb(&tm);
+            xs.push(x);
+            dxs.push(dx);
         }
         (xs, dxs)
     }
@@ -233,6 +270,14 @@ impl RevStage for BlockStage {
         for chain in &mut self.blocks {
             for b in chain {
                 b.visit_buffers(f);
+            }
+        }
+    }
+
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        for chain in &mut self.blocks {
+            for b in chain {
+                b.visit_bn(f);
             }
         }
     }
@@ -490,6 +535,13 @@ impl ReversibleSequence {
     pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         for s in &mut self.stages {
             s.visit_buffers(f);
+        }
+    }
+
+    /// Visits every BatchNorm layer, in stage order.
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut revbifpn_nn::layers::BatchNorm2d)) {
+        for s in &mut self.stages {
+            s.visit_bn(f);
         }
     }
 

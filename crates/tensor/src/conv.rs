@@ -209,7 +209,7 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, nee
     check_conv_args(x, w, spec).unwrap_or_else(|e| panic!("{e}"));
     let c_out = w.shape().n;
     assert_eq!(dy.shape(), spec.out_shape(x.shape(), c_out), "dy shape mismatch");
-    let db = dy.sum_per_channel();
+    let db = bias_grad(dy);
     if spec.is_pointwise() {
         let (dx, dw) = pointwise_backward(x, w, dy, need_dx);
         ConvGrads { dx, dw, db }
@@ -431,43 +431,35 @@ where
     }
 }
 
-/// Accumulates per-**sample** weight-gradient slabs into `dw`.
-///
-/// `fill(sample, slab)` writes sample `sample`'s gradient contribution into
-/// a zeroed `len`-float slab; slabs are then merged with a fixed pairwise
-/// tree (`stride` doubling). Because the slab count is the batch size — a
-/// property of the problem, not of the machine — and the merge order is a
-/// fixed tree, the reduction is bitwise thread-count-invariant, unlike a
-/// per-thread-accumulator fold.
+/// Accumulates per-**sample** weight-gradient slabs into `dw` with the
+/// crate-wide pairwise sample tree — see
+/// [`crate::par::tree_reduce_with_slabs`] for the determinism and
+/// shard-alignment contract.
 fn reduce_sample_grads<F>(n: usize, len: usize, dw: &mut [f32], fill: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    let mut slabs = scratch::take(n * len);
-    for_each_sample(&mut slabs, len, fill);
-    let mut stride = 1;
-    while stride < n {
-        let pairs: Vec<usize> = (0..n).step_by(2 * stride).filter(|i| i + stride < n).collect();
-        let ptr = SyncPtr::new(slabs.as_mut_ptr());
-        parallel_tiles(pairs.len(), |t| {
-            let i = pairs[t];
-            // SAFETY: pair tiles touch disjoint slab pairs, and
-            // `parallel_tiles` is a barrier between merge levels.
-            let (dst, src) = unsafe {
-                (
-                    std::slice::from_raw_parts_mut(ptr.get().add(i * len), len),
-                    std::slice::from_raw_parts(ptr.get().add((i + stride) * len), len),
-                )
-            };
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += s;
-            }
-        });
-        stride *= 2;
-    }
-    for (d, s) in dw.iter_mut().zip(&slabs[..len]) {
-        *d += s;
-    }
+    crate::par::tree_reduce_with_slabs(n, len, dw, fill);
+}
+
+/// Per-channel bias gradient: each sample's per-channel plane sums are
+/// reduced over the batch with the same pairwise tree as the weight
+/// gradients, so `db` is bitwise invariant to both thread count and
+/// micro-batch shard boundaries (see [`crate::par::tree_reduce_serial`]'s
+/// shard-alignment docs). A straight `for n in 0..n` fold would tie the
+/// f32 association to the batch extent and break shard invariance.
+fn bias_grad(dy: &Tensor) -> Tensor {
+    let os = dy.shape();
+    let hw = os.hw();
+    let dydata = dy.data();
+    let mut db = Tensor::zeros(Shape::vector(os.c));
+    reduce_sample_grads(os.n, os.c, db.data_mut(), |n, slab| {
+        for (c, s) in slab.iter_mut().enumerate() {
+            let base = (n * os.c + c) * hw;
+            *s = dydata[base..base + hw].iter().sum::<f32>();
+        }
+    });
+    db
 }
 
 // ---------------------------------------------------------------- pointwise
@@ -521,7 +513,28 @@ fn pointwise_backward(x: &Tensor, w: &Tensor, dy: &Tensor, need_dx: bool) -> (Op
 
 // ---------------------------------------------------------------- depthwise
 
+/// Output-coordinate ranges `[ox_lo, ox_hi) × [oy_lo, oy_hi)` whose kernel
+/// window stays fully inside the input — the "interior" where per-tap
+/// bounds checks are provably redundant. Shared by the fused forward and
+/// the interior/border backward kernels.
+fn depthwise_interior_bounds(spec: &ConvSpec, xs: Shape, oh: usize, ow: usize) -> (usize, usize, usize, usize) {
+    let (w, h) = (xs.w, xs.h);
+    let (kh, kw) = (spec.kh, spec.kw);
+    let (sh, sw) = (spec.sh, spec.sw);
+    let (ph, pw) = (spec.ph, spec.pw);
+    let ox_lo = pw.div_ceil(sw).min(ow);
+    let ox_hi = if w + pw >= kw { ((w + pw - kw) / sw + 1).min(ow) } else { 0 }.max(ox_lo);
+    let oy_lo = ph.div_ceil(sh).min(oh);
+    let oy_hi = if h + ph >= kh { ((h + ph - kh) / sh + 1).min(oh) } else { 0 }.max(oy_lo);
+    (ox_lo, ox_hi, oy_lo, oy_hi)
+}
+
 /// Computes one `(sample, channel)` output plane of a depthwise forward.
+///
+/// This is the bounds-checked reference kernel; the production forward path
+/// runs [`fused_depthwise_plane_forward`], whose pre-epilogue sums are
+/// asserted bitwise equal to this kernel in tests.
+#[cfg_attr(not(test), allow(dead_code))]
 fn depthwise_plane_forward(
     xplane: &[f32],
     kern: &[f32],
@@ -582,10 +595,7 @@ fn fused_depthwise_plane_forward(
     let (ph, pw) = (spec.ph, spec.pw);
 
     // Output ranges whose kernel window stays fully inside the input.
-    let ox_lo = pw.div_ceil(sw).min(ow);
-    let ox_hi = if w + pw >= kw { ((w + pw - kw) / sw + 1).min(ow) } else { 0 }.max(ox_lo);
-    let oy_lo = ph.div_ceil(sh).min(oh);
-    let oy_hi = if h + ph >= kh { ((h + ph - kh) / sh + 1).min(oh) } else { 0 }.max(oy_lo);
+    let (ox_lo, ox_hi, oy_lo, oy_hi) = depthwise_interior_bounds(spec, xs, oh, ow);
 
     // Border pixels: the reference per-pixel kernel with the epilogue inline.
     let border_px = |oy: usize, ox: usize| -> f32 {
@@ -670,13 +680,22 @@ fn depthwise_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) 
     let yptr = SyncPtr::new(out.data_mut().as_mut_ptr());
     // One tile per (sample, channel) plane: fine enough to keep every worker
     // busy even at batch 1, and planes are disjoint by construction.
+    //
+    // Training now runs the interior/border-split kernel too, with an
+    // identity epilogue (bias 0, no activation): per-pixel tap order matches
+    // the reference kernel, the accumulator can never be `-0.0` (it starts
+    // at `+0.0` and IEEE-754 sums reaching zero from nonzero terms round to
+    // `+0.0`), and `acc + 0.0` is then a bitwise identity — so adopting the
+    // fast kernel changes no training bits (asserted in tests).
     parallel_tiles(xs.n * xs.c, |tile| {
-        let (n, c) = (tile / xs.c, tile % xs.c);
-        let xplane = &xdata[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+        let (_, c) = (tile / xs.c, tile % xs.c);
+        let xplane = &xdata[tile * xs.hw()..(tile + 1) * xs.hw()];
         let kern = &wdata[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
         // SAFETY: tile exclusively owns output plane (n, c).
         let yplane = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
-        depthwise_plane_forward(xplane, kern, spec, xs, oh, ow, yplane);
+        fused_depthwise_plane_forward(
+            xplane, kern, spec, xs, oh, ow, 0.0, EpilogueAct::None, yplane,
+        );
     });
 }
 
@@ -695,6 +714,15 @@ fn depthwise_backward(
     let dydata = dy.data();
     let ksz = spec.kh * spec.kw;
 
+    // Interior/border split, mirroring the forward kernel: inside the
+    // interior rectangle the kernel window cannot leave the input, so the
+    // per-tap bounds checks vanish. Output pixels are still visited in
+    // row-major order with identical per-pixel tap order (`ky` outer, `kx`
+    // inner) and the same `g == 0.0` skip, so the accumulation sequence —
+    // and therefore every f32 bit — matches the fully bounds-checked
+    // reference walk (asserted in tests).
+    let (ox_lo, ox_hi, oy_lo, oy_hi) = depthwise_interior_bounds(spec, xs, oh, ow);
+
     let mut dw = Tensor::zeros(w.shape());
     reduce_sample_grads(xs.n, xs.c * ksz, dw.data_mut(), |n, slab| {
         // Channels within a sample are independent; tile over them so a
@@ -705,26 +733,54 @@ fn depthwise_backward(
             let dyplane = &dydata[(n * os.c + c) * oh * ow..(n * os.c + c + 1) * oh * ow];
             // SAFETY: channel tiles own disjoint `ksz` stretches of the slab.
             let dkern = unsafe { std::slice::from_raw_parts_mut(slab_ptr.get().add(c * ksz), ksz) };
-            for oy in 0..oh {
+            let border_px = |oy: usize, ox: usize, g: f32, dkern: &mut [f32]| {
                 let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
-                for ox in 0..ow {
-                    let g = dyplane[oy * ow + ox];
+                let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                for ky in 0..spec.kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= xs.h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= xs.w as isize {
+                            continue;
+                        }
+                        dkern[ky * spec.kw + kx] += g * xplane[iy as usize * xs.w + ix as usize];
+                    }
+                }
+            };
+            for oy in 0..oh {
+                let dyrow = &dyplane[oy * ow..(oy + 1) * ow];
+                if oy < oy_lo || oy >= oy_hi {
+                    for (ox, &g) in dyrow.iter().enumerate() {
+                        if g != 0.0 {
+                            border_px(oy, ox, g, dkern);
+                        }
+                    }
+                    continue;
+                }
+                let iy0 = oy * spec.sh - spec.ph;
+                for (ox, &g) in dyrow.iter().enumerate().take(ox_lo) {
+                    if g != 0.0 {
+                        border_px(oy, ox, g, dkern);
+                    }
+                }
+                for (ox, &g) in dyrow.iter().enumerate().take(ox_hi).skip(ox_lo) {
                     if g == 0.0 {
                         continue;
                     }
-                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                    let ix0 = ox * spec.sw - spec.pw;
                     for ky in 0..spec.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= xs.h as isize {
-                            continue;
+                        let xrow = &xplane[(iy0 + ky) * xs.w + ix0..(iy0 + ky) * xs.w + ix0 + spec.kw];
+                        for (kx, &xv) in xrow.iter().enumerate() {
+                            dkern[ky * spec.kw + kx] += g * xv;
                         }
-                        for kx in 0..spec.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= xs.w as isize {
-                                continue;
-                            }
-                            dkern[ky * spec.kw + kx] += g * xplane[iy as usize * xs.w + ix as usize];
-                        }
+                    }
+                }
+                for (ox, &g) in dyrow.iter().enumerate().skip(ox_hi) {
+                    if g != 0.0 {
+                        border_px(oy, ox, g, dkern);
                     }
                 }
             }
@@ -741,26 +797,54 @@ fn depthwise_backward(
             let kern = &wdata[c * ksz..(c + 1) * ksz];
             // SAFETY: tile exclusively owns input-gradient plane (n, c).
             let dxplane = unsafe { std::slice::from_raw_parts_mut(dxptr.get().add(tile * hw), hw) };
-            for oy in 0..oh {
+            let border_px = |oy: usize, ox: usize, g: f32, dxplane: &mut [f32]| {
                 let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
-                for ox in 0..ow {
-                    let g = dyplane[oy * ow + ox];
+                let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                for ky in 0..spec.kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= xs.h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= xs.w as isize {
+                            continue;
+                        }
+                        dxplane[iy as usize * xs.w + ix as usize] += g * kern[ky * spec.kw + kx];
+                    }
+                }
+            };
+            for oy in 0..oh {
+                let dyrow = &dyplane[oy * ow..(oy + 1) * ow];
+                if oy < oy_lo || oy >= oy_hi {
+                    for (ox, &g) in dyrow.iter().enumerate() {
+                        if g != 0.0 {
+                            border_px(oy, ox, g, dxplane);
+                        }
+                    }
+                    continue;
+                }
+                let iy0 = oy * spec.sh - spec.ph;
+                for (ox, &g) in dyrow.iter().enumerate().take(ox_lo) {
+                    if g != 0.0 {
+                        border_px(oy, ox, g, dxplane);
+                    }
+                }
+                for (ox, &g) in dyrow.iter().enumerate().take(ox_hi).skip(ox_lo) {
                     if g == 0.0 {
                         continue;
                     }
-                    let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                    let ix0 = ox * spec.sw - spec.pw;
                     for ky in 0..spec.kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= xs.h as isize {
-                            continue;
+                        let dxrow = &mut dxplane[(iy0 + ky) * xs.w + ix0..(iy0 + ky) * xs.w + ix0 + spec.kw];
+                        for (kx, d) in dxrow.iter_mut().enumerate() {
+                            *d += g * kern[ky * spec.kw + kx];
                         }
-                        for kx in 0..spec.kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= xs.w as isize {
-                                continue;
-                            }
-                            dxplane[iy as usize * xs.w + ix as usize] += g * kern[ky * spec.kw + kx];
-                        }
+                    }
+                }
+                for (ox, &g) in dyrow.iter().enumerate().skip(ox_hi) {
+                    if g != 0.0 {
+                        border_px(oy, ox, g, dxplane);
                     }
                 }
             }
@@ -1212,6 +1296,190 @@ mod tests {
         // db = sum of dy over n,h,w per channel = 2*16 = 32
         assert!(g.db.data().iter().all(|&v| (v - 32.0).abs() < 1e-4));
         assert!(g.dx.is_none());
+    }
+
+    #[test]
+    fn training_depthwise_forward_bitwise_matches_reference_kernel() {
+        // The training path now runs the interior/border-split kernel with an
+        // identity epilogue; its output must match the bounds-checked
+        // reference kernel bit for bit, including asymmetric padding.
+        let mut rng = StdRng::seed_from_u64(30);
+        let cases = [
+            ConvSpec::depthwise(3, 1, 3),
+            ConvSpec::depthwise(3, 2, 3),
+            ConvSpec::depthwise(5, 2, 3),
+            ConvSpec::depthwise(7, 4, 3),
+            ConvSpec::depthwise(3, 1, 3).with_padding(0, 0),
+            ConvSpec::depthwise(5, 1, 3).with_padding(4, 1),
+        ];
+        for spec in cases {
+            let x = Tensor::randn(Shape::new(2, 3, 11, 9), 1.0, &mut rng);
+            let w = Tensor::randn(Shape::new(3, 1, spec.kh, spec.kw), 0.5, &mut rng);
+            let got = conv2d(&x, &w, None, &spec);
+            let os = got.shape();
+            let xs = x.shape();
+            let mut want = Tensor::zeros(os);
+            for n in 0..xs.n {
+                for c in 0..xs.c {
+                    let xplane = &x.data()[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+                    let kern = &w.data()[c * spec.kh * spec.kw..(c + 1) * spec.kh * spec.kw];
+                    let base = (n * os.c + c) * os.hw();
+                    depthwise_plane_forward(
+                        xplane,
+                        kern,
+                        &spec,
+                        xs,
+                        os.h,
+                        os.w,
+                        &mut want.data_mut()[base..base + os.hw()],
+                    );
+                }
+            }
+            for (i, (a, b)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={} s={} idx {i}", spec.kh, spec.sh);
+            }
+        }
+    }
+
+    /// The pre-split depthwise backward: fully bounds-checked per-pixel walk,
+    /// kept as the bitwise oracle for the interior/border production kernel.
+    fn depthwise_backward_ref(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec) -> (Tensor, Tensor) {
+        let xs = x.shape();
+        let os = dy.shape();
+        let ksz = spec.kh * spec.kw;
+        let slab_len = xs.c * ksz;
+        let mut slabs = vec![0.0f32; xs.n * slab_len];
+        let mut dx = Tensor::zeros(xs);
+        for n in 0..xs.n {
+            for c in 0..xs.c {
+                let xplane = &x.data()[(n * xs.c + c) * xs.hw()..(n * xs.c + c + 1) * xs.hw()];
+                let dyplane = &dy.data()[(n * os.c + c) * os.hw()..(n * os.c + c + 1) * os.hw()];
+                let dkern_base = n * slab_len + c * ksz;
+                for oy in 0..os.h {
+                    let iy0 = (oy * spec.sh) as isize - spec.ph as isize;
+                    for ox in 0..os.w {
+                        let g = dyplane[oy * os.w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let ix0 = (ox * spec.sw) as isize - spec.pw as isize;
+                        for ky in 0..spec.kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= xs.h as isize {
+                                continue;
+                            }
+                            for kx in 0..spec.kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= xs.w as isize {
+                                    continue;
+                                }
+                                slabs[dkern_base + ky * spec.kw + kx] +=
+                                    g * xplane[iy as usize * xs.w + ix as usize];
+                                let di = (n * xs.c + c) * xs.hw() + iy as usize * xs.w + ix as usize;
+                                dx.data_mut()[di] += g * w.data()[c * ksz + ky * spec.kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Same pairwise sample tree as reduce_sample_grads.
+        crate::par::tree_reduce_serial(xs.n, |d, s| {
+            let (head, tail) = slabs.split_at_mut(s * slab_len);
+            let dst = &mut head[d * slab_len..(d + 1) * slab_len];
+            for (a, b) in dst.iter_mut().zip(&tail[..slab_len]) {
+                *a += *b;
+            }
+        });
+        let dw = Tensor::from_vec(w.shape(), slabs[..slab_len].to_vec()).unwrap();
+        (dx, dw)
+    }
+
+    #[test]
+    fn depthwise_backward_bitwise_matches_reference_walk() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cases = [
+            ConvSpec::depthwise(3, 1, 4),
+            ConvSpec::depthwise(3, 2, 4),
+            ConvSpec::depthwise(5, 2, 4),
+            ConvSpec::depthwise(5, 1, 4).with_padding(4, 1),
+        ];
+        for spec in cases {
+            let x = Tensor::randn(Shape::new(3, 4, 10, 9), 1.0, &mut rng);
+            let w = Tensor::randn(Shape::new(4, 1, spec.kh, spec.kw), 0.5, &mut rng);
+            let mut dy = Tensor::randn(spec.out_shape(x.shape(), 4), 1.0, &mut rng);
+            // Sprinkle exact zeros so the `g == 0.0` skip is exercised on
+            // both sides of the split.
+            dy.map_inplace(|v| if v < -0.3 { 0.0 } else { v });
+            let (dx_want, dw_want) = depthwise_backward_ref(&x, &w, &dy, &spec);
+            let (dx_got, dw_got) = depthwise_backward(&x, &w, &dy, &spec, true);
+            let dx_got = dx_got.unwrap();
+            for (i, (a, b)) in dw_got.data().iter().zip(dw_want.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dw k={} s={} idx {i}", spec.kh, spec.sh);
+            }
+            for (i, (a, b)) in dx_got.data().iter().zip(dx_want.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "dx k={} s={} idx {i}", spec.kh, spec.sh);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_grads_are_shard_invariant() {
+        // Per-shard backward + pairwise-tree merge must equal the full-batch
+        // backward bit for bit, for power-of-two shard counts (the tree
+        // alignment theorem in `par::tree_reduce_serial`). This is the
+        // kernel-level contract under the sharded train step.
+        let mut rng = StdRng::seed_from_u64(32);
+        let n = 8usize;
+        let cases: Vec<(Shape, Shape, ConvSpec)> = vec![
+            (Shape::new(n, 5, 6, 6), Shape::new(7, 5, 1, 1), ConvSpec::pointwise()),
+            (Shape::new(n, 4, 9, 8), Shape::new(4, 1, 3, 3), ConvSpec::depthwise(3, 2, 4)),
+            (Shape::new(n, 4, 7, 7), Shape::new(6, 4, 3, 3), ConvSpec::kxk(3, 1)),
+        ];
+        for (xs, ws, spec) in cases {
+            let x = Tensor::randn(xs, 1.0, &mut rng);
+            let w = Tensor::randn(ws, 0.5, &mut rng);
+            let dy = Tensor::randn(spec.out_shape(xs, ws.n), 1.0, &mut rng);
+            let full = conv2d_backward(&x, &w, &dy, &spec, false);
+            for shards in [2usize, 4] {
+                let m = n / shards;
+                let chw_x = xs.chw();
+                let chw_y = dy.shape().chw();
+                let mut dws: Vec<Vec<f32>> = Vec::new();
+                let mut dbs: Vec<Vec<f32>> = Vec::new();
+                for s in 0..shards {
+                    let xsh = Tensor::from_vec(
+                        Shape::new(m, xs.c, xs.h, xs.w),
+                        x.data()[s * m * chw_x..(s + 1) * m * chw_x].to_vec(),
+                    )
+                    .unwrap();
+                    let dysh = Tensor::from_vec(
+                        spec.out_shape(xsh.shape(), ws.n),
+                        dy.data()[s * m * chw_y..(s + 1) * m * chw_y].to_vec(),
+                    )
+                    .unwrap();
+                    let g = conv2d_backward(&xsh, &w, &dysh, &spec, false);
+                    dws.push(g.dw.data().to_vec());
+                    dbs.push(g.db.data().to_vec());
+                }
+                crate::par::tree_reduce_serial(shards, |d, s| {
+                    let (head, tail) = dws.split_at_mut(s);
+                    for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                        *a += *b;
+                    }
+                    let (head, tail) = dbs.split_at_mut(s);
+                    for (a, b) in head[d].iter_mut().zip(&tail[0]) {
+                        *a += *b;
+                    }
+                });
+                for (i, (a, b)) in dws[0].iter().zip(full.dw.data()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dw shards={shards} idx {i}");
+                }
+                for (i, (a, b)) in dbs[0].iter().zip(full.db.data()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "db shards={shards} idx {i}");
+                }
+            }
+        }
     }
 
     #[test]

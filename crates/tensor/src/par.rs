@@ -286,6 +286,160 @@ where
     });
 }
 
+/// Runs a set of heterogeneous one-shot tasks concurrently on the worker
+/// pool, returning when all of them have finished ("join").
+///
+/// This is the task-group primitive used by the reversible backward pass
+/// (independent `U_ij`/`D_ij` transform calls) and the sharded train step
+/// (per-shard forward+backward). Unlike [`parallel_tiles`], each task is a
+/// distinct `FnOnce` closure, so tasks may capture different `&mut` state.
+///
+/// Scheduling rules:
+/// - With a single-thread budget, inside an already-parallel section, or
+///   with fewer than two tasks, the tasks run inline **in order** on the
+///   current thread. The inline path does *not* mark the thread as inside a
+///   parallel section, so kernels invoked by a lone task still fan out.
+/// - Otherwise tasks are dispatched over the pool; each task runs exactly
+///   once, on an arbitrary participant. Tasks then execute inside a
+///   parallel section, so nested kernel calls run inline (deadlock-free
+///   nesting, same rule as [`parallel_tiles`]).
+///
+/// Determinism contract: every task must write only to state it owns (or
+/// disjoint slots), and each task's result must not depend on which thread
+/// runs it or on execution order. Under that contract the combined result
+/// is byte-identical for any thread count.
+pub fn parallel_join<'a>(tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    let threads = num_threads_for(n);
+    if threads == 1 || n == 1 || IN_PARALLEL.with(|flag| flag.get()) {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    // Each slot is taken exactly once by the tile that owns its index; the
+    // Mutex is never contended, it only makes the slot type `Sync`.
+    type TaskSlot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+    let slots: Vec<TaskSlot<'a>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    parallel_tiles(n, |i| {
+        let task = slots[i].lock().unwrap().take();
+        if let Some(task) = task {
+            task();
+        }
+    });
+}
+
+/// Calls `pair(dst, src)` for every reduction edge of the stride-doubling
+/// pairwise tree over `n` leaves, in deterministic order. After the walk,
+/// leaf `0` holds the reduction of all `n` leaves.
+///
+/// The edge set is `stride = 1, 2, 4, ...`: at each level, leaves
+/// `i ≡ 0 (mod 2·stride)` absorb leaf `i + stride` (when it exists). The
+/// order depends only on `n`, never on thread count or scheduling.
+///
+/// # Shard-alignment theorem
+///
+/// This tree is the backbone of the sharded training step's bitwise
+/// determinism guarantee. Split the `n` leaves into `S` equal contiguous
+/// shards of `m = n / S` leaves, with `m` and `S` powers of two. Then:
+///
+/// - every edge with `stride < m` connects two leaves of the *same* shard,
+///   and the edges within one shard form exactly the tree this function
+///   walks over `m` leaves (shifted by the shard base); and
+/// - the edges with `stride >= m` connect shard representatives (leaf
+///   `s·m` for shard `s`) and form exactly this tree over the `S` shard
+///   partials.
+///
+/// So "reduce each shard locally with this tree, then reduce the shard
+/// partials with this tree" performs the *same additions in the same
+/// order* as one global tree over all `n` leaves — the merged result is
+/// bitwise identical for any power-of-two shard count dividing `n`.
+pub fn tree_reduce_serial<F>(n: usize, mut pair: F)
+where
+    F: FnMut(usize, usize),
+{
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            pair(i, i + stride);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+}
+
+/// Parallel form of [`tree_reduce_serial`]: within each stride level the
+/// pair reductions touch disjoint leaves, so they are dispatched over the
+/// pool; levels are separated by a barrier. The edge set and per-edge
+/// `pair(dst, src)` arguments are identical to the serial walk, so results
+/// agree bitwise with it whenever each `pair` call is deterministic.
+pub fn tree_reduce_parallel<F>(n: usize, pair: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let mut stride = 1;
+    while stride < n {
+        let step = 2 * stride;
+        let pairs = if n > stride { (n - stride).div_ceil(step) } else { 0 };
+        parallel_tiles(pairs, |p| {
+            let i = p * step;
+            pair(i, i + stride);
+        });
+        stride *= 2;
+    }
+}
+
+/// Accumulates `n` per-leaf gradient slabs into `dst` via the pairwise
+/// tree of [`tree_reduce_serial`].
+///
+/// `fill(leaf, slab)` writes leaf `leaf`'s contribution into a zeroed
+/// `len`-float scratch slab (leaves are typically batch samples); slabs are
+/// then merged with the stride-doubling tree and the root added into `dst`.
+/// Because the slab count is a property of the problem (not the machine)
+/// and the merge order is the fixed tree, the reduction is bitwise
+/// invariant to thread count *and* — per the shard-alignment theorem — to
+/// power-of-two micro-batch shard boundaries.
+pub fn tree_reduce_with_slabs<F>(n: usize, len: usize, dst: &mut [f32], fill: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if n == 0 || len == 0 {
+        return;
+    }
+    let mut slabs = crate::scratch::take(n * len);
+    {
+        let slices: Vec<&mut [f32]> = slabs.chunks_mut(len).collect();
+        if slices.len() >= num_threads_for(usize::MAX) {
+            parallel_over_slices(slices, &fill);
+        } else {
+            for (i, s) in slices.into_iter().enumerate() {
+                fill(i, s);
+            }
+        }
+    }
+    let ptr = SyncPtr::new(slabs.as_mut_ptr());
+    tree_reduce_parallel(n, |d, s| {
+        // SAFETY: within one stride level the (dst, src) pairs touch
+        // disjoint slabs, and levels are separated by a barrier.
+        let (dst_s, src_s) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(ptr.get().add(d * len), len),
+                std::slice::from_raw_parts(ptr.get().add(s * len), len),
+            )
+        };
+        for (a, b) in dst_s.iter_mut().zip(src_s) {
+            *a += *b;
+        }
+    });
+    for (d, s) in dst.iter_mut().zip(&slabs[..len]) {
+        *d += s;
+    }
+}
+
 /// Wrapper making a raw pointer shareable across the pool. Soundness is the
 /// caller's obligation: every tile must touch disjoint memory. Used by the
 /// kernels in this crate to let tiles write disjoint regions of one buffer.
@@ -508,6 +662,121 @@ mod tests {
         });
         set_max_threads(0);
         assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn join_runs_every_task_once() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let hits: Vec<AtomicU64> = (0..23).map(|_| AtomicU64::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..hits.len())
+            .map(|i| {
+                let cell = &hits[i];
+                Box::new(move || {
+                    cell.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        parallel_join(tasks);
+        set_max_threads(0);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_tasks_may_mutate_disjoint_state() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let mut outs = vec![0u64; 8];
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = outs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    *slot = (i as u64 + 1) * 10;
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        parallel_join(tasks);
+        set_max_threads(0);
+        assert_eq!(outs, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn join_single_task_does_not_enter_parallel_section() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let entered = std::sync::atomic::AtomicBool::new(false);
+        let probe = &entered;
+        parallel_join(vec![Box::new(move || {
+            probe.store(IN_PARALLEL.with(|f| f.get()), Ordering::Relaxed);
+        })]);
+        set_max_threads(0);
+        assert!(
+            !entered.load(Ordering::Relaxed),
+            "lone task must run outside a parallel section"
+        );
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let _g = budget_lock();
+        set_max_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("task boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            parallel_join(tasks);
+        }));
+        set_max_threads(0);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tree_reduce_matches_between_serial_and_parallel() {
+        let _g = budget_lock();
+        for n in [1usize, 2, 3, 5, 8, 16, 17] {
+            let mut serial_edges = Vec::new();
+            tree_reduce_serial(n, |d, s| serial_edges.push((d, s)));
+            let par_edges = Mutex::new(Vec::new());
+            set_max_threads(4);
+            tree_reduce_parallel(n, |d, s| par_edges.lock().unwrap().push((d, s)));
+            set_max_threads(0);
+            let mut par_edges = par_edges.into_inner().unwrap();
+            // Parallel order within a level is nondeterministic; the edge
+            // *set* must match, and level order is preserved by stride.
+            par_edges.sort_unstable();
+            serial_edges.sort_unstable();
+            assert_eq!(serial_edges, par_edges, "edge set mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_shard_alignment() {
+        // The theorem in the docs, checked concretely: local trees over
+        // power-of-two shards followed by a tree over shard bases perform
+        // the same (dst, src) adds as one global tree, in an order that
+        // yields bitwise-identical sums for f32 accumulation.
+        let n = 16usize;
+        for shards in [1usize, 2, 4, 8] {
+            let m = n / shards;
+            let leaves: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 1e3).collect();
+            let mut global = leaves.clone();
+            tree_reduce_serial(n, |d, s| global[d] += global[s]);
+            let mut sharded = leaves.clone();
+            for s in 0..shards {
+                let base = s * m;
+                tree_reduce_serial(m, |d, s2| sharded[base + d] += sharded[base + s2]);
+            }
+            let mut partials: Vec<f32> = (0..shards).map(|s| sharded[s * m]).collect();
+            tree_reduce_serial(shards, |d, s2| partials[d] += partials[s2]);
+            assert_eq!(global[0].to_bits(), partials[0].to_bits(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -20,11 +20,13 @@ mod metrics;
 pub mod resume;
 mod schedule;
 mod sgd;
+mod shard;
 mod trainer;
 
 pub use ema::Ema;
 pub use faults::{tear_file, Fault, FaultPlan, ServeFault, ServeFaultPlan};
-pub use metrics::{top1_accuracy, topk_accuracy, AverageMeter};
+pub use metrics::{top1_accuracy, topk_accuracy, AverageMeter, PhaseBreakdown};
+pub use shard::{ShardEngine, ShardStepFaults, ShardStepOutput};
 pub use resume::{auto_resume, load_train_state, save_train_state, CheckpointCfg, ResumeMeta};
 pub use schedule::LrSchedule;
 pub use sgd::{clip_grad_norm, Sgd};

@@ -1,6 +1,8 @@
-//! Classification metrics and running averages.
+//! Classification metrics, running averages, and the per-phase timing
+//! breakdown surfaced from the nn-level step timers.
 
 use revbifpn_nn::loss::argmax_rows;
+use revbifpn_nn::meter::PhaseTimes;
 use revbifpn_tensor::Tensor;
 
 /// Running average of a scalar.
@@ -34,6 +36,47 @@ impl AverageMeter {
     /// Number of weighted observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+}
+
+/// Per-phase wall-clock breakdown of training steps, in milliseconds,
+/// converted from the process-wide phase timers in
+/// [`revbifpn_nn::meter`] (see [`revbifpn_nn::meter::phase_times`]).
+///
+/// Counters are *aggregate thread-time*: concurrent shard tasks each
+/// charge their own wall clock, so on a multi-core run the sum can exceed
+/// elapsed time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Batch forward passes (loss included).
+    pub forward_ms: f64,
+    /// Reversible re-forwards reconstructing activations during backward.
+    pub reconstruct_ms: f64,
+    /// Gradient (transpose) computation.
+    pub backward_ms: f64,
+    /// Cross-shard / cross-sample gradient and BN-stat tree reductions.
+    pub reduce_ms: f64,
+    /// Optimizer updates (SGD step, EMA).
+    pub optimizer_ms: f64,
+}
+
+impl PhaseBreakdown {
+    /// Converts a [`PhaseTimes`] snapshot (or snapshot difference) into
+    /// milliseconds.
+    pub fn from_times(t: PhaseTimes) -> Self {
+        const MS: f64 = 1e-6;
+        Self {
+            forward_ms: t.forward_nanos as f64 * MS,
+            reconstruct_ms: t.reconstruct_nanos as f64 * MS,
+            backward_ms: t.backward_nanos as f64 * MS,
+            reduce_ms: t.reduce_nanos as f64 * MS,
+            optimizer_ms: t.optimizer_nanos as f64 * MS,
+        }
+    }
+
+    /// Sum over all phases, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.forward_ms + self.reconstruct_ms + self.backward_ms + self.reduce_ms + self.optimizer_ms
     }
 }
 

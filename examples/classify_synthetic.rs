@@ -41,6 +41,7 @@ fn main() {
         augment: AugmentPolicy { hflip: true, jitter: 0.1, cutout: 0, mixup: 0.1, cutmix: 0.5 },
         seed: 0,
         resilience: ResilienceConfig::default(),
+        shards: 0,
     };
     let history = train_classifier(&mut model, &data, &cfg, RunMode::TrainReversible);
     println!("\nepoch  train-loss  train-acc  val-acc(EMA)  peak-act-bytes");
