@@ -44,3 +44,7 @@ echo "wrote results/BENCH_kernels.json"
 # Training-step bench: serial seed step vs the sharded engine, per-phase
 # timings + on-the-spot bitwise determinism check.
 cargo run --release -q --example train_bench
+
+# Quantized inference bench: int8 fast path vs the f32 frozen path vs the
+# unfused eval forward (S0/S3, batch 1/8) -> results/BENCH_infer_quant.json.
+cargo run --release -q --example quant_bench

@@ -30,6 +30,11 @@ cargo test -q -p revbifpn-serve
 echo "== frozen inference fast path (parity + steady-state guarantees)"
 cargo test -q --test freeze_parity
 
+echo "== quantized fast path, forced-scalar kernels (bitwise vs vector)"
+REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q --test freeze_parity
+REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q -p revbifpn-tensor qgemm
+REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q -p revbifpn-tensor quant
+
 echo "== sharded training step (bitwise shard/thread invariance smoke)"
 cargo run -q --release --example train_bench -- --smoke
 

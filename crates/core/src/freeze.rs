@@ -65,10 +65,23 @@ impl FrozenStem {
         }
     }
 
+    fn quantize(&mut self) {
+        if let FrozenStem::Convolutional { body, .. } = self {
+            body.quantize();
+        }
+    }
+
     fn packed_bytes(&self) -> usize {
         match self {
             FrozenStem::SpaceToDepth { .. } => 0,
             FrozenStem::Convolutional { body, .. } => body.packed_bytes(),
+        }
+    }
+
+    fn quant_packed_bytes(&self) -> usize {
+        match self {
+            FrozenStem::SpaceToDepth { .. } => 0,
+            FrozenStem::Convolutional { body, .. } => body.quant_packed_bytes(),
         }
     }
 }
@@ -100,8 +113,20 @@ impl FrozenClsHead {
         self.tail.compile();
     }
 
+    fn quantize(&mut self) {
+        for d in &mut self.downs {
+            d.quantize();
+        }
+        self.tail.quantize();
+    }
+
     fn packed_bytes(&self) -> usize {
         self.downs.iter().map(|d| d.packed_bytes()).sum::<usize>() + self.tail.packed_bytes()
+    }
+
+    fn quant_packed_bytes(&self) -> usize {
+        self.downs.iter().map(|d| d.quant_packed_bytes()).sum::<usize>()
+            + self.tail.quant_packed_bytes()
     }
 }
 
@@ -131,9 +156,22 @@ impl FrozenBackbone {
         self.body.compile();
     }
 
+    /// Lowers every fused conv to int8 weights (see
+    /// [`FrozenLayer::quantize`]; idempotent). Call before
+    /// [`FrozenBackbone::compile`].
+    pub fn quantize(&mut self) {
+        self.stem.quantize();
+        self.body.quantize();
+    }
+
     /// Total bytes of packed weight panels.
     pub fn packed_bytes(&self) -> usize {
         self.stem.packed_bytes() + self.body.packed_bytes()
+    }
+
+    /// Total bytes of quantized (int8) weight panels.
+    pub fn quant_packed_bytes(&self) -> usize {
+        self.stem.quant_packed_bytes() + self.body.quant_packed_bytes()
     }
 }
 
@@ -177,11 +215,34 @@ impl FrozenClassifier {
         self.head.compile();
     }
 
+    /// Lowers every fused conv in the model to per-channel int8 weights
+    /// (idempotent; called by [`crate::RevBiFPNClassifier::freeze_int8`]).
+    /// Squeeze-excite gates stay f32 — see [`FrozenLayer::quantize`].
+    pub fn quantize(&mut self) {
+        self.backbone.quantize();
+        for b in &mut self.neck {
+            b.quantize();
+        }
+        self.head.quantize();
+    }
+
+    /// `true` when at least one conv runs the int8 path.
+    pub fn is_quantized(&self) -> bool {
+        self.quant_packed_bytes() > 0
+    }
+
     /// Total bytes of packed weight panels resident for this model.
     pub fn packed_bytes(&self) -> usize {
         self.backbone.packed_bytes()
             + self.neck.iter().map(|b| b.packed_bytes()).sum::<usize>()
             + self.head.packed_bytes()
+    }
+
+    /// Total bytes of quantized (int8) weight panels resident for this model.
+    pub fn quant_packed_bytes(&self) -> usize {
+        self.backbone.quant_packed_bytes()
+            + self.neck.iter().map(|b| b.quant_packed_bytes()).sum::<usize>()
+            + self.head.quant_packed_bytes()
     }
 }
 

@@ -94,6 +94,26 @@ impl RevBiFPNClassifier {
         Ok(frozen)
     }
 
+    /// Like [`RevBiFPNClassifier::freeze`], but additionally lowers every
+    /// fused conv to per-output-channel int8 weights before compiling, so
+    /// the frozen forward runs the int8 GEMM/depthwise kernels with dynamic
+    /// per-tensor activation quantization. Squeeze-excite gates stay f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`revbifpn_nn::FreezeError`] if any layer has no fused
+    /// equivalent.
+    pub fn freeze_int8(&self) -> Result<crate::FrozenClassifier, revbifpn_nn::FreezeError> {
+        let mut frozen = crate::FrozenClassifier {
+            backbone: self.backbone.freeze()?,
+            neck: self.neck.freeze()?,
+            head: self.head.freeze()?,
+        };
+        frozen.quantize();
+        frozen.compile();
+        Ok(frozen)
+    }
+
     /// Forward pass: images `[n, 3, r, r]` to logits `[n, classes, 1, 1]`.
     ///
     /// In [`RunMode::TrainReversible`], the output pyramid is retained (the
@@ -341,6 +361,53 @@ mod tests {
         let before = revbifpn_nn::meter::packed_current();
         drop(frozen);
         assert!(revbifpn_nn::meter::packed_current() < before, "drop must release packed bytes");
+    }
+
+    #[test]
+    fn int8_frozen_classifier_tracks_the_f32_frozen_forward() {
+        let mut m = tiny();
+        let mut rng = StdRng::seed_from_u64(44);
+        m.visit_params(&mut |p| {
+            if p.name == "bn.gamma" {
+                p.value = Tensor::uniform(p.value.shape(), 0.5, 1.5, &mut rng);
+            }
+        });
+        for _ in 0..2 {
+            let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+            let _ = m.forward(&x, RunMode::TrainReversible);
+            m.clear_cache();
+        }
+
+        let frozen = m.freeze().unwrap();
+        let quant = m.freeze_int8().unwrap();
+        assert!(quant.is_quantized());
+        // Only the (deliberately f32) squeeze-excite gates still pack f32
+        // panels; everything else moves to int8.
+        assert!(
+            quant.packed_bytes() < frozen.packed_bytes() / 4,
+            "residual f32 panels {} vs f32 model {}",
+            quant.packed_bytes(),
+            frozen.packed_bytes()
+        );
+        assert!(quant.quant_packed_bytes() > 0);
+        assert!(quant.quant_packed_bytes() < frozen.packed_bytes() / 2);
+        assert_eq!(quant.quant_packed_bytes(), revbifpn_nn::meter::quant_packed_current());
+
+        let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+        let want = frozen.forward(&x);
+        let got = quant.forward(&x);
+        assert_eq!(got.shape(), quant.logit_shape(2));
+        // End-to-end logits track the f32 frozen model within compounded
+        // quantization noise; the serving accuracy gate is the hard bar.
+        let tol = 0.25 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "logits diff {}", got.max_abs_diff(&want));
+
+        let before = revbifpn_nn::meter::quant_packed_current();
+        drop(quant);
+        assert!(
+            revbifpn_nn::meter::quant_packed_current() < before,
+            "drop must release quantized panel bytes"
+        );
     }
 
     #[test]

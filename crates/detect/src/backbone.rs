@@ -37,7 +37,7 @@ pub trait Backbone: std::fmt::Debug {
     /// [`revbifpn::FrozenBackbone`]). The result is *uncompiled*. Backbones
     /// without fused kernels return [`FreezeError::Unsupported`].
     fn freeze(&self) -> Result<revbifpn::FrozenBackbone, revbifpn_nn::FreezeError> {
-        Err(revbifpn_nn::FreezeError::Unsupported(self.name()))
+        Err(revbifpn_nn::FreezeError::unsupported("detection backbone", self.name()))
     }
 }
 

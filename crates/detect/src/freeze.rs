@@ -56,11 +56,27 @@ impl FrozenDetHead {
         }
     }
 
+    fn quantize(&mut self) {
+        for group in [&mut self.laterals, &mut self.towers, &mut self.cls, &mut self.reg] {
+            for layer in group {
+                layer.quantize();
+            }
+        }
+    }
+
     fn packed_bytes(&self) -> usize {
         [&self.laterals, &self.towers, &self.cls, &self.reg]
             .iter()
             .flat_map(|g| g.iter())
             .map(|l| l.packed_bytes())
+            .sum()
+    }
+
+    fn quant_packed_bytes(&self) -> usize {
+        [&self.laterals, &self.towers, &self.cls, &self.reg]
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|l| l.quant_packed_bytes())
             .sum()
     }
 }
@@ -105,9 +121,22 @@ impl FrozenDetector {
         self.head.compile();
     }
 
+    /// Lowers every fused conv (backbone and head) to per-channel int8
+    /// weights (idempotent; called by [`crate::Detector::freeze_int8`]).
+    pub fn quantize(&mut self) {
+        self.backbone.quantize();
+        self.head.quantize();
+    }
+
     /// Total bytes of packed weight panels resident for this detector.
     pub fn packed_bytes(&self) -> usize {
         self.backbone.packed_bytes() + self.head.packed_bytes()
+    }
+
+    /// Total bytes of quantized (int8) weight panels resident for this
+    /// detector.
+    pub fn quant_packed_bytes(&self) -> usize {
+        self.backbone.quant_packed_bytes() + self.head.quant_packed_bytes()
     }
 }
 

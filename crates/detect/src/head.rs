@@ -359,6 +359,24 @@ impl Detector {
         Ok(frozen)
     }
 
+    /// Like [`Detector::freeze`], but lowers every fused conv to
+    /// per-output-channel int8 weights before compiling, so inference runs
+    /// the int8 GEMM/depthwise kernels. Decoding and NMS are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`revbifpn_nn::FreezeError`] if the backbone has no fused
+    /// kernels or any head layer cannot be fused.
+    pub fn freeze_int8(&self) -> Result<crate::freeze::FrozenDetector, revbifpn_nn::FreezeError> {
+        let mut frozen = crate::freeze::FrozenDetector {
+            backbone: self.backbone.freeze()?,
+            head: self.head.freeze()?,
+        };
+        frozen.quantize();
+        frozen.compile();
+        Ok(frozen)
+    }
+
     /// Eval forward to the raw per-level head outputs, before decoding and
     /// NMS — the unfused counterpart of
     /// [`crate::freeze::FrozenDetector::forward_raw`], for parity checks.

@@ -20,6 +20,14 @@
 //! (cheap, fusion happens structurally via [`FrozenLayer::sequence`]), and
 //! [`FrozenLayer::compile`] packs the weights. [`freeze_layer`] does both.
 //!
+//! A third, optional lowering sits on top: [`FrozenLayer::quantize`]
+//! re-packs every fused conv's folded weights as per-output-channel
+//! symmetric int8 (scale `max|w| / 127`) and serves it through the int8
+//! GEMM/depthwise kernels with dynamically quantized activations
+//! ([`freeze_layer_int8`] chains freeze → quantize → compile). Quantized
+//! bytes ride the separate [`meter::quant_packed_current`] gauge and the
+//! `"freeze.weights_quantized"` event counter.
+//!
 //! The packed-bytes accounting uses the thread-local meter, so a frozen
 //! layer should be compiled and dropped on the same thread.
 
@@ -27,20 +35,36 @@ use crate::meter;
 use crate::module::Layer;
 use revbifpn_tensor::{
     global_avg_pool, sgemm_a_bt, space_to_depth, upsample, ConvPlan, ConvSpec, EpilogueAct,
-    ResizeMode, Shape, Tensor,
+    QuantConvPlan, ResizeMode, Shape, Tensor,
 };
 
 /// Error returned when a layer (or one of its children) has no frozen form.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FreezeError {
-    /// The named layer does not implement freezing.
-    Unsupported(String),
+    /// The offending component does not implement freezing.
+    Unsupported {
+        /// What kind of component refused (`"layer"`, `"reversible stage"`,
+        /// `"detection backbone"`, ...), so a failure deep inside a new
+        /// architecture is attributable from the error alone.
+        kind: String,
+        /// The component's reported name.
+        layer: String,
+    },
+}
+
+impl FreezeError {
+    /// Convenience constructor for [`FreezeError::Unsupported`].
+    pub fn unsupported(kind: impl Into<String>, layer: impl Into<String>) -> Self {
+        Self::Unsupported { kind: kind.into(), layer: layer.into() }
+    }
 }
 
 impl std::fmt::Display for FreezeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Unsupported(name) => write!(f, "layer `{name}` cannot be frozen"),
+            Self::Unsupported { kind, layer } => {
+                write!(f, "{kind} `{layer}` cannot be frozen")
+            }
         }
     }
 }
@@ -66,6 +90,26 @@ impl Drop for PackedBytes {
     }
 }
 
+/// RAII registration of quantized packed-weight bytes with the thread-local
+/// meter's int8 gauge ([`meter::quant_packed_current`]).
+#[derive(Debug)]
+struct QuantPackedBytes {
+    bytes: usize,
+}
+
+impl QuantPackedBytes {
+    fn new(bytes: usize) -> Self {
+        meter::add_quant_packed(bytes);
+        Self { bytes }
+    }
+}
+
+impl Drop for QuantPackedBytes {
+    fn drop(&mut self) {
+        meter::sub_quant_packed(self.bytes);
+    }
+}
+
 /// A convolution with folded per-channel scale/bias and an optional fused
 /// epilogue activation, executed from persistently packed GEMM weight panels.
 #[derive(Debug)]
@@ -76,6 +120,8 @@ pub struct FusedConv {
     act: EpilogueAct,
     plan: Option<ConvPlan>,
     resident: Option<PackedBytes>,
+    qplan: Option<QuantConvPlan>,
+    qresident: Option<QuantPackedBytes>,
 }
 
 impl FusedConv {
@@ -85,7 +131,16 @@ impl FusedConv {
         let c_out = weight.shape().n;
         let bias = bias.map(|b| b.data().to_vec()).unwrap_or_else(|| vec![0.0; c_out]);
         assert_eq!(bias.len(), c_out, "fused conv bias length mismatch");
-        Self { weight, bias, spec, act: EpilogueAct::None, plan: None, resident: None }
+        Self {
+            weight,
+            bias,
+            spec,
+            act: EpilogueAct::None,
+            plan: None,
+            resident: None,
+            qplan: None,
+            qresident: None,
+        }
     }
 
     /// Output channel count.
@@ -96,7 +151,7 @@ impl FusedConv {
     /// Folds a following per-channel affine `y = scale * x + shift` into the
     /// weights and bias: `w' = scale * w`, `b' = scale * b + shift`.
     pub(crate) fn fold_affine(&mut self, scale: &[f32], shift: &[f32]) {
-        assert!(self.plan.is_none(), "cannot fold into a compiled conv");
+        assert!(self.plan.is_none() && self.qplan.is_none(), "cannot fold into a compiled conv");
         let c_out = self.c_out();
         assert_eq!(scale.len(), c_out, "affine scale length mismatch");
         assert_eq!(shift.len(), c_out, "affine shift length mismatch");
@@ -113,7 +168,11 @@ impl FusedConv {
     /// Returns `false` (leaving the conv unchanged) when an activation is
     /// already fused or the conv is compiled.
     pub(crate) fn try_set_act(&mut self, act: EpilogueAct) -> bool {
-        if self.act == EpilogueAct::None && act != EpilogueAct::None && self.plan.is_none() {
+        if self.act == EpilogueAct::None
+            && act != EpilogueAct::None
+            && self.plan.is_none()
+            && self.qplan.is_none()
+        {
             self.act = act;
             true
         } else {
@@ -123,8 +182,10 @@ impl FusedConv {
 
     /// Packs the weight panels (idempotent). Counts one
     /// `"freeze.weights_packed"` event and registers the resident bytes.
+    /// A no-op on a conv that was already [`FusedConv::quantize`]d — the
+    /// int8 image supersedes the f32 panels.
     pub fn compile(&mut self) {
-        if self.plan.is_none() {
+        if self.plan.is_none() && self.qplan.is_none() {
             let plan = ConvPlan::new(&self.weight, self.bias.clone(), self.spec, self.act);
             meter::count("freeze.weights_packed");
             self.resident = Some(PackedBytes::new(plan.packed_bytes()));
@@ -132,9 +193,36 @@ impl FusedConv {
         }
     }
 
-    /// Bytes of packed panels (0 before [`FusedConv::compile`]).
+    /// Lowers this conv to int8 (idempotent): quantizes the folded weights
+    /// per output channel, packs the int8 panels, counts one
+    /// `"freeze.weights_quantized"` event and registers the resident bytes
+    /// on the quantized gauge. Any existing f32 packed panels are released
+    /// — a quantized conv serves int8 only.
+    pub fn quantize(&mut self) {
+        if self.qplan.is_none() {
+            let qplan = QuantConvPlan::new(&self.weight, self.bias.clone(), self.spec, self.act);
+            meter::count("freeze.weights_quantized");
+            self.qresident = Some(QuantPackedBytes::new(qplan.packed_bytes()));
+            self.qplan = Some(qplan);
+            self.plan = None;
+            self.resident = None;
+        }
+    }
+
+    /// `true` once [`FusedConv::quantize`] has lowered this conv to int8.
+    pub fn is_quantized(&self) -> bool {
+        self.qplan.is_some()
+    }
+
+    /// Bytes of packed f32 panels (0 before [`FusedConv::compile`] and
+    /// after [`FusedConv::quantize`]).
     pub fn packed_bytes(&self) -> usize {
         self.plan.as_ref().map(|p| p.packed_bytes()).unwrap_or(0)
+    }
+
+    /// Bytes of quantized packed panels (0 unless quantized).
+    pub fn quant_packed_bytes(&self) -> usize {
+        self.qplan.as_ref().map(|p| p.packed_bytes()).unwrap_or(0)
     }
 
     /// Output shape for input shape `x`.
@@ -148,7 +236,26 @@ impl FusedConv {
     ///
     /// Panics if the conv was not compiled.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        self.plan.as_ref().expect("FusedConv::forward before compile()").forward(x)
+        self.forward_carry(x, None).0
+    }
+
+    /// Fused forward with activation-absmax carrying: `in_absmax` is `x`'s
+    /// exact absolute maximum if the producer already computed it (the int8
+    /// path folds the scan into each write-back); the returned absmax is
+    /// `Some` when this conv's kernel produced one for the next consumer.
+    /// The f32 path ignores and yields no carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conv was not compiled.
+    pub fn forward_carry(&self, x: &Tensor, in_absmax: Option<f32>) -> (Tensor, Option<f32>) {
+        if let Some(q) = &self.qplan {
+            let (y, m) = q.forward_quant(x, in_absmax);
+            (y, Some(m))
+        } else {
+            let plan = self.plan.as_ref().expect("FusedConv::forward before compile()");
+            (plan.forward(x), None)
+        }
     }
 }
 
@@ -195,7 +302,7 @@ pub enum FrozenLayer {
     Identity,
     /// A fused convolution (weights pre-packed, bias + activation in the
     /// GEMM epilogue).
-    Conv(FusedConv),
+    Conv(Box<FusedConv>),
     /// Per-channel `y = scale * x + bias` (an unfused eval-mode BatchNorm).
     Affine {
         /// Per-channel multiplier, `[c]`.
@@ -305,7 +412,26 @@ impl FrozenLayer {
         }
     }
 
-    /// Total bytes of packed weight panels in this subtree.
+    /// Lowers every quantizable conv in this subtree to int8 (idempotent,
+    /// recursive). Squeeze-excite gates stay f32: their GEMMs are `n x c`
+    /// pointwise reductions of a handful of values — no throughput to win —
+    /// and the multiplicative gate is the most quantization-sensitive spot
+    /// in the network.
+    pub fn quantize(&mut self) {
+        match self {
+            FrozenLayer::Conv(fc) => fc.quantize(),
+            FrozenLayer::SqueezeExcite { .. } => {}
+            FrozenLayer::Residual(inner) => inner.quantize(),
+            FrozenLayer::Seq(children) => {
+                for c in children {
+                    c.quantize();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Total bytes of packed f32 weight panels in this subtree.
     pub fn packed_bytes(&self) -> usize {
         match self {
             FrozenLayer::Conv(fc) => fc.packed_bytes(),
@@ -318,15 +444,70 @@ impl FrozenLayer {
         }
     }
 
+    /// Total bytes of quantized (int8) packed weight panels in this subtree.
+    pub fn quant_packed_bytes(&self) -> usize {
+        match self {
+            FrozenLayer::Conv(fc) => fc.quant_packed_bytes(),
+            FrozenLayer::SqueezeExcite { reduce, expand } => {
+                reduce.quant_packed_bytes() + expand.quant_packed_bytes()
+            }
+            FrozenLayer::Residual(inner) => inner.quant_packed_bytes(),
+            FrozenLayer::Seq(children) => children.iter().map(|c| c.quant_packed_bytes()).sum(),
+            _ => 0,
+        }
+    }
+
     /// Fused forward pass.
     ///
     /// # Panics
     ///
     /// Panics if the tree contains an uncompiled conv.
     pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_carry(x, None).0
+    }
+
+    /// Fused forward with activation-absmax carrying (see
+    /// [`FusedConv::forward_carry`]): quantized convs fold their output's
+    /// absmax scan into the kernel write-back and hand it to the next
+    /// quantized consumer through value-preserving layers, so chained int8
+    /// layers never re-scan their inputs. Layers that change values (or
+    /// whose outputs' absmax is not exactly the input's) drop the carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains an uncompiled conv.
+    pub fn forward_carry(&self, x: &Tensor, in_absmax: Option<f32>) -> (Tensor, Option<f32>) {
         match self {
-            FrozenLayer::Identity => x.clone(),
-            FrozenLayer::Conv(fc) => fc.forward(x),
+            // Exact value-preserving rearrangements keep the carry alive.
+            FrozenLayer::Identity => (x.clone(), in_absmax),
+            FrozenLayer::SpaceToDepth { block } => (space_to_depth(x, *block), in_absmax),
+            FrozenLayer::Conv(fc) => fc.forward_carry(x, in_absmax),
+            FrozenLayer::Seq(children) => {
+                let mut cur = x.clone();
+                let mut carry = in_absmax;
+                for c in children {
+                    let (y, m) = c.forward_carry(&cur, carry);
+                    cur = y;
+                    carry = m;
+                }
+                (cur, carry)
+            }
+            FrozenLayer::Residual(inner) => {
+                let (b, _) = inner.forward_carry(x, in_absmax);
+                (&b + x, None)
+            }
+            other => (other.forward_uncarried(x), None),
+        }
+    }
+
+    /// Forward arms that neither consume nor produce an absmax carry.
+    fn forward_uncarried(&self, x: &Tensor) -> Tensor {
+        match self {
+            FrozenLayer::Identity
+            | FrozenLayer::Conv(_)
+            | FrozenLayer::Seq(_)
+            | FrozenLayer::Residual(_)
+            | FrozenLayer::SpaceToDepth { .. } => unreachable!("handled by forward_carry"),
             FrozenLayer::Affine { scale, bias } => {
                 let mut y = x.clone();
                 y.mul_channel(scale);
@@ -352,7 +533,6 @@ impl FrozenLayer {
                 y
             }
             FrozenLayer::Upsample { factor, mode } => upsample(x, *factor, *mode),
-            FrozenLayer::SpaceToDepth { block } => space_to_depth(x, *block),
             FrozenLayer::GlobalAvgPool => global_avg_pool(x),
             FrozenLayer::SqueezeExcite { reduce, expand } => {
                 let s = global_avg_pool(x);
@@ -371,17 +551,6 @@ impl FrozenLayer {
                 }
                 y
             }
-            FrozenLayer::Residual(inner) => {
-                let b = inner.forward(x);
-                &b + x
-            }
-            FrozenLayer::Seq(children) => {
-                let mut cur = x.clone();
-                for c in children {
-                    cur = c.forward(&cur);
-                }
-                cur
-            }
         }
     }
 }
@@ -389,6 +558,15 @@ impl FrozenLayer {
 /// Freezes a layer and compiles the result (packs all conv weight panels).
 pub fn freeze_layer(layer: &dyn Layer) -> Result<FrozenLayer, FreezeError> {
     let mut frozen = layer.freeze()?;
+    frozen.compile();
+    Ok(frozen)
+}
+
+/// Freezes a layer and lowers it to int8: quantizes every quantizable conv,
+/// then compiles whatever remains f32 (e.g. squeeze-excite gates).
+pub fn freeze_layer_int8(layer: &dyn Layer) -> Result<FrozenLayer, FreezeError> {
+    let mut frozen = layer.freeze()?;
+    frozen.quantize();
     frozen.compile();
     Ok(frozen)
 }
@@ -523,6 +701,86 @@ mod tests {
     }
 
     #[test]
+    fn quantized_chain_tracks_the_f32_frozen_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seq = Sequential::new()
+            .push(Box::new(Conv2d::pointwise(6, 12, false, &mut rng)))
+            .push(Box::new(BatchNorm2d::new(12)))
+            .push(Box::new(HardSwish::new()))
+            .push(Box::new(Conv2d::pointwise(12, 8, true, &mut rng)))
+            .push(Box::new(Relu::new()));
+        let x = Tensor::randn(Shape::new(2, 6, 8, 8), 1.0, &mut rng);
+        warm_bn(&mut seq, &x);
+
+        let f32_frozen = freeze_layer(&seq).unwrap();
+        let int8 = freeze_layer_int8(&seq).unwrap();
+        assert_eq!(int8.packed_bytes(), 0, "fully quantized chain holds no f32 panels");
+        assert!(int8.quant_packed_bytes() > 0);
+        assert!(
+            int8.quant_packed_bytes() < f32_frozen.packed_bytes(),
+            "int8 image must be smaller than the f32 panels"
+        );
+
+        let want = f32_frozen.forward(&x);
+        let got = int8.forward(&x);
+        assert_eq!(got.shape(), want.shape());
+        // Loose end-to-end bound: two chained quantized layers on a small
+        // random model stay within a few percent of the f32 frozen output.
+        let tol = 0.05 * (1.0 + want.abs_max());
+        assert!(got.max_abs_diff(&want) < tol, "diff {}", got.max_abs_diff(&want));
+
+        // The carry path (scan folded into the producer's write-back) must
+        // be bit-identical to forwards that re-scan at every layer.
+        let (carried, m) = int8.forward_carry(&x, Some(x.abs_max()));
+        assert_eq!(carried, got);
+        assert_eq!(m.expect("quantized chain ends in a conv"), got.abs_max());
+    }
+
+    #[test]
+    fn quantization_is_metered_and_released_on_drop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let before_events = meter::event_count("freeze.weights_quantized");
+        let base_q = meter::quant_packed_current();
+        let base_f = meter::packed_current();
+        let seq = Sequential::new()
+            .push(Box::new(Conv2d::pointwise(6, 10, false, &mut rng)))
+            .push(Box::new(BatchNorm2d::new(10)));
+        let frozen = freeze_layer_int8(&seq).unwrap();
+        assert_eq!(meter::event_count("freeze.weights_quantized"), before_events + 1);
+        assert_eq!(meter::quant_packed_current(), base_q + frozen.quant_packed_bytes());
+        assert_eq!(meter::packed_current(), base_f, "quantized conv registers no f32 panels");
+        drop(frozen);
+        assert_eq!(meter::quant_packed_current(), base_q);
+    }
+
+    #[test]
+    fn quantize_after_compile_swaps_the_resident_image() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let conv = Conv2d::pointwise(4, 6, true, &mut rng);
+        let base_f = meter::packed_current();
+        let base_q = meter::quant_packed_current();
+        let mut frozen = conv.freeze().unwrap();
+        frozen.compile();
+        assert!(meter::packed_current() > base_f);
+        frozen.quantize();
+        assert_eq!(meter::packed_current(), base_f, "f32 panels released on quantize");
+        assert_eq!(meter::quant_packed_current(), base_q + frozen.quant_packed_bytes());
+        drop(frozen);
+        assert_eq!(meter::quant_packed_current(), base_q);
+    }
+
+    #[test]
+    fn squeeze_excite_stays_f32_under_quantization() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let se = SqueezeExcite::new(8, 0.25, &mut rng);
+        let mut frozen = se.freeze().unwrap();
+        frozen.quantize();
+        frozen.compile();
+        assert_eq!(frozen.quant_packed_bytes(), 0);
+        assert!(frozen.packed_bytes() > 0, "SE gates keep their f32 panels");
+    }
+
+    #[test]
     fn unsupported_layers_report_their_name() {
         #[derive(Debug)]
         struct Opaque;
@@ -538,7 +796,8 @@ mod tests {
             }
         }
         let err = Opaque.freeze().unwrap_err();
-        assert_eq!(err, FreezeError::Unsupported("opaque".into()));
+        assert_eq!(err, FreezeError::unsupported("layer", "opaque"));
+        assert_eq!(err.to_string(), "layer `opaque` cannot be frozen");
         // A chain containing it fails the same way.
         let seq = Sequential::new().push(Box::new(Relu::new())).push(Box::new(Opaque));
         assert!(seq.freeze().is_err());

@@ -121,7 +121,7 @@ impl Layer for Conv2d {
     }
 
     fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
-        Ok(FrozenLayer::Conv(self.fused()))
+        Ok(FrozenLayer::Conv(Box::new(self.fused())))
     }
 }
 

@@ -34,7 +34,7 @@ mod mode;
 mod module;
 mod param;
 
-pub use freeze::{freeze_layer, ActKind, FreezeError, FrozenLayer, FusedConv};
+pub use freeze::{freeze_layer, freeze_layer_int8, ActKind, FreezeError, FrozenLayer, FusedConv};
 pub use meter::Cached;
 pub use mode::CacheMode;
 pub use module::{grad_sq_norm, param_count, zero_grads, Identity, Layer, Sequential};

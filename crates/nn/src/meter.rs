@@ -29,6 +29,7 @@ thread_local! {
     static CURRENT: Cell<i64> = const { Cell::new(0) };
     static PEAK: Cell<i64> = const { Cell::new(0) };
     static PACKED: Cell<usize> = const { Cell::new(0) };
+    static QUANT_PACKED: Cell<usize> = const { Cell::new(0) };
     static EVENTS: RefCell<BTreeMap<&'static str, u64>> = const { RefCell::new(BTreeMap::new()) };
     /// Nesting depth of [`isolated`] scopes on this thread.
     static ISOLATION: Cell<u32> = const { Cell::new(0) };
@@ -130,6 +131,24 @@ pub fn packed_current() -> usize {
     PACKED.with(|p| p.get())
 }
 
+/// Registers `bytes` of quantized (int8) packed inference weights. Same
+/// drop-released gauge discipline as [`add_packed`], tracked separately so
+/// f32-vs-int8 residency can be compared (e.g. in serve health snapshots).
+pub fn add_quant_packed(bytes: usize) {
+    QUANT_PACKED.with(|p| p.set(p.get() + bytes));
+}
+
+/// Releases `bytes` of quantized packed inference weights.
+pub fn sub_quant_packed(bytes: usize) {
+    QUANT_PACKED.with(|p| p.set(p.get().saturating_sub(bytes)));
+}
+
+/// Bytes of quantized packed inference weights currently resident on this
+/// thread.
+pub fn quant_packed_current() -> usize {
+    QUANT_PACKED.with(|p| p.get())
+}
+
 /// High-water mark since the last [`reset`].
 pub fn peak() -> usize {
     PEAK.with(|p| p.get().max(0) as usize)
@@ -166,6 +185,7 @@ pub fn isolated<R>(f: impl FnOnce() -> R) -> (R, TaskMeter) {
         current: i64,
         peak: i64,
         packed: usize,
+        quant_packed: usize,
         events: BTreeMap<&'static str, u64>,
     }
     impl Drop for Guard {
@@ -174,6 +194,7 @@ pub fn isolated<R>(f: impl FnOnce() -> R) -> (R, TaskMeter) {
             CURRENT.with(|c| c.set(self.current));
             PEAK.with(|p| p.set(self.peak));
             PACKED.with(|p| p.set(self.packed));
+            QUANT_PACKED.with(|p| p.set(self.quant_packed));
             EVENTS.with(|e| *e.borrow_mut() = std::mem::take(&mut self.events));
         }
     }
@@ -181,6 +202,7 @@ pub fn isolated<R>(f: impl FnOnce() -> R) -> (R, TaskMeter) {
         current: CURRENT.with(|c| c.get()),
         peak: PEAK.with(|p| p.get()),
         packed: PACKED.with(|p| p.get()),
+        quant_packed: QUANT_PACKED.with(|p| p.get()),
         events: EVENTS.with(|e| e.borrow().clone()),
     };
     ISOLATION.with(|d| d.set(d.get() + 1));
@@ -341,6 +363,9 @@ pub struct MemoryReport {
     /// Bytes of persistently packed frozen-model weight panels resident on
     /// this thread (survives the per-step [`reset`]).
     pub packed_weight_bytes: usize,
+    /// Bytes of quantized (int8) packed weight panels resident on this
+    /// thread — the int8 counterpart of `packed_weight_bytes`.
+    pub quant_packed_weight_bytes: usize,
     /// Kernel scratch-arena counters (borrows, heap growths, peak/resident
     /// bytes). `heap_growths` staying flat across steps means conv/GEMM calls
     /// are allocation-free at steady state.
@@ -353,6 +378,7 @@ pub fn report() -> MemoryReport {
         cached_current: current(),
         cached_peak: peak(),
         packed_weight_bytes: packed_current(),
+        quant_packed_weight_bytes: quant_packed_current(),
         scratch: scratch_stats(),
     }
 }

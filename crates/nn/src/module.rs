@@ -90,7 +90,7 @@ pub trait Layer: std::fmt::Debug + Send {
     /// running it. Layers without a fused equivalent return
     /// [`FreezeError::Unsupported`].
     fn freeze(&self) -> Result<FrozenLayer, FreezeError> {
-        Err(FreezeError::Unsupported(self.name().to_string()))
+        Err(FreezeError::unsupported("layer", self.name()))
     }
 }
 

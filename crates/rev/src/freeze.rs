@@ -35,8 +35,17 @@ impl FrozenRevBlock {
         self.g.compile();
     }
 
+    fn quantize(&mut self) {
+        self.f.quantize();
+        self.g.quantize();
+    }
+
     fn packed_bytes(&self) -> usize {
         self.f.packed_bytes() + self.g.packed_bytes()
+    }
+
+    fn quant_packed_bytes(&self) -> usize {
+        self.f.quant_packed_bytes() + self.g.quant_packed_bytes()
     }
 }
 
@@ -107,12 +116,29 @@ impl FrozenSilo {
         }
     }
 
+    fn quantize(&mut self) {
+        for row in self.down.iter_mut().chain(self.up.iter_mut()) {
+            for l in row {
+                l.quantize();
+            }
+        }
+    }
+
     fn packed_bytes(&self) -> usize {
         self.down
             .iter()
             .chain(self.up.iter())
             .flat_map(|row| row.iter())
             .map(|l| l.packed_bytes())
+            .sum()
+    }
+
+    fn quant_packed_bytes(&self) -> usize {
+        self.down
+            .iter()
+            .chain(self.up.iter())
+            .flat_map(|row| row.iter())
+            .map(|l| l.quant_packed_bytes())
             .sum()
     }
 }
@@ -162,12 +188,37 @@ impl FrozenStage {
         }
     }
 
+    /// Lowers every fused conv in this stage to int8 (see
+    /// [`FrozenLayer::quantize`]; idempotent).
+    pub fn quantize(&mut self) {
+        match self {
+            FrozenStage::Silo(s) => s.quantize(),
+            FrozenStage::Blocks(blocks) => {
+                for chain in blocks {
+                    for b in chain {
+                        b.quantize();
+                    }
+                }
+            }
+        }
+    }
+
     /// Total bytes of packed weight panels in this stage.
     pub fn packed_bytes(&self) -> usize {
         match self {
             FrozenStage::Silo(s) => s.packed_bytes(),
             FrozenStage::Blocks(blocks) => {
                 blocks.iter().flat_map(|chain| chain.iter()).map(|b| b.packed_bytes()).sum()
+            }
+        }
+    }
+
+    /// Total bytes of quantized weight panels in this stage.
+    pub fn quant_packed_bytes(&self) -> usize {
+        match self {
+            FrozenStage::Silo(s) => s.quant_packed_bytes(),
+            FrozenStage::Blocks(blocks) => {
+                blocks.iter().flat_map(|chain| chain.iter()).map(|b| b.quant_packed_bytes()).sum()
             }
         }
     }
@@ -211,9 +262,23 @@ impl FrozenSequence {
         }
     }
 
+    /// Lowers every fused conv in the chain to int8 weights (idempotent).
+    /// Call before [`FrozenSequence::compile`]; quantized convs skip the f32
+    /// panel pack entirely.
+    pub fn quantize(&mut self) {
+        for s in &mut self.stages {
+            s.quantize();
+        }
+    }
+
     /// Total bytes of packed weight panels across all stages.
     pub fn packed_bytes(&self) -> usize {
         self.stages.iter().map(|s| s.packed_bytes()).sum()
+    }
+
+    /// Total bytes of quantized (int8) weight panels across all stages.
+    pub fn quant_packed_bytes(&self) -> usize {
+        self.stages.iter().map(|s| s.quant_packed_bytes()).sum()
     }
 }
 
@@ -290,6 +355,43 @@ mod tests {
             assert_eq!(g.shape(), w.shape(), "stream {i}");
             let tol = 1e-4 * (1.0 + w.abs_max());
             assert!(g.max_abs_diff(w) < tol, "stream {i}: diff {}", g.max_abs_diff(w));
+        }
+    }
+
+    #[test]
+    fn quantized_sequence_tracks_the_frozen_forward() {
+        let mut seq = ReversibleSequence::new();
+        seq.add(Box::new(make_silo(1, 2, 50)));
+        seq.add(Box::new(make_blocks(2, 51)));
+        randomize_bn(&mut seq, 52);
+
+        let mut frozen = seq.freeze().unwrap();
+        frozen.compile();
+        let mut quant = seq.freeze().unwrap();
+        quant.quantize();
+        quant.compile();
+        assert_eq!(quant.packed_bytes(), 0, "quantized chain must not pack f32 panels");
+        assert!(quant.quant_packed_bytes() > 0);
+        assert!(quant.quant_packed_bytes() < frozen.packed_bytes());
+
+        let mut rng = StdRng::seed_from_u64(53);
+        let x = Tensor::randn(Shape::new(2, 8, 16, 16), 1.0, &mut rng);
+        let want = frozen.forward(vec![x.clone()]);
+        let got = quant.forward(vec![x]);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.shape(), w.shape(), "stream {i}");
+            // Quantization error compounds at roughly 3% of dynamic range
+            // per MBConv (7-bit activations); the silo + block chain routes
+            // stream 1 through three of them plus additive couplings.
+            let tol = 0.12 * (1.0 + w.abs_max());
+            assert!(
+                g.max_abs_diff(w) < tol,
+                "stream {i}: diff {} absmax {} tol {}",
+                g.max_abs_diff(w),
+                w.abs_max(),
+                tol
+            );
         }
     }
 

@@ -75,7 +75,7 @@ pub trait RevStage: std::fmt::Debug + Send {
     /// The result is *uncompiled*: call [`crate::FrozenStage::compile`] (or
     /// freeze through [`ReversibleSequence::freeze`]) before running it.
     fn freeze(&self) -> Result<crate::FrozenStage, revbifpn_nn::FreezeError> {
-        Err(revbifpn_nn::FreezeError::Unsupported(self.name().to_string()))
+        Err(revbifpn_nn::FreezeError::unsupported("reversible stage", self.name()))
     }
 }
 

@@ -25,6 +25,37 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Numeric precision a model variant is served at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// f32 fused kernels (the PR-4 frozen fast path).
+    #[default]
+    F32,
+    /// Per-channel int8 weights with dynamic activation quantization; falls
+    /// back to [`Precision::F32`] when the accuracy gate trips.
+    Int8,
+}
+
+/// Accuracy gate applied before an [`Precision::Int8`] variant is allowed
+/// to serve: the int8 model must agree with its f32 twin on a batch of
+/// seeded calibration inputs, otherwise the worker keeps f32 and counts
+/// `serve.quant_gate_trip`.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantGateConfig {
+    /// Calibration images generated (deterministically) per gate check.
+    pub calibration_images: usize,
+    /// Minimum fraction of calibration images whose argmax must match
+    /// between the int8 and f32 variants. Values above 1.0 always trip the
+    /// gate (test hook).
+    pub min_agreement: f64,
+}
+
+impl Default for QuantGateConfig {
+    fn default() -> Self {
+        Self { calibration_images: 8, min_agreement: 0.75 }
+    }
+}
+
 /// Everything needed to start a [`ServeEngine`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -32,6 +63,12 @@ pub struct ServeConfig {
     pub model: RevBiFPNConfig,
     /// Optional smaller variant served at degradation level 3.
     pub fallback: Option<RevBiFPNConfig>,
+    /// Precision the primary variant is served at.
+    pub precision: Precision,
+    /// Precision the fallback variant is served at.
+    pub fallback_precision: Precision,
+    /// Accuracy gate for [`Precision::Int8`] variants.
+    pub quant_gate: QuantGateConfig,
     /// Worker threads (each owns a model replica).
     pub workers: usize,
     /// Bounded queue capacity; admissions beyond it are shed.
@@ -61,6 +98,9 @@ impl ServeConfig {
         Self {
             model,
             fallback: None,
+            precision: Precision::F32,
+            fallback_precision: Precision::F32,
+            quant_gate: QuantGateConfig::default(),
             workers: 2,
             queue_capacity: 32,
             max_batch: 4,
@@ -83,7 +123,7 @@ struct Shared {
     quarantine: Quarantine,
     degrade: DegradeController,
     latency: LatencyWindow,
-    counters: Counters,
+    counters: Arc<Counters>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
     start: Instant,
@@ -141,7 +181,7 @@ impl ServeEngine {
             quarantine: Quarantine::new(cfg.quarantine_capacity),
             degrade: DegradeController::new(cfg.degrade),
             latency: LatencyWindow::new(cfg.latency_window),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
             next_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
@@ -233,6 +273,9 @@ impl ServeEngine {
             worker_restarts: s.counters.worker_restarts.load(Ordering::Relaxed),
             peak_cached_bytes: s.counters.peak_cached_bytes.load(Ordering::Relaxed),
             peak_scratch_bytes: s.counters.peak_scratch_bytes.load(Ordering::Relaxed),
+            quant_gate_trips: s.counters.quant_gate_trips.load(Ordering::Relaxed),
+            resident_f32_bytes: s.counters.resident_f32_bytes.load(Ordering::Relaxed),
+            resident_int8_bytes: s.counters.resident_int8_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -290,17 +333,44 @@ impl Drop for ServeEngine {
 /// freezes the fallback, and recovery does the reverse — weights are
 /// deterministic per config, so a rebuilt variant is identical to the one
 /// dropped. Every swap is metered as `serve.variant_swap`.
+///
+/// Variants configured as [`Precision::Int8`] pass through the quantization
+/// accuracy gate at build time: the int8 model must agree with its f32 twin
+/// on seeded calibration inputs, else the worker serves f32 and counts
+/// `serve.quant_gate_trip`. The bank publishes its resident f32/int8 panel
+/// bytes to the engine [`Counters`] (delta-adjusted, so totals across
+/// workers stay exact) and withdraws them on drop.
 struct ModelBank {
     primary_cfg: RevBiFPNConfig,
     fallback_cfg: Option<RevBiFPNConfig>,
+    primary_precision: Precision,
+    fallback_precision: Precision,
+    gate: QuantGateConfig,
+    counters: Arc<Counters>,
     primary: Option<FrozenClassifier>,
     fallback: Option<FrozenClassifier>,
+    published_f32: usize,
+    published_int8: usize,
 }
 
 impl ModelBank {
-    fn new(primary_cfg: RevBiFPNConfig, fallback_cfg: Option<RevBiFPNConfig>) -> Self {
-        let primary = Some(freeze_variant(&primary_cfg));
-        Self { primary_cfg, fallback_cfg, primary, fallback: None }
+    fn new(cfg: &ServeConfig, counters: Arc<Counters>) -> Self {
+        let mut bank = Self {
+            primary_cfg: cfg.model.clone(),
+            fallback_cfg: cfg.fallback.clone(),
+            primary_precision: cfg.precision,
+            fallback_precision: cfg.fallback_precision,
+            gate: cfg.quant_gate,
+            counters,
+            primary: None,
+            fallback: None,
+            published_f32: 0,
+            published_int8: 0,
+        };
+        bank.primary =
+            Some(freeze_gated(&bank.primary_cfg, bank.primary_precision, &bank.gate, &bank.counters));
+        bank.republish();
+        bank
     }
 
     /// Whether ladder level `level` routes to the fallback variant.
@@ -314,27 +384,143 @@ impl ModelBank {
         if self.uses_fallback(level) {
             if self.fallback.is_none() {
                 self.primary = None; // release the primary's packed panels first
-                let cfg = self.fallback_cfg.as_ref().expect("uses_fallback checked the config");
-                self.fallback = Some(freeze_variant(cfg));
+                let cfg = self.fallback_cfg.clone().expect("uses_fallback checked the config");
+                self.fallback =
+                    Some(freeze_gated(&cfg, self.fallback_precision, &self.gate, &self.counters));
                 meter::count("serve.variant_swap");
+                self.republish();
             }
             self.fallback.as_ref().expect("fallback frozen above")
         } else {
             if self.primary.is_none() {
                 self.fallback = None;
-                self.primary = Some(freeze_variant(&self.primary_cfg));
+                self.primary = Some(freeze_gated(
+                    &self.primary_cfg,
+                    self.primary_precision,
+                    &self.gate,
+                    &self.counters,
+                ));
                 meter::count("serve.variant_swap");
+                self.republish();
             }
             self.primary.as_ref().expect("primary frozen above")
         }
     }
+
+    /// Re-publishes this bank's resident panel bytes to the engine
+    /// counters by delta, so the gauges stay a true sum across workers.
+    fn republish(&mut self) {
+        let f32_now = self.primary.as_ref().map_or(0, |m| m.packed_bytes())
+            + self.fallback.as_ref().map_or(0, |m| m.packed_bytes());
+        let int8_now = self.primary.as_ref().map_or(0, |m| m.quant_packed_bytes())
+            + self.fallback.as_ref().map_or(0, |m| m.quant_packed_bytes());
+        adjust_gauge(&self.counters.resident_f32_bytes, self.published_f32, f32_now);
+        adjust_gauge(&self.counters.resident_int8_bytes, self.published_int8, int8_now);
+        self.published_f32 = f32_now;
+        self.published_int8 = int8_now;
+    }
+}
+
+impl Drop for ModelBank {
+    fn drop(&mut self) {
+        // Runs during unwinding too, so a crashed worker's contribution is
+        // withdrawn before the watchdog's replacement publishes its own.
+        self.primary = None;
+        self.fallback = None;
+        self.republish();
+    }
+}
+
+/// Moves a shared gauge from `prev` to `now` without ever underflowing.
+fn adjust_gauge(gauge: &std::sync::atomic::AtomicUsize, prev: usize, now: usize) {
+    if now >= prev {
+        gauge.fetch_add(now - prev, Ordering::Relaxed);
+    } else {
+        gauge.fetch_sub(prev - now, Ordering::Relaxed);
+    }
 }
 
 /// Builds the seeded replica for `cfg` and compiles its frozen form.
-fn freeze_variant(cfg: &RevBiFPNConfig) -> FrozenClassifier {
-    RevBiFPNClassifier::new(cfg.clone())
-        .freeze()
-        .unwrap_or_else(|e| panic!("serve: model config does not freeze: {e}"))
+fn freeze_variant(cfg: &RevBiFPNConfig, precision: Precision) -> FrozenClassifier {
+    let model = RevBiFPNClassifier::new(cfg.clone());
+    let frozen = match precision {
+        Precision::F32 => model.freeze(),
+        Precision::Int8 => model.freeze_int8(),
+    };
+    frozen.unwrap_or_else(|e| panic!("serve: model config does not freeze: {e}"))
+}
+
+/// Builds the variant at the requested precision, applying the quantization
+/// accuracy gate to int8 builds. A gate trip keeps the f32 twin.
+fn freeze_gated(
+    cfg: &RevBiFPNConfig,
+    precision: Precision,
+    gate: &QuantGateConfig,
+    counters: &Counters,
+) -> FrozenClassifier {
+    match precision {
+        Precision::F32 => freeze_variant(cfg, Precision::F32),
+        Precision::Int8 => {
+            let f32_twin = freeze_variant(cfg, Precision::F32);
+            let int8 = freeze_variant(cfg, Precision::Int8);
+            if quant_gate_passes(&f32_twin, &int8, gate) {
+                int8
+            } else {
+                counters.quant_gate_trips.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.quant_gate_trip");
+                f32_twin
+            }
+        }
+    }
+}
+
+/// Runs the calibration batch through both variants and compares per-image
+/// argmax agreement against the gate threshold.
+fn quant_gate_passes(
+    f32_twin: &FrozenClassifier,
+    int8: &FrozenClassifier,
+    gate: &QuantGateConfig,
+) -> bool {
+    let n = gate.calibration_images.max(1);
+    let res = f32_twin.cfg().resolution;
+    let input = calibration_batch(n, res);
+    let want = argmaxes(&f32_twin.forward(&input));
+    let got = argmaxes(&int8.forward(&input));
+    let matches = want.iter().zip(&got).filter(|(a, b)| a == b).count();
+    (matches as f64) >= gate.min_agreement * n as f64
+}
+
+/// Deterministic pseudo-random calibration images in roughly `[-1, 1]`
+/// (xorshift; no RNG dependency, identical on every worker).
+fn calibration_batch(n: usize, res: usize) -> Tensor {
+    let len = n * 3 * res * res;
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let data = (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / 8_388_608.0) - 1.0
+        })
+        .collect();
+    Tensor::from_vec(Shape::new(n, 3, res, res), data)
+        .expect("serve: calibration batch length is exact by construction")
+}
+
+/// Per-image argmax over logits `[n, classes, 1, 1]`.
+fn argmaxes(logits: &Tensor) -> Vec<usize> {
+    let classes = logits.shape().c;
+    logits
+        .data()
+        .chunks_exact(classes)
+        .map(|row| {
+            row.iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(i, _)| i)
+        })
+        .collect()
 }
 
 fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
@@ -345,7 +531,7 @@ fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle
 }
 
 fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
-    let mut bank = ModelBank::new(shared.cfg.model.clone(), shared.cfg.fallback.clone());
+    let mut bank = ModelBank::new(&shared.cfg, Arc::clone(&shared.counters));
     let rung = downscale_rung(&shared.cfg.model);
 
     loop {
@@ -704,11 +890,12 @@ mod tests {
 
     #[test]
     fn model_bank_swaps_packed_panels_with_the_ladder() {
-        let primary = RevBiFPNConfig::tiny(10);
-        let fallback = RevBiFPNConfig::tiny(10).with_resolution(16);
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
         let swaps_before = meter::event_count("serve.variant_swap");
 
-        let mut bank = ModelBank::new(primary, Some(fallback));
+        let counters = Arc::new(Counters::default());
+        let mut bank = ModelBank::new(&cfg, Arc::clone(&counters));
         let resident = meter::packed_current();
         assert!(resident > 0, "primary must be frozen eagerly");
 
@@ -738,8 +925,54 @@ mod tests {
         assert!(bank.fallback.is_none(), "fallback must be dropped on recovery");
         assert_eq!(meter::packed_current(), resident, "rebuilt primary packs the same bytes");
 
+        assert_eq!(
+            counters.resident_f32_bytes.load(Ordering::Relaxed),
+            meter::packed_current(),
+            "published gauge must track the thread-local meter"
+        );
         drop(bank);
         assert_eq!(meter::packed_current(), 0, "dropping the bank releases all panels");
+        assert_eq!(counters.resident_f32_bytes.load(Ordering::Relaxed), 0);
+        assert_eq!(counters.resident_int8_bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn int8_precision_serves_and_reports_resident_bytes() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.precision = Precision::Int8;
+        cfg.quant_gate = QuantGateConfig { calibration_images: 4, min_agreement: 0.0 };
+        let engine = ServeEngine::start(cfg);
+        let resp = engine.submit(image(0.1)).unwrap().wait().expect("int8 serving must work");
+        assert!(resp.logits.iter().all(|v| v.is_finite()));
+        let h = engine.health();
+        assert_eq!(h.completed_count, 1);
+        assert_eq!(h.quant_gate_trips, 0);
+        assert!(h.resident_int8_bytes > 0, "int8 panels must be resident");
+        assert!(
+            h.resident_int8_bytes > h.resident_f32_bytes,
+            "int8 panels ({}) should dominate the residual f32 (squeeze-excite) panels ({})",
+            h.resident_int8_bytes,
+            h.resident_f32_bytes
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn quant_gate_trip_falls_back_to_f32_serving() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.precision = Precision::Int8;
+        // min_agreement above 1.0 cannot be met: the gate must trip.
+        cfg.quant_gate = QuantGateConfig { calibration_images: 2, min_agreement: 1.5 };
+        let engine = ServeEngine::start(cfg);
+        let resp = engine.submit(image(0.1)).unwrap().wait().expect("f32 fallback must serve");
+        assert!(resp.logits.iter().all(|v| v.is_finite()));
+        let h = engine.health();
+        assert!(h.quant_gate_trips >= 1, "the impossible gate must trip");
+        assert_eq!(h.resident_int8_bytes, 0, "tripped gate must not keep int8 panels");
+        assert!(h.resident_f32_bytes > 0, "the f32 twin must serve instead");
+        engine.shutdown();
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub struct Counters {
     pub peak_cached_bytes: AtomicUsize,
     /// Peak kernel scratch-arena bytes observed on any worker.
     pub peak_scratch_bytes: AtomicUsize,
+    /// Quantization accuracy-gate trips (an int8 variant disagreed with its
+    /// f32 twin on calibration inputs and the worker kept f32).
+    pub quant_gate_trips: AtomicU64,
+    /// f32 packed weight-panel bytes currently resident across all workers.
+    pub resident_f32_bytes: AtomicUsize,
+    /// int8 quantized weight-panel bytes currently resident across all
+    /// workers.
+    pub resident_int8_bytes: AtomicUsize,
 }
 
 impl Counters {
@@ -111,6 +119,12 @@ pub struct HealthSnapshot {
     pub peak_cached_bytes: usize,
     /// Peak kernel scratch bytes on any worker thread.
     pub peak_scratch_bytes: usize,
+    /// Quantization accuracy-gate trips across all workers.
+    pub quant_gate_trips: u64,
+    /// f32 packed weight-panel bytes resident across all workers.
+    pub resident_f32_bytes: usize,
+    /// int8 quantized weight-panel bytes resident across all workers.
+    pub resident_int8_bytes: usize,
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ pub mod request;
 pub mod validate;
 
 pub use degrade::{downscale_rung, DegradeConfig, DegradeController};
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{Precision, QuantGateConfig, ServeConfig, ServeEngine};
 pub use error::ServeError;
 pub use health::{HealthSnapshot, LatencyWindow};
 pub use request::{InferResponse, Outcome, PendingResponse};

@@ -26,9 +26,14 @@
 
 use crate::matmul::{sgemm, sgemm_a_bt, sgemm_at_b, sgemm_prepacked, Epilogue, EpilogueAct, PackedGemmA};
 use crate::par::{num_threads_for, parallel_over_slices, parallel_tiles, SyncPtr};
+use crate::qmatmul::{
+    int8_act_scale, qgemm_prepacked, quantize_activations, quantize_weights_per_row, PackedGemmAI8,
+    INT8_ACT_ZERO_POINT,
+};
 use crate::scratch;
 use crate::shape::{Shape, ShapeError};
 use crate::tensor::Tensor;
+use std::sync::atomic::AtomicU32;
 
 /// Geometry of a 2-D convolution.
 ///
@@ -379,7 +384,7 @@ impl ConvPlan {
                     // SAFETY: tile exclusively owns output plane (n, c).
                     let yplane = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
                     fused_depthwise_plane_forward(
-                        xplane, kern, &spec, xs, oh, ow, bias[c], act, yplane,
+                        xplane, kern, &spec, xs, oh, ow, bias[c], act, 1.0, yplane,
                     );
                 });
             }
@@ -408,6 +413,255 @@ impl ConvPlan {
             }
         }
         Ok(out)
+    }
+}
+
+// --------------------------------------------------------- quantized plans
+
+/// Dispatch-specific payload of a [`QuantConvPlan`].
+#[derive(Clone, Debug)]
+enum QuantPlanKind {
+    /// `[c_out, c_in]` weights quantized per row and packed as the int8
+    /// GEMM left operand.
+    Pointwise(PackedGemmAI8),
+    /// Per-channel quantized depthwise taps (the plane kernel consumes the
+    /// integer values directly) with their dequantization scales.
+    Depthwise { qweight: Vec<i8>, scales: Vec<f32> },
+    /// One quantized packed left operand per group for the im2col path.
+    General { groups: Vec<PackedGemmAI8> },
+}
+
+/// A convolution lowered to int8 for frozen inference: per-output-channel
+/// symmetric int8 weights (scale `max|w| / 127`, quantized and packed once
+/// at build time) with f32 bias/scale sidecars. Inputs are quantized per
+/// tensor on the fly (7-bit symmetric, see [`crate::quantize_activations`]);
+/// the dequantize + bias + activation epilogue is fused into the kernel
+/// write-back, which also folds the *output* absmax scan so the next
+/// quantized layer gets its activation scale for free.
+#[derive(Clone, Debug)]
+pub struct QuantConvPlan {
+    spec: ConvSpec,
+    c_in: usize,
+    c_out: usize,
+    bias: Vec<f32>,
+    act: EpilogueAct,
+    kind: QuantPlanKind,
+}
+
+impl QuantConvPlan {
+    /// Quantizes and compiles a plan from folded f32 weights
+    /// `[c_out, c_in/groups, kh, kw]`, a per-channel bias and the
+    /// activation to fuse — the int8 counterpart of [`ConvPlan::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same shape contract as [`ConvPlan::new`].
+    pub fn new(w: &Tensor, bias: Vec<f32>, spec: ConvSpec, act: EpilogueAct) -> Self {
+        let ws = w.shape();
+        let c_out = ws.n;
+        let c_in = ws.c * spec.groups;
+        assert_eq!(bias.len(), c_out, "conv plan bias must have c_out entries");
+        assert!(spec.groups > 0 && spec.kh > 0 && spec.kw > 0 && spec.sh > 0 && spec.sw > 0, "degenerate conv spec");
+        assert_eq!((ws.h, ws.w), (spec.kh, spec.kw), "weight kernel dims must match spec");
+        assert!(c_out.is_multiple_of(spec.groups), "c_out must divide into groups");
+        let kind = if spec.is_pointwise() {
+            QuantPlanKind::Pointwise(PackedGemmAI8::pack_quantize(c_out, c_in, w.data()))
+        } else if spec.groups > 1 && ws.c == 1 && c_out == spec.groups {
+            let (qweight, scales) = quantize_weights_per_row(c_out, spec.kh * spec.kw, w.data());
+            QuantPlanKind::Depthwise { qweight, scales }
+        } else {
+            let cout_g = c_out / spec.groups;
+            let k = ws.c * spec.kh * spec.kw;
+            let groups = (0..spec.groups)
+                .map(|g| {
+                    PackedGemmAI8::pack_quantize(cout_g, k, &w.data()[g * cout_g * k..(g + 1) * cout_g * k])
+                })
+                .collect();
+            QuantPlanKind::General { groups }
+        };
+        Self { spec, c_in, c_out, bias, act, kind }
+    }
+
+    /// The convolution geometry this plan was compiled for.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Output channels.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Expected input channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Resident bytes of the quantized weight image and its sidecars.
+    pub fn packed_bytes(&self) -> usize {
+        match &self.kind {
+            QuantPlanKind::Pointwise(pa) => pa.bytes(),
+            QuantPlanKind::Depthwise { qweight, scales } => qweight.len() + scales.len() * 4,
+            QuantPlanKind::General { groups } => groups.iter().map(PackedGemmAI8::bytes).sum(),
+        }
+    }
+
+    /// Output shape for input shape `xs`.
+    pub fn out_shape(&self, xs: Shape) -> Shape {
+        self.spec.out_shape(xs, self.c_out)
+    }
+
+    /// Quantized fused forward. `in_absmax` is the input's absolute maximum
+    /// if the producing layer already folded the scan into its write-back
+    /// (`None` scans here). Returns the output and *its* absmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-shape violations; see
+    /// [`QuantConvPlan::try_forward_quant`].
+    pub fn forward_quant(&self, x: &Tensor, in_absmax: Option<f32>) -> (Tensor, f32) {
+        self.try_forward_quant(x, in_absmax).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible quantized fused forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same input contract as
+    /// [`ConvPlan::try_forward`].
+    pub fn try_forward_quant(
+        &self,
+        x: &Tensor,
+        in_absmax: Option<f32>,
+    ) -> Result<(Tensor, f32), ShapeError> {
+        let xs = x.shape();
+        if xs.c != self.c_in {
+            return Err(ShapeError::DimMismatch {
+                what: "quantized conv input channels",
+                expected: Shape::new(xs.n, self.c_in, xs.h, xs.w),
+                got: xs,
+            });
+        }
+        if xs.h + 2 * self.spec.ph < self.spec.kh || xs.w + 2 * self.spec.pw < self.spec.kw {
+            return Err(ShapeError::DimMismatch {
+                what: "quantized conv input smaller than kernel",
+                expected: Shape::new(
+                    xs.n,
+                    xs.c,
+                    self.spec.kh.saturating_sub(2 * self.spec.ph),
+                    self.spec.kw.saturating_sub(2 * self.spec.pw),
+                ),
+                got: xs,
+            });
+        }
+        let a_scale =
+            int8_act_scale(in_absmax.unwrap_or_else(|| crate::qmatmul::abs_max_slice(x.data())));
+        let mut out = Tensor::zeros(self.out_shape(xs));
+        // Non-negative f32 max over u32 bit patterns is monotone: fetch_max
+        // on the bits merges per-sample/per-plane maxima deterministically.
+        let omax = AtomicU32::new(0);
+        match &self.kind {
+            QuantPlanKind::Pointwise(pa) => {
+                let hw = xs.hw();
+                let chw_in = xs.chw();
+                let chw_out = out.shape().chw();
+                let xdata = x.data();
+                let epi = Epilogue::new(Some(&self.bias), self.act);
+                for_each_sample(out.data_mut(), chw_out, |n, yslice| {
+                    let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                    let mut xq = scratch::take_u8(chw_in);
+                    quantize_activations(xn, a_scale, &mut xq);
+                    let m = qgemm_prepacked(pa, hw, &xq, a_scale, yslice, &epi);
+                    omax.fetch_max(m.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            QuantPlanKind::Depthwise { qweight, scales } => {
+                let os = out.shape();
+                let (oh, ow) = (os.h, os.w);
+                let ohw = oh * ow;
+                let hw = xs.hw();
+                let ksz = self.spec.kh * self.spec.kw;
+                let spec = self.spec;
+                let xdata = x.data();
+                let bias = &self.bias;
+                let act = self.act;
+                let inv = 1.0 / a_scale;
+                // Padded plane geometry: quantization copies the plane
+                // anyway, so it writes into a zero-padded image (zero is
+                // exactly representable in the quantized domain), and the
+                // plane kernel runs with every window in-bounds — no
+                // interior/border split, no per-pixel bounds checks.
+                let (ph2, pw2) = (xs.h + 2 * spec.ph, xs.w + 2 * spec.pw);
+                let yptr = SyncPtr::new(out.data_mut().as_mut_ptr());
+                parallel_tiles(xs.n * xs.c, |tile| {
+                    let c = tile % xs.c;
+                    let xplane = &xdata[tile * hw..(tile + 1) * hw];
+                    // Quantized taps and activations as integer-valued f32:
+                    // every per-tap product (<= 63 * 127) and partial sum
+                    // stays far below 2^24, so the f32 accumulation in the
+                    // plane kernel is *exact* integer arithmetic — results
+                    // are bitwise deterministic for any summation order or
+                    // vector width, like the i32 GEMM path.
+                    let mut buf = scratch::take(ksz + ph2 * pw2);
+                    let (kern, xq) = buf.split_at_mut(ksz);
+                    for (d, &q) in kern.iter_mut().zip(&qweight[c * ksz..(c + 1) * ksz]) {
+                        *d = q as f32;
+                    }
+                    for iy in 0..xs.h {
+                        let at = (iy + spec.ph) * pw2 + spec.pw;
+                        crate::qmatmul::quantize_centered_f32(
+                            &xplane[iy * xs.w..(iy + 1) * xs.w],
+                            inv,
+                            &mut xq[at..at + xs.w],
+                        );
+                    }
+                    // SAFETY: tile exclusively owns output plane (n, c).
+                    let yplane =
+                        unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
+                    quant_depthwise_padded_plane(
+                        xq,
+                        kern,
+                        &spec,
+                        pw2,
+                        oh,
+                        ow,
+                        bias[c],
+                        act,
+                        a_scale * scales[c],
+                        yplane,
+                    );
+                    let m = crate::qmatmul::abs_max_slice(yplane);
+                    omax.fetch_max(m.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+            QuantPlanKind::General { groups } => {
+                let os = out.shape();
+                let (oh, ow) = (os.h, os.w);
+                let cin_g = xs.c / self.spec.groups;
+                let cout_g = self.c_out / self.spec.groups;
+                let k = cin_g * self.spec.kh * self.spec.kw;
+                let xdata = x.data();
+                let chw_in = xs.chw();
+                let chw_out = os.chw();
+                let spec = self.spec;
+                let bias = &self.bias;
+                let act = self.act;
+                for_each_sample(out.data_mut(), chw_out, |n, yslice| {
+                    let xn = &xdata[n * chw_in..(n + 1) * chw_in];
+                    let mut xq = scratch::take_u8(chw_in);
+                    quantize_activations(xn, a_scale, &mut xq);
+                    let mut col = scratch::take_u8(k * oh * ow);
+                    for (g, pa) in groups.iter().enumerate() {
+                        im2col_u8(&xq, xs, &spec, g * cin_g, (g + 1) * cin_g, oh, ow, &mut col);
+                        let yg = &mut yslice[g * cout_g * oh * ow..(g + 1) * cout_g * oh * ow];
+                        let epi = Epilogue::new(Some(&bias[g * cout_g..(g + 1) * cout_g]), act);
+                        let m = qgemm_prepacked(pa, oh * ow, &col, a_scale, yg, &epi);
+                        omax.fetch_max(m.to_bits(), std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        Ok((out, f32::from_bits(omax.load(std::sync::atomic::Ordering::Relaxed))))
     }
 }
 
@@ -572,7 +826,9 @@ fn depthwise_plane_forward(
 /// One `(sample, channel)` plane of the *fused* depthwise forward used by
 /// frozen [`ConvPlan`]s: interior/border split (no per-pixel bounds checks
 /// where the kernel window cannot leave the input) with the per-channel
-/// bias and activation applied in the same pass over the plane.
+/// bias and activation applied in the same pass over the plane. The
+/// epilogue is `act(acc * scale + bias)`; f32 plans pass `scale = 1.0`
+/// (a bitwise identity), the int8 plan passes its dequantization scale.
 ///
 /// Accumulation order per output pixel is identical to
 /// [`depthwise_plane_forward`] (`ky` outer, `kx` inner), so the pre-bias
@@ -587,6 +843,7 @@ fn fused_depthwise_plane_forward(
     ow: usize,
     bias: f32,
     act: EpilogueAct,
+    scale: f32,
     yplane: &mut [f32],
 ) {
     let (w, h) = (xs.w, xs.h);
@@ -617,7 +874,7 @@ fn fused_depthwise_plane_forward(
                 acc += xrow[ix as usize] * kv;
             }
         }
-        act.apply(acc + bias)
+        act.apply(acc * scale + bias)
     };
 
     for oy in 0..oh {
@@ -645,7 +902,7 @@ fn fused_depthwise_plane_forward(
                 }
             }
             for v in seg.iter_mut() {
-                *v = act.apply(*v + bias);
+                *v = act.apply(*v * scale + bias);
             }
         } else {
             // Strided interior: per-pixel accumulation, bounds checks hoisted.
@@ -658,7 +915,7 @@ fn fused_depthwise_plane_forward(
                         acc += xrow[ix0 + kx] * kv;
                     }
                 }
-                *y = act.apply(acc + bias);
+                *y = act.apply(acc * scale + bias);
             }
         }
         for (ox, y) in yrow.iter_mut().enumerate().take(ox_lo) {
@@ -668,6 +925,282 @@ fn fused_depthwise_plane_forward(
             *y = border_px(oy, ox);
         }
     }
+}
+
+/// One quantized depthwise output plane over a **zero-padded** input plane
+/// of row stride `pw2` (see the `Depthwise` arm of
+/// [`QuantConvPlan::try_forward_quant`]): every kernel window is in-bounds,
+/// so there is no interior/border split and no per-pixel bounds checks.
+/// The epilogue matches [`fused_depthwise_plane_forward`]:
+/// `act(acc * scale + bias)` per element.
+///
+/// Inputs and taps are integer-valued f32 (products and sums stay far below
+/// 2^24 and are exact), so the result is bitwise identical for any
+/// accumulation order — the AVX2-compiled twin below is a safe dispatch, not
+/// a numerics choice.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn quant_depthwise_padded_plane_body(
+    xpad: &[f32],
+    kern: &[f32],
+    spec: &ConvSpec,
+    pw2: usize,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    scale: f32,
+    yplane: &mut [f32],
+) {
+    let (kh, kw) = (spec.kh, spec.kw);
+    let (sh, sw) = (spec.sh, spec.sw);
+    if kh == 5 && kw == 5 && sh == 2 && sw == 2 {
+        quant_dw_s2_stencil5(xpad, kern, pw2, oh, ow, bias, act, scale, yplane);
+    } else if sh == 1 && sw == 1 && kh == 3 && kw == 3 {
+        quant_dw_stencil::<3>(xpad, kern, pw2, oh, ow, bias, act, scale, yplane);
+    } else if sh == 1 && sw == 1 && kh == 5 && kw == 5 {
+        quant_dw_stencil::<5>(xpad, kern, pw2, oh, ow, bias, act, scale, yplane);
+    } else if sh == 1 && sw == 1 {
+        // Stride 1, other kernel sizes: whole-row segments per tap —
+        // contiguous loads the compiler vectorizes at the enabled feature
+        // width.
+        for oy in 0..oh {
+            let yrow = &mut yplane[oy * ow..(oy + 1) * ow];
+            yrow.fill(0.0);
+            for ky in 0..kh {
+                let xrow = &xpad[(oy + ky) * pw2..(oy + ky) * pw2 + pw2];
+                for (kx, &kv) in kern[ky * kw..(ky + 1) * kw].iter().enumerate() {
+                    for (d, s) in yrow.iter_mut().zip(&xrow[kx..kx + ow]) {
+                        *d += kv * *s;
+                    }
+                }
+            }
+            for v in yrow.iter_mut() {
+                *v = act.apply(*v * scale + bias);
+            }
+        }
+    } else {
+        // Strided (silo downsamples: 5x5/s2, 9x9/s4, 17x17/s8): windows of
+        // neighboring outputs overlap little or not at all, so each output
+        // is one dot product over its contiguous-per-row window.
+        for oy in 0..oh {
+            let iy0 = oy * sh;
+            let yrow = &mut yplane[oy * ow..(oy + 1) * ow];
+            for (ox, y) in yrow.iter_mut().enumerate() {
+                let acc = window_dot(xpad, iy0 * pw2 + ox * sw, pw2, kh, kw, kern);
+                *y = act.apply(acc * scale + bias);
+            }
+        }
+    }
+}
+
+/// Dot product of a `kh x kw` window (rows strided by `pw2` in `xpad`,
+/// taps contiguous in `kern`) — the strided quantized depthwise inner loop.
+/// Row segments reduce 4-wide (SSE2 baseline, so it inlines into both
+/// compilations of the plane body) with a single horizontal sum at the end;
+/// operands are integer-valued f32, so the reduction-order change versus a
+/// sequential loop is exact.
+#[inline(always)]
+fn window_dot(xpad: &[f32], base: usize, pw2: usize, kh: usize, kw: usize, kern: &[f32]) -> f32 {
+    debug_assert!(base + (kh - 1) * pw2 + kw <= xpad.len() && kern.len() >= kh * kw);
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is baseline on x86_64; the debug assert states the
+    // in-bounds contract the callers' padded-plane geometry guarantees.
+    unsafe {
+        use std::arch::x86_64::*;
+        let mut accv = _mm_setzero_ps();
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            let xr = xpad.as_ptr().add(base + ky * pw2);
+            let kr = kern.as_ptr().add(ky * kw);
+            let mut kx = 0;
+            while kx + 4 <= kw {
+                accv = _mm_add_ps(
+                    accv,
+                    _mm_mul_ps(_mm_loadu_ps(xr.add(kx)), _mm_loadu_ps(kr.add(kx))),
+                );
+                kx += 4;
+            }
+            while kx < kw {
+                acc += *xr.add(kx) * *kr.add(kx);
+                kx += 1;
+            }
+        }
+        let s2 = _mm_add_ps(accv, _mm_movehl_ps(accv, accv));
+        let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 1));
+        acc + _mm_cvtss_f32(s1)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut acc = 0.0f32;
+        for ky in 0..kh {
+            for kx in 0..kw {
+                acc += xpad[base + ky * pw2 + kx] * kern[ky * kw + kx];
+            }
+        }
+        acc
+    }
+}
+
+/// `K x K` stride-1 stencil over a zero-padded plane: all `K*K` taps
+/// accumulate in registers per output vector (one store per output instead
+/// of a read-modify-write pass per tap). The output-column loop
+/// auto-vectorizes; the tap loops fully unroll (`K` is const). Sums are
+/// exact integer arithmetic, so the accumulation-order change versus the
+/// per-tap formulation is invisible bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn quant_dw_stencil<const K: usize>(
+    xpad: &[f32],
+    kern: &[f32],
+    pw2: usize,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    scale: f32,
+    yplane: &mut [f32],
+) {
+    let kl: [[f32; K]; K] = std::array::from_fn(|ky| std::array::from_fn(|kx| kern[ky * K + kx]));
+    for oy in 0..oh {
+        let yrow = &mut yplane[oy * ow..(oy + 1) * ow];
+        let rows: [&[f32]; K] =
+            std::array::from_fn(|ky| &xpad[(oy + ky) * pw2..(oy + ky) * pw2 + ow + K - 1]);
+        for (j, y) in yrow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (krow, xrow) in kl.iter().zip(&rows) {
+                for (kx, kv) in krow.iter().enumerate() {
+                    acc += xrow[j + kx] * kv;
+                }
+            }
+            *y = acc * scale + bias;
+        }
+        for y in yrow.iter_mut() {
+            *y = act.apply(*y);
+        }
+    }
+}
+
+/// 5x5 stride-2 depthwise (the one-hop silo downsample) as a contiguous
+/// stencil: each padded input row is deinterleaved once into even/odd column
+/// halves, after which output column `j` reads `x[2j + kx]` as
+/// `even[j + kx/2]` / `odd[j + (kx-1)/2]` — contiguous loads the
+/// output-column loop vectorizes, instead of a strided per-pixel window dot.
+/// Unwritten tail cells of the half-rows are never read (tap reach stays
+/// inside the deinterleaved image); sums are exact integer arithmetic, so
+/// the reassociation versus [`window_dot`] is invisible bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn quant_dw_s2_stencil5(
+    xpad: &[f32],
+    kern: &[f32],
+    pw2: usize,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    scale: f32,
+    yplane: &mut [f32],
+) {
+    let rows = (oh - 1) * 2 + 5;
+    let hw2 = pw2.div_ceil(2);
+    let mut buf = scratch::take(2 * rows * hw2);
+    {
+        let (ehalf, ohalf) = buf.split_at_mut(rows * hw2);
+        for r in 0..rows {
+            let src = &xpad[r * pw2..r * pw2 + pw2];
+            let er = &mut ehalf[r * hw2..r * hw2 + hw2];
+            let or = &mut ohalf[r * hw2..r * hw2 + hw2];
+            for j in 0..pw2 / 2 {
+                er[j] = src[2 * j];
+                or[j] = src[2 * j + 1];
+            }
+            if pw2 % 2 == 1 {
+                er[pw2 / 2] = src[pw2 - 1];
+            }
+        }
+    }
+    let (ehalf, ohalf) = buf.split_at(rows * hw2);
+    let ke: [[f32; 3]; 5] = std::array::from_fn(|ky| std::array::from_fn(|m| kern[ky * 5 + 2 * m]));
+    let ko: [[f32; 2]; 5] =
+        std::array::from_fn(|ky| std::array::from_fn(|m| kern[ky * 5 + 2 * m + 1]));
+    for oy in 0..oh {
+        let yrow = &mut yplane[oy * ow..(oy + 1) * ow];
+        let base = oy * 2;
+        let erows: [&[f32]; 5] =
+            std::array::from_fn(|ky| &ehalf[(base + ky) * hw2..(base + ky) * hw2 + hw2]);
+        let orows: [&[f32]; 5] =
+            std::array::from_fn(|ky| &ohalf[(base + ky) * hw2..(base + ky) * hw2 + hw2]);
+        for (j, y) in yrow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for ((krow, xrow), (korow, xorow)) in
+                ke.iter().zip(&erows).zip(ko.iter().zip(&orows))
+            {
+                for (m, kv) in krow.iter().enumerate() {
+                    acc += xrow[j + m] * kv;
+                }
+                for (m, kv) in korow.iter().enumerate() {
+                    acc += xorow[j + m] * kv;
+                }
+            }
+            *y = acc * scale + bias;
+        }
+        for y in yrow.iter_mut() {
+            *y = act.apply(*y);
+        }
+    }
+}
+
+/// [`quant_depthwise_padded_plane_body`] recompiled with AVX2 enabled (8-wide
+/// row segments instead of baseline 4-wide). `fma` is deliberately *not*
+/// enabled: a fused `v * scale + bias` epilogue would round differently from
+/// the scalar build.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn quant_depthwise_padded_plane_avx2(
+    xpad: &[f32],
+    kern: &[f32],
+    spec: &ConvSpec,
+    pw2: usize,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    scale: f32,
+    yplane: &mut [f32],
+) {
+    quant_depthwise_padded_plane_body(xpad, kern, spec, pw2, oh, ow, bias, act, scale, yplane);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn quant_depthwise_padded_plane(
+    xpad: &[f32],
+    kern: &[f32],
+    spec: &ConvSpec,
+    pw2: usize,
+    oh: usize,
+    ow: usize,
+    bias: f32,
+    act: EpilogueAct,
+    scale: f32,
+    yplane: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::qmatmul::int8_use_avx2() {
+        // SAFETY: feature presence checked by the dispatch.
+        unsafe {
+            quant_depthwise_padded_plane_avx2(
+                xpad, kern, spec, pw2, oh, ow, bias, act, scale, yplane,
+            )
+        };
+        return;
+    }
+    quant_depthwise_padded_plane_body(xpad, kern, spec, pw2, oh, ow, bias, act, scale, yplane);
 }
 
 fn depthwise_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) {
@@ -694,7 +1227,7 @@ fn depthwise_forward(x: &Tensor, w: &Tensor, spec: &ConvSpec, out: &mut Tensor) 
         // SAFETY: tile exclusively owns output plane (n, c).
         let yplane = unsafe { std::slice::from_raw_parts_mut(yptr.get().add(tile * ohw), ohw) };
         fused_depthwise_plane_forward(
-            xplane, kern, spec, xs, oh, ow, 0.0, EpilogueAct::None, yplane,
+            xplane, kern, spec, xs, oh, ow, 0.0, EpilogueAct::None, 1.0, yplane,
         );
     });
 }
@@ -918,6 +1451,66 @@ fn im2col(xn: &[f32], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usiz
     });
 }
 
+/// Fills one row of the **byte** im2col matrix from quantized (biased u8)
+/// activations: padding writes the zero-point byte `64` instead of `0.0`,
+/// so the GEMM's full-row `wsum` zero-point correction stays exact at the
+/// borders. Run-bound structure mirrors [`im2col_row`].
+#[allow(clippy::too_many_arguments)]
+fn im2col_row_u8(
+    xn: &[u8],
+    xs: Shape,
+    spec: &ConvSpec,
+    c: usize,
+    ky: usize,
+    kx: usize,
+    oh: usize,
+    ow: usize,
+    dst: &mut [u8],
+) {
+    const ZP: u8 = INT8_ACT_ZERO_POINT as u8;
+    let xplane = &xn[c * xs.hw()..(c + 1) * xs.hw()];
+    let (sw, pw) = (spec.sw, spec.pw);
+    let ox_lo = if pw > kx { (pw - kx).div_ceil(sw).min(ow) } else { 0 };
+    let ox_end = if xs.w + pw > kx { ((xs.w + pw - kx - 1) / sw + 1).min(ow) } else { 0 };
+    let ox_end = ox_end.max(ox_lo);
+    for oy in 0..oh {
+        let iy = (oy * spec.sh + ky) as isize - spec.ph as isize;
+        let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+        if iy < 0 || iy >= xs.h as isize {
+            dst_row.fill(ZP);
+            continue;
+        }
+        let xrow = &xplane[iy as usize * xs.w..(iy as usize + 1) * xs.w];
+        dst_row[..ox_lo].fill(ZP);
+        dst_row[ox_end..].fill(ZP);
+        let ix0 = ox_lo * sw + kx - pw;
+        if sw == 1 {
+            dst_row[ox_lo..ox_end].copy_from_slice(&xrow[ix0..ix0 + (ox_end - ox_lo)]);
+        } else {
+            for (i, d) in dst_row[ox_lo..ox_end].iter_mut().enumerate() {
+                *d = xrow[ix0 + i * sw];
+            }
+        }
+    }
+}
+
+/// Byte counterpart of [`im2col`]: builds the `[(c1-c0) * kh * kw, oh * ow]`
+/// quantized column matrix, one parallel tile per row.
+#[allow(clippy::too_many_arguments)]
+fn im2col_u8(xn: &[u8], xs: Shape, spec: &ConvSpec, c0: usize, c1: usize, oh: usize, ow: usize, col: &mut [u8]) {
+    let ohw = oh * ow;
+    let ksz = spec.kh * spec.kw;
+    let rows = (c1 - c0) * ksz;
+    let colptr = SyncPtr::new(col.as_mut_ptr());
+    parallel_tiles(rows, |row| {
+        let c = c0 + row / ksz;
+        let (ky, kx) = ((row % ksz) / spec.kw, row % spec.kw);
+        // SAFETY: each tile owns exactly one `ohw` row of the matrix.
+        let dst = unsafe { std::slice::from_raw_parts_mut(colptr.get().add(row * ohw), ohw) };
+        im2col_row_u8(xn, xs, spec, c, ky, kx, oh, ow, dst);
+    });
+}
+
 /// Scatters column-gradient rows back onto the input gradient, one parallel
 /// tile per input channel (a channel's `kh*kw` rows all land on its plane).
 #[allow(clippy::too_many_arguments)]
@@ -1137,6 +1730,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn quant_plan_matches_fused_ref_within_quantization_bound() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let acts = [EpilogueAct::Relu, EpilogueAct::HardSwish, EpilogueAct::None];
+        // Same dispatch coverage as the f32 plan test: pointwise, depthwise,
+        // general, grouped.
+        let cases = [
+            (Shape::new(2, 12, 9, 9), Shape::new(20, 12, 1, 1), ConvSpec::pointwise()),
+            (Shape::new(2, 8, 11, 10), Shape::new(8, 1, 3, 3), ConvSpec::depthwise(3, 2, 8)),
+            (Shape::new(2, 6, 12, 12), Shape::new(10, 6, 3, 3), ConvSpec::kxk(3, 2)),
+            (Shape::new(1, 8, 10, 10), Shape::new(12, 4, 3, 3), ConvSpec { groups: 2, ..ConvSpec::kxk(3, 1) }),
+        ];
+        for (i, (xs, ws, spec)) in cases.into_iter().enumerate() {
+            let x = Tensor::randn(xs, 1.0, &mut rng);
+            let w = Tensor::randn(ws, 0.4, &mut rng);
+            let bias: Vec<f32> = (0..ws.n).map(|c| 0.1 * c as f32 - 0.3).collect();
+            let absmax = x.abs_max();
+            let a_scale = int8_act_scale(absmax);
+            let k = ws.c * ws.h * ws.w;
+            for act in acts {
+                let plan = QuantConvPlan::new(&w, bias.clone(), spec, act);
+                assert!(plan.packed_bytes() > 0);
+                assert_eq!((plan.c_out(), plan.c_in()), (ws.n, xs.c));
+                let (got, omax) = plan.forward_quant(&x, None);
+                let want = fused_ref(&x, &w, &bias, &spec, act);
+                assert_eq!(got.shape(), want.shape());
+                assert_eq!(omax, got.abs_max(), "folded absmax must be the true output absmax");
+                let os = got.shape();
+                for co in 0..ws.n {
+                    // Worst-case half-step bound per output channel:
+                    // activation steps against the row's L1 mass, weight
+                    // steps against the input mass, and a 1.5x Lipschitz
+                    // allowance for hard-swish.
+                    let row = &w.data()[co * k..(co + 1) * k];
+                    let w_l1: f32 = row.iter().map(|v| v.abs()).sum();
+                    let w_max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    let bound = 1.5 * (0.5 * a_scale * w_l1 + 0.5 * (w_max / 127.0) * absmax * k as f32) + 1e-4;
+                    for n in 0..os.n {
+                        for oy in 0..os.h {
+                            for ox in 0..os.w {
+                                let d = (got.at(n, co, oy, ox) - want.at(n, co, oy, ox)).abs();
+                                assert!(d <= bound, "case {i} act {act:?} ({n},{co},{oy},{ox}): err {d} > {bound}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_plan_is_deterministic_and_accepts_carried_absmax() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let x = Tensor::randn(Shape::new(2, 8, 12, 12), 1.0, &mut rng);
+        let w = Tensor::randn(Shape::new(16, 8, 3, 3), 0.4, &mut rng);
+        let plan = QuantConvPlan::new(&w, vec![0.05; 16], ConvSpec::kxk(3, 1), EpilogueAct::HardSwish);
+        let (first, m0) = plan.forward_quant(&x, None);
+        for _ in 0..3 {
+            let (y, m) = plan.forward_quant(&x, None);
+            assert_eq!(y, first, "quant forwards must be bitwise stable");
+            assert_eq!(m.to_bits(), m0.to_bits());
+        }
+        // A producer-carried absmax equal to the scan's must be bit-identical.
+        let (carried, mc) = plan.forward_quant(&x, Some(x.abs_max()));
+        assert_eq!(carried, first);
+        assert_eq!(mc.to_bits(), m0.to_bits());
+    }
+
+    #[test]
+    fn quant_plan_rejects_wrong_channels() {
+        let w = Tensor::ones(Shape::new(4, 3, 1, 1));
+        let plan = QuantConvPlan::new(&w, vec![0.0; 4], ConvSpec::pointwise(), EpilogueAct::None);
+        let x = Tensor::ones(Shape::new(1, 5, 4, 4));
+        assert!(matches!(plan.try_forward_quant(&x, None), Err(ShapeError::DimMismatch { .. })));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 mod conv;
 mod matmul;
 pub mod par;
+mod qmatmul;
 mod pool;
 mod resize;
 mod s2d;
@@ -33,10 +34,14 @@ pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvPlan, ConvSpec};
+pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvPlan, ConvSpec, QuantConvPlan};
 pub use matmul::{
     reference, sgemm, sgemm_a_bt, sgemm_at_b, sgemm_fused, sgemm_prepacked, Epilogue, EpilogueAct,
     PackedGemmA,
+};
+pub use qmatmul::{
+    int8_act_scale, qgemm_prepacked, quantize_activations, quantize_weights_per_row,
+    set_int8_force_scalar, PackedGemmAI8, INT8_ACT_QMAX, INT8_ACT_ZERO_POINT,
 };
 pub use pool::{
     avg_pool, avg_pool_backward, global_avg_pool, global_avg_pool_backward, max_pool, max_pool_backward,

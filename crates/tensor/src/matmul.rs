@@ -97,6 +97,17 @@ impl<'a> Epilogue<'a> {
         self.act.apply(v)
     }
 
+    /// The bias term for `row`, when a bias is present (vector write-backs
+    /// hoist it out of the lane loop instead of re-branching per element).
+    pub(crate) fn bias_at(&self, row: usize) -> Option<f32> {
+        self.bias.map(|b| b[row])
+    }
+
+    /// The fused activation kind.
+    pub(crate) fn act(&self) -> EpilogueAct {
+        self.act
+    }
+
     /// Applies the epilogue to a row-major `[m, n]` buffer as a separate
     /// pass (the reference-path fallback and the test oracle).
     pub fn apply_rows(&self, m: usize, n: usize, c: &mut [f32]) {

@@ -150,6 +150,39 @@ pub fn take(len: usize) -> ScratchGuard {
     ScratchGuard { buf, len }
 }
 
+/// A zeroed byte workspace borrowed from the same arena as [`take`]: the
+/// backing storage is an `f32` buffer reinterpreted as bytes, so int8
+/// kernels share the f32 size classes instead of growing a second arena.
+/// Dereferences to `[u8]` of exactly the requested length.
+pub struct ScratchGuardU8 {
+    guard: ScratchGuard,
+    len: usize,
+}
+
+impl Deref for ScratchGuardU8 {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: f32 -> u8 reinterpretation is always valid (alignment 4 ->
+        // 1, any bit pattern is a valid u8) and the f32 backing covers
+        // ceil(len/4)*4 >= len bytes.
+        unsafe { std::slice::from_raw_parts(self.guard.buf.as_ptr() as *const u8, self.len) }
+    }
+}
+
+impl DerefMut for ScratchGuardU8 {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `Deref`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.guard.buf.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+/// Borrows a zeroed scratch buffer of `len` bytes from this thread's arena.
+/// Shares storage (and the steady-state zero-allocation guarantee) with the
+/// `f32` [`take`].
+pub fn take_u8(len: usize) -> ScratchGuardU8 {
+    ScratchGuardU8 { guard: take(len.div_ceil(4)), len }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +230,17 @@ mod tests {
         b[0] = 2.0;
         assert_eq!(a[0], 1.0);
         assert_eq!(b[0], 2.0);
+    }
+
+    #[test]
+    fn byte_buffers_are_zeroed_and_share_the_arena() {
+        let mut a = take_u8(101);
+        assert_eq!(a.len(), 101);
+        assert!(a.iter().all(|&v| v == 0));
+        a[100] = 7;
+        drop(a);
+        let b = take_u8(101);
+        assert!(b.iter().all(|&v| v == 0), "reused byte buffer must be re-zeroed");
     }
 
     #[test]

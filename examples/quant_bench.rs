@@ -1,0 +1,146 @@
+//! Int8-vs-f32 inference benchmark: times the quantized frozen fast path
+//! (per-channel int8 weights, AVX2 `maddubs` GEMM, fused dequant epilogues)
+//! against the f32 frozen path and the unfused eval forward for
+//! RevBiFPN-S0 and -S3 at batch 1 and 8, and writes
+//! `results/BENCH_infer_quant.json`.
+//!
+//! Run with `cargo run --release --example quant_bench`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use revbifpn_repro::core::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_repro::tensor::{Shape, Tensor};
+use std::time::Instant;
+
+struct Stats {
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+fn stats(mut samples: Vec<f64>) -> Stats {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    Stats {
+        min_ns: samples[0],
+        median_ns: samples[n / 2],
+        mean_ns: samples.iter().sum::<f64>() / n as f64,
+        max_ns: samples[n - 1],
+    }
+}
+
+fn time(iters: usize, mut f: impl FnMut()) -> Stats {
+    f(); // warm-up: scratch arena growth, page faults
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    stats(samples)
+}
+
+struct Row {
+    id: String,
+    batch: usize,
+    resolution: usize,
+    stats: Stats,
+}
+
+fn json_row(r: &Row) -> String {
+    format!(
+        "    {{\n      \"id\": \"{}\",\n      \"batch\": {},\n      \"resolution\": {},\n      \
+         \"min_ns\": {:.1},\n      \"median_ns\": {:.1},\n      \"mean_ns\": {:.1},\n      \
+         \"max_ns\": {:.1},\n      \"images_per_s\": {:.2}\n    }}",
+        r.id,
+        r.batch,
+        r.resolution,
+        r.stats.min_ns,
+        r.stats.median_ns,
+        r.stats.mean_ns,
+        r.stats.max_ns,
+        r.batch as f64 / (r.stats.median_ns * 1e-9)
+    )
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut speedups: Vec<(String, f64, f64)> = Vec::new();
+
+    for (name, s) in [("s0", 0usize), ("s3", 3)] {
+        let cfg = RevBiFPNConfig::scaled(s, 1000);
+        let res = cfg.resolution;
+        let mut model = RevBiFPNClassifier::new(cfg.clone());
+        let frozen = model.freeze().expect("family configs must freeze");
+        let quant = model.freeze_int8().expect("family configs must quantize");
+        println!(
+            "{name}: resolution {res}, f32 panels {:.1} MiB, int8 panels {:.1} MiB",
+            frozen.packed_bytes() as f64 / (1 << 20) as f64,
+            quant.quant_packed_bytes() as f64 / (1 << 20) as f64
+        );
+
+        for batch in [1usize, 8] {
+            let iters = if batch == 1 { 5 } else { 3 };
+            let mut rng = StdRng::seed_from_u64(42);
+            let x = Tensor::randn(Shape::new(batch, 3, res, res), 1.0, &mut rng);
+
+            let unfused = time(iters, || {
+                let _ = model.forward(&x, RunMode::Eval);
+            });
+            let froz = time(iters, || {
+                let _ = frozen.forward(&x);
+            });
+            let int8 = time(iters, || {
+                let _ = quant.forward(&x);
+            });
+            let over_frozen = froz.median_ns / int8.median_ns;
+            let over_unfused = unfused.median_ns / int8.median_ns;
+            println!(
+                "{name} b{batch}: unfused {:.1} ms, frozen {:.1} ms, int8 {:.1} ms, \
+                 int8/frozen {over_frozen:.2}x, int8/unfused {over_unfused:.2}x",
+                unfused.median_ns / 1e6,
+                froz.median_ns / 1e6,
+                int8.median_ns / 1e6
+            );
+            rows.push(Row {
+                id: format!("infer_{name}_b{batch}_unfused"),
+                batch,
+                resolution: res,
+                stats: unfused,
+            });
+            rows.push(Row {
+                id: format!("infer_{name}_b{batch}_frozen"),
+                batch,
+                resolution: res,
+                stats: froz,
+            });
+            rows.push(Row {
+                id: format!("infer_{name}_b{batch}_int8"),
+                batch,
+                resolution: res,
+                stats: int8,
+            });
+            speedups.push((format!("{name}_b{batch}"), over_frozen, over_unfused));
+        }
+    }
+
+    let bench_rows: Vec<String> = rows.iter().map(json_row).collect();
+    let speedup_rows: Vec<String> = speedups
+        .iter()
+        .map(|(id, fr, un)| {
+            format!(
+                "    {{ \"id\": \"{id}\", \"int8_over_frozen\": {fr:.3}, \
+                 \"int8_over_unfused\": {un:.3} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
+        bench_rows.join(",\n"),
+        speedup_rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_infer_quant.json", json).expect("write bench json");
+    println!("wrote results/BENCH_infer_quant.json");
+}

@@ -10,10 +10,14 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use revbifpn::{RevBiFPNClassifier, RevBiFPNConfig, RunMode};
-use revbifpn_detect::{DetHeadConfig, Detector, RevBackbone};
+use revbifpn::{FrozenClassifier, RevBiFPNClassifier, RevBiFPNConfig, RunMode};
+use revbifpn_data::{SynthDet, SynthDetConfig, SynthScale, SynthScaleConfig};
+use revbifpn_detect::{
+    evaluate_box_ap, AreaRanges, DetHeadConfig, Detector, RevBackbone,
+};
 use revbifpn_nn::meter;
-use revbifpn_tensor::{Shape, Tensor};
+use revbifpn_tensor::{set_int8_force_scalar, Shape, Tensor};
+use revbifpn_train::{clip_grad_norm, train_classifier, LrSchedule, Sgd, TrainConfig};
 
 /// A scaling-family config cut down to CPU-test size: the S-variant's
 /// channel plan at a miniature resolution and depth 1.
@@ -65,6 +69,36 @@ proptest! {
         let want = model.forward(&x, RunMode::Eval);
         let got = frozen.forward(&x);
         assert_close(&got, &want, &format!("S{s} logits"));
+    }
+
+    /// Quantization: the int8-frozen classifier tracks the f32-frozen
+    /// logits for every S-variant channel plan. The bound is loose —
+    /// 7-bit activation quantization compounds at ~3% of dynamic range per
+    /// MBConv — but pins that the int8 lowering is functionally faithful;
+    /// the accuracy-gate tests below are the hard bar.
+    #[test]
+    fn int8_frozen_classifier_tracks_f32_frozen(
+        s in 0usize..=6,
+        batch in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = family_config(s, 32);
+        let mut model = RevBiFPNClassifier::new(cfg.clone());
+        randomize_bn(&mut model, seed);
+        let frozen = model.freeze().expect("family configs must freeze");
+        let quant = model.freeze_int8().expect("family configs must quantize");
+        prop_assert!(quant.is_quantized());
+        prop_assert!(quant.quant_packed_bytes() > 0);
+        prop_assert!(quant.quant_packed_bytes() < frozen.packed_bytes() / 2);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let x = Tensor::randn(Shape::new(batch, 3, cfg.resolution, cfg.resolution), 1.0, &mut rng);
+        let want = frozen.forward(&x);
+        let got = quant.forward(&x);
+        prop_assert_eq!(got.shape(), want.shape());
+        let diff = got.max_abs_diff(&want);
+        let tol = 0.5 * (1.0 + want.abs_max());
+        prop_assert!(diff < tol, "S{} int8 logits diff {} exceeds {}", s, diff, tol);
     }
 
     /// Detection: the frozen detector's raw per-level head outputs match
@@ -140,5 +174,121 @@ fn steady_state_frozen_forwards_neither_allocate_nor_repack() {
         meter::event_count("freeze.weights_packed"),
         packs,
         "steady-state frozen forwards must not re-pack weight panels"
+    );
+}
+
+/// The scalar int8 kernel emulates `_mm256_maddubs_epi16` exactly, so the
+/// whole-model forward must be BITWISE identical whichever kernel dispatch
+/// picks — the guarantee that `REVBIFPN_INT8_FORCE_SCALAR=1` runs (CI) test
+/// the same numerics the AVX2 path serves.
+#[test]
+fn int8_model_forward_is_bitwise_identical_scalar_vs_vector() {
+    let mut model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10));
+    randomize_bn(&mut model, 91);
+    let quant = model.freeze_int8().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(92);
+    let x = Tensor::randn(Shape::new(2, 3, 32, 32), 1.0, &mut rng);
+    let auto = quant.forward(&x);
+    set_int8_force_scalar(true);
+    let scalar = quant.forward(&x);
+    set_int8_force_scalar(false);
+    assert_eq!(
+        auto.data(),
+        scalar.data(),
+        "scalar and vector int8 paths must agree to the bit"
+    );
+}
+
+/// Top-1 accuracy of a frozen classifier over `n` held-out SynthScale
+/// samples (the frozen forms take `&self`, so this mirrors
+/// `revbifpn_train::evaluate` by hand).
+fn frozen_top1(frozen: &FrozenClassifier, data: &SynthScale, n: usize, batch: usize) -> f64 {
+    let mut correct = 0usize;
+    let mut i = 0;
+    while i < n {
+        let b = batch.min(n - i);
+        let (images, labels) = data.batch(u32::MAX as u64 + i as u64, b);
+        let logits = frozen.forward(&images);
+        let classes = logits.shape().c;
+        for (j, &label) in labels.iter().enumerate() {
+            let row = &logits.data()[j * classes..(j + 1) * classes];
+            let pred = row
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(k, _)| k);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        i += b;
+    }
+    correct as f64 / n as f64
+}
+
+/// The classification accuracy gate: on a TRAINED model, int8 quantization
+/// must cost at most 0.5 points of top-1 over >= 512 held-out samples —
+/// the acceptance bar behind `Precision::Int8` serving.
+#[test]
+fn quantization_accuracy_gate_classification() {
+    let data = SynthScale::new(SynthScaleConfig::new(32), 5);
+    let mut model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(data.num_classes()));
+    let cfg = TrainConfig { epochs: 3, train_size: 256, val_size: 128, ..TrainConfig::small() };
+    let h = train_classifier(&mut model, &data, &cfg, RunMode::TrainReversible);
+    assert!(
+        h.final_val_acc() > 1.5 / data.num_classes() as f64,
+        "model failed to train; the gate would be vacuous"
+    );
+
+    let frozen = model.freeze().unwrap();
+    let quant = model.freeze_int8().unwrap();
+    let acc_f32 = frozen_top1(&frozen, &data, 512, 32);
+    let acc_int8 = frozen_top1(&quant, &data, 512, 32);
+    assert!(
+        acc_f32 - acc_int8 <= 0.005 + 1e-9,
+        "int8 top-1 {acc_int8:.4} dropped more than 0.5 pt below f32 {acc_f32:.4}"
+    );
+}
+
+/// The detection accuracy gate: int8 quantization of a trained detector
+/// must cost at most 0.5 points of AP50 on held-out SynthDet scenes.
+#[test]
+fn quantization_accuracy_gate_detection() {
+    let res = 32;
+    let data = SynthDet::new(SynthDetConfig::new(res), 3);
+    let backbone =
+        RevBackbone::new(revbifpn::RevBiFPN::new(RevBiFPNConfig::tiny(3).with_resolution(res)), true);
+    let mut det = Detector::new(Box::new(backbone), DetHeadConfig::new(3), 0);
+    let mut opt = Sgd::new(0.9, 1e-4);
+    let steps = 40;
+    let schedule = LrSchedule::paper_like(0.02, steps);
+    for step in 0..steps {
+        let (images, objects) = data.batch((step * 8) as u64, 8);
+        det.zero_grads();
+        let (total, _, _) = det.train_step(&images, &objects);
+        assert!(total.is_finite(), "loss blew up at step {step}");
+        let _ = clip_grad_norm(|f| det.visit_params(f), 5.0);
+        opt.step(schedule.lr(step), |f| det.visit_params(f));
+    }
+    det.clear_cache();
+
+    let frozen = det.freeze().unwrap();
+    let quant = det.freeze_int8().unwrap();
+    let mut dets_f32 = Vec::new();
+    let mut dets_int8 = Vec::new();
+    let mut gts = Vec::new();
+    for i in 0..32 {
+        let s = data.sample(500_000 + i as u64);
+        dets_f32.push(frozen.detect(&s.image).into_iter().next().unwrap());
+        dets_int8.push(quant.detect(&s.image).into_iter().next().unwrap());
+        gts.push(s.objects);
+    }
+    let ap_f32 = evaluate_box_ap(&dets_f32, &gts, 3, AreaRanges::scaled_to(res)).ap50;
+    let ap_int8 = evaluate_box_ap(&dets_int8, &gts, 3, AreaRanges::scaled_to(res)).ap50;
+    assert!(
+        ap_f32 - ap_int8 <= 0.005 + 1e-9,
+        "int8 AP50 {ap_int8:.4} dropped more than 0.5 pt below f32 {ap_f32:.4}"
     );
 }
