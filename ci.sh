@@ -35,6 +35,12 @@ REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q --test freeze_parity
 REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q -p revbifpn-tensor qgemm
 REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q -p revbifpn-tensor quant
 
+echo "== lifecycle chaos soak (seeded faults: reload/rollback/drain, smoke)"
+REVBIFPN_CHAOS_ITERS=12 cargo test -q --release --test lifecycle_chaos
+
+echo "== artifact cold start (mmap vs copy, bitwise round-trip gate)"
+cargo run -q --release --example coldstart_bench -- --smoke
+
 echo "== sharded training step (bitwise shard/thread invariance smoke)"
 cargo run -q --release --example train_bench -- --smoke
 

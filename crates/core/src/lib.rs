@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod backbone;
 mod config;
 mod freeze;

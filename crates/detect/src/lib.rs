@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 mod ap;
+pub mod artifact;
 mod backbone;
 pub mod freeze;
 mod head;

@@ -34,40 +34,70 @@
 //! The v1 magic (`RBFNCKP1`, no CRCs) is explicitly rejected.
 
 use crate::param::Param;
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::fs;
+use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"RBFNCKP2";
 const VERSION: u32 = 2;
 const MAX_NAME_LEN: usize = 4096;
 
+/// One-shot CRC32 of `data` (the artifact container shares the checkpoint
+/// polynomial so there is exactly one CRC implementation in the tree).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(0xffff_ffff, data)
+}
+
+/// Slice-by-8 CRC32 tables: `CRC_TABLES[0]` is the classic byte-at-a-time
+/// table; `CRC_TABLES[k][b]` is the CRC of byte `b` followed by `k` zero
+/// bytes, so eight bytes fold in one step. Built at compile time.
+static CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = (crc >> 1) ^ if crc & 1 != 0 { 0xedb8_8320 } else { 0 };
+            bit += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+};
+
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`, seeded by
-/// `seed` so multi-slice digests can be chained.
+/// `seed` so multi-slice digests can be chained. Slice-by-8: artifact opens
+/// CRC the whole structure stream on the serving cold path, so this runs at
+/// memory speed rather than byte-at-a-time.
 fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
-    // Nibble-at-a-time table; small and fast enough for checkpoint I/O.
-    const TABLE: [u32; 16] = [
-        0x0000_0000,
-        0x1db7_1064,
-        0x3b6e_20c8,
-        0x26d9_30ac,
-        0x76dc_4190,
-        0x6b6b_51f4,
-        0x4db2_6158,
-        0x5005_713c,
-        0xedb8_8320,
-        0xf00f_9344,
-        0xd6d6_a3e8,
-        0xcb61_b38c,
-        0x9b64_c2b0,
-        0x86d3_d2d4,
-        0xa00a_e278,
-        0xbdbd_f21c,
-    ];
-    for &b in data {
-        crc ^= b as u32;
-        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
-        crc = (crc >> 4) ^ TABLE[(crc & 0xf) as usize];
+    let t = &CRC_TABLES;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes(c[..4].try_into().unwrap());
+        let hi = u32::from_le_bytes(c[4..].try_into().unwrap());
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xff) as usize];
     }
     crc
 }
@@ -89,12 +119,18 @@ fn bad(msg: impl Into<String>) -> io::Error {
 ///
 /// Any stale `<path>.tmp` left by an earlier crash is overwritten.
 ///
+/// The write goes through [`crate::artifact::write_atomic`]: tmp + fsync of
+/// both the file and its parent directory + rename, transient errors
+/// retried under the bounded `io.retries` budget. A directory-fsync
+/// failure is propagated — the rename may not survive power loss, so the
+/// caller must not record the step as checkpointed.
+///
 /// # Errors
 ///
-/// Propagates I/O errors; on error the destination `path` is left untouched.
+/// Propagates I/O errors; unless the failure happened after the rename,
+/// the destination `path` is left untouched.
 pub fn save_blobs<P: AsRef<Path>>(path: P, blobs: &[(String, Vec<f32>)]) -> io::Result<()> {
     let path = path.as_ref();
-    let tmp = tmp_path(path);
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -108,21 +144,7 @@ pub fn save_blobs<P: AsRef<Path>>(path: P, blobs: &[(String, Vec<f32>)]) -> io::
         }
         buf.extend_from_slice(&blob_crc(name, data).to_le_bytes());
     }
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&buf)?;
-        f.flush()?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // Best effort: persist the rename itself. Not all platforms support
-    // fsync on directories, so failures here are ignored.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    crate::artifact::write_atomic(path, &buf)
 }
 
 /// The temporary sibling used by [`save_blobs`] for atomic writes.

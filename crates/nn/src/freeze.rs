@@ -114,7 +114,10 @@ impl Drop for QuantPackedBytes {
 /// epilogue activation, executed from persistently packed GEMM weight panels.
 #[derive(Debug)]
 pub struct FusedConv {
-    weight: Tensor,
+    /// The folded f32 weights; `None` for a conv rebuilt from a serialized
+    /// plan (artifact loading), which can never re-pack or re-quantize.
+    weight: Option<Tensor>,
+    c_out: usize,
     bias: Vec<f32>,
     spec: ConvSpec,
     act: EpilogueAct,
@@ -132,7 +135,8 @@ impl FusedConv {
         let bias = bias.map(|b| b.data().to_vec()).unwrap_or_else(|| vec![0.0; c_out]);
         assert_eq!(bias.len(), c_out, "fused conv bias length mismatch");
         Self {
-            weight,
+            weight: Some(weight),
+            c_out,
             bias,
             spec,
             act: EpilogueAct::None,
@@ -143,9 +147,56 @@ impl FusedConv {
         }
     }
 
+    /// Rebuilds a *plan-only* fused conv from a deserialized [`ConvPlan`]
+    /// (the zero-copy artifact path). The original weights are gone: the
+    /// conv serves forwards from the plan but cannot be re-folded or
+    /// quantized. Its panel bytes are deliberately **not** registered on the
+    /// thread-local packed gauge — loaded models may be shared across
+    /// worker threads behind an `Arc` and would unbalance per-thread
+    /// accounting; the artifact layer reports their residency instead.
+    pub fn from_plan(plan: ConvPlan) -> Self {
+        Self {
+            weight: None,
+            c_out: plan.c_out(),
+            bias: plan.bias().to_vec(),
+            spec: *plan.spec(),
+            act: plan.act(),
+            plan: Some(plan),
+            resident: None,
+            qplan: None,
+            qresident: None,
+        }
+    }
+
+    /// Rebuilds a plan-only *quantized* fused conv from a deserialized
+    /// [`QuantConvPlan`]; see [`FusedConv::from_plan`].
+    pub fn from_qplan(qplan: QuantConvPlan) -> Self {
+        Self {
+            weight: None,
+            c_out: qplan.c_out(),
+            bias: qplan.bias().to_vec(),
+            spec: *qplan.spec(),
+            act: qplan.act(),
+            plan: None,
+            resident: None,
+            qplan: Some(qplan),
+            qresident: None,
+        }
+    }
+
+    /// The compiled f32 plan, if present (serialization support).
+    pub fn plan(&self) -> Option<&ConvPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The compiled int8 plan, if present (serialization support).
+    pub fn qplan(&self) -> Option<&QuantConvPlan> {
+        self.qplan.as_ref()
+    }
+
     /// Output channel count.
     pub fn c_out(&self) -> usize {
-        self.weight.shape().n
+        self.c_out
     }
 
     /// Folds a following per-channel affine `y = scale * x + shift` into the
@@ -155,8 +206,9 @@ impl FusedConv {
         let c_out = self.c_out();
         assert_eq!(scale.len(), c_out, "affine scale length mismatch");
         assert_eq!(shift.len(), c_out, "affine shift length mismatch");
-        let per = self.weight.shape().numel() / c_out;
-        for (o, chunk) in self.weight.data_mut().chunks_mut(per).enumerate() {
+        let weight = self.weight.as_mut().expect("cannot fold into a plan-only conv");
+        let per = weight.shape().numel() / c_out;
+        for (o, chunk) in weight.data_mut().chunks_mut(per).enumerate() {
             for w in chunk.iter_mut() {
                 *w *= scale[o];
             }
@@ -186,7 +238,8 @@ impl FusedConv {
     /// int8 image supersedes the f32 panels.
     pub fn compile(&mut self) {
         if self.plan.is_none() && self.qplan.is_none() {
-            let plan = ConvPlan::new(&self.weight, self.bias.clone(), self.spec, self.act);
+            let weight = self.weight.as_ref().expect("plan-only convs are always compiled");
+            let plan = ConvPlan::new(weight, self.bias.clone(), self.spec, self.act);
             meter::count("freeze.weights_packed");
             self.resident = Some(PackedBytes::new(plan.packed_bytes()));
             self.plan = Some(plan);
@@ -200,7 +253,10 @@ impl FusedConv {
     /// — a quantized conv serves int8 only.
     pub fn quantize(&mut self) {
         if self.qplan.is_none() {
-            let qplan = QuantConvPlan::new(&self.weight, self.bias.clone(), self.spec, self.act);
+            // A plan-only conv has no raw weights left to re-quantize; it
+            // keeps serving its existing f32 plan.
+            let Some(weight) = self.weight.as_ref() else { return };
+            let qplan = QuantConvPlan::new(weight, self.bias.clone(), self.spec, self.act);
             meter::count("freeze.weights_quantized");
             self.qresident = Some(QuantPackedBytes::new(qplan.packed_bytes()));
             self.qplan = Some(qplan);

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod checkpoint;
 pub mod freeze;
 pub mod gradcheck;

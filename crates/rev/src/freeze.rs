@@ -228,7 +228,7 @@ impl FrozenStage {
 /// stage in fused form.
 #[derive(Debug)]
 pub struct FrozenSequence {
-    stages: Vec<FrozenStage>,
+    pub(crate) stages: Vec<FrozenStage>,
 }
 
 impl FrozenSequence {

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod freeze;
 mod revblock;
 mod silo;

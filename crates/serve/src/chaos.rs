@@ -1,0 +1,234 @@
+//! Deterministic chaos harness for the model lifecycle.
+//!
+//! A [`FaultClock`] is a seeded xorshift stream turned into a schedule of
+//! [`LifecycleFault`]s: the same seed always yields the same fault
+//! sequence, so a chaos soak that trips a bug is replayable by seed alone.
+//! The faults cover the whole artifact lifecycle — torn and short writes,
+//! disk-full, directory-fsync loss, transient I/O, bit rot in the stored
+//! file, worker crashes and stalls, and reloads raced against overload.
+//!
+//! Write-path faults are applied by converting them into the
+//! [`revbifpn_nn::artifact::IoFaults`] hooks via
+//! [`LifecycleFault::io_faults`]; storage rot is applied directly with
+//! [`flip_bit_in_file`]. The lifecycle soak in `tests/lifecycle_chaos.rs`
+//! drives a live [`crate::ServeEngine`] through the schedule and asserts
+//! the invariant this crate is built around: **every fault resolves to a
+//! typed error, a rollback, or a quarantine — never a crash and never a
+//! wrong answer.**
+
+use revbifpn_nn::artifact::IoFaults;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One fault drawn from a [`FaultClock`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleFault {
+    /// No fault this tick: the control case — everything must succeed.
+    None,
+    /// The process "dies" mid-write: a partial tmp file, no rename.
+    TornWrite,
+    /// A lying lower layer drops tail bytes but completes the rename.
+    ShortWrite,
+    /// `ENOSPC` partway through the tmp write.
+    DiskFull,
+    /// The parent-directory fsync after the rename fails.
+    DirFsyncFail,
+    /// A burst of transient (`EINTR`-class) errors that retries must absorb.
+    TransientIo,
+    /// One bit of the stored artifact flips (storage rot).
+    BitFlip,
+    /// A worker thread is killed outside the batch guard.
+    WorkerCrash,
+    /// A worker stalls without heart-beating.
+    WorkerStall,
+    /// A hot reload races a queue-overflowing request burst.
+    ReloadDuringOverload,
+}
+
+/// All faults a [`FaultClock`] can schedule, in draw order.
+pub const ALL_FAULTS: [LifecycleFault; 10] = [
+    LifecycleFault::None,
+    LifecycleFault::TornWrite,
+    LifecycleFault::ShortWrite,
+    LifecycleFault::DiskFull,
+    LifecycleFault::DirFsyncFail,
+    LifecycleFault::TransientIo,
+    LifecycleFault::BitFlip,
+    LifecycleFault::WorkerCrash,
+    LifecycleFault::WorkerStall,
+    LifecycleFault::ReloadDuringOverload,
+];
+
+impl LifecycleFault {
+    /// The write-path fault hooks this fault corresponds to, when it is a
+    /// write-path fault. `offset` positions byte-count faults inside the
+    /// artifact (clamped by the injection layer to the payload size).
+    pub fn io_faults(self, offset: usize) -> Option<IoFaults> {
+        match self {
+            LifecycleFault::TornWrite => {
+                Some(IoFaults { torn_write: Some(offset), ..IoFaults::default() })
+            }
+            LifecycleFault::ShortWrite => Some(IoFaults {
+                short_write: Some((offset % 64) + 1),
+                ..IoFaults::default()
+            }),
+            LifecycleFault::DiskFull => {
+                Some(IoFaults { enospc_after: Some(offset), ..IoFaults::default() })
+            }
+            LifecycleFault::DirFsyncFail => {
+                Some(IoFaults { fail_dir_fsync: true, ..IoFaults::default() })
+            }
+            LifecycleFault::TransientIo => {
+                Some(IoFaults { transient_errors: 2, ..IoFaults::default() })
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` when the fault corrupts or suppresses the *written* artifact
+    /// (so a subsequent reload must fail or serve the previous generation).
+    pub fn breaks_artifact(self) -> bool {
+        matches!(
+            self,
+            LifecycleFault::TornWrite
+                | LifecycleFault::ShortWrite
+                | LifecycleFault::DiskFull
+                | LifecycleFault::BitFlip
+        )
+    }
+}
+
+/// A seeded, replayable fault schedule.
+///
+/// Deterministic by construction: the stream is pure xorshift64 state, so
+/// `FaultClock::new(seed)` produces the identical draw sequence on every
+/// platform and run. There is no wall-clock or OS entropy anywhere.
+#[derive(Clone, Debug)]
+pub struct FaultClock {
+    state: u64,
+    seed: u64,
+    ticks: u64,
+}
+
+impl FaultClock {
+    /// A clock over `seed`; equal seeds yield equal schedules.
+    pub fn new(seed: u64) -> Self {
+        // Zero state would lock xorshift at zero forever; displace it.
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self { state, seed, ticks: 0 }
+    }
+
+    /// The seed this clock replays.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws drawn so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Next raw pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.ticks += 1;
+        self.state
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "chaos: empty draw range");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// The next scheduled fault.
+    pub fn next_fault(&mut self) -> LifecycleFault {
+        ALL_FAULTS[self.next_below(ALL_FAULTS.len())]
+    }
+}
+
+/// Flips bit `bit` (counting from the file's first byte, LSB first) of the
+/// file at `path`, in place — simulated storage rot. Deliberately *not*
+/// atomic: rot does not go through `write_atomic`.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidInput` when the file is empty (no bit to flip).
+pub fn flip_bit_in_file(path: &Path, bit: u64) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "cannot flip a bit in an empty file"));
+    }
+    let idx = (bit / 8) as usize % bytes.len();
+    bytes[idx] ^= 1 << (bit % 8);
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let mut a = FaultClock::new(42);
+        let mut b = FaultClock::new(42);
+        let sa: Vec<LifecycleFault> = (0..64).map(|_| a.next_fault()).collect();
+        let sb: Vec<LifecycleFault> = (0..64).map(|_| b.next_fault()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(a.ticks(), 64);
+
+        let mut c = FaultClock::new(43);
+        let sc: Vec<LifecycleFault> = (0..64).map(|_| c.next_fault()).collect();
+        assert_ne!(sa, sc, "different seeds should diverge");
+    }
+
+    #[test]
+    fn schedule_covers_every_fault_kind() {
+        let mut clock = FaultClock::new(7);
+        let mut seen = [false; ALL_FAULTS.len()];
+        for _ in 0..512 {
+            let f = clock.next_fault();
+            seen[ALL_FAULTS.iter().position(|&x| x == f).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "512 draws should hit every fault kind");
+    }
+
+    #[test]
+    fn zero_seed_still_ticks() {
+        let mut clock = FaultClock::new(0);
+        assert_ne!(clock.next_u64(), 0);
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let dir = std::env::temp_dir().join(format!("revbifpn_chaos_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let original = vec![0u8; 32];
+        fs::write(&path, &original).unwrap();
+        flip_bit_in_file(&path, 9).unwrap();
+        let got = fs::read(&path).unwrap();
+        let diff: u32 = original
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        assert_eq!(got[1], 0b10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_fault_mapping_matches_kind() {
+        assert!(LifecycleFault::TornWrite.io_faults(100).unwrap().torn_write.is_some());
+        assert!(LifecycleFault::DiskFull.io_faults(100).unwrap().enospc_after.is_some());
+        assert!(LifecycleFault::DirFsyncFail.io_faults(0).unwrap().fail_dir_fsync);
+        assert_eq!(LifecycleFault::TransientIo.io_faults(0).unwrap().transient_errors, 2);
+        assert!(LifecycleFault::BitFlip.io_faults(0).is_none());
+        assert!(LifecycleFault::TornWrite.breaks_artifact());
+        assert!(!LifecycleFault::DirFsyncFail.breaks_artifact());
+    }
+}

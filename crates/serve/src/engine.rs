@@ -10,16 +10,19 @@
 //! and the right to replace worker slots.
 
 use crate::degrade::{downscale_rung, DegradeConfig, DegradeController};
-use crate::error::ServeError;
+use crate::error::{ReloadError, ServeError};
 use crate::health::{Counters, HealthSnapshot, LatencyWindow};
 use crate::queue::BoundedQueue;
 use crate::request::{InferResponse, Outcome, PendingResponse, Ticket};
 use crate::validate::{Quarantine, ValidationPolicy};
+use revbifpn::artifact::load_classifier_artifact;
 use revbifpn::{FrozenClassifier, RevBiFPNClassifier, RevBiFPNConfig};
+use revbifpn_nn::artifact::{quarantine_path, rename_with_retries};
 use revbifpn_nn::meter;
 use revbifpn_tensor::{try_resize, ResizeMode, Shape, Tensor};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -90,6 +93,15 @@ pub struct ServeConfig {
     pub quarantine_capacity: usize,
     /// Latency samples retained for the p50/p99 window.
     pub latency_window: usize,
+    /// Restart-storm window: worker restarts within this many milliseconds
+    /// count against [`ServeConfig::max_restarts_per_window`].
+    pub restart_window_ms: u64,
+    /// Restarts a slot may consume inside one window before the watchdog
+    /// retires it as lost ([`ServeError::WorkerLost`]).
+    pub max_restarts_per_window: u32,
+    /// Base delay between consecutive restarts of the same slot,
+    /// milliseconds; doubles per restart while the storm persists.
+    pub restart_backoff_ms: u64,
 }
 
 impl ServeConfig {
@@ -111,8 +123,45 @@ impl ServeConfig {
             stall_limit_ms: 2_000,
             quarantine_capacity: 64,
             latency_window: 256,
+            restart_window_ms: 10_000,
+            max_restarts_per_window: 5,
+            restart_backoff_ms: 25,
         }
     }
+}
+
+/// A hot-reloaded model generation, shared read-only across workers.
+///
+/// Workers hold an `Arc` clone while serving, so in-flight batches finish
+/// on the generation they started on even if a newer one is published
+/// mid-batch; the old mapping is unmapped when the last `Arc` drops.
+struct Published {
+    model: FrozenClassifier,
+    digest: u64,
+}
+
+/// What [`ServeEngine::reload_artifact`] reports on success.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReloadReport {
+    /// Generation number the new model was published under.
+    pub generation: u64,
+    /// Content digest of the artifact (FNV-1a over TOC + structure).
+    pub digest: u64,
+    /// Whether the weights are served straight out of the file mapping.
+    pub mapped: bool,
+    /// Calibration argmax agreement against the previously published
+    /// generation, when there was one to compare against.
+    pub agreement: Option<f64>,
+}
+
+/// What [`ServeEngine::drain`] reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrainStats {
+    /// `true` when the queue emptied before the deadline.
+    pub drained_in_time: bool,
+    /// Requests still queued at the deadline, each answered with
+    /// [`ServeError::ShuttingDown`] — never silently dropped.
+    pub flushed: usize,
 }
 
 /// State shared by clients, workers, and the watchdog.
@@ -137,6 +186,22 @@ struct Shared {
     /// Test hook: milliseconds the slot's worker should sleep without
     /// heart-beating (stall simulation; watchdog must replace it).
     stall_flags: Vec<AtomicU64>,
+    /// Test hook: a sticky crash flag makes the slot's worker panic on
+    /// *every* loop pass, so replacements die too — the restart-storm case.
+    sticky_crash_flags: Vec<AtomicBool>,
+    /// Slots the watchdog has permanently retired after a restart storm.
+    lost_flags: Vec<AtomicBool>,
+    /// Count of retired slots; admission fails once all slots are lost.
+    lost_slots: AtomicUsize,
+    /// The hot-reloaded model generation currently published, if any.
+    /// `None` means workers serve the config-frozen baseline.
+    published: Mutex<Option<Arc<Published>>>,
+    /// Monotone generation counter; workers re-fetch `published` when this
+    /// differs from the generation they last loaded.
+    model_generation: AtomicU64,
+    /// Graceful drain in progress: admission refuses with `ShuttingDown`
+    /// but workers keep flushing the queue.
+    draining: AtomicBool,
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
@@ -167,6 +232,29 @@ impl ServeEngine {
     /// [`RevBiFPNConfig::validate`] — a construction-time error, not a
     /// serving-path one.
     pub fn start(cfg: ServeConfig) -> Self {
+        let shared = Self::build_shared(cfg);
+        Self::spawn_threads(shared)
+    }
+
+    /// Like [`ServeEngine::start`], but publishes a pre-frozen artifact as
+    /// generation 1 *before* the workers spawn. Workers then skip the
+    /// expensive config freeze entirely and serve straight off the file
+    /// mapping — the millisecond cold-start path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReloadError`]; no threads are started on failure.
+    ///
+    /// # Panics
+    ///
+    /// Same construction-time panics as [`ServeEngine::start`].
+    pub fn start_with_artifact(cfg: ServeConfig, path: &Path) -> Result<Self, ReloadError> {
+        let shared = Self::build_shared(cfg);
+        reload_into(&shared, path)?;
+        Ok(Self::spawn_threads(shared))
+    }
+
+    fn build_shared(cfg: ServeConfig) -> Arc<Shared> {
         cfg.model.validate().unwrap_or_else(|e| panic!("serve: invalid model config: {e}"));
         if let Some(fb) = &cfg.fallback {
             fb.validate().unwrap_or_else(|e| panic!("serve: invalid fallback config: {e}"));
@@ -175,7 +263,7 @@ impl ServeEngine {
         assert!(cfg.max_batch > 0, "serve: max_batch must be positive");
 
         let n = cfg.workers;
-        let shared = Arc::new(Shared {
+        Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
             policy: ValidationPolicy::for_resolution(cfg.model.resolution, cfg.max_abs_input),
             quarantine: Quarantine::new(cfg.quarantine_capacity),
@@ -189,13 +277,21 @@ impl ServeEngine {
             generations: (0..n).map(|_| AtomicU64::new(0)).collect(),
             crash_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
             stall_flags: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sticky_crash_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            lost_flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            lost_slots: AtomicUsize::new(0),
+            published: Mutex::new(None),
+            model_generation: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
             cfg,
-        });
+        })
+    }
 
+    fn spawn_threads(shared: Arc<Shared>) -> Self {
         {
             let mut workers = shared.workers.lock().unwrap();
-            for slot in 0..n {
+            for slot in 0..shared.cfg.workers {
                 workers.push(Some(spawn_worker(Arc::clone(&shared), slot, 0)));
             }
         }
@@ -224,8 +320,13 @@ impl ServeEngine {
         timeout_ms: u64,
         tag: Option<u64>,
     ) -> Result<PendingResponse, ServeError> {
-        if self.shared.shutdown.load(Ordering::Relaxed) {
+        if self.shared.shutdown.load(Ordering::Relaxed)
+            || self.shared.draining.load(Ordering::Relaxed)
+        {
             return Err(ServeError::ShuttingDown);
+        }
+        if self.shared.lost_slots.load(Ordering::Relaxed) >= self.shared.cfg.workers {
+            return Err(ServeError::WorkerLost);
         }
         if let Err(e) = self.shared.policy.check(&image) {
             self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -276,7 +377,62 @@ impl ServeEngine {
             quant_gate_trips: s.counters.quant_gate_trips.load(Ordering::Relaxed),
             resident_f32_bytes: s.counters.resident_f32_bytes.load(Ordering::Relaxed),
             resident_int8_bytes: s.counters.resident_int8_bytes.load(Ordering::Relaxed),
+            model_generation: s.model_generation.load(Ordering::Relaxed),
+            artifact_digest: s.published.lock().unwrap().as_ref().map(|p| p.digest),
+            reloads_ok: s.counters.reloads_ok.load(Ordering::Relaxed),
+            reloads_failed: s.counters.reloads_failed.load(Ordering::Relaxed),
+            workers_lost: s.counters.worker_lost.load(Ordering::Relaxed),
         }
+    }
+
+    /// Validates the artifact at `path` and, if it passes, publishes it as
+    /// the new model generation. In-flight and already-queued requests
+    /// finish on the generation they started with; new batches pick up the
+    /// new one at their next loop pass.
+    ///
+    /// Validation runs in this caller's thread, not on the serving path:
+    /// structural CRCs, a full per-section payload scan, a serving-contract
+    /// check, and a calibration forward that must produce finite logits of
+    /// the right shape and (when a previous generation is published) agree
+    /// with it on at least `quant_gate.min_agreement` of the calibration
+    /// argmaxes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReloadError`]. Corrupt and gate-rejected artifacts are moved
+    /// to `<path>.corrupt` so a retry loop cannot re-publish them; the
+    /// previously published generation keeps serving in every failure case.
+    pub fn reload_artifact(&self, path: &Path) -> Result<ReloadReport, ReloadError> {
+        reload_into(&self.shared, path)
+    }
+
+    /// Stops admission (new submissions get [`ServeError::ShuttingDown`]),
+    /// lets the workers flush the queue for up to `deadline`, then shuts
+    /// down. Every request still queued at the deadline is answered with a
+    /// typed [`ServeError::ShuttingDown`] — nothing is dropped silently.
+    pub fn drain(&self, deadline: Duration) -> DrainStats {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        let until = Instant::now() + deadline;
+        let mut drained_in_time = true;
+        while self.shared.queue.depth() > 0 {
+            if Instant::now() >= until {
+                drained_in_time = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Close first so the flush count is exact: nothing can slip into
+        // the queue between measuring and joining (admission is already
+        // refusing, but workers racing pop_batch are not).
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        let leftovers = self.shared.queue.drain();
+        let flushed = leftovers.len();
+        for ticket in leftovers {
+            ticket.respond(Err(ServeError::ShuttingDown));
+        }
+        self.shutdown();
+        DrainStats { drained_in_time, flushed }
     }
 
     /// Snapshot of the quarantine ring, oldest first.
@@ -299,6 +455,20 @@ impl ServeEngine {
     /// the watchdog declares it stalled and replaces it.
     pub fn inject_worker_stall(&self, slot: usize, ms: u64) {
         self.shared.stall_flags[slot].store(ms, Ordering::Relaxed);
+    }
+
+    /// Test hook: make worker `slot` crash on *every* loop pass, including
+    /// in watchdog-spawned replacements — a restart storm. The watchdog
+    /// must retire the slot once its restart budget is exhausted instead
+    /// of respawning forever.
+    pub fn inject_worker_crash_sticky(&self, slot: usize) {
+        self.shared.sticky_crash_flags[slot].store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: clear a sticky crash flag so the slot can recover on its
+    /// next (post-backoff) restart.
+    pub fn clear_sticky_crash(&self, slot: usize) {
+        self.shared.sticky_crash_flags[slot].store(false, Ordering::Relaxed);
     }
 
     /// Stops admission, delivers [`ServeError::ShuttingDown`] to every
@@ -354,7 +524,11 @@ struct ModelBank {
 }
 
 impl ModelBank {
-    fn new(cfg: &ServeConfig, counters: Arc<Counters>) -> Self {
+    /// `eager` freezes the primary up front (the classic worker start).
+    /// Workers that begin life serving a published artifact generation pass
+    /// `false` and never pay the config freeze unless the degradation
+    /// ladder routes to the fallback variant.
+    fn new(cfg: &ServeConfig, counters: Arc<Counters>, eager: bool) -> Self {
         let mut bank = Self {
             primary_cfg: cfg.model.clone(),
             fallback_cfg: cfg.fallback.clone(),
@@ -367,10 +541,27 @@ impl ModelBank {
             published_f32: 0,
             published_int8: 0,
         };
-        bank.primary =
-            Some(freeze_gated(&bank.primary_cfg, bank.primary_precision, &bank.gate, &bank.counters));
-        bank.republish();
+        if eager {
+            bank.primary = Some(freeze_gated(
+                &bank.primary_cfg,
+                bank.primary_precision,
+                &bank.gate,
+                &bank.counters,
+            ));
+            bank.republish();
+        }
         bank
+    }
+
+    /// Drops the config-frozen primary's packed panels: a hot-reloaded
+    /// generation is serving in its place, so keeping both resident would
+    /// double the weight footprint. The primary rebuilds deterministically
+    /// via [`ModelBank::select`] if it is ever needed again.
+    fn release_primary(&mut self) {
+        if self.primary.is_some() {
+            self.primary = None;
+            self.republish();
+        }
     }
 
     /// Whether ladder level `level` routes to the fallback variant.
@@ -523,6 +714,129 @@ fn argmaxes(logits: &Tensor) -> Vec<usize> {
         .collect()
 }
 
+/// Moves a failed artifact to its `.corrupt` quarantine path so retry
+/// loops cannot re-publish it. Best-effort: reports whether the move
+/// landed, and never masks the original failure.
+fn quarantine_artifact(path: &Path) -> bool {
+    let ok = rename_with_retries(path, &quarantine_path(path)).is_ok();
+    if ok {
+        meter::count("serve.artifact_quarantined");
+    }
+    ok
+}
+
+/// The reload pipeline shared by [`ServeEngine::reload_artifact`] and
+/// [`ServeEngine::start_with_artifact`]: load → validate → gate → publish.
+fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, ReloadError> {
+    let fail = |e: ReloadError| -> ReloadError {
+        shared.counters.reloads_failed.fetch_add(1, Ordering::Relaxed);
+        meter::count("serve.reload_failed");
+        e
+    };
+
+    // 1. Open and structurally validate (magic, header/TOC/structure CRCs).
+    let (model, reader) = match load_classifier_artifact(path, true) {
+        Ok(pair) => pair,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            let quarantined = quarantine_artifact(path);
+            return Err(fail(ReloadError::Corrupt { detail: e.to_string(), quarantined }));
+        }
+        Err(e) => return Err(fail(ReloadError::Io { detail: e.to_string() })),
+    };
+
+    // 2. Full payload scan. Reload is off the serving path, so unlike the
+    // cold start we can afford to touch every section before publishing.
+    if let Err(e) = reader.verify_sections() {
+        let quarantined = quarantine_artifact(path);
+        return Err(fail(ReloadError::Corrupt { detail: e.to_string(), quarantined }));
+    }
+
+    // 3. Serving-contract compatibility (not quarantined: the artifact may
+    // be valid for some other deployment).
+    let want = &shared.cfg.model;
+    if model.cfg().resolution != want.resolution {
+        return Err(fail(ReloadError::Incompatible {
+            detail: format!(
+                "artifact resolution {} but engine serves {}",
+                model.cfg().resolution,
+                want.resolution
+            ),
+        }));
+    }
+    if model.cfg().num_classes != want.num_classes {
+        return Err(fail(ReloadError::Incompatible {
+            detail: format!(
+                "artifact has {} classes but engine serves {}",
+                model.cfg().num_classes,
+                want.num_classes
+            ),
+        }));
+    }
+
+    // 4. Calibration forward: must not panic and must produce finite logits
+    // of the contracted shape.
+    let gate = &shared.cfg.quant_gate;
+    let n = gate.calibration_images.max(1);
+    let input = calibration_batch(n, want.resolution);
+    let logits = match panic::catch_unwind(AssertUnwindSafe(|| model.forward(&input))) {
+        Ok(l) => l,
+        Err(_) => {
+            let quarantined = quarantine_artifact(path);
+            return Err(fail(ReloadError::Corrupt {
+                detail: "model panicked on calibration inputs".into(),
+                quarantined,
+            }));
+        }
+    };
+    if logits.shape() != model.logit_shape(n) {
+        let quarantined = quarantine_artifact(path);
+        return Err(fail(ReloadError::Corrupt {
+            detail: "calibration logits have the wrong shape".into(),
+            quarantined,
+        }));
+    }
+    if !logits.data().iter().all(|v| v.is_finite()) {
+        let quarantined = quarantine_artifact(path);
+        return Err(fail(ReloadError::Corrupt {
+            detail: "calibration logits contain non-finite values".into(),
+            quarantined,
+        }));
+    }
+
+    // 5. Argmax agreement against the generation currently serving, when
+    // there is one. First publish has no reference — the finite/shape
+    // checks above are the whole gate.
+    let previous = shared.published.lock().unwrap().clone();
+    let agreement = previous.as_ref().map(|prev| {
+        let want_args = argmaxes(&prev.model.forward(&input));
+        let got_args = argmaxes(&logits);
+        let matches = want_args.iter().zip(&got_args).filter(|(a, b)| a == b).count();
+        matches as f64 / n as f64
+    });
+    if let Some(agr) = agreement {
+        if agr < gate.min_agreement {
+            let quarantined = quarantine_artifact(path);
+            return Err(fail(ReloadError::GateRejected {
+                agreement: agr,
+                threshold: gate.min_agreement,
+                quarantined,
+            }));
+        }
+    }
+
+    // 6. Publish. The generation counter bumps after the slot swap so a
+    // worker that observes the new number always finds the new Arc.
+    let digest = reader.digest();
+    let mapped = reader.is_mapped();
+    let generation = shared.model_generation.load(Ordering::Relaxed) + 1;
+    *shared.published.lock().unwrap() =
+        Some(Arc::new(Published { model, digest }));
+    shared.model_generation.store(generation, Ordering::Release);
+    shared.counters.reloads_ok.fetch_add(1, Ordering::Relaxed);
+    meter::count("serve.reload_ok");
+    Ok(ReloadReport { generation, digest, mapped, agreement })
+}
+
 fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("serve-worker-{slot}"))
@@ -531,7 +845,17 @@ fn spawn_worker(shared: Arc<Shared>, slot: usize, generation: u64) -> JoinHandle
 }
 
 fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
-    let mut bank = ModelBank::new(&shared.cfg, Arc::clone(&shared.counters));
+    // A worker born while an artifact generation is published serves it
+    // straight off the mapping and skips the config freeze entirely — the
+    // cold-start path.
+    let mut published_gen = shared.model_generation.load(Ordering::Acquire);
+    let mut published: Option<Arc<Published>> = if published_gen > 0 {
+        shared.published.lock().unwrap().clone()
+    } else {
+        None
+    };
+    let mut bank =
+        ModelBank::new(&shared.cfg, Arc::clone(&shared.counters), published.is_none());
     let rung = downscale_rung(&shared.cfg.model);
 
     loop {
@@ -549,10 +873,23 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
             std::thread::sleep(Duration::from_millis(stall_ms));
             continue;
         }
-        if shared.crash_flags[slot].swap(false, Ordering::Relaxed) {
+        if shared.crash_flags[slot].swap(false, Ordering::Relaxed)
+            || shared.sticky_crash_flags[slot].load(Ordering::Relaxed)
+        {
             // Deliberately OUTSIDE any catch_unwind: the thread dies and
             // recovery is the watchdog's job, not ours.
             panic!("injected worker crash (slot {slot})");
+        }
+
+        // Pick up a newly published generation between batches — never
+        // mid-batch, so every request is answered by exactly one model.
+        let gen_now = shared.model_generation.load(Ordering::Acquire);
+        if gen_now != published_gen {
+            published = shared.published.lock().unwrap().clone();
+            published_gen = gen_now;
+            if published.is_some() {
+                bank.release_primary();
+            }
         }
 
         let level = shared.degrade.level();
@@ -569,7 +906,15 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
         if batch.is_empty() {
             continue;
         }
-        run_partition(&shared, &mut bank, rung, batch, level);
+        // The fallback route always comes from the bank (a published
+        // artifact replaces the *primary* variant only); otherwise the
+        // published generation wins over the config-frozen primary.
+        let use_fallback = bank.uses_fallback(level);
+        let model: &FrozenClassifier = match (&published, use_fallback) {
+            (Some(p), false) => &p.model,
+            _ => bank.select(level),
+        };
+        run_partition(&shared, model, use_fallback, rung, batch, level);
     }
 }
 
@@ -578,7 +923,8 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
 /// are always eventually served.
 fn run_partition(
     shared: &Shared,
-    bank: &mut ModelBank,
+    model: &FrozenClassifier,
+    use_fallback: bool,
     rung: Option<usize>,
     mut tickets: Vec<Ticket>,
     level: u8,
@@ -588,8 +934,6 @@ fn run_partition(
     }
     // The frozen models are fully convolutional, so the level-2 rung needs
     // no model swap: the same packed panels serve any input resolution.
-    let use_fallback = bank.uses_fallback(level);
-    let model = bank.select(level);
     let target_res = if use_fallback {
         model.cfg().resolution
     } else if level >= 2 {
@@ -657,8 +1001,8 @@ fn run_partition(
                 ticket.respond(Err(ServeError::Poisoned));
             } else {
                 let right = kept.split_off(kept.len() / 2);
-                run_partition(shared, bank, rung, kept, level);
-                run_partition(shared, bank, rung, right, level);
+                run_partition(shared, model, use_fallback, rung, kept, level);
+                run_partition(shared, model, use_fallback, rung, right, level);
             }
         }
     }
@@ -701,6 +1045,15 @@ fn spawn_watchdog(shared: Arc<Shared>) -> JoinHandle<()> {
 }
 
 fn watchdog_loop(shared: Arc<Shared>) {
+    let n = shared.cfg.workers;
+    // Restart-storm bookkeeping is watchdog-local: per-slot restart
+    // timestamps inside the sliding window, the next instant a restart is
+    // allowed (exponential backoff), and the current backoff step.
+    let mut history: Vec<std::collections::VecDeque<u64>> =
+        (0..n).map(|_| std::collections::VecDeque::new()).collect();
+    let mut next_ok = vec![0u64; n];
+    let mut backoff = vec![shared.cfg.restart_backoff_ms.max(1); n];
+
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
@@ -711,6 +1064,9 @@ fn watchdog_loop(shared: Arc<Shared>) {
 
         let mut workers = shared.workers.lock().unwrap();
         for slot in 0..workers.len() {
+            if shared.lost_flags[slot].load(Ordering::Relaxed) {
+                continue; // retired: no more respawns for this slot
+            }
             let dead = workers[slot].as_ref().is_none_or(|h| h.is_finished());
             let stalled = !dead
                 && now.saturating_sub(shared.heartbeats[slot].load(Ordering::Relaxed))
@@ -719,6 +1075,29 @@ fn watchdog_loop(shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     // Workers exiting at shutdown are not casualties.
                     return;
+                }
+                let hist = &mut history[slot];
+                while hist
+                    .front()
+                    .is_some_and(|&t| now.saturating_sub(t) > shared.cfg.restart_window_ms)
+                {
+                    hist.pop_front();
+                }
+                if hist.is_empty() {
+                    // The storm (if any) has aged out: restart cheap again.
+                    backoff[slot] = shared.cfg.restart_backoff_ms.max(1);
+                }
+                if hist.len() >= shared.cfg.max_restarts_per_window as usize {
+                    // Restart storm: retire the slot instead of burning CPU
+                    // respawning a worker that dies every time.
+                    shared.lost_flags[slot].store(true, Ordering::Relaxed);
+                    shared.counters.worker_lost.fetch_add(1, Ordering::Relaxed);
+                    shared.lost_slots.fetch_add(1, Ordering::Relaxed);
+                    meter::count("serve.worker_lost");
+                    continue;
+                }
+                if now < next_ok[slot] {
+                    continue; // still backing off
                 }
                 // Bump the generation first so a merely-stalled thread
                 // retires itself when it wakes instead of double-serving.
@@ -729,6 +1108,18 @@ fn watchdog_loop(shared: Arc<Shared>) {
                 // Dropping the old handle detaches a stalled-but-alive
                 // thread; it exits on its own at the generation check.
                 let _old = workers[slot].replace(handle);
+                hist.push_back(now);
+                next_ok[slot] = now + backoff[slot];
+                backoff[slot] = (backoff[slot] * 2).min(shared.cfg.restart_window_ms.max(1));
+            }
+        }
+        drop(workers);
+
+        if shared.lost_slots.load(Ordering::Relaxed) >= n {
+            // Nobody left to serve: answer the backlog with the typed
+            // error instead of letting tickets wait out their deadlines.
+            for ticket in shared.queue.drain() {
+                ticket.respond(Err(ServeError::WorkerLost));
             }
         }
     }
@@ -895,7 +1286,7 @@ mod tests {
         let swaps_before = meter::event_count("serve.variant_swap");
 
         let counters = Arc::new(Counters::default());
-        let mut bank = ModelBank::new(&cfg, Arc::clone(&counters));
+        let mut bank = ModelBank::new(&cfg, Arc::clone(&counters), true);
         let resident = meter::packed_current();
         assert!(resident > 0, "primary must be frozen eagerly");
 
@@ -1042,6 +1433,227 @@ mod tests {
             assert!(Instant::now() < deadline, "full-quality serving never resumed");
             std::thread::sleep(Duration::from_millis(10));
         }
+        engine.shutdown();
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("revbifpn_serve_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn saved_artifact(dir: &Path, name: &str, seed: u64) -> (std::path::PathBuf, FrozenClassifier) {
+        let model = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10).with_seed(seed));
+        let frozen = model.freeze().unwrap();
+        let path = dir.join(name);
+        revbifpn::artifact::save_classifier_artifact(&path, &frozen).unwrap();
+        (path, frozen)
+    }
+
+    #[test]
+    fn reload_publishes_new_generation_and_serves_it_bitwise() {
+        let dir = tmp_dir("reload_ok");
+        let (path, frozen) = saved_artifact(&dir, "m.frz", 9);
+        let x = image(0.1);
+        let want = frozen.forward(&x);
+
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.quant_gate.min_agreement = 0.0; // differently-seeded weights may disagree
+        let engine = ServeEngine::start(cfg);
+        assert!(engine.submit(x.clone()).unwrap().wait().is_ok());
+        assert_eq!(engine.health().model_generation, 0);
+
+        let report = engine.reload_artifact(&path).expect("valid artifact must publish");
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.agreement, None, "first publish has no reference generation");
+        let h = engine.health();
+        assert_eq!((h.model_generation, h.reloads_ok, h.reloads_failed), (1, 1, 0));
+        assert_eq!(h.artifact_digest, Some(report.digest));
+
+        // Workers pick the new generation up between batches; retry until a
+        // response is bitwise equal to the artifact model's own forward.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let resp = engine.submit(x.clone()).unwrap().wait().unwrap();
+            if resp.logits == want.data() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "reloaded generation never started serving");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_failures_are_typed_and_roll_back() {
+        let dir = tmp_dir("reload_fail");
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.quant_gate.min_agreement = 0.0;
+        let engine = ServeEngine::start(cfg);
+
+        // Missing file: Io, nothing quarantined, generation unchanged.
+        let missing = dir.join("nope.frz");
+        let err = engine.reload_artifact(&missing).unwrap_err();
+        assert!(matches!(err, ReloadError::Io { .. }), "{err}");
+
+        // Truncated file: Corrupt + quarantined to .corrupt.
+        let (good, _) = saved_artifact(&dir, "good.frz", 3);
+        let bytes = std::fs::read(&good).unwrap();
+        let torn = dir.join("torn.frz");
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        let err = engine.reload_artifact(&torn).unwrap_err();
+        assert!(matches!(err, ReloadError::Corrupt { quarantined: true, .. }), "{err}");
+        assert!(!torn.exists(), "corrupt artifact must move aside");
+        assert!(quarantine_path(&torn).exists(), "quarantine file must exist");
+
+        // Wrong resolution: Incompatible, file left in place (not our kind
+        // of corruption).
+        let other = RevBiFPNClassifier::new(RevBiFPNConfig::tiny(10).with_resolution(16));
+        let incompat = dir.join("incompat.frz");
+        revbifpn::artifact::save_classifier_artifact(&incompat, &other.freeze().unwrap())
+            .unwrap();
+        let err = engine.reload_artifact(&incompat).unwrap_err();
+        assert!(matches!(err, ReloadError::Incompatible { .. }), "{err}");
+        assert!(incompat.exists(), "incompatible artifacts are not quarantined");
+
+        // After three failures: still generation 0 and still serving.
+        let h = engine.health();
+        assert_eq!((h.model_generation, h.reloads_ok, h.reloads_failed), (0, 0, 3));
+        assert!(engine.submit(image(0.2)).unwrap().wait().is_ok());
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_gate_rejects_against_published_generation() {
+        let dir = tmp_dir("reload_gate");
+        let (path_a, _) = saved_artifact(&dir, "a.frz", 1);
+        let (path_b, _) = saved_artifact(&dir, "b.frz", 2);
+
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        // Impossible threshold: the first publish passes (no reference to
+        // compare against), every later one must gate-reject.
+        cfg.quant_gate = QuantGateConfig { calibration_images: 4, min_agreement: 1.5 };
+        let engine = ServeEngine::start(cfg);
+
+        assert_eq!(engine.reload_artifact(&path_a).unwrap().generation, 1);
+        let err = engine.reload_artifact(&path_b).unwrap_err();
+        match err {
+            ReloadError::GateRejected { agreement, threshold, quarantined } => {
+                assert!(agreement <= 1.0);
+                assert_eq!(threshold, 1.5);
+                assert!(quarantined);
+            }
+            other => panic!("expected gate rejection, got {other}"),
+        }
+        assert!(quarantine_path(&path_b).exists());
+        // The previous generation keeps serving.
+        let h = engine.health();
+        assert_eq!((h.model_generation, h.reloads_ok, h.reloads_failed), (1, 1, 1));
+        assert!(engine.submit(image(0.1)).unwrap().wait().is_ok());
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cold_start_from_artifact_serves_bitwise_without_config_freeze() {
+        let dir = tmp_dir("coldstart");
+        let (path, frozen) = saved_artifact(&dir, "m.frz", 7);
+        let x = image(0.3);
+        let want = frozen.forward(&x);
+
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.quant_gate.min_agreement = 0.0;
+        let engine = ServeEngine::start_with_artifact(cfg, &path).unwrap();
+        let h = engine.health();
+        assert_eq!(h.model_generation, 1);
+        assert!(h.artifact_digest.is_some());
+        // Every response comes from the artifact generation — there is no
+        // config-frozen baseline to race against.
+        let resp = engine.submit(x).unwrap().wait().unwrap();
+        assert_eq!(resp.logits, want.data(), "mmap-served logits must be bitwise equal");
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drain_flushes_queue_with_typed_errors_only() {
+        // Generous deadline: everything queued is served.
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 8;
+        cfg.default_timeout_ms = 30_000;
+        let engine = ServeEngine::start(cfg);
+        engine.inject_worker_stall(0, 50);
+        std::thread::sleep(Duration::from_millis(10));
+        let pendings: Vec<_> =
+            (0..4).map(|_| engine.submit(image(0.1)).unwrap()).collect();
+        let stats = engine.drain(Duration::from_secs(30));
+        assert!(stats.drained_in_time);
+        assert_eq!(stats.flushed, 0);
+        for p in pendings {
+            p.wait().expect("drained-in-time requests must be served");
+        }
+        assert!(matches!(engine.submit(image(0.2)), Err(ServeError::ShuttingDown)));
+
+        // Zero deadline with a stalled worker: queued requests are flushed
+        // with typed ShuttingDown — never dropped, never hung.
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 8;
+        cfg.default_timeout_ms = 30_000;
+        let engine = ServeEngine::start(cfg);
+        engine.inject_worker_stall(0, 2_000);
+        std::thread::sleep(Duration::from_millis(20));
+        let pendings: Vec<_> =
+            (0..3).map(|_| engine.submit(image(0.1)).unwrap()).collect();
+        let stats = engine.drain(Duration::ZERO);
+        let mut outcomes = 0;
+        for p in pendings {
+            match p.wait() {
+                Ok(_) | Err(ServeError::ShuttingDown) | Err(ServeError::DeadlineExceeded { .. }) => {
+                    outcomes += 1;
+                }
+                Err(e) => panic!("untyped drain outcome: {e}"),
+            }
+        }
+        assert_eq!(outcomes, 3, "every request must resolve");
+        assert!(stats.flushed >= 1, "the stalled worker cannot have drained everything");
+        assert!(!stats.drained_in_time);
+    }
+
+    #[test]
+    fn restart_storm_retires_the_slot_and_escalates_worker_lost() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.watchdog_poll_ms = 5;
+        cfg.restart_backoff_ms = 1;
+        cfg.restart_window_ms = 60_000;
+        cfg.max_restarts_per_window = 3;
+        let engine = ServeEngine::start(cfg);
+        assert!(engine.submit(image(0.1)).unwrap().wait().is_ok());
+
+        engine.inject_worker_crash_sticky(0);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.health().workers_lost == 0 {
+            assert!(Instant::now() < deadline, "watchdog never retired the crashing slot");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let h = engine.health();
+        assert_eq!(h.workers_lost, 1);
+        assert!(
+            h.worker_restarts <= 3,
+            "restarts ({}) must stay within the per-window budget",
+            h.worker_restarts
+        );
+        // All slots lost: admission escalates with the typed error.
+        assert!(matches!(engine.submit(image(0.2)), Err(ServeError::WorkerLost)));
         engine.shutdown();
     }
 

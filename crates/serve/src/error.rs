@@ -116,6 +116,92 @@ impl From<ShapeError> for ServeError {
     }
 }
 
+/// Why a hot-reload attempt did not publish a new model generation.
+///
+/// Every failure leaves the previously published generation serving —
+/// reload is all-or-nothing. Variants that set `quarantined` have moved
+/// the offending artifact aside (to `<path>.corrupt`) so a crash-looping
+/// supervisor cannot retry the same bad file forever.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReloadError {
+    /// The artifact could not be read at all (missing file, permission,
+    /// transient I/O that exhausted its retry budget).
+    Io {
+        /// Human-readable cause from the underlying I/O error.
+        detail: String,
+    },
+    /// The artifact was read but failed validation: bad magic, CRC
+    /// mismatch, truncation, malformed structure, or a model that panics
+    /// or emits non-finite logits on calibration inputs.
+    Corrupt {
+        /// What validation step rejected it.
+        detail: String,
+        /// Whether the artifact was moved to its `.corrupt` quarantine path.
+        quarantined: bool,
+    },
+    /// The artifact is internally valid but does not fit this engine's
+    /// serving contract (wrong resolution or class count). Not quarantined:
+    /// the file may be perfectly good for a different deployment.
+    Incompatible {
+        /// Which contract field disagreed.
+        detail: String,
+    },
+    /// The candidate model disagreed with the currently published
+    /// generation on too many calibration inputs.
+    GateRejected {
+        /// Observed argmax agreement fraction in `[0, 1]`.
+        agreement: f64,
+        /// Configured minimum agreement.
+        threshold: f64,
+        /// Whether the artifact was moved to its `.corrupt` quarantine path.
+        quarantined: bool,
+    },
+}
+
+impl ReloadError {
+    /// Stable short label for counters and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReloadError::Io { .. } => "reload_io",
+            ReloadError::Corrupt { .. } => "reload_corrupt",
+            ReloadError::Incompatible { .. } => "reload_incompatible",
+            ReloadError::GateRejected { .. } => "reload_gate",
+        }
+    }
+
+    /// `true` when the failing artifact was quarantined to `.corrupt`.
+    pub fn quarantined(&self) -> bool {
+        matches!(
+            self,
+            ReloadError::Corrupt { quarantined: true, .. }
+                | ReloadError::GateRejected { quarantined: true, .. }
+        )
+    }
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::Io { detail } => write!(f, "reload I/O failure: {detail}"),
+            ReloadError::Corrupt { detail, quarantined } => write!(
+                f,
+                "artifact rejected: {detail}{}",
+                if *quarantined { " (quarantined)" } else { "" }
+            ),
+            ReloadError::Incompatible { detail } => {
+                write!(f, "artifact incompatible with serving config: {detail}")
+            }
+            ReloadError::GateRejected { agreement, threshold, quarantined } => write!(
+                f,
+                "calibration gate rejected reload: agreement {agreement:.3} < {threshold:.3}{}",
+                if *quarantined { " (quarantined)" } else { "" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,14 @@ pub struct Counters {
     /// int8 quantized weight-panel bytes currently resident across all
     /// workers.
     pub resident_int8_bytes: AtomicUsize,
+    /// Hot reloads that published a new model generation.
+    pub reloads_ok: AtomicU64,
+    /// Hot reloads rejected (corrupt, incompatible, or gate-failed); the
+    /// previous generation kept serving.
+    pub reloads_failed: AtomicU64,
+    /// Worker slots permanently retired after exhausting their restart
+    /// budget (crash storms).
+    pub worker_lost: AtomicU64,
 }
 
 impl Counters {
@@ -125,6 +133,17 @@ pub struct HealthSnapshot {
     pub resident_f32_bytes: usize,
     /// int8 quantized weight-panel bytes resident across all workers.
     pub resident_int8_bytes: usize,
+    /// Model generation currently published (0 = config-frozen baseline,
+    /// bumped once per successful hot reload).
+    pub model_generation: u64,
+    /// Content digest of the published artifact, when one is serving.
+    pub artifact_digest: Option<u64>,
+    /// Successful hot reloads.
+    pub reloads_ok: u64,
+    /// Failed hot reloads (the previous generation kept serving).
+    pub reloads_failed: u64,
+    /// Worker slots permanently lost to restart storms.
+    pub workers_lost: u64,
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 //! engine.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod degrade;
 pub mod engine;
 pub mod error;
@@ -46,9 +47,12 @@ pub mod queue;
 pub mod request;
 pub mod validate;
 
+pub use chaos::{FaultClock, LifecycleFault};
 pub use degrade::{downscale_rung, DegradeConfig, DegradeController};
-pub use engine::{Precision, QuantGateConfig, ServeConfig, ServeEngine};
-pub use error::ServeError;
+pub use engine::{
+    DrainStats, Precision, QuantGateConfig, ReloadReport, ServeConfig, ServeEngine,
+};
+pub use error::{ReloadError, ServeError};
 pub use health::{HealthSnapshot, LatencyWindow};
 pub use request::{InferResponse, Outcome, PendingResponse};
 pub use validate::{payload_digest, Quarantine, QuarantineRecord, ValidationPolicy};

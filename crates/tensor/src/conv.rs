@@ -229,16 +229,23 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, spec: &ConvSpec, nee
 
 // ------------------------------------------------------------- frozen plans
 
-/// Dispatch-specific payload of a [`ConvPlan`].
+/// Dispatch-specific payload of a [`ConvPlan`]. Public so frozen-model
+/// artifacts can disassemble and rebuild plans without re-packing weights.
 #[derive(Clone, Debug)]
-enum PlanKind {
+pub enum PlanKind {
     /// `[c_out, c_in]` weights packed once as the GEMM left operand.
     Pointwise(PackedGemmA),
     /// Depthwise kernels kept raw (the plane kernel consumes them directly);
     /// bias and activation are applied plane-at-a-time while hot.
-    Depthwise { weight: Vec<f32> },
+    Depthwise {
+        /// Raw `[c, kh, kw]` depthwise taps.
+        weight: Vec<f32>,
+    },
     /// One packed left operand per group for the im2col path.
-    General { groups: Vec<PackedGemmA> },
+    General {
+        /// Per-group packed operands, group-major.
+        groups: Vec<PackedGemmA>,
+    },
 }
 
 /// A convolution compiled for frozen inference: weights pre-packed into the
@@ -303,6 +310,69 @@ impl ConvPlan {
     /// Expected input channels.
     pub fn c_in(&self) -> usize {
         self.c_in
+    }
+
+    /// The fused per-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The fused epilogue activation.
+    pub fn act(&self) -> EpilogueAct {
+        self.act
+    }
+
+    /// The dispatch-specific payload (packed panels / raw taps).
+    pub fn kind(&self) -> &PlanKind {
+        &self.kind
+    }
+
+    /// Reassembles a plan from serialized parts without re-packing —
+    /// the artifact-loading counterpart of [`ConvPlan::new`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects any inconsistency between `spec`, the channel counts, the
+    /// bias length and the payload's own dimensions.
+    pub fn from_parts(
+        spec: ConvSpec,
+        c_in: usize,
+        c_out: usize,
+        bias: Vec<f32>,
+        act: EpilogueAct,
+        kind: PlanKind,
+    ) -> Result<Self, &'static str> {
+        if bias.len() != c_out {
+            return Err("conv plan bias must have c_out entries");
+        }
+        if spec.groups == 0 || spec.kh == 0 || spec.kw == 0 || spec.sh == 0 || spec.sw == 0 {
+            return Err("degenerate conv spec");
+        }
+        if c_out == 0 || c_in == 0 || !c_out.is_multiple_of(spec.groups) || !c_in.is_multiple_of(spec.groups) {
+            return Err("channel counts must divide into groups");
+        }
+        match &kind {
+            PlanKind::Pointwise(pa) => {
+                if !spec.is_pointwise() || pa.m() != c_out || pa.k() != c_in {
+                    return Err("pointwise payload disagrees with the plan header");
+                }
+            }
+            PlanKind::Depthwise { weight } => {
+                if spec.groups != c_out || c_in != c_out || weight.len() != c_out * spec.kh * spec.kw {
+                    return Err("depthwise payload disagrees with the plan header");
+                }
+            }
+            PlanKind::General { groups } => {
+                let cout_g = c_out / spec.groups;
+                let k = (c_in / spec.groups) * spec.kh * spec.kw;
+                if groups.len() != spec.groups
+                    || groups.iter().any(|pa| pa.m() != cout_g || pa.k() != k)
+                {
+                    return Err("grouped payload disagrees with the plan header");
+                }
+            }
+        }
+        Ok(Self { spec, c_in, c_out, bias, act, kind })
     }
 
     /// Resident bytes of the persistent packed/retained weight image.
@@ -418,17 +488,26 @@ impl ConvPlan {
 
 // --------------------------------------------------------- quantized plans
 
-/// Dispatch-specific payload of a [`QuantConvPlan`].
+/// Dispatch-specific payload of a [`QuantConvPlan`]. Public so frozen-model
+/// artifacts can disassemble and rebuild plans without re-quantizing.
 #[derive(Clone, Debug)]
-enum QuantPlanKind {
+pub enum QuantPlanKind {
     /// `[c_out, c_in]` weights quantized per row and packed as the int8
     /// GEMM left operand.
     Pointwise(PackedGemmAI8),
     /// Per-channel quantized depthwise taps (the plane kernel consumes the
     /// integer values directly) with their dequantization scales.
-    Depthwise { qweight: Vec<i8>, scales: Vec<f32> },
+    Depthwise {
+        /// Per-channel int8 taps `[c, kh, kw]`.
+        qweight: Vec<i8>,
+        /// Per-channel dequantization scales.
+        scales: Vec<f32>,
+    },
     /// One quantized packed left operand per group for the im2col path.
-    General { groups: Vec<PackedGemmAI8> },
+    General {
+        /// Per-group quantized packed operands, group-major.
+        groups: Vec<PackedGemmAI8>,
+    },
 }
 
 /// A convolution lowered to int8 for frozen inference: per-output-channel
@@ -495,6 +574,74 @@ impl QuantConvPlan {
     /// Expected input channels.
     pub fn c_in(&self) -> usize {
         self.c_in
+    }
+
+    /// The fused per-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The fused epilogue activation.
+    pub fn act(&self) -> EpilogueAct {
+        self.act
+    }
+
+    /// The dispatch-specific payload (quantized panels / taps).
+    pub fn kind(&self) -> &QuantPlanKind {
+        &self.kind
+    }
+
+    /// Reassembles a quantized plan from serialized parts without
+    /// re-quantizing — the artifact-loading counterpart of
+    /// [`QuantConvPlan::new`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects any inconsistency between `spec`, the channel counts, the
+    /// bias length and the payload's own dimensions.
+    pub fn from_parts(
+        spec: ConvSpec,
+        c_in: usize,
+        c_out: usize,
+        bias: Vec<f32>,
+        act: EpilogueAct,
+        kind: QuantPlanKind,
+    ) -> Result<Self, &'static str> {
+        if bias.len() != c_out {
+            return Err("conv plan bias must have c_out entries");
+        }
+        if spec.groups == 0 || spec.kh == 0 || spec.kw == 0 || spec.sh == 0 || spec.sw == 0 {
+            return Err("degenerate conv spec");
+        }
+        if c_out == 0 || c_in == 0 || !c_out.is_multiple_of(spec.groups) || !c_in.is_multiple_of(spec.groups) {
+            return Err("channel counts must divide into groups");
+        }
+        match &kind {
+            QuantPlanKind::Pointwise(pa) => {
+                if !spec.is_pointwise() || pa.m() != c_out || pa.k() != c_in {
+                    return Err("pointwise payload disagrees with the plan header");
+                }
+            }
+            QuantPlanKind::Depthwise { qweight, scales } => {
+                if spec.groups != c_out
+                    || c_in != c_out
+                    || qweight.len() != c_out * spec.kh * spec.kw
+                    || scales.len() != c_out
+                {
+                    return Err("depthwise payload disagrees with the plan header");
+                }
+            }
+            QuantPlanKind::General { groups } => {
+                let cout_g = c_out / spec.groups;
+                let k = (c_in / spec.groups) * spec.kh * spec.kw;
+                if groups.len() != spec.groups
+                    || groups.iter().any(|pa| pa.m() != cout_g || pa.k() != k)
+                {
+                    return Err("grouped payload disagrees with the plan header");
+                }
+            }
+        }
+        Ok(Self { spec, c_in, c_out, bias, act, kind })
     }
 
     /// Resident bytes of the quantized weight image and its sidecars.

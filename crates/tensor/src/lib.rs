@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod blob;
 mod conv;
 mod matmul;
 pub mod par;
@@ -34,10 +35,14 @@ pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvPlan, ConvSpec, QuantConvPlan};
+pub use blob::SharedBytes;
+pub use conv::{
+    conv2d, conv2d_backward, try_conv2d, ConvGrads, ConvPlan, ConvSpec, PlanKind, QuantConvPlan,
+    QuantPlanKind,
+};
 pub use matmul::{
-    reference, sgemm, sgemm_a_bt, sgemm_at_b, sgemm_fused, sgemm_prepacked, Epilogue, EpilogueAct,
-    PackedGemmA,
+    gemm_layout_fingerprint, reference, sgemm, sgemm_a_bt, sgemm_at_b, sgemm_fused,
+    sgemm_prepacked, Epilogue, EpilogueAct, PackedGemmA,
 };
 pub use qmatmul::{
     int8_act_scale, qgemm_prepacked, quantize_activations, quantize_weights_per_row,

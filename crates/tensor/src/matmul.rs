@@ -29,6 +29,7 @@
 //! [`reference`] kernels, which are also kept as the oracle for tests and
 //! the baseline for before/after benchmarks.
 
+use crate::blob::{Panel, SharedBytes};
 use crate::par::{parallel_tiles, SyncPtr};
 use crate::scratch;
 
@@ -126,7 +127,7 @@ impl<'a> Epilogue<'a> {
 /// per-call im2col columns) skip the A-packing pass entirely.
 #[derive(Clone, Debug)]
 pub struct PackedGemmA {
-    data: Vec<f32>,
+    data: Panel<f32>,
     m: usize,
     k: usize,
 }
@@ -157,7 +158,63 @@ impl PackedGemmA {
                 off += rows_padded * kc;
             }
         }
-        Self { data, m, k }
+        Self { data: Panel::Owned(data), m, k }
+    }
+
+    /// Length in floats of the packed image for an `[m, k]` operand — the
+    /// serialized size of [`PackedGemmA::image`].
+    pub fn image_len(m: usize, k: usize) -> usize {
+        Self::packed_len(m, k)
+    }
+
+    /// The raw packed panel image (layout documented on
+    /// [`PackedGemmA::pack`]; stable only for a fixed
+    /// [`gemm_layout_fingerprint`]).
+    pub fn image(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Rebuilds a packed operand from an image previously obtained via
+    /// [`PackedGemmA::image`], taking ownership of the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty dimensions and an image whose length disagrees with
+    /// [`PackedGemmA::image_len`].
+    pub fn from_owned_image(m: usize, k: usize, image: Vec<f32>) -> Result<Self, &'static str> {
+        if m == 0 || k == 0 {
+            return Err("packed GEMM operand must be non-empty");
+        }
+        if image.len() != Self::packed_len(m, k) {
+            return Err("packed image length disagrees with (m, k)");
+        }
+        Ok(Self { data: Panel::Owned(image), m, k })
+    }
+
+    /// Rebuilds a packed operand whose image *borrows* `bytes` at byte
+    /// `offset` — the zero-copy artifact-loading path. The shared buffer is
+    /// kept alive for the life of the operand (and its clones).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty dimensions, out-of-bounds ranges and offsets not
+    /// 4-byte aligned within the buffer.
+    pub fn from_shared_image(
+        m: usize,
+        k: usize,
+        bytes: SharedBytes,
+        offset: usize,
+    ) -> Result<Self, &'static str> {
+        if m == 0 || k == 0 {
+            return Err("packed GEMM operand must be non-empty");
+        }
+        let data = Panel::from_shared(bytes, offset, Self::packed_len(m, k))?;
+        Ok(Self { data, m, k })
+    }
+
+    /// Whether the image borrows a shared (typically mmap-backed) buffer.
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     fn packed_len(m: usize, k: usize) -> usize {
@@ -177,7 +234,7 @@ impl PackedGemmA {
         let i0 = ic * MC;
         let rows_padded = MC.min(self.m - i0).div_ceil(MR) * MR;
         let off = ic * MC_PAD * self.k + rows_padded * p0;
-        &self.data[off..off + rows_padded * kc]
+        &self.data.as_slice()[off..off + rows_padded * kc]
     }
 
     /// Packed row count (`m` of the original matrix).
@@ -194,6 +251,33 @@ impl PackedGemmA {
     pub fn bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }
+}
+
+/// FNV-1a fingerprint of every blocking constant that shapes packed panel
+/// images (f32 and int8 tiers). A serialized panel image is only loadable by
+/// a build with the same fingerprint — artifact containers store it and
+/// refuse mismatches instead of multiplying with garbage layouts.
+pub fn gemm_layout_fingerprint() -> u32 {
+    let consts: [usize; 10] = [
+        MR,
+        NR,
+        KC,
+        MC,
+        NC,
+        crate::qmatmul::QMR,
+        crate::qmatmul::QNR,
+        crate::qmatmul::QK,
+        crate::qmatmul::QMC,
+        crate::qmatmul::QNC,
+    ];
+    let mut h: u32 = 0x811c_9dc5;
+    for c in consts {
+        for b in (c as u64).to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
 }
 
 /// Micro-kernel rows (register-tile height).

@@ -40,6 +40,7 @@
 //! write-back — integer accumulation is exact, so no KC-slice ordering
 //! concerns exist and results are byte-identical for any thread count.
 
+use crate::blob::{Panel, SharedBytes};
 use crate::matmul::{Epilogue, EpilogueAct};
 use crate::par::{parallel_tiles, SyncPtr};
 use crate::scratch;
@@ -47,15 +48,15 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::OnceLock;
 
 /// Micro-kernel rows (register-tile height), as in the f32 engine.
-const QMR: usize = 6;
+pub(crate) const QMR: usize = 6;
 /// Micro-kernel columns (two 8-lane i32 AVX2 accumulators per row).
-const QNR: usize = 16;
+pub(crate) const QNR: usize = 16;
 /// Depth values consumed per `maddubs`+`madd` step.
-const QK: usize = 4;
+pub(crate) const QK: usize = 4;
 /// Macro-tile height (multiple of `QMR`).
-const QMC: usize = 96;
+pub(crate) const QMC: usize = 96;
 /// Macro-tile width (multiple of `QNR`).
-const QNC: usize = 512;
+pub(crate) const QNC: usize = 512;
 
 /// Zero point added to quantized activations so they fit the unsigned
 /// operand of `maddubs`: `byte = q + 64` with `q` in `[-63, 63]`.
@@ -182,7 +183,7 @@ const QMC_PAD: usize = QMC.div_ceil(QMR) * QMR;
 /// dequantization scales and the zero-point correction row sums alongside.
 #[derive(Clone, Debug)]
 pub struct PackedGemmAI8 {
-    data: Vec<i8>,
+    data: Panel<i8>,
     scales: Vec<f32>,
     wsums: Vec<i32>,
     m: usize,
@@ -227,7 +228,87 @@ impl PackedGemmAI8 {
             }
             off += mc.div_ceil(QMR) * QMR * kq * QK;
         }
-        Self { data, scales, wsums, m, k, kq }
+        Self { data: Panel::Owned(data), scales, wsums, m, k, kq }
+    }
+
+    /// Length in bytes of the packed int8 image for an `[m, k]` operand —
+    /// the serialized size of [`PackedGemmAI8::image`].
+    pub fn image_len(m: usize, k: usize) -> usize {
+        Self::packed_len(m, k.div_ceil(QK))
+    }
+
+    /// The raw quad-interleaved packed image (stable only for a fixed
+    /// [`crate::gemm_layout_fingerprint`]).
+    pub fn image(&self) -> &[i8] {
+        self.data.as_slice()
+    }
+
+    /// Per-row zero-point-correction weight sums.
+    pub fn wsums(&self) -> &[i32] {
+        &self.wsums
+    }
+
+    /// Rebuilds a packed operand from a previously serialized image and its
+    /// sidecars, taking ownership of the buffers.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty dimensions and image/sidecar lengths that disagree
+    /// with `(m, k)`.
+    pub fn from_owned_image(
+        m: usize,
+        k: usize,
+        image: Vec<i8>,
+        scales: Vec<f32>,
+        wsums: Vec<i32>,
+    ) -> Result<Self, &'static str> {
+        Self::check_parts(m, k, image.len(), &scales, &wsums)?;
+        Ok(Self { data: Panel::Owned(image), scales, wsums, m, k, kq: k.div_ceil(QK) })
+    }
+
+    /// Rebuilds a packed operand whose int8 image *borrows* `bytes` at byte
+    /// `offset` — the zero-copy artifact-loading path. The small f32/i32
+    /// sidecars are owned copies.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty dimensions, out-of-bounds ranges and sidecar length
+    /// mismatches.
+    pub fn from_shared_image(
+        m: usize,
+        k: usize,
+        bytes: SharedBytes,
+        offset: usize,
+        scales: Vec<f32>,
+        wsums: Vec<i32>,
+    ) -> Result<Self, &'static str> {
+        Self::check_parts(m, k, Self::image_len(m, k), &scales, &wsums)?;
+        let data = Panel::from_shared(bytes, offset, Self::image_len(m, k))?;
+        Ok(Self { data, scales, wsums, m, k, kq: k.div_ceil(QK) })
+    }
+
+    fn check_parts(
+        m: usize,
+        k: usize,
+        image_len: usize,
+        scales: &[f32],
+        wsums: &[i32],
+    ) -> Result<(), &'static str> {
+        if m == 0 || k == 0 {
+            return Err("packed int8 GEMM operand must be non-empty");
+        }
+        if image_len != Self::image_len(m, k) {
+            return Err("packed int8 image length disagrees with (m, k)");
+        }
+        if scales.len() != m || wsums.len() != m {
+            return Err("int8 sidecar length disagrees with m");
+        }
+        Ok(())
+    }
+
+    /// Whether the image borrows a shared (typically mmap-backed) buffer.
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     fn packed_len(m: usize, kq: usize) -> usize {
@@ -243,7 +324,7 @@ impl PackedGemmAI8 {
         let i0 = ic * QMC;
         let rows_padded = QMC.min(self.m - i0).div_ceil(QMR) * QMR;
         let off = ic * QMC_PAD * self.kq * QK;
-        &self.data[off..off + rows_padded * self.kq * QK]
+        &self.data.as_slice()[off..off + rows_padded * self.kq * QK]
     }
 
     /// Packed row count (`m` of the original matrix).

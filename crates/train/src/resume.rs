@@ -395,6 +395,39 @@ mod tests {
     }
 
     #[test]
+    fn injected_write_faults_fail_the_save_without_breaking_resume() {
+        use revbifpn_nn::artifact::{clear_io_faults, inject_io_faults, IoFaults};
+
+        let cfg = CheckpointCfg::new(tmp_dir("write_faults"));
+        let mut m = tiny_model();
+        let opt = Sgd::new(0.9, 0.0);
+        let m2 = ResumeMeta { step: 2, lr_scale: 1.0, skips: 0 };
+        save_train_state(&cfg, &mut m, &opt, None, m2).unwrap();
+
+        // Torn write (simulated crash mid-write): the save fails, no rename
+        // happened, and resume still lands on the step-2 checkpoint.
+        inject_io_faults(IoFaults { torn_write: Some(32), ..IoFaults::default() });
+        let torn =
+            save_train_state(&cfg, &mut m, &opt, None, ResumeMeta { step: 4, lr_scale: 1.0, skips: 0 });
+        clear_io_faults();
+        assert!(torn.is_err(), "a torn write must be reported");
+        let mut opt2 = Sgd::new(0.9, 0.0);
+        let got = auto_resume(&cfg, &mut m, &mut opt2, None).unwrap().unwrap();
+        assert_eq!(got, m2, "resume must use the last durable checkpoint");
+
+        // Directory-fsync loss: the rename completed but may not survive
+        // power loss, so the save must report failure — the caller cannot
+        // record step 6 as checkpointed.
+        inject_io_faults(IoFaults { fail_dir_fsync: true, ..IoFaults::default() });
+        let unsynced =
+            save_train_state(&cfg, &mut m, &opt, None, ResumeMeta { step: 6, lr_scale: 1.0, skips: 0 });
+        clear_io_faults();
+        assert!(unsynced.is_err(), "a lost directory fsync must be reported");
+
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
     fn prune_keeps_only_newest() {
         let mut cfg = CheckpointCfg::new(tmp_dir("prune"));
         cfg.keep = 2;
