@@ -48,3 +48,7 @@ cargo run --release -q --example train_bench
 # Quantized inference bench: int8 fast path vs the f32 frozen path vs the
 # unfused eval forward (S0/S3, batch 1/8) -> results/BENCH_infer_quant.json.
 cargo run --release -q --example quant_bench
+
+# Multi-tenant serving throughput under 10x overload: goodput, typed shed
+# breakdown, per-tenant p50/p99 -> results/BENCH_serve_throughput.json.
+cargo run --release -q --example serve_throughput_bench

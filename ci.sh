@@ -38,6 +38,12 @@ REVBIFPN_INT8_FORCE_SCALAR=1 cargo test -q -p revbifpn-tensor quant
 echo "== lifecycle chaos soak (seeded faults: reload/rollback/drain, smoke)"
 REVBIFPN_CHAOS_ITERS=12 cargo test -q --release --test lifecycle_chaos
 
+echo "== multi-tenant overload soak (quotas, breakers, fair DRR, tenant chaos, smoke)"
+REVBIFPN_TENANT_SOAK_MS=1500 cargo test -q --release --test tenant_soak
+
+echo "== serve throughput under 10x overload (goodput + typed shed gates, smoke)"
+cargo run -q --release --example serve_throughput_bench -- --smoke
+
 echo "== artifact cold start (mmap vs copy, bitwise round-trip gate)"
 cargo run -q --release --example coldstart_bench -- --smoke
 

@@ -224,6 +224,36 @@ pub fn quarantine_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Prunes quarantined (`*.corrupt`) files in `dir` down to the newest
+/// `keep` (by modification time, file name as tie-break), mirroring the
+/// checkpoint retention policy: failures must leave evidence, but a
+/// crash-looping deployment must not fill the disk with it. Returns how
+/// many files were removed. `keep` is clamped to at least 1.
+pub fn prune_quarantine(dir: &Path, keep: usize) -> io::Result<usize> {
+    let mut found: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let is_corrupt = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".corrupt"));
+        if !is_corrupt || !path.is_file() {
+            continue;
+        }
+        let mtime = entry.metadata()?.modified().unwrap_or(std::time::UNIX_EPOCH);
+        found.push((mtime, path));
+    }
+    // Newest first; name descending breaks equal-mtime ties deterministically.
+    found.sort_by(|a, b| b.cmp(a));
+    let mut removed = 0;
+    for (_, old) in found.into_iter().skip(keep.max(1)) {
+        fs::remove_file(old)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
 // ----------------------------------------------------------------- writer
 
 /// Assembles an `RBFNFRZ1` artifact: an inline structure stream plus
@@ -1262,5 +1292,35 @@ mod tests {
         bytes[44..48].copy_from_slice(&fixed_crc.to_le_bytes());
         let err = ArtifactReader::from_bytes(SharedBytes::from_vec(bytes), false).unwrap_err();
         assert!(err.to_string().contains("GEMM layout"), "{err}");
+    }
+
+    #[test]
+    fn prune_quarantine_keeps_only_newest_corrupt_files() {
+        let dir = tmp_dir("prunequar");
+        // Five quarantined artifacts with strictly increasing mtimes, plus
+        // bystanders that must never be touched.
+        for i in 0..5 {
+            fs::write(dir.join(format!("m{i}.frz.corrupt")), [i as u8]).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        fs::write(dir.join("live.frz"), b"keep me").unwrap();
+        fs::write(dir.join("notes.txt"), b"also me").unwrap();
+
+        let removed = prune_quarantine(&dir, 2).unwrap();
+        assert_eq!(removed, 3);
+        let mut left: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".corrupt"))
+            .collect();
+        left.sort();
+        assert_eq!(left, vec!["m3.frz.corrupt", "m4.frz.corrupt"], "newest two survive");
+        assert!(dir.join("live.frz").exists(), "non-quarantine files untouched");
+        assert!(dir.join("notes.txt").exists());
+
+        // Pruning an already-small set is a no-op; keep clamps to >= 1.
+        assert_eq!(prune_quarantine(&dir, 2).unwrap(), 0);
+        assert_eq!(prune_quarantine(&dir, 0).unwrap(), 1, "keep=0 still keeps one");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

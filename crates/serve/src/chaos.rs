@@ -99,6 +99,40 @@ impl LifecycleFault {
     }
 }
 
+/// One multi-tenant overload fault drawn from a [`FaultClock`].
+///
+/// These live in their own schedule (see [`TENANT_FAULTS`] and
+/// [`FaultClock::next_tenant_fault`]) so adding tenant chaos does not
+/// perturb the [`ALL_FAULTS`] draw order that seeded lifecycle soaks
+/// replay by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantFault {
+    /// No fault this tick: the control case — fair serving must hold.
+    None,
+    /// One tenant floods far past its rate quota; the others' goodput and
+    /// latency must stay within the fairness bounds.
+    TenantFlood,
+    /// A tenant's quota is flapped (choked, then restored); admission must
+    /// track it immediately and never leak in-flight accounting.
+    QuotaFlap,
+    /// A tenant turns poisonous (panicking payloads); its circuit breaker
+    /// must trip and later recover through probes.
+    PoisonBurst,
+    /// The resident packed-panel budget is squeezed at runtime; the
+    /// governor must evict down toward the new budget without killing
+    /// serving.
+    BudgetSqueeze,
+}
+
+/// All tenant faults a [`FaultClock`] can schedule, in draw order.
+pub const TENANT_FAULTS: [TenantFault; 5] = [
+    TenantFault::None,
+    TenantFault::TenantFlood,
+    TenantFault::QuotaFlap,
+    TenantFault::PoisonBurst,
+    TenantFault::BudgetSqueeze,
+];
+
 /// A seeded, replayable fault schedule.
 ///
 /// Deterministic by construction: the stream is pure xorshift64 state, so
@@ -148,6 +182,12 @@ impl FaultClock {
     pub fn next_fault(&mut self) -> LifecycleFault {
         ALL_FAULTS[self.next_below(ALL_FAULTS.len())]
     }
+
+    /// The next scheduled multi-tenant fault (independent schedule; shares
+    /// the same deterministic stream).
+    pub fn next_tenant_fault(&mut self) -> TenantFault {
+        TENANT_FAULTS[self.next_below(TENANT_FAULTS.len())]
+    }
 }
 
 /// Flips bit `bit` (counting from the file's first byte, LSB first) of the
@@ -194,6 +234,20 @@ mod tests {
             seen[ALL_FAULTS.iter().position(|&x| x == f).unwrap()] = true;
         }
         assert!(seen.iter().all(|&s| s), "512 draws should hit every fault kind");
+    }
+
+    #[test]
+    fn tenant_schedule_is_deterministic_and_covers_all_kinds() {
+        let mut a = FaultClock::new(11);
+        let mut b = FaultClock::new(11);
+        let sa: Vec<TenantFault> = (0..64).map(|_| a.next_tenant_fault()).collect();
+        let sb: Vec<TenantFault> = (0..64).map(|_| b.next_tenant_fault()).collect();
+        assert_eq!(sa, sb);
+        let mut seen = [false; TENANT_FAULTS.len()];
+        for f in sa {
+            seen[TENANT_FAULTS.iter().position(|&x| x == f).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 draws should hit every tenant fault kind");
     }
 
     #[test]

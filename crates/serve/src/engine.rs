@@ -11,15 +11,21 @@
 
 use crate::degrade::{downscale_rung, DegradeConfig, DegradeController};
 use crate::error::{ReloadError, ServeError};
-use crate::health::{Counters, HealthSnapshot, LatencyWindow};
+use crate::governor::{GovernorConfig, MemoryGovernor, PanelKey, Reserve};
+use crate::health::{Counters, HealthSnapshot, LatencyWindow, TenantHealth};
 use crate::queue::BoundedQueue;
 use crate::request::{InferResponse, Outcome, PendingResponse, Ticket};
+use crate::tenant::{
+    BreakerConfig, BreakerDecision, CircuitBreaker, QuotaScope, TenantId, TenantQuota,
+    TenantStats, TokenBucket,
+};
 use crate::validate::{Quarantine, ValidationPolicy};
 use revbifpn::artifact::load_classifier_artifact;
 use revbifpn::{FrozenClassifier, RevBiFPNClassifier, RevBiFPNConfig};
-use revbifpn_nn::artifact::{quarantine_path, rename_with_retries};
+use revbifpn_nn::artifact::{prune_quarantine, quarantine_path, rename_with_retries};
 use revbifpn_nn::meter;
 use revbifpn_tensor::{try_resize, ResizeMode, Shape, Tensor};
+use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -102,6 +108,31 @@ pub struct ServeConfig {
     /// Base delay between consecutive restarts of the same slot,
     /// milliseconds; doubles per restart while the storm persists.
     pub restart_backoff_ms: u64,
+    /// Quota applied to tenants without an explicit entry in
+    /// [`ServeConfig::tenant_quotas`] (including [`TenantId::DEFAULT`]).
+    /// The default is fully permissive, so single-tenant deployments never
+    /// notice the quota layer.
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides installed at startup (later updates via
+    /// [`ServeEngine::set_tenant_quota`]).
+    pub tenant_quotas: Vec<(TenantId, TenantQuota)>,
+    /// Per-tenant circuit-breaker thresholds. The default `trip_ratio`
+    /// here is above 1.0, i.e. breakers never trip unless explicitly
+    /// configured — opting multi-tenant deployments in, leaving
+    /// single-tenant behavior untouched.
+    pub breaker: BreakerConfig,
+    /// Resident packed-panel byte budget across all workers' `ModelBank`s
+    /// (0 = unlimited). Under a budget, cold variants' panels are
+    /// LRU-evicted and re-frozen on demand; without one, a variant swap
+    /// eagerly drops the other variant's panels (the pre-governor
+    /// behavior).
+    pub memory_budget_bytes: u64,
+    /// When non-zero, bank variants idle at least this long are evicted
+    /// proactively by the watchdog, not just under budget pressure.
+    pub cold_after_ms: u64,
+    /// Quarantined (`.corrupt`) artifacts retained next to the artifact
+    /// path; older ones are pruned after each new quarantine.
+    pub quarantine_keep: usize,
 }
 
 impl ServeConfig {
@@ -126,6 +157,14 @@ impl ServeConfig {
             restart_window_ms: 10_000,
             max_restarts_per_window: 5,
             restart_backoff_ms: 25,
+            default_quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
+            // trip_ratio > 1.0 can never be reached: breakers are inert
+            // until a deployment opts in with a real ratio.
+            breaker: BreakerConfig { trip_ratio: 1.1, ..BreakerConfig::default() },
+            memory_budget_bytes: 0,
+            cold_after_ms: 0,
+            quarantine_keep: 8,
         }
     }
 }
@@ -162,6 +201,29 @@ pub struct DrainStats {
     /// Requests still queued at the deadline, each answered with
     /// [`ServeError::ShuttingDown`] — never silently dropped.
     pub flushed: usize,
+}
+
+/// Per-tenant live state: quota machinery plus accounting. Lives behind
+/// one Mutex keyed by tenant — admission takes the lock once, outcome
+/// settlement once; both critical sections are a few arithmetic ops.
+struct TenantState {
+    quota: TenantQuota,
+    bucket: TokenBucket,
+    breaker: CircuitBreaker,
+    in_flight: u32,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn new(quota: TenantQuota, breaker: BreakerConfig, now_ms: u64) -> Self {
+        Self {
+            quota,
+            bucket: TokenBucket::new(&quota, now_ms),
+            breaker: CircuitBreaker::new(breaker),
+            in_flight: 0,
+            stats: TenantStats::default(),
+        }
+    }
 }
 
 /// State shared by clients, workers, and the watchdog.
@@ -202,6 +264,10 @@ struct Shared {
     /// Graceful drain in progress: admission refuses with `ShuttingDown`
     /// but workers keep flushing the queue.
     draining: AtomicBool,
+    /// Per-tenant quota/breaker state, created lazily on first submit.
+    tenants: Mutex<BTreeMap<TenantId, TenantState>>,
+    /// Shared packed-panel byte ledger all `ModelBank`s freeze through.
+    governor: Arc<MemoryGovernor>,
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
@@ -209,6 +275,54 @@ impl Shared {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
     }
+
+    /// Runs `f` on the (lazily created) state for `tenant`.
+    fn with_tenant<R>(&self, tenant: TenantId, f: impl FnOnce(&mut TenantState) -> R) -> R {
+        let now_ms = self.now_ms();
+        let mut tenants = self.tenants.lock().unwrap();
+        let state = tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::new(self.cfg.default_quota, self.cfg.breaker, now_ms));
+        f(state)
+    }
+}
+
+/// Settles one post-admission ticket: tenant accounting, breaker feedback,
+/// then outcome delivery. EVERY path that resolves an admitted ticket goes
+/// through here — deliver, bisection, deadline sheds (dequeue and sweep),
+/// drain flushes, and the watchdog's all-lost flush — so the in-flight
+/// ledger and breaker windows can never leak.
+fn finish(shared: &Shared, ticket: Ticket, outcome: Outcome) {
+    let now_ms = shared.now_ms();
+    shared.with_tenant(ticket.tenant, |st| {
+        st.in_flight = st.in_flight.saturating_sub(1);
+        match &outcome {
+            Ok(_) => {
+                st.stats.completed += 1;
+                st.breaker.record(false, ticket.probe, now_ms);
+            }
+            // Worker-burning failures feed the breaker: the tenant's
+            // payloads panicked, missed deadlines, failed batch assembly,
+            // or rode a worker down.
+            Err(
+                ServeError::Poisoned
+                | ServeError::WorkerLost
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::InvalidShape(_),
+            ) => {
+                st.stats.failed += 1;
+                st.breaker.record(true, ticket.probe, now_ms);
+            }
+            // Shutdown/global sheds say nothing about the tenant; just
+            // hand a probe slot back if this was one.
+            Err(_) => {
+                if ticket.probe {
+                    st.breaker.release_probe();
+                }
+            }
+        }
+    });
+    ticket.respond(outcome);
 }
 
 /// A running inference engine. Submit with [`ServeEngine::submit`], poll
@@ -262,6 +376,13 @@ impl ServeEngine {
         assert!(cfg.workers > 0, "serve: need at least one worker");
         assert!(cfg.max_batch > 0, "serve: max_batch must be positive");
 
+        // Startup quota overrides; everyone else is created lazily with the
+        // default quota on first submit.
+        let mut tenants = BTreeMap::new();
+        for (tid, quota) in &cfg.tenant_quotas {
+            tenants.insert(*tid, TenantState::new(*quota, cfg.breaker, 0));
+        }
+
         let n = cfg.workers;
         Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -283,6 +404,11 @@ impl ServeEngine {
             published: Mutex::new(None),
             model_generation: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            tenants: Mutex::new(tenants),
+            governor: Arc::new(MemoryGovernor::new(GovernorConfig {
+                budget_bytes: cfg.memory_budget_bytes,
+                cold_after_ms: cfg.cold_after_ms,
+            })),
             workers: Mutex::new(Vec::new()),
             cfg,
         })
@@ -299,17 +425,23 @@ impl ServeEngine {
         Self { shared, watchdog: Mutex::new(Some(watchdog)) }
     }
 
-    /// Submits one image with the default deadline.
+    /// Submits one image with the default deadline as [`TenantId::DEFAULT`].
     ///
     /// # Errors
     ///
     /// Any admission-time [`ServeError`]: validation rejections, queue-full
-    /// shedding, or shutdown.
+    /// shedding, tenant quota/breaker rejections, or shutdown.
     pub fn submit(&self, image: Tensor) -> Result<PendingResponse, ServeError> {
-        self.submit_with(image, self.shared.cfg.default_timeout_ms, None)
+        self.submit_tenant_with(
+            TenantId::DEFAULT,
+            image,
+            self.shared.cfg.default_timeout_ms,
+            None,
+        )
     }
 
-    /// Submits one image with an explicit deadline and optional test tag.
+    /// Submits one image with an explicit deadline and optional test tag as
+    /// [`TenantId::DEFAULT`].
     ///
     /// # Errors
     ///
@@ -320,42 +452,153 @@ impl ServeEngine {
         timeout_ms: u64,
         tag: Option<u64>,
     ) -> Result<PendingResponse, ServeError> {
-        if self.shared.shutdown.load(Ordering::Relaxed)
-            || self.shared.draining.load(Ordering::Relaxed)
-        {
+        self.submit_tenant_with(TenantId::DEFAULT, image, timeout_ms, tag)
+    }
+
+    /// Submits one image on behalf of `tenant` with the default deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn submit_tenant(
+        &self,
+        tenant: TenantId,
+        image: Tensor,
+    ) -> Result<PendingResponse, ServeError> {
+        self.submit_tenant_with(tenant, image, self.shared.cfg.default_timeout_ms, None)
+    }
+
+    /// The full admission pipeline: engine liveness, input validation, then
+    /// the tenant gates (circuit breaker, rate quota, in-flight cap), then
+    /// the shared bounded queue. Every rejection is a typed [`ServeError`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] / [`ServeError::WorkerLost`] when the
+    /// engine cannot serve at all; a validation error for bad inputs;
+    /// [`ServeError::CircuitOpen`] / [`ServeError::QuotaExceeded`] from the
+    /// tenant gates; [`ServeError::QueueFull`] from the shared queue.
+    pub fn submit_tenant_with(
+        &self,
+        tenant: TenantId,
+        image: Tensor,
+        timeout_ms: u64,
+        tag: Option<u64>,
+    ) -> Result<PendingResponse, ServeError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed) {
             return Err(ServeError::ShuttingDown);
         }
-        if self.shared.lost_slots.load(Ordering::Relaxed) >= self.shared.cfg.workers {
+        if shared.lost_slots.load(Ordering::Relaxed) >= shared.cfg.workers {
             return Err(ServeError::WorkerLost);
         }
-        if let Err(e) = self.shared.policy.check(&image) {
-            self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            self.shared.quarantine.record(&image, e.label());
+        if let Err(e) = shared.policy.check(&image) {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.quarantine.record(&image, e.label());
             meter::count("serve.rejected_input");
             return Err(e);
         }
-        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+
+        // Tenant gates, all under one short lock. A probe slot taken by the
+        // breaker is handed back if a later gate refuses.
+        enum Gate {
+            Admit { probe: bool, weight: u32 },
+            BreakerOpen { retry_in_ms: u64 },
+            Quota(QuotaScope),
+        }
+        let now_ms = shared.now_ms();
+        let gate = shared.with_tenant(tenant, |st| {
+            let probe = match st.breaker.admit(now_ms) {
+                BreakerDecision::Admit => false,
+                BreakerDecision::AdmitProbe => true,
+                BreakerDecision::Reject { retry_in_ms } => {
+                    st.stats.shed_breaker += 1;
+                    return Gate::BreakerOpen { retry_in_ms };
+                }
+            };
+            if !st.bucket.try_take(now_ms) {
+                if probe {
+                    st.breaker.release_probe();
+                }
+                st.stats.shed_quota += 1;
+                return Gate::Quota(QuotaScope::Rate);
+            }
+            if st.in_flight >= st.quota.max_in_flight {
+                if probe {
+                    st.breaker.release_probe();
+                }
+                st.stats.shed_quota += 1;
+                return Gate::Quota(QuotaScope::InFlight);
+            }
+            st.in_flight += 1;
+            st.stats.admitted += 1;
+            Gate::Admit { probe, weight: st.quota.weight.max(1) }
+        });
+        let (probe, weight) = match gate {
+            Gate::Admit { probe, weight } => (probe, weight),
+            Gate::BreakerOpen { retry_in_ms } => {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.shed_breaker");
+                return Err(ServeError::CircuitOpen { tenant, retry_in_ms });
+            }
+            Gate::Quota(scope) => {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.shed_quota");
+                return Err(ServeError::QuotaExceeded { tenant, scope });
+            }
+        };
+
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket {
             id,
             image,
             tag,
+            tenant,
+            weight,
+            probe,
             enqueued: now,
             deadline: now + Duration::from_millis(timeout_ms),
             responder: tx,
         };
-        match self.shared.queue.push(ticket) {
+        match shared.queue.push(ticket) {
             Ok(()) => Ok(PendingResponse { id, rx }),
             Err(rejected) => {
+                // Past the tenant gates but refused by the shared queue:
+                // unwind the tenant accounting (a queue-full shed is global,
+                // not a verdict on this tenant).
                 let (_, e) = *rejected;
+                shared.with_tenant(tenant, |st| {
+                    st.in_flight = st.in_flight.saturating_sub(1);
+                    if probe {
+                        st.breaker.release_probe();
+                    }
+                });
                 if e.is_shed() {
-                    self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
                     meter::count("serve.shed_admission");
                 }
                 Err(e)
             }
         }
+    }
+
+    /// Installs (or replaces) `tenant`'s quota at runtime. The token bucket
+    /// is reconfigured in place, keeping already-earned tokens capped at
+    /// the new burst; the DRR weight applies to subsequent admissions.
+    pub fn set_tenant_quota(&self, tenant: TenantId, quota: TenantQuota) {
+        self.shared.with_tenant(tenant, |st| {
+            st.quota = quota;
+            st.bucket.reconfigure(&quota);
+        });
+    }
+
+    /// Retargets the resident packed-panel budget at runtime (`0` =
+    /// unlimited). Shrinking takes effect at the next reservation or
+    /// watchdog enforcement tick.
+    pub fn set_memory_budget(&self, bytes: u64) {
+        self.shared.governor.set_budget_bytes(bytes);
     }
 
     /// One health poll; cheap and callable from any thread.
@@ -382,6 +625,24 @@ impl ServeEngine {
             reloads_ok: s.counters.reloads_ok.load(Ordering::Relaxed),
             reloads_failed: s.counters.reloads_failed.load(Ordering::Relaxed),
             workers_lost: s.counters.worker_lost.load(Ordering::Relaxed),
+            swept_expired: s.counters.swept_expired.load(Ordering::Relaxed),
+            resident_budget_bytes: s.governor.budget_bytes(),
+            resident_governed_bytes: s.governor.resident_bytes(),
+            resident_evictions: s.governor.evictions(),
+            governor_oversize_grants: s.governor.oversize_grants(),
+            tenants: s
+                .tenants
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(tid, st)| TenantHealth {
+                    tenant: *tid,
+                    in_flight: st.in_flight,
+                    breaker: st.breaker.state(),
+                    breaker_trips: st.breaker.trips(),
+                    stats: st.stats,
+                })
+                .collect(),
         }
     }
 
@@ -429,7 +690,7 @@ impl ServeEngine {
         let leftovers = self.shared.queue.drain();
         let flushed = leftovers.len();
         for ticket in leftovers {
-            ticket.respond(Err(ServeError::ShuttingDown));
+            finish(&self.shared, ticket, Err(ServeError::ShuttingDown));
         }
         self.shutdown();
         DrainStats { drained_in_time, flushed }
@@ -477,7 +738,7 @@ impl ServeEngine {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.queue.close();
         for ticket in self.shared.queue.drain() {
-            ticket.respond(Err(ServeError::ShuttingDown));
+            finish(&self.shared, ticket, Err(ServeError::ShuttingDown));
         }
         if let Some(h) = self.watchdog.lock().unwrap().take() {
             let _ = h.join();
@@ -497,12 +758,29 @@ impl Drop for ServeEngine {
     }
 }
 
-/// A worker's resident frozen models: at most one variant's packed weight
-/// panels live at a time. The primary is frozen eagerly at worker start;
-/// routing to the fallback (ladder level 3) drops the primary's panels and
-/// freezes the fallback, and recovery does the reverse — weights are
-/// deterministic per config, so a rebuilt variant is identical to the one
-/// dropped. Every swap is metered as `serve.variant_swap`.
+/// Variant index of the primary model within a bank / the governor ledger.
+const VAR_PRIMARY: u32 = 0;
+/// Variant index of the fallback model.
+const VAR_FALLBACK: u32 = 1;
+
+/// Total patience for a [`Reserve::Pending`] reservation before the
+/// [`MemoryGovernor::force_reserve`] liveness valve fires. Kept well under
+/// the default `stall_limit_ms` (2 s) so a worker waiting on another slot's
+/// eviction is never mistaken for a stalled worker.
+const RESERVE_PATIENCE: Duration = Duration::from_millis(250);
+
+/// A worker's resident frozen models, governed by the engine's shared
+/// [`MemoryGovernor`].
+///
+/// Under a byte budget (`memory_budget_bytes > 0`), both variants may stay
+/// resident while they fit; the coldest unpinned variants across all
+/// workers are LRU-evicted when a reservation needs room, and evicted
+/// variants are re-frozen on demand (deterministic per config, so a rebuilt
+/// variant is identical to the one dropped). Ungoverned (budget 0), the
+/// bank keeps the classic hard-swap discipline: at most one variant's
+/// panels live at a time, a swap eagerly drops the other. Every swap is
+/// metered `serve.variant_swap`; every governed eviction
+/// `serve.panel_evicted`.
 ///
 /// Variants configured as [`Precision::Int8`] pass through the quantization
 /// accuracy gate at build time: the int8 model must agree with its f32 twin
@@ -517,6 +795,11 @@ struct ModelBank {
     fallback_precision: Precision,
     gate: QuantGateConfig,
     counters: Arc<Counters>,
+    governor: Arc<MemoryGovernor>,
+    slot: usize,
+    /// The engine's epoch, so this bank's ledger timestamps are comparable
+    /// with every other worker's (the LRU order is global).
+    epoch: Instant,
     primary: Option<FrozenClassifier>,
     fallback: Option<FrozenClassifier>,
     published_f32: usize,
@@ -528,7 +811,14 @@ impl ModelBank {
     /// Workers that begin life serving a published artifact generation pass
     /// `false` and never pay the config freeze unless the degradation
     /// ladder routes to the fallback variant.
-    fn new(cfg: &ServeConfig, counters: Arc<Counters>, eager: bool) -> Self {
+    fn new(
+        cfg: &ServeConfig,
+        counters: Arc<Counters>,
+        governor: Arc<MemoryGovernor>,
+        slot: usize,
+        epoch: Instant,
+        eager: bool,
+    ) -> Self {
         let mut bank = Self {
             primary_cfg: cfg.model.clone(),
             fallback_cfg: cfg.fallback.clone(),
@@ -536,21 +826,109 @@ impl ModelBank {
             fallback_precision: cfg.fallback_precision,
             gate: cfg.quant_gate,
             counters,
+            governor,
+            slot,
+            epoch,
             primary: None,
             fallback: None,
             published_f32: 0,
             published_int8: 0,
         };
         if eager {
-            bank.primary = Some(freeze_gated(
-                &bank.primary_cfg,
-                bank.primary_precision,
-                &bank.gate,
-                &bank.counters,
-            ));
-            bank.republish();
+            bank.install(VAR_PRIMARY);
+            bank.governor.set_pinned(bank.key(VAR_PRIMARY), true);
         }
         bank
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn key(&self, variant: u32) -> PanelKey {
+        PanelKey::new(self.slot, variant)
+    }
+
+    /// Freezes `variant` through the governor: reserve (waiting out victim
+    /// evictions if the budget demands them) → pin → freeze → commit the
+    /// true panel bytes. The first freeze of a variant reserves 0 bytes
+    /// (size unknown); its commit teaches the governor the real size and
+    /// self-heals any overshoot by flagging LRU victims.
+    fn install(&mut self, variant: u32) {
+        let key = self.key(variant);
+        let est = self.governor.estimate(variant, 0);
+        let patience = Instant::now() + RESERVE_PATIENCE;
+        loop {
+            match self.governor.reserve(key, est, self.now_ms()) {
+                Reserve::Granted => break,
+                Reserve::GrantedOversize => {
+                    meter::count("serve.governor_oversize");
+                    break;
+                }
+                Reserve::Pending => {
+                    // Our own flagged variants we can evict right now; other
+                    // slots' victims drain when their workers poll. Past the
+                    // patience window (victim owner stalled/dead), take the
+                    // liveness valve instead of wedging the serving path.
+                    if !self.process_evictions() {
+                        if Instant::now() >= patience {
+                            self.governor.force_reserve(key, est, self.now_ms());
+                            meter::count("serve.governor_oversize");
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        // Pin before the freeze so a concurrent enforcement tick cannot
+        // flag the panels we are about to build.
+        self.governor.set_pinned(key, true);
+        let (cfg, precision) = match variant {
+            VAR_FALLBACK => (
+                self.fallback_cfg.clone().expect("install(VAR_FALLBACK) requires a fallback"),
+                self.fallback_precision,
+            ),
+            _ => (self.primary_cfg.clone(), self.primary_precision),
+        };
+        let frozen = freeze_gated(&cfg, precision, &self.gate, &self.counters);
+        let actual = (frozen.packed_bytes() + frozen.quant_packed_bytes()) as u64;
+        self.governor.commit(key, actual, self.now_ms());
+        match variant {
+            VAR_FALLBACK => self.fallback = Some(frozen),
+            _ => self.primary = Some(frozen),
+        }
+        self.republish();
+    }
+
+    /// Drops every variant the governor flagged for this slot. Returns
+    /// whether anything was actually released.
+    fn process_evictions(&mut self) -> bool {
+        let mut released = false;
+        for variant in self.governor.take_evictions(self.slot) {
+            released |= self.drop_variant(variant, true);
+        }
+        released
+    }
+
+    /// Drops one variant's panels and clears its ledger entry. `evicted`
+    /// marks a governor-driven eviction (metered) as opposed to an
+    /// ordinary withdrawal (hard swap, hot-reload release, drop).
+    fn drop_variant(&mut self, variant: u32, evicted: bool) -> bool {
+        let model = match variant {
+            VAR_FALLBACK => self.fallback.take(),
+            _ => self.primary.take(),
+        };
+        let dropped = model.is_some();
+        drop(model);
+        self.governor.released(self.key(variant), evicted && dropped);
+        if dropped {
+            if evicted {
+                meter::count("serve.panel_evicted");
+            }
+            self.republish();
+        }
+        dropped
     }
 
     /// Drops the config-frozen primary's packed panels: a hot-reloaded
@@ -558,10 +936,7 @@ impl ModelBank {
     /// double the weight footprint. The primary rebuilds deterministically
     /// via [`ModelBank::select`] if it is ever needed again.
     fn release_primary(&mut self) {
-        if self.primary.is_some() {
-            self.primary = None;
-            self.republish();
-        }
+        self.drop_variant(VAR_PRIMARY, false);
     }
 
     /// Whether ladder level `level` routes to the fallback variant.
@@ -569,32 +944,35 @@ impl ModelBank {
         level >= 3 && self.fallback_cfg.is_some()
     }
 
-    /// The frozen model serving at ladder level `level`, building (and
-    /// invalidating the other variant's packed panels) on a swap.
+    /// The frozen model serving at ladder level `level`, freezing it on
+    /// demand. The selected variant is pinned (never an eviction victim)
+    /// and touched for LRU recency; the deselected one is unpinned and —
+    /// ungoverned only — dropped eagerly.
     fn select(&mut self, level: u8) -> &FrozenClassifier {
-        if self.uses_fallback(level) {
-            if self.fallback.is_none() {
-                self.primary = None; // release the primary's packed panels first
-                let cfg = self.fallback_cfg.clone().expect("uses_fallback checked the config");
-                self.fallback =
-                    Some(freeze_gated(&cfg, self.fallback_precision, &self.gate, &self.counters));
-                meter::count("serve.variant_swap");
-                self.republish();
-            }
-            self.fallback.as_ref().expect("fallback frozen above")
+        let governed = self.governor.budget_bytes() > 0;
+        let (want, other) = if self.uses_fallback(level) {
+            (VAR_FALLBACK, VAR_PRIMARY)
         } else {
-            if self.primary.is_none() {
-                self.fallback = None;
-                self.primary = Some(freeze_gated(
-                    &self.primary_cfg,
-                    self.primary_precision,
-                    &self.gate,
-                    &self.counters,
-                ));
-                meter::count("serve.variant_swap");
-                self.republish();
+            (VAR_PRIMARY, VAR_FALLBACK)
+        };
+        let missing = match want {
+            VAR_FALLBACK => self.fallback.is_none(),
+            _ => self.primary.is_none(),
+        };
+        if missing {
+            self.governor.set_pinned(self.key(other), false);
+            if !governed {
+                self.drop_variant(other, false);
             }
-            self.primary.as_ref().expect("primary frozen above")
+            self.install(want);
+            meter::count("serve.variant_swap");
+        }
+        self.governor.set_pinned(self.key(want), true);
+        self.governor.set_pinned(self.key(other), false);
+        self.governor.touch(self.key(want), self.now_ms());
+        match want {
+            VAR_FALLBACK => self.fallback.as_ref().expect("fallback frozen above"),
+            _ => self.primary.as_ref().expect("primary frozen above"),
         }
     }
 
@@ -615,10 +993,10 @@ impl ModelBank {
 impl Drop for ModelBank {
     fn drop(&mut self) {
         // Runs during unwinding too, so a crashed worker's contribution is
-        // withdrawn before the watchdog's replacement publishes its own.
-        self.primary = None;
-        self.fallback = None;
-        self.republish();
+        // withdrawn (gauges and governor ledger both) before the watchdog's
+        // replacement publishes its own.
+        self.drop_variant(VAR_PRIMARY, false);
+        self.drop_variant(VAR_FALLBACK, false);
     }
 }
 
@@ -715,12 +1093,17 @@ fn argmaxes(logits: &Tensor) -> Vec<usize> {
 }
 
 /// Moves a failed artifact to its `.corrupt` quarantine path so retry
-/// loops cannot re-publish it. Best-effort: reports whether the move
-/// landed, and never masks the original failure.
-fn quarantine_artifact(path: &Path) -> bool {
+/// loops cannot re-publish it, then prunes the quarantine directory down
+/// to the `keep` newest `.corrupt` files so a reload-retry storm cannot
+/// fill the disk. Best-effort: reports whether the move landed, and never
+/// masks the original failure.
+fn quarantine_artifact(path: &Path, keep: usize) -> bool {
     let ok = rename_with_retries(path, &quarantine_path(path)).is_ok();
     if ok {
         meter::count("serve.artifact_quarantined");
+        if let Some(dir) = path.parent() {
+            let _ = prune_quarantine(dir, keep);
+        }
     }
     ok
 }
@@ -738,7 +1121,7 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
     let (model, reader) = match load_classifier_artifact(path, true) {
         Ok(pair) => pair,
         Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            let quarantined = quarantine_artifact(path);
+            let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
             return Err(fail(ReloadError::Corrupt { detail: e.to_string(), quarantined }));
         }
         Err(e) => return Err(fail(ReloadError::Io { detail: e.to_string() })),
@@ -747,7 +1130,7 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
     // 2. Full payload scan. Reload is off the serving path, so unlike the
     // cold start we can afford to touch every section before publishing.
     if let Err(e) = reader.verify_sections() {
-        let quarantined = quarantine_artifact(path);
+        let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
         return Err(fail(ReloadError::Corrupt { detail: e.to_string(), quarantined }));
     }
 
@@ -781,7 +1164,7 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
     let logits = match panic::catch_unwind(AssertUnwindSafe(|| model.forward(&input))) {
         Ok(l) => l,
         Err(_) => {
-            let quarantined = quarantine_artifact(path);
+            let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
             return Err(fail(ReloadError::Corrupt {
                 detail: "model panicked on calibration inputs".into(),
                 quarantined,
@@ -789,14 +1172,14 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
         }
     };
     if logits.shape() != model.logit_shape(n) {
-        let quarantined = quarantine_artifact(path);
+        let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
         return Err(fail(ReloadError::Corrupt {
             detail: "calibration logits have the wrong shape".into(),
             quarantined,
         }));
     }
     if !logits.data().iter().all(|v| v.is_finite()) {
-        let quarantined = quarantine_artifact(path);
+        let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
         return Err(fail(ReloadError::Corrupt {
             detail: "calibration logits contain non-finite values".into(),
             quarantined,
@@ -815,7 +1198,7 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
     });
     if let Some(agr) = agreement {
         if agr < gate.min_agreement {
-            let quarantined = quarantine_artifact(path);
+            let quarantined = quarantine_artifact(path, shared.cfg.quarantine_keep);
             return Err(fail(ReloadError::GateRejected {
                 agreement: agr,
                 threshold: gate.min_agreement,
@@ -854,8 +1237,14 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
     } else {
         None
     };
-    let mut bank =
-        ModelBank::new(&shared.cfg, Arc::clone(&shared.counters), published.is_none());
+    let mut bank = ModelBank::new(
+        &shared.cfg,
+        Arc::clone(&shared.counters),
+        Arc::clone(&shared.governor),
+        slot,
+        shared.start,
+        published.is_none(),
+    );
     let rung = downscale_rung(&shared.cfg.model);
 
     loop {
@@ -892,17 +1281,29 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
             }
         }
 
+        // Honor any eviction flags the governor raised against this slot
+        // before pulling more work (panels drop between batches, never
+        // under an in-flight forward).
+        bank.process_evictions();
+
         let level = shared.degrade.level();
         let max_batch = if level >= 1 {
             (shared.cfg.max_batch / 2).max(1)
         } else {
             shared.cfg.max_batch
         };
-        let (batch, shed) = shared.queue.pop_batch(max_batch, Duration::from_millis(20));
-        if shed > 0 {
-            shared.counters.shed.fetch_add(shed as u64, Ordering::Relaxed);
-            meter::count_n("serve.shed_deadline", shed as u64);
+        let popped = shared.queue.pop_batch(max_batch, Duration::from_millis(20));
+        if !popped.expired.is_empty() {
+            let n = popped.expired.len() as u64;
+            shared.counters.shed.fetch_add(n, Ordering::Relaxed);
+            meter::count_n("serve.shed_deadline", n);
+            let now = Instant::now();
+            for ticket in popped.expired {
+                let waited_ms = ticket.waited_ms(now);
+                finish(&shared, ticket, Err(ServeError::DeadlineExceeded { waited_ms }));
+            }
         }
+        let batch = popped.batch;
         if batch.is_empty() {
             continue;
         }
@@ -959,7 +1360,7 @@ fn run_partition(
             }
             Err(e) => {
                 shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                ticket.respond(Err(ServeError::InvalidShape(e)));
+                finish(shared, ticket, Err(ServeError::InvalidShape(e)));
             }
         }
     }
@@ -998,7 +1399,7 @@ fn run_partition(
                 shared.quarantine.record(&ticket.image, "poisoned");
                 shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
                 meter::count("serve.quarantined");
-                ticket.respond(Err(ServeError::Poisoned));
+                finish(shared, ticket, Err(ServeError::Poisoned));
             } else {
                 let right = kept.split_off(kept.len() / 2);
                 run_partition(shared, model, use_fallback, rung, kept, level);
@@ -1033,7 +1434,7 @@ fn deliver(shared: &Shared, tickets: Vec<Ticket>, logits: &Tensor, level: u8) {
             latency_ms,
         };
         let outcome: Outcome = Ok(response);
-        ticket.respond(outcome);
+        finish(shared, ticket, outcome);
     }
 }
 
@@ -1061,6 +1462,25 @@ fn watchdog_loop(shared: Arc<Shared>) {
         std::thread::sleep(Duration::from_millis(shared.cfg.watchdog_poll_ms));
         let now = shared.now_ms();
         shared.degrade.observe(shared.queue.depth(), shared.latency.percentile(0.99), now);
+
+        // Proactive deadline sweep: long-deadline floods must not pin queue
+        // slots until a worker happens to dequeue them.
+        let swept = shared.queue.sweep_expired(Instant::now());
+        if !swept.is_empty() {
+            let n = swept.len() as u64;
+            shared.counters.swept_expired.fetch_add(n, Ordering::Relaxed);
+            shared.counters.shed.fetch_add(n, Ordering::Relaxed);
+            meter::count_n("queue.swept_expired", n);
+            let at = Instant::now();
+            for ticket in swept {
+                let waited_ms = ticket.waited_ms(at);
+                finish(&shared, ticket, Err(ServeError::DeadlineExceeded { waited_ms }));
+            }
+        }
+
+        // Apply standing memory pressure (cold variants, runtime budget
+        // squeezes); owning workers drop flagged panels between batches.
+        shared.governor.enforce(now);
 
         let mut workers = shared.workers.lock().unwrap();
         for slot in 0..workers.len() {
@@ -1119,7 +1539,7 @@ fn watchdog_loop(shared: Arc<Shared>) {
             // Nobody left to serve: answer the backlog with the typed
             // error instead of letting tickets wait out their deadlines.
             for ticket in shared.queue.drain() {
-                ticket.respond(Err(ServeError::WorkerLost));
+                finish(&shared, ticket, Err(ServeError::WorkerLost));
             }
         }
     }
@@ -1128,6 +1548,7 @@ fn watchdog_loop(shared: Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::BreakerState;
 
     fn tiny_engine(workers: usize, queue: usize) -> ServeEngine {
         let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
@@ -1286,7 +1707,10 @@ mod tests {
         let swaps_before = meter::event_count("serve.variant_swap");
 
         let counters = Arc::new(Counters::default());
-        let mut bank = ModelBank::new(&cfg, Arc::clone(&counters), true);
+        // Ungoverned (budget 0): the classic hard-swap discipline.
+        let governor = Arc::new(MemoryGovernor::new(GovernorConfig::default()));
+        let mut bank =
+            ModelBank::new(&cfg, Arc::clone(&counters), governor, 0, Instant::now(), true);
         let resident = meter::packed_current();
         assert!(resident > 0, "primary must be frozen eagerly");
 
@@ -1325,6 +1749,221 @@ mod tests {
         assert_eq!(meter::packed_current(), 0, "dropping the bank releases all panels");
         assert_eq!(counters.resident_f32_bytes.load(Ordering::Relaxed), 0);
         assert_eq!(counters.resident_int8_bytes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn governed_bank_keeps_both_variants_until_budget_presses() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
+
+        // Learn the primary's true panel size with a throwaway ungoverned
+        // bank, then set a budget that fits exactly one variant.
+        let counters = Arc::new(Counters::default());
+        let probe_gov = Arc::new(MemoryGovernor::new(GovernorConfig::default()));
+        let probe =
+            ModelBank::new(&cfg, Arc::clone(&counters), probe_gov, 0, Instant::now(), true);
+        let one_variant = meter::packed_current() as u64;
+        drop(probe);
+        assert!(one_variant > 0);
+
+        let governor = Arc::new(MemoryGovernor::new(GovernorConfig {
+            budget_bytes: one_variant + one_variant / 2,
+            cold_after_ms: 0,
+        }));
+        let mut bank = ModelBank::new(
+            &cfg,
+            Arc::clone(&counters),
+            Arc::clone(&governor),
+            0,
+            Instant::now(),
+            true,
+        );
+        assert_eq!(bank.select(0).cfg().resolution, 32);
+
+        // Routing to the fallback must NOT hard-drop the primary: the
+        // governor decides. Freezing the (equal-sized) fallback overflows
+        // the 1.5x budget, so the unpinned primary is flagged; the worker
+        // loop's eviction poll (process_evictions here) drops it.
+        assert_eq!(bank.select(3).cfg().resolution, 16);
+        assert!(bank.process_evictions(), "budget pressure must evict the cold primary");
+        assert!(bank.primary.is_none());
+        assert!(bank.fallback.is_some());
+        assert!(governor.evictions() >= 1);
+        assert!(governor.resident_bytes() <= governor.budget_bytes());
+        assert_eq!(governor.oversize_grants(), 0);
+
+        // Recovery re-freezes the primary; now the fallback is the victim,
+        // processed inside install()'s own reservation loop.
+        assert_eq!(bank.select(0).cfg().resolution, 32);
+        bank.process_evictions();
+        assert!(bank.fallback.is_none(), "budget fits one variant; fallback must go");
+        assert!(governor.evictions() >= 2);
+        assert!(governor.resident_bytes() <= governor.budget_bytes());
+        assert_eq!(governor.oversize_grants(), 0, "no oversize grant was ever needed");
+
+        drop(bank);
+        assert_eq!(governor.resident_bytes(), 0, "drop clears the ledger");
+        assert_eq!(meter::packed_current(), 0);
+    }
+
+    #[test]
+    fn rate_quota_sheds_with_typed_error_and_counts() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 16;
+        // Effectively no refill, burst of 2: the third submit must shed.
+        cfg.default_quota =
+            TenantQuota { rate_per_sec: 0.001, burst: 2, max_in_flight: 64, weight: 1 };
+        let engine = ServeEngine::start(cfg);
+        let t = TenantId(7);
+        let a = engine.submit_tenant(t, image(0.1)).unwrap();
+        let b = engine.submit_tenant(t, image(0.1)).unwrap();
+        match engine.submit_tenant(t, image(0.1)) {
+            Err(ServeError::QuotaExceeded { tenant, scope }) => {
+                assert_eq!(tenant, t);
+                assert_eq!(scope, QuotaScope::Rate);
+            }
+            other => panic!("expected a rate-quota shed, got {other:?}"),
+        }
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let h = engine.health();
+        let th = h.tenant(t).expect("tenant must appear in health");
+        assert_eq!(th.stats.admitted, 2);
+        assert_eq!(th.stats.shed_quota, 1);
+        assert_eq!(th.stats.completed, 2);
+        assert_eq!(th.in_flight, 0, "finish() must settle the in-flight ledger");
+        // Another tenant is untouched by tenant 7's empty bucket.
+        assert!(engine.submit_tenant(TenantId(8), image(0.1)).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_until_requests_resolve() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 16;
+        cfg.default_quota =
+            TenantQuota { rate_per_sec: f64::INFINITY, burst: 8, max_in_flight: 2, weight: 1 };
+        let engine = ServeEngine::start(cfg);
+        engine.inject_worker_stall(0, 200);
+        std::thread::sleep(Duration::from_millis(20));
+        let t = TenantId(3);
+        let a = engine.submit_tenant(t, image(0.1)).unwrap();
+        let b = engine.submit_tenant(t, image(0.1)).unwrap();
+        match engine.submit_tenant(t, image(0.1)) {
+            Err(ServeError::QuotaExceeded { tenant, scope }) => {
+                assert_eq!(tenant, t);
+                assert_eq!(scope, QuotaScope::InFlight);
+            }
+            other => panic!("expected an in-flight shed, got {other:?}"),
+        }
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        // Both resolved: capacity is available again.
+        assert!(engine.submit_tenant(t, image(0.2)).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_on_poison_and_recovers_through_probes() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 16;
+        cfg.max_batch = 1; // keep poison isolation out of the picture
+        cfg.breaker = BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            open_ms: 100,
+            half_open_probes: 1,
+        };
+        let engine = ServeEngine::start(cfg);
+        let t = TenantId(9);
+
+        // Four poison pills: every outcome is a worker-burning failure, so
+        // the breaker must trip at the window minimum.
+        for _ in 0..4 {
+            let p = engine
+                .submit_tenant_with(t, image(0.2), 5_000, Some(ServeEngine::POISON_TAG))
+                .unwrap();
+            assert_eq!(p.wait(), Err(ServeError::Poisoned));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let retry_hint = loop {
+            match engine.submit_tenant(t, image(0.1)) {
+                Err(ServeError::CircuitOpen { tenant, retry_in_ms }) => {
+                    assert_eq!(tenant, t);
+                    break retry_in_ms;
+                }
+                Ok(p) => {
+                    // A pre-trip straggler outcome may still be settling;
+                    // drain and retry.
+                    let _ = p.wait();
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "breaker never opened");
+        };
+        assert!(retry_hint <= 100);
+        let th = engine.health();
+        let slice = th.tenant(t).expect("tenant slice");
+        assert_eq!(slice.breaker, BreakerState::Open);
+        assert!(slice.breaker_trips >= 1);
+        assert!(slice.stats.shed_breaker >= 1);
+
+        // Other tenants keep serving while tenant 9 is locked out.
+        assert!(engine.submit_tenant(TenantId(1), image(0.1)).unwrap().wait().is_ok());
+
+        // After open_ms, a clean probe closes the breaker again.
+        std::thread::sleep(Duration::from_millis(120));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match engine.submit_tenant(t, image(0.1)) {
+                Ok(p) => {
+                    assert!(p.wait().is_ok());
+                    break;
+                }
+                Err(ServeError::CircuitOpen { .. }) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+            assert!(Instant::now() < deadline, "breaker never re-admitted");
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if engine.health().tenant(t).unwrap().breaker == BreakerState::Closed {
+                break;
+            }
+            assert!(Instant::now() < deadline, "breaker never re-closed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn runtime_quota_update_applies_immediately() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        let engine = ServeEngine::start(cfg);
+        let t = TenantId(5);
+        assert!(engine.submit_tenant(t, image(0.1)).unwrap().wait().is_ok());
+        // Choke the tenant: no refill, burst 1. Reconfiguration keeps one
+        // earned token (capped at the new burst), then the bucket is dry.
+        engine.set_tenant_quota(
+            t,
+            TenantQuota { rate_per_sec: 0.001, burst: 1, max_in_flight: 64, weight: 1 },
+        );
+        assert!(engine.submit_tenant(t, image(0.1)).unwrap().wait().is_ok());
+        assert!(matches!(
+            engine.submit_tenant(t, image(0.1)),
+            Err(ServeError::QuotaExceeded { scope: QuotaScope::Rate, .. })
+        ));
+        // And re-open it.
+        engine.set_tenant_quota(t, TenantQuota::default());
+        assert!(engine.submit_tenant(t, image(0.1)).unwrap().wait().is_ok());
+        engine.shutdown();
     }
 
     #[test]

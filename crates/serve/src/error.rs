@@ -6,6 +6,7 @@
 //! expiry, quarantine after a panic, and shutdown all produce a typed value
 //! the client can branch on.
 
+use crate::tenant::{QuotaScope, TenantId};
 use revbifpn_tensor::ShapeError;
 use std::fmt;
 
@@ -23,6 +24,24 @@ pub enum ServeError {
     DeadlineExceeded {
         /// How long the request waited before being shed, in milliseconds.
         waited_ms: u64,
+    },
+    /// Admission control: the tenant exhausted one of its quotas (rate
+    /// token bucket or in-flight cap). Says nothing about the payload.
+    QuotaExceeded {
+        /// Tenant whose quota was exhausted.
+        tenant: TenantId,
+        /// Which quota: sustained rate or in-flight cap.
+        scope: QuotaScope,
+    },
+    /// Admission control: the tenant's circuit breaker is open after too
+    /// many of its recent requests failed (panics, deadline misses,
+    /// worker deaths).
+    CircuitOpen {
+        /// Tenant whose breaker rejected the request.
+        tenant: TenantId,
+        /// Milliseconds until the breaker will consider a half-open probe
+        /// (0 when probes are already in flight).
+        retry_in_ms: u64,
     },
     /// Input validation: the payload violates the model's shape contract.
     InvalidShape(ShapeError),
@@ -52,7 +71,13 @@ impl ServeError {
     /// `true` for the load-shedding outcomes (queue overflow / deadline),
     /// which say nothing about the request's own validity.
     pub fn is_shed(&self) -> bool {
-        matches!(self, ServeError::QueueFull { .. } | ServeError::DeadlineExceeded { .. })
+        matches!(
+            self,
+            ServeError::QueueFull { .. }
+                | ServeError::DeadlineExceeded { .. }
+                | ServeError::QuotaExceeded { .. }
+                | ServeError::CircuitOpen { .. }
+        )
     }
 
     /// `true` for rejections caused by the request payload itself.
@@ -68,6 +93,8 @@ impl ServeError {
         match self {
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::QuotaExceeded { .. } => "quota",
+            ServeError::CircuitOpen { .. } => "breaker_open",
             ServeError::InvalidShape(_) => "invalid_shape",
             ServeError::NonFiniteInput { .. } => "non_finite",
             ServeError::OutOfRange { .. } => "out_of_range",
@@ -86,6 +113,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExceeded { waited_ms } => {
                 write!(f, "deadline exceeded after waiting {waited_ms} ms")
+            }
+            ServeError::QuotaExceeded { tenant, scope } => {
+                write!(f, "{tenant} exceeded its {} quota", scope.label())
+            }
+            ServeError::CircuitOpen { tenant, retry_in_ms } => {
+                write!(f, "{tenant} circuit open; retry in {retry_in_ms} ms")
             }
             ServeError::InvalidShape(e) => write!(f, "invalid input: {e}"),
             ServeError::NonFiniteInput { count } => {
@@ -211,6 +244,9 @@ mod tests {
     fn classification_helpers() {
         assert!(ServeError::QueueFull { depth: 8, capacity: 8 }.is_shed());
         assert!(ServeError::DeadlineExceeded { waited_ms: 5 }.is_shed());
+        assert!(ServeError::QuotaExceeded { tenant: TenantId(2), scope: QuotaScope::Rate }
+            .is_shed());
+        assert!(ServeError::CircuitOpen { tenant: TenantId(2), retry_in_ms: 10 }.is_shed());
         assert!(!ServeError::Poisoned.is_shed());
         assert!(ServeError::NonFiniteInput { count: 1 }.is_rejected_input());
         assert!(ServeError::OutOfRange { max_abs: 9.0, limit: 1.0 }.is_rejected_input());

@@ -1,0 +1,469 @@
+//! Resident-memory governance for packed panels.
+//!
+//! The reversible architecture's selling point is bounded memory; the
+//! serving layer honors the same discipline for its *weights*. Every
+//! worker's `ModelBank` holds frozen variants whose packed GEMM panels are
+//! anonymous allocations tracked by the `nn::meter` packed gauges. The
+//! [`MemoryGovernor`] is the shared ledger those banks check with before
+//! freezing: it enforces a byte budget by LRU-evicting the coldest
+//! unpinned variants, whose panels are simply dropped and re-frozen on
+//! demand from the mmap'd `RBFNFRZ1` artifact (a ~ms cold start, not a
+//! recompute).
+//!
+//! Mechanics, in order:
+//!
+//! 1. A bank wanting to freeze variant `v` on slot `s` calls
+//!    [`MemoryGovernor::reserve`] with a size estimate. Estimates are
+//!    *learned*: the first commit of each variant records its true panel
+//!    bytes and later reservations use that instead of the caller's guess.
+//! 2. If the bytes fit, the reservation is granted and counted resident
+//!    immediately (so concurrent reservers cannot jointly overshoot).
+//! 3. If not, the governor flags the least-recently-used unpinned entries
+//!    for eviction and answers [`Reserve::Pending`]. Owning workers poll
+//!    [`MemoryGovernor::take_evictions`] between batches, drop the panels,
+//!    and call [`MemoryGovernor::released`]; the reserver retries.
+//! 4. If evicting *everything* evictable still cannot cover the deficit
+//!    (budget smaller than the active working set), the reservation is
+//!    granted oversize rather than deadlocking serving — metered so the
+//!    operator sees the budget is unrealistic.
+//!
+//! Pinning keeps each worker's currently-selected variant immune: you
+//! cannot serve from panels you just dropped. Published mmap-borrowed
+//! panels are *not* governed — they are file-backed and reclaimable by the
+//! OS page cache; the budget covers anonymous (heap) panel memory only.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identifies one frozen variant's panels: worker slot x variant index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PanelKey {
+    /// Worker slot owning the panels.
+    pub slot: usize,
+    /// Variant index within the bank (0 = primary, 1 = fallback).
+    pub variant: u32,
+}
+
+impl PanelKey {
+    /// Convenience constructor.
+    pub fn new(slot: usize, variant: u32) -> Self {
+        Self { slot, variant }
+    }
+}
+
+/// Governor policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GovernorConfig {
+    /// Resident packed-panel budget in bytes. `0` disables governance
+    /// entirely (every reservation granted, nothing tracked as pressure).
+    pub budget_bytes: u64,
+    /// When non-zero, variants idle at least this long are flagged for
+    /// eviction proactively (by the watchdog tick), not just under
+    /// pressure. `0` = evict only when the budget demands it.
+    pub cold_after_ms: u64,
+}
+
+/// Outcome of a reservation attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reserve {
+    /// Bytes fit under the budget; the entry is now counted resident.
+    Granted,
+    /// The budget cannot be met even after evicting every unpinned entry;
+    /// granted anyway so serving never deadlocks. Victims were still
+    /// flagged to shrink the overshoot. Counted in
+    /// [`MemoryGovernor::oversize_grants`].
+    GrantedOversize,
+    /// Victims have been flagged for eviction but their bytes are still
+    /// resident. The entry was NOT inserted; process own-slot evictions
+    /// ([`MemoryGovernor::take_evictions`]), yield, and retry.
+    Pending,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    bytes: u64,
+    last_used_ms: u64,
+    pinned: bool,
+    flagged: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: BTreeMap<PanelKey, Entry>,
+    /// Actual panel bytes observed at the last commit of each variant
+    /// index — better than any caller estimate for subsequent freezes.
+    learned: BTreeMap<u32, u64>,
+}
+
+impl Inner {
+    fn resident(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Flags LRU unpinned entries until at least `deficit` bytes are
+    /// pending release. Returns the bytes now pending (flagged), which may
+    /// be short of `deficit` when there is nothing left to evict.
+    fn flag_lru(&mut self, deficit: u64) -> u64 {
+        let mut order: Vec<PanelKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned)
+            .map(|(k, _)| *k)
+            .collect();
+        order.sort_by_key(|k| self.entries[k].last_used_ms);
+        let mut pending: u64 =
+            self.entries.values().filter(|e| e.flagged && !e.pinned).map(|e| e.bytes).sum();
+        for key in order {
+            if pending >= deficit {
+                break;
+            }
+            let e = self.entries.get_mut(&key).expect("key from entries");
+            if !e.flagged {
+                e.flagged = true;
+                pending += e.bytes;
+            }
+        }
+        pending
+    }
+}
+
+/// Shared byte ledger enforcing the packed-panel budget. See the module
+/// docs for the protocol.
+pub struct MemoryGovernor {
+    /// Atomic so chaos faults can squeeze the budget at runtime without
+    /// taking the ledger lock.
+    budget: AtomicU64,
+    cold_after_ms: u64,
+    inner: Mutex<Inner>,
+    evictions: AtomicU64,
+    oversize: AtomicU64,
+}
+
+impl MemoryGovernor {
+    /// A governor with the given policy and an empty ledger.
+    pub fn new(cfg: GovernorConfig) -> Self {
+        Self {
+            budget: AtomicU64::new(cfg.budget_bytes),
+            cold_after_ms: cfg.cold_after_ms,
+            inner: Mutex::new(Inner::default()),
+            evictions: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+        }
+    }
+
+    /// Current budget in bytes (`0` = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the budget at runtime (budget-squeeze chaos / operator
+    /// action). Shrinking does not evict by itself; the next reservation
+    /// or [`Self::enforce`] call applies the pressure.
+    pub fn set_budget_bytes(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Completed evictions (entries released after being flagged).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Reservations granted over budget to preserve liveness.
+    pub fn oversize_grants(&self) -> u64 {
+        self.oversize.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently counted resident (committed + reserved).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident()
+    }
+
+    /// Best known size for `variant`: the learned commit size if any
+    /// freeze has completed, else `fallback`.
+    pub fn estimate(&self, variant: u32, fallback: u64) -> u64 {
+        self.inner.lock().unwrap().learned.get(&variant).copied().unwrap_or(fallback)
+    }
+
+    /// Attempts to reserve `est_bytes` (upgraded to the learned size when
+    /// known) for `key`. See [`Reserve`] for the contract.
+    pub fn reserve(&self, key: PanelKey, est_bytes: u64, now_ms: u64) -> Reserve {
+        let mut inner = self.inner.lock().unwrap();
+        let est = inner.learned.get(&key.variant).copied().unwrap_or(est_bytes);
+        let budget = self.budget.load(Ordering::Relaxed);
+        let insert = |inner: &mut Inner| {
+            inner
+                .entries
+                .insert(key, Entry { bytes: est, last_used_ms: now_ms, pinned: false, flagged: false });
+        };
+        if budget == 0 {
+            insert(&mut inner);
+            return Reserve::Granted;
+        }
+        let resident = inner.resident();
+        if resident.saturating_add(est) <= budget {
+            insert(&mut inner);
+            return Reserve::Granted;
+        }
+        let deficit = resident.saturating_add(est) - budget;
+        let pending = inner.flag_lru(deficit);
+        if pending < deficit {
+            // Even a full purge cannot fit this reservation: grant it
+            // anyway (serving must not deadlock) and record the overshoot.
+            insert(&mut inner);
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            Reserve::GrantedOversize
+        } else {
+            Reserve::Pending
+        }
+    }
+
+    /// Liveness valve for a reserver that waited out its patience on
+    /// [`Reserve::Pending`] (e.g. the flagged victim belongs to a stalled
+    /// worker that will never process its eviction): inserts the entry
+    /// unconditionally and counts an oversize grant if the ledger is over
+    /// budget afterwards.
+    pub fn force_reserve(&self, key: PanelKey, est_bytes: u64, now_ms: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let est = inner.learned.get(&key.variant).copied().unwrap_or(est_bytes);
+        inner
+            .entries
+            .insert(key, Entry { bytes: est, last_used_ms: now_ms, pinned: false, flagged: false });
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget > 0 && inner.resident() > budget {
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the true panel bytes after a freeze completes, teaching the
+    /// size estimator. If the correction pushes the ledger over budget,
+    /// LRU victims are flagged immediately to drain it back under.
+    pub fn commit(&self, key: PanelKey, actual_bytes: u64, now_ms: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.entries.get_mut(&key) {
+            e.bytes = actual_bytes;
+            e.last_used_ms = now_ms;
+        }
+        inner.learned.insert(key.variant, actual_bytes);
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget > 0 {
+            let resident = inner.resident();
+            if resident > budget {
+                inner.flag_lru(resident - budget);
+            }
+        }
+    }
+
+    /// Marks `key` as used now (LRU recency).
+    pub fn touch(&self, key: PanelKey, now_ms: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.entries.get_mut(&key) {
+            e.last_used_ms = now_ms;
+        }
+    }
+
+    /// Pins (or unpins) `key`. Pinned entries are never flagged for
+    /// eviction — a worker's currently-selected variant must stay
+    /// resident. Pinning clears any not-yet-taken eviction flag.
+    pub fn set_pinned(&self, key: PanelKey, pinned: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.entries.get_mut(&key) {
+            e.pinned = pinned;
+            if pinned {
+                e.flagged = false;
+            }
+        }
+    }
+
+    /// Collects (and clears) the eviction flags for `slot`. The caller
+    /// owns dropping those panels and MUST follow up with
+    /// [`Self::released`] for each returned variant.
+    pub fn take_evictions(&self, slot: usize) -> Vec<u32> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for (k, e) in inner.entries.iter_mut() {
+            if k.slot == slot && e.flagged && !e.pinned {
+                e.flagged = false;
+                out.push(k.variant);
+            }
+        }
+        out
+    }
+
+    /// Removes `key` from the ledger after its panels were dropped.
+    /// `evicted` distinguishes governor-driven eviction (counted in
+    /// [`Self::evictions`]) from ordinary withdrawal (republish, drop).
+    /// Returns the bytes that were resident for the entry.
+    pub fn released(&self, key: PanelKey, evicted: bool) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let bytes = inner.entries.remove(&key).map(|e| e.bytes).unwrap_or(0);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        bytes
+    }
+
+    /// Applies proactive cold eviction and any standing budget pressure:
+    /// flags unpinned entries idle at least `cold_after_ms` (when
+    /// configured), plus LRU victims if the ledger is over budget (e.g.
+    /// after a runtime squeeze). Returns how many entries are now flagged.
+    pub fn enforce(&self, now_ms: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        if self.cold_after_ms > 0 {
+            let horizon = self.cold_after_ms;
+            for e in inner.entries.values_mut() {
+                if !e.pinned && !e.flagged && now_ms.saturating_sub(e.last_used_ms) >= horizon {
+                    e.flagged = true;
+                }
+            }
+        }
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget > 0 {
+            let resident = inner.resident();
+            if resident > budget {
+                inner.flag_lru(resident - budget);
+            }
+        }
+        inner.entries.values().filter(|e| e.flagged).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+
+    fn gov(budget: u64) -> MemoryGovernor {
+        MemoryGovernor::new(GovernorConfig { budget_bytes: budget, cold_after_ms: 0 })
+    }
+
+    #[test]
+    fn unlimited_budget_always_grants() {
+        let g = gov(0);
+        for slot in 0..4 {
+            assert_eq!(g.reserve(PanelKey::new(slot, 0), 10 * KIB, 0), Reserve::Granted);
+        }
+        assert_eq!(g.resident_bytes(), 40 * KIB);
+        assert_eq!(g.evictions(), 0);
+    }
+
+    #[test]
+    fn grants_until_budget_then_flags_lru_victim() {
+        let g = gov(3 * KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 10), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 20), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(2, 0), KIB, 30), Reserve::Granted);
+        // Fourth kilobyte does not fit; slot 0 is coldest.
+        assert_eq!(g.reserve(PanelKey::new(3, 0), KIB, 40), Reserve::Pending);
+        assert_eq!(g.take_evictions(1), Vec::<u32>::new());
+        assert_eq!(g.take_evictions(0), vec![0]);
+        assert_eq!(g.released(PanelKey::new(0, 0), true), KIB);
+        assert_eq!(g.evictions(), 1);
+        // Retry now fits.
+        assert_eq!(g.reserve(PanelKey::new(3, 0), KIB, 41), Reserve::Granted);
+        assert!(g.resident_bytes() <= g.budget_bytes());
+    }
+
+    #[test]
+    fn pinned_entries_are_never_victims() {
+        let g = gov(2 * KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 1), Reserve::Granted);
+        g.set_pinned(PanelKey::new(0, 0), true);
+        assert_eq!(g.reserve(PanelKey::new(2, 0), KIB, 2), Reserve::Pending);
+        // Only the unpinned slot 1 was flagged, despite slot 0 being colder.
+        assert_eq!(g.take_evictions(0), Vec::<u32>::new());
+        assert_eq!(g.take_evictions(1), vec![0]);
+    }
+
+    #[test]
+    fn touch_changes_the_victim() {
+        let g = gov(2 * KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 1), Reserve::Granted);
+        g.touch(PanelKey::new(0, 0), 100); // slot 1 is now coldest
+        assert_eq!(g.reserve(PanelKey::new(2, 0), KIB, 101), Reserve::Pending);
+        assert_eq!(g.take_evictions(1), vec![0]);
+        assert_eq!(g.take_evictions(0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn oversize_grant_when_nothing_can_be_evicted() {
+        let g = gov(KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        g.set_pinned(PanelKey::new(0, 0), true);
+        // Nothing evictable: grant oversize rather than deadlock.
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 1), Reserve::GrantedOversize);
+        assert_eq!(g.oversize_grants(), 1);
+        assert_eq!(g.resident_bytes(), 2 * KIB);
+    }
+
+    #[test]
+    fn commit_teaches_the_size_estimator_and_self_heals() {
+        let g = gov(4 * KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 7), KIB, 0), Reserve::Granted);
+        // The freeze turned out 3x larger than estimated.
+        g.commit(PanelKey::new(0, 7), 3 * KIB, 1);
+        assert_eq!(g.estimate(7, KIB), 3 * KIB);
+        // Later reservations of the same variant use the learned size:
+        // 3 + 3 > 4 KiB, and the only other entry is the would-be victim.
+        assert_eq!(g.reserve(PanelKey::new(1, 7), KIB, 2), Reserve::Pending);
+        assert_eq!(g.take_evictions(0), vec![7]);
+    }
+
+    #[test]
+    fn commit_overshoot_flags_victims_immediately() {
+        let g = gov(2 * KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 1), KIB, 1), Reserve::Granted);
+        g.set_pinned(PanelKey::new(1, 1), true);
+        // Slot 0 committed far over its reservation: ledger now over budget,
+        // and slot 0 itself (the only unpinned entry) gets flagged.
+        g.commit(PanelKey::new(0, 0), 4 * KIB, 2);
+        assert_eq!(g.take_evictions(0), vec![0]);
+    }
+
+    #[test]
+    fn runtime_budget_squeeze_applies_on_enforce() {
+        let g = gov(8 * KIB);
+        for slot in 0..4 {
+            assert_eq!(g.reserve(PanelKey::new(slot, 0), 2 * KIB, slot as u64), Reserve::Granted);
+        }
+        g.set_pinned(PanelKey::new(3, 0), true);
+        g.set_budget_bytes(4 * KIB);
+        assert_eq!(g.enforce(100), 2, "two coldest unpinned entries flagged");
+        assert_eq!(g.take_evictions(0), vec![0]);
+        assert_eq!(g.take_evictions(1), vec![0]);
+        g.released(PanelKey::new(0, 0), true);
+        g.released(PanelKey::new(1, 0), true);
+        assert!(g.resident_bytes() <= 4 * KIB);
+        assert_eq!(g.evictions(), 2);
+    }
+
+    #[test]
+    fn cold_entries_are_flagged_proactively() {
+        let g = MemoryGovernor::new(GovernorConfig { budget_bytes: 0, cold_after_ms: 50 });
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 40), Reserve::Granted);
+        assert_eq!(g.enforce(60), 1, "only the entry idle >= 50ms is cold");
+        assert_eq!(g.take_evictions(0), vec![0]);
+        assert_eq!(g.take_evictions(1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn pinning_clears_a_standing_flag() {
+        let g = gov(KIB);
+        assert_eq!(g.reserve(PanelKey::new(0, 0), KIB, 0), Reserve::Granted);
+        assert_eq!(g.reserve(PanelKey::new(1, 0), KIB, 1), Reserve::Pending);
+        g.set_pinned(PanelKey::new(0, 0), true);
+        assert_eq!(g.take_evictions(0), Vec::<u32>::new(), "pin beat the eviction");
+    }
+
+    #[test]
+    fn released_unknown_key_is_harmless() {
+        let g = gov(KIB);
+        assert_eq!(g.released(PanelKey::new(9, 9), true), 0);
+        assert_eq!(g.evictions(), 1, "caller said it evicted; trust the count");
+    }
+}

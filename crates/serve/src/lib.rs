@@ -42,17 +42,25 @@ pub mod chaos;
 pub mod degrade;
 pub mod engine;
 pub mod error;
+pub mod governor;
 pub mod health;
 pub mod queue;
 pub mod request;
+pub mod tenant;
 pub mod validate;
 
-pub use chaos::{FaultClock, LifecycleFault};
+pub use chaos::{FaultClock, LifecycleFault, TenantFault};
 pub use degrade::{downscale_rung, DegradeConfig, DegradeController};
 pub use engine::{
     DrainStats, Precision, QuantGateConfig, ReloadReport, ServeConfig, ServeEngine,
 };
 pub use error::{ReloadError, ServeError};
-pub use health::{HealthSnapshot, LatencyWindow};
+pub use governor::{GovernorConfig, MemoryGovernor, PanelKey, Reserve};
+pub use health::{HealthSnapshot, LatencyWindow, TenantHealth};
+pub use queue::starvation_bound_dequeues;
 pub use request::{InferResponse, Outcome, PendingResponse};
+pub use tenant::{
+    BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, QuotaScope, TenantId,
+    TenantQuota, TenantStats, TokenBucket,
+};
 pub use validate::{payload_digest, Quarantine, QuarantineRecord, ValidationPolicy};

@@ -2,6 +2,7 @@
 //! and the client-side handle used to await one.
 
 use crate::error::ServeError;
+use crate::tenant::TenantId;
 use revbifpn_tensor::Tensor;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -36,6 +37,14 @@ pub struct Ticket {
     /// Test-only poison tag (see `ServeEngine::POISON_TAG`); `None` in
     /// production traffic.
     pub tag: Option<u64>,
+    /// Tenant the request was admitted for.
+    pub tenant: TenantId,
+    /// Fair-scheduler weight snapshotted from the tenant's quota at
+    /// admission (the DRR quantum; see `queue`).
+    pub weight: u32,
+    /// `true` when this request is a circuit-breaker half-open probe; its
+    /// outcome must be reported back to the breaker with the probe flag.
+    pub probe: bool,
     /// When the request was admitted.
     pub enqueued: Instant,
     /// When the request stops being worth serving.
@@ -101,6 +110,9 @@ mod tests {
                 id: 7,
                 image: Tensor::zeros(Shape::new(1, 3, 8, 8)),
                 tag: None,
+                tenant: TenantId::DEFAULT,
+                weight: 1,
+                probe: false,
                 enqueued: now,
                 deadline: now + Duration::from_secs(1),
                 responder: tx,

@@ -1,0 +1,527 @@
+//! Multi-tenant isolation primitives: identities, admission quotas, and
+//! per-tenant circuit breakers.
+//!
+//! Every request entering the engine carries a [`TenantId`]. Admission runs
+//! three tenant-scoped gates before the shared bounded queue is even
+//! consulted:
+//!
+//! 1. **Circuit breaker** — a tenant whose recent requests keep failing
+//!    (panics, deadline misses, worker deaths) stops being admitted at all
+//!    ([`crate::ServeError::CircuitOpen`]) until a half-open probe proves
+//!    the poison has passed. One tenant's pathological inputs must not burn
+//!    worker time for everyone else.
+//! 2. **Token-bucket rate quota** — sustained request rate is capped at
+//!    [`TenantQuota::rate_per_sec`] with burst headroom
+//!    [`TenantQuota::burst`]; beyond it the request is shed with a typed
+//!    [`crate::ServeError::QuotaExceeded`].
+//! 3. **In-flight cap** — at most [`TenantQuota::max_in_flight`] admitted
+//!    requests may be unresolved at once, bounding the queue memory any one
+//!    tenant can pin.
+//!
+//! All three are *explicit-clock* state machines (milliseconds on any
+//! monotonic clock): transitions are pure functions of the observation
+//! sequence, so every policy is unit-testable with synthetic timelines and
+//! chaos runs replay deterministically.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A tenant identity. Cheap, copyable, and carried on every ticket.
+///
+/// Tenant 0 ([`TenantId::DEFAULT`]) is the identity used by the
+/// single-tenant [`crate::ServeEngine::submit`] path; it is subject to the
+/// same machinery with the engine's default quota.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant used when a caller does not specify one.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Which tenant quota a request exceeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuotaScope {
+    /// The token-bucket rate quota was empty.
+    Rate,
+    /// The tenant already had `max_in_flight` unresolved requests.
+    InFlight,
+}
+
+impl QuotaScope {
+    /// Stable short label for counters and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuotaScope::Rate => "rate",
+            QuotaScope::InFlight => "in_flight",
+        }
+    }
+}
+
+/// Per-tenant admission quota and scheduling weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Sustained admissions per second (token-bucket refill rate).
+    /// `f64::INFINITY` disables rate limiting.
+    pub rate_per_sec: f64,
+    /// Burst headroom: the bucket holds at most this many tokens.
+    pub burst: u32,
+    /// Maximum admitted-but-unresolved requests at any instant.
+    pub max_in_flight: u32,
+    /// Deficit-round-robin weight (dequeue quantum). Relative service share
+    /// under contention is `weight / Σ active weights`. Clamped to ≥ 1.
+    pub weight: u32,
+}
+
+impl Default for TenantQuota {
+    /// Fully permissive: infinite rate, no in-flight cap, weight 1. A
+    /// single-tenant deployment never notices the quota layer exists;
+    /// multi-tenant deployments opt in with real limits.
+    fn default() -> Self {
+        Self { rate_per_sec: f64::INFINITY, burst: 256, max_in_flight: u32::MAX, weight: 1 }
+    }
+}
+
+impl TenantQuota {
+    /// The DRR quantum this quota grants (weights below 1 are meaningless).
+    pub fn quantum(&self) -> u64 {
+        u64::from(self.weight.max(1))
+    }
+}
+
+/// Classic token bucket on an explicit millisecond clock.
+///
+/// The bucket starts full (burst headroom is immediately available) and
+/// refills continuously at `rate_per_sec`, capped at `burst` tokens.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    tokens: f64,
+    last_ms: u64,
+    rate_per_sec: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket for `quota`, timestamped `now_ms`.
+    pub fn new(quota: &TenantQuota, now_ms: u64) -> Self {
+        let burst = f64::from(quota.burst.max(1));
+        Self { tokens: burst, last_ms: now_ms, rate_per_sec: quota.rate_per_sec, burst }
+    }
+
+    /// Reconfigures rate and burst in place, keeping earned tokens (capped
+    /// at the new burst). Used by runtime quota updates / quota-flap chaos.
+    pub fn reconfigure(&mut self, quota: &TenantQuota) {
+        self.rate_per_sec = quota.rate_per_sec;
+        self.burst = f64::from(quota.burst.max(1));
+        self.tokens = self.tokens.min(self.burst);
+    }
+
+    fn refill(&mut self, now_ms: u64) {
+        let dt_ms = now_ms.saturating_sub(self.last_ms);
+        self.last_ms = self.last_ms.max(now_ms);
+        if self.rate_per_sec.is_infinite() {
+            self.tokens = self.burst;
+        } else if dt_ms > 0 {
+            self.tokens = (self.tokens + self.rate_per_sec * dt_ms as f64 / 1_000.0).min(self.burst);
+        }
+    }
+
+    /// Takes one token if available. Deterministic in `(call sequence,
+    /// now_ms)`.
+    pub fn try_take(&mut self, now_ms: u64) -> bool {
+        self.refill(now_ms);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now_ms`).
+    pub fn available(&mut self, now_ms: u64) -> f64 {
+        self.refill(now_ms);
+        self.tokens
+    }
+}
+
+/// Circuit-breaker thresholds and timing.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Sliding window of recent terminal outcomes the trip decision is
+    /// computed over.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip (a single
+    /// early failure must not open the circuit).
+    pub min_samples: usize,
+    /// Failure fraction at or above which the breaker trips open.
+    pub trip_ratio: f64,
+    /// Milliseconds the breaker stays fully open before probing.
+    pub open_ms: u64,
+    /// Concurrent probe requests allowed while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { window: 32, min_samples: 8, trip_ratio: 0.5, open_ms: 2_000, half_open_probes: 2 }
+    }
+}
+
+/// Externally visible breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: admitting normally, watching the failure window.
+    Closed,
+    /// Tripped: rejecting everything until `open_ms` elapses.
+    Open,
+    /// Probing: a bounded number of requests admitted to test the waters.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable short label for counters and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Admission verdict from [`CircuitBreaker::admit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Admit normally (breaker closed).
+    Admit,
+    /// Admit as a half-open probe: the ticket must be marked so its outcome
+    /// is reported with `probe = true`.
+    AdmitProbe,
+    /// Reject: circuit open (or half-open with all probe slots taken).
+    /// Carries the milliseconds until the next probe opportunity (0 when
+    /// only waiting on in-flight probes).
+    Reject {
+        /// Milliseconds until the breaker will consider probing again.
+        retry_in_ms: u64,
+    },
+}
+
+/// Per-tenant circuit breaker: trips on error/deadline-miss rate, recovers
+/// through half-open probing.
+///
+/// Only *worker-burning* outcomes count toward the trip decision: a request
+/// that completed (success) or panicked / missed its deadline / died with a
+/// worker (failure). Admission-time sheds never reach the breaker — they
+/// consumed no worker time and say nothing about the tenant's payloads.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Recent outcomes, `true` = failure.
+    window: VecDeque<bool>,
+    failures_in_window: usize,
+    opened_at_ms: u64,
+    probes_outstanding: u32,
+    probes_returned: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(cfg.window.max(1)),
+            failures_in_window: 0,
+            opened_at_ms: 0,
+            probes_outstanding: 0,
+            probes_returned: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open over its lifetime.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_ms = now_ms;
+        self.window.clear();
+        self.failures_in_window = 0;
+        self.probes_outstanding = 0;
+        self.probes_returned = 0;
+        self.trips += 1;
+    }
+
+    /// Admission check at time `now_ms`.
+    pub fn admit(&mut self, now_ms: u64) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Admit,
+            BreakerState::Open => {
+                let elapsed = now_ms.saturating_sub(self.opened_at_ms);
+                if elapsed >= self.cfg.open_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_outstanding = 0;
+                    self.probes_returned = 0;
+                    self.admit(now_ms)
+                } else {
+                    BreakerDecision::Reject { retry_in_ms: self.cfg.open_ms - elapsed }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_outstanding + self.probes_returned
+                    < self.cfg.half_open_probes.max(1)
+                {
+                    self.probes_outstanding += 1;
+                    BreakerDecision::AdmitProbe
+                } else {
+                    BreakerDecision::Reject { retry_in_ms: 0 }
+                }
+            }
+        }
+    }
+
+    /// Records one terminal outcome. `probe` must be the flag handed out at
+    /// admission ([`BreakerDecision::AdmitProbe`]); `failure` is `true` for
+    /// worker-burning failures (panic, deadline miss, worker death).
+    pub fn record(&mut self, failure: bool, probe: bool, now_ms: u64) {
+        if probe {
+            self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+            self.probes_returned += 1;
+            if self.state == BreakerState::HalfOpen {
+                if failure {
+                    // The waters are not safe: snap back open.
+                    self.trip(now_ms);
+                } else if self.probes_returned >= self.cfg.half_open_probes.max(1) {
+                    // Every probe came back clean: close and start fresh.
+                    self.state = BreakerState::Closed;
+                    self.window.clear();
+                    self.failures_in_window = 0;
+                }
+            }
+            return;
+        }
+        if self.state != BreakerState::Closed {
+            // A pre-trip straggler resolving after the breaker opened: its
+            // verdict is stale, ignore it.
+            return;
+        }
+        if self.window.len() == self.cfg.window.max(1)
+            && self.window.pop_front() == Some(true)
+        {
+            self.failures_in_window -= 1;
+        }
+        self.window.push_back(failure);
+        if failure {
+            self.failures_in_window += 1;
+        }
+        if self.window.len() >= self.cfg.min_samples.max(1)
+            && (self.failures_in_window as f64)
+                >= self.cfg.trip_ratio * self.window.len() as f64
+        {
+            self.trip(now_ms);
+        }
+    }
+
+    /// Releases a probe slot without a verdict (e.g. the probe was flushed
+    /// at shutdown before any worker touched it).
+    pub fn release_probe(&mut self) {
+        self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+    }
+}
+
+/// Cumulative per-tenant accounting, readable in health snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests admitted past all tenant gates into the queue.
+    pub admitted: u64,
+    /// Requests completed with a response.
+    pub completed: u64,
+    /// Worker-burning failures (poisoned, deadline-missed, worker lost).
+    pub failed: u64,
+    /// Requests shed by the rate or in-flight quota.
+    pub shed_quota: u64,
+    /// Requests rejected by an open circuit breaker.
+    pub shed_breaker: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quota(rate: f64, burst: u32) -> TenantQuota {
+        TenantQuota { rate_per_sec: rate, burst, max_in_flight: 8, weight: 1 }
+    }
+
+    #[test]
+    fn bucket_starts_full_and_refills_at_rate() {
+        let mut b = TokenBucket::new(&quota(10.0, 3), 0);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0), "burst exhausted");
+        // 10 tokens/s => one token per 100 ms.
+        assert!(!b.try_take(99));
+        assert!(b.try_take(100));
+        assert!(!b.try_take(100));
+        // Refill caps at burst no matter how long the idle stretch.
+        assert!(b.available(1_000_000) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn infinite_rate_never_limits() {
+        let mut b = TokenBucket::new(&quota(f64::INFINITY, 1), 0);
+        for t in 0..100 {
+            assert!(b.try_take(t), "infinite rate must always admit");
+        }
+    }
+
+    #[test]
+    fn bucket_is_monotonic_against_clock_skew() {
+        let mut b = TokenBucket::new(&quota(10.0, 1), 1_000);
+        assert!(b.try_take(1_000));
+        // A now_ms earlier than last seen must not mint tokens or panic.
+        assert!(!b.try_take(500));
+        assert!(b.try_take(1_100));
+    }
+
+    #[test]
+    fn reconfigure_keeps_earned_tokens_capped() {
+        let mut b = TokenBucket::new(&quota(10.0, 8), 0);
+        b.reconfigure(&quota(10.0, 2));
+        assert!(b.available(0) <= 2.0, "tokens cap at the new burst");
+        b.reconfigure(&quota(10.0, 16));
+        assert!(b.available(0) <= 2.0 + 1e-9, "a raise does not mint tokens");
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            trip_ratio: 0.5,
+            open_ms: 100,
+            half_open_probes: 2,
+        })
+    }
+
+    #[test]
+    fn breaker_trips_on_failure_rate_not_single_failure() {
+        let mut b = breaker();
+        b.record(true, false, 0);
+        assert_eq!(b.state(), BreakerState::Closed, "below min_samples");
+        b.record(false, false, 1);
+        b.record(true, false, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(true, false, 3); // 3 failures / 4 samples >= 0.5
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(matches!(b.admit(10), BreakerDecision::Reject { retry_in_ms: 93 }));
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let mut b = breaker();
+        for t in 0..4 {
+            b.record(t < 2, false, t); // 2 fail, 2 ok -> exactly at ratio? 2/4 = 0.5 trips
+        }
+        // 2/4 >= 0.5 trips immediately; rebuild a gentler sequence instead.
+        let mut b = breaker();
+        b.record(true, false, 0);
+        for t in 1..8 {
+            b.record(false, false, t);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Window is full of successes now; the old failure aged out, so four
+        // more successes plus one failure stays under the ratio.
+        b.record(true, false, 9);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_half_opens_probes_and_recloses() {
+        let mut b = breaker();
+        for t in 0..4 {
+            b.record(true, false, t);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Before open_ms: rejected.
+        assert!(matches!(b.admit(50), BreakerDecision::Reject { .. }));
+        // After open_ms: exactly two probes, then reject while they fly.
+        assert_eq!(b.admit(103), BreakerDecision::AdmitProbe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(104), BreakerDecision::AdmitProbe);
+        assert!(matches!(b.admit(105), BreakerDecision::Reject { retry_in_ms: 0 }));
+        // Both probes succeed: closed, admitting again.
+        b.record(false, true, 110);
+        b.record(false, true, 115);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(116), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn failed_probe_snaps_back_open() {
+        let mut b = breaker();
+        for t in 0..4 {
+            b.record(true, false, t);
+        }
+        assert_eq!(b.admit(150), BreakerDecision::AdmitProbe);
+        b.record(true, true, 151);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // The open timer restarted at the failed probe.
+        assert!(matches!(b.admit(200), BreakerDecision::Reject { .. }));
+        assert_eq!(b.admit(260), BreakerDecision::AdmitProbe);
+    }
+
+    #[test]
+    fn stale_outcomes_do_not_poison_an_open_breaker() {
+        let mut b = breaker();
+        for t in 0..4 {
+            b.record(true, false, t);
+        }
+        let trips = b.trips();
+        // Stragglers from before the trip resolve now: ignored.
+        b.record(true, false, 50);
+        b.record(false, false, 51);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), trips);
+    }
+
+    #[test]
+    fn released_probe_frees_the_slot() {
+        let mut b = breaker();
+        for t in 0..4 {
+            b.record(true, false, t);
+        }
+        assert_eq!(b.admit(150), BreakerDecision::AdmitProbe);
+        assert_eq!(b.admit(151), BreakerDecision::AdmitProbe);
+        assert!(matches!(b.admit(152), BreakerDecision::Reject { .. }));
+        b.release_probe();
+        assert_eq!(b.admit(153), BreakerDecision::AdmitProbe, "released slot is reusable");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(QuotaScope::Rate.label(), "rate");
+        assert_eq!(QuotaScope::InFlight.label(), "in_flight");
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open.label(), "open");
+        assert_eq!(BreakerState::HalfOpen.label(), "half_open");
+        assert_eq!(TenantId(3).to_string(), "tenant-3");
+    }
+}

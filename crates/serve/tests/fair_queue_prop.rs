@@ -1,0 +1,194 @@
+//! Property tests for the deficit-weighted fair queue: adversarial tenant
+//! mixes must respect the documented starvation bound
+//! ([`starvation_bound_dequeues`]), and under sustained backlog per-tenant
+//! goodput must track quota weights. These are the two contracts the
+//! multi-tenant admission layer advertises; breaking either is a fairness
+//! regression even if every unit test still passes.
+
+use proptest::prelude::*;
+use revbifpn_serve::queue::BoundedQueue;
+use revbifpn_serve::request::{Outcome, Ticket};
+use revbifpn_serve::starvation_bound_dequeues;
+use revbifpn_serve::tenant::TenantId;
+use revbifpn_tensor::{Shape, Tensor};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Deterministic per-case stream used to derive weights, depths, and
+/// adversarial interleavings from a single generated seed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn ticket(id: u64, tenant: TenantId, weight: u32) -> (Ticket, mpsc::Receiver<Outcome>) {
+    let (tx, rx) = mpsc::channel();
+    let now = Instant::now();
+    (
+        Ticket {
+            id,
+            image: Tensor::zeros(Shape::new(1, 3, 4, 4)),
+            tag: None,
+            tenant,
+            weight,
+            probe: false,
+            enqueued: now,
+            deadline: now + Duration::from_secs(3600),
+            responder: tx,
+        },
+        rx,
+    )
+}
+
+/// One adversarial tenant mix: weights, per-tenant backlogs, and a
+/// shuffled global arrival order.
+struct Mix {
+    weights: Vec<u32>,
+    depths: Vec<usize>,
+    /// Tenant index of each arrival, shuffled.
+    arrivals: Vec<usize>,
+}
+
+fn build_mix(n_tenants: usize, seed: u64, max_depth: usize) -> Mix {
+    let mut s = seed | 1; // zero seed would freeze the stream
+    let weights: Vec<u32> =
+        (0..n_tenants).map(|_| (xorshift(&mut s) % 8 + 1) as u32).collect();
+    let depths: Vec<usize> =
+        (0..n_tenants).map(|_| (xorshift(&mut s) as usize % max_depth) + 1).collect();
+    let mut arrivals = Vec::new();
+    for (tenant, &d) in depths.iter().enumerate() {
+        arrivals.extend(std::iter::repeat_n(tenant, d));
+    }
+    // Fisher-Yates off the same stream: arrival order is part of the
+    // adversarial input (floods may front-run, trickle, or sandwich).
+    for i in (1..arrivals.len()).rev() {
+        let j = (xorshift(&mut s) % (i as u64 + 1)) as usize;
+        arrivals.swap(i, j);
+    }
+    Mix { weights, depths, arrivals }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No ticket departs later than the documented starvation bound, no
+    /// ticket is lost or reordered within its tenant, and the bound holds
+    /// for every tenant simultaneously — regardless of how the other
+    /// tenants flood.
+    #[test]
+    fn starvation_bound_holds_under_adversarial_mixes(
+        n_tenants in 2usize..7,
+        seed in any::<u64>(),
+        batch_max in 1usize..9,
+    ) {
+        let mix = build_mix(n_tenants, seed, 16);
+        let total_weight: u64 = mix.weights.iter().map(|&w| u64::from(w)).sum();
+        let total: usize = mix.depths.iter().sum();
+
+        let q = BoundedQueue::new(total);
+        let mut rxs = Vec::with_capacity(total);
+        // id encodes (tenant, position-in-sub-queue) so departures can be
+        // checked against the bound without side tables.
+        let mut next_pos = vec![0u64; n_tenants];
+        for &tenant in &mix.arrivals {
+            let pos = next_pos[tenant];
+            next_pos[tenant] += 1;
+            let (t, rx) =
+                ticket((tenant as u64) << 32 | pos, TenantId(tenant as u32), mix.weights[tenant]);
+            q.push(t).expect("capacity sized to the mix");
+            rxs.push(rx);
+        }
+
+        let mut dequeues = 0u64;
+        let mut last_pos = vec![None::<u64>; n_tenants];
+        let mut served_per_tenant = vec![0usize; n_tenants];
+        while q.depth() > 0 {
+            let out = q.pop_batch(batch_max, Duration::from_millis(1));
+            prop_assert!(out.expired.is_empty(), "hour-long deadlines cannot expire");
+            prop_assert!(!out.batch.is_empty(), "non-empty queue must make progress");
+            for t in out.batch {
+                dequeues += 1;
+                let tenant = (t.id >> 32) as usize;
+                let pos = t.id & 0xFFFF_FFFF;
+                // FIFO within a tenant: positions depart in order.
+                prop_assert_eq!(last_pos[tenant].map_or(0, |p| p + 1), pos);
+                last_pos[tenant] = Some(pos);
+                served_per_tenant[tenant] += 1;
+                let bound = starvation_bound_dequeues(
+                    pos as usize,
+                    mix.weights[tenant],
+                    total_weight,
+                );
+                prop_assert!(
+                    dequeues <= bound,
+                    "ticket (tenant {}, pos {}) departed at dequeue {} > bound {}",
+                    tenant, pos, dequeues, bound,
+                );
+            }
+        }
+        // Totality: nothing starved forever, nothing duplicated.
+        prop_assert_eq!(dequeues as usize, total);
+        for (tenant, &served) in served_per_tenant.iter().enumerate() {
+            prop_assert_eq!(served, mix.depths[tenant]);
+        }
+    }
+
+    /// Under sustained backlog every tenant's share of served tickets
+    /// matches its weight share to within one quantum: serving exactly R
+    /// full rotations hands each tenant R * weight tickets, and arbitrary
+    /// batch cuts may shift at most one quantum between tenants.
+    #[test]
+    fn goodput_tracks_weights_under_sustained_backlog(
+        n_tenants in 2usize..7,
+        seed in any::<u64>(),
+        batch_max in 1usize..9,
+        rotations in 2u64..6,
+    ) {
+        let mut s = seed | 1;
+        let weights: Vec<u32> =
+            (0..n_tenants).map(|_| (xorshift(&mut s) % 8 + 1) as u32).collect();
+        let total_weight: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        // Deep enough that no tenant runs dry mid-measurement.
+        let depths: Vec<usize> =
+            weights.iter().map(|&w| (w as usize) * (rotations as usize + 2)).collect();
+        let total: usize = depths.iter().sum();
+
+        let q = BoundedQueue::new(total);
+        let mut rxs = Vec::with_capacity(total);
+        for (tenant, (&w, &d)) in weights.iter().zip(&depths).enumerate() {
+            for pos in 0..d {
+                let (t, rx) = ticket(pos as u64, TenantId(tenant as u32), w);
+                q.push(t).expect("capacity sized to the mix");
+                rxs.push(rx);
+            }
+        }
+
+        let target = rotations * total_weight;
+        let mut served = vec![0u64; n_tenants];
+        let mut n = 0u64;
+        while n < target {
+            let room = ((target - n) as usize).min(batch_max);
+            let out = q.pop_batch(room, Duration::from_millis(1));
+            prop_assert!(out.expired.is_empty());
+            prop_assert!(!out.batch.is_empty(), "backlogged queue must make progress");
+            for t in &out.batch {
+                served[t.tenant.0 as usize] += 1;
+            }
+            n += out.batch.len() as u64;
+        }
+
+        for (tenant, &got) in served.iter().enumerate() {
+            let expected = rotations * u64::from(weights[tenant]);
+            let tolerance = u64::from(weights[tenant]);
+            prop_assert!(
+                got.abs_diff(expected) <= tolerance,
+                "tenant {} (weight {}): served {} vs expected {} ± {}",
+                tenant, weights[tenant], got, expected, tolerance,
+            );
+        }
+    }
+}

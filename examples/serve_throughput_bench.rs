@@ -1,0 +1,323 @@
+//! Multi-tenant overload throughput benchmark: drives the serving engine
+//! at a configurable overload factor (default 10x the paced tenant's load,
+//! `--overload 100` for the deep end) with three tenants — a paced
+//! interactive tenant, and two flooding batch tenants held back by rate /
+//! in-flight quotas — and writes `results/BENCH_serve_throughput.json`
+//! with goodput, the typed shed breakdown, and per-tenant latency
+//! percentiles.
+//!
+//! The number this bench guards: under a flood the engine's *goodput*
+//! (completed requests/sec) must stay positive and every rejection must be
+//! one of the typed shed categories — overload converts to clean sheds,
+//! not collapse. `--smoke` shortens the run for CI.
+
+use revbifpn::RevBiFPNConfig;
+use revbifpn_serve::{
+    BreakerConfig, PendingResponse, QuotaScope, ServeConfig, ServeEngine, ServeError, TenantId,
+    TenantQuota,
+};
+use revbifpn_tensor::{Shape, Tensor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Default, Clone, Debug)]
+struct ShedCounts {
+    quota_rate: u64,
+    quota_inflight: u64,
+    breaker_open: u64,
+    queue_full: u64,
+    deadline: u64,
+    other: u64,
+}
+
+impl ShedCounts {
+    /// Classifies a typed rejection; the exhaustive match makes a new
+    /// untyped escape hatch a compile error here too.
+    fn count(&mut self, e: &ServeError) {
+        match e {
+            ServeError::QuotaExceeded { scope: QuotaScope::Rate, .. } => self.quota_rate += 1,
+            ServeError::QuotaExceeded { scope: QuotaScope::InFlight, .. } => {
+                self.quota_inflight += 1;
+            }
+            ServeError::CircuitOpen { .. } => self.breaker_open += 1,
+            ServeError::QueueFull { .. } => self.queue_full += 1,
+            ServeError::DeadlineExceeded { .. } => self.deadline += 1,
+            ServeError::InvalidShape(_)
+            | ServeError::NonFiniteInput { .. }
+            | ServeError::OutOfRange { .. }
+            | ServeError::Poisoned
+            | ServeError::WorkerLost
+            | ServeError::ShuttingDown => self.other += 1,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.quota_rate
+            + self.quota_inflight
+            + self.breaker_open
+            + self.queue_full
+            + self.deadline
+            + self.other
+    }
+
+    fn merge(&mut self, o: &ShedCounts) {
+        self.quota_rate += o.quota_rate;
+        self.quota_inflight += o.quota_inflight;
+        self.breaker_open += o.breaker_open;
+        self.queue_full += o.queue_full;
+        self.deadline += o.deadline;
+        self.other += o.other;
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"quota_rate\": {}, \"quota_inflight\": {}, \"breaker_open\": {}, \
+             \"queue_full\": {}, \"deadline\": {}, \"other\": {} }}",
+            self.quota_rate,
+            self.quota_inflight,
+            self.breaker_open,
+            self.queue_full,
+            self.deadline,
+            self.other
+        )
+    }
+}
+
+#[derive(Default)]
+struct TenantReport {
+    offered: u64,
+    completed: u64,
+    latencies_ms: Vec<f64>,
+    shed: ShedCounts,
+}
+
+impl TenantReport {
+    fn absorb(&mut self, outcome: Result<f64, ServeError>) {
+        match outcome {
+            Ok(ms) => {
+                self.completed += 1;
+                self.latencies_ms.push(ms);
+            }
+            Err(e) => self.shed.count(&e),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn image(seed: usize) -> Tensor {
+    Tensor::full(Shape::new(1, 3, 32, 32), 0.01 * (seed % 7) as f32)
+}
+
+/// Flood submitter: keeps at most `window` responses outstanding, waiting
+/// the oldest out when full — sustained pressure with measured latency.
+fn flood_tenant(
+    engine: &ServeEngine,
+    tenant: TenantId,
+    per_tick: usize,
+    tick: Duration,
+    stop: &AtomicBool,
+    report: &Mutex<TenantReport>,
+) {
+    let mut local = TenantReport::default();
+    let mut window: VecDeque<PendingResponse> = VecDeque::new();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        for _ in 0..per_tick {
+            i += 1;
+            local.offered += 1;
+            match engine.submit_tenant(tenant, image(i)) {
+                Ok(p) => window.push_back(p),
+                Err(e) => local.shed.count(&e),
+            }
+            while window.len() >= 32 {
+                let p = window.pop_front().expect("window non-empty");
+                local.absorb(p.wait().map(|r| r.latency_ms));
+            }
+        }
+        std::thread::sleep(tick);
+    }
+    for p in window {
+        local.absorb(p.wait().map(|r| r.latency_ms));
+    }
+    *report.lock().unwrap() = local;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let overload: usize = args
+        .iter()
+        .position(|a| a == "--overload")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let duration = Duration::from_millis(if smoke { 2_000 } else { 10_000 });
+
+    let paced = TenantId(1);
+    let batch_a = TenantId(2);
+    let batch_b = TenantId(3);
+
+    let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+    cfg.workers = 1;
+    cfg.queue_capacity = 32;
+    cfg.max_batch = 2;
+    cfg.default_timeout_ms = 2_000;
+    cfg.watchdog_poll_ms = 5;
+    cfg.breaker = BreakerConfig {
+        window: 16,
+        min_samples: 8,
+        trip_ratio: 0.5,
+        open_ms: 500,
+        half_open_probes: 2,
+    };
+    cfg.tenant_quotas = vec![
+        (
+            paced,
+            TenantQuota {
+                rate_per_sec: f64::INFINITY,
+                burst: 256,
+                max_in_flight: 16,
+                weight: 4,
+            },
+        ),
+        (batch_a, TenantQuota { rate_per_sec: 300.0, burst: 16, max_in_flight: 6, weight: 1 }),
+        (batch_b, TenantQuota { rate_per_sec: 150.0, burst: 8, max_in_flight: 4, weight: 2 }),
+    ];
+    let engine = ServeEngine::start(cfg);
+
+    // Warm the packed panels out of the measurement.
+    for i in 0..8 {
+        let _ = engine.submit_tenant(paced, image(i)).map(|p| p.wait());
+    }
+
+    // Each flood thread offers `overload/10` submissions per millisecond
+    // tick: --overload 10 is ~1k offered/sec per flood tenant against a
+    // paced tenant doing ~100/sec, --overload 100 is ~10k/sec.
+    let per_tick = (overload / 10).max(1);
+    let stop = AtomicBool::new(false);
+    let paced_report = Mutex::new(TenantReport::default());
+    let a_report = Mutex::new(TenantReport::default());
+    let b_report = Mutex::new(TenantReport::default());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            flood_tenant(&engine, batch_a, per_tick, Duration::from_millis(1), &stop, &a_report)
+        });
+        scope.spawn(|| {
+            flood_tenant(&engine, batch_b, per_tick, Duration::from_millis(2), &stop, &b_report)
+        });
+
+        // Paced tenant on this thread: sequential, ~100 offered/sec.
+        let mut local = TenantReport::default();
+        let mut i = 0usize;
+        while started.elapsed() < duration {
+            i += 1;
+            local.offered += 1;
+            match engine.submit_tenant(paced, image(i)) {
+                Ok(p) => local.absorb(p.wait().map(|r| r.latency_ms)),
+                Err(e) => local.shed.count(&e),
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        *paced_report.lock().unwrap() = local;
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let reports = [
+        ("paced", paced, 4u32, paced_report.into_inner().unwrap()),
+        ("flood", batch_a, 1, a_report.into_inner().unwrap()),
+        ("flood", batch_b, 2, b_report.into_inner().unwrap()),
+    ];
+
+    let mut offered = 0u64;
+    let mut completed = 0u64;
+    let mut shed = ShedCounts::default();
+    let mut tenant_rows = Vec::new();
+    for (role, tenant, weight, r) in &reports {
+        offered += r.offered;
+        completed += r.completed;
+        shed.merge(&r.shed);
+        let mut lat = r.latencies_ms.clone();
+        lat.sort_by(f64::total_cmp);
+        let (p50, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
+        eprintln!(
+            "tenant {} ({role}, weight {weight}): offered {}, completed {}, shed {}, \
+             p50 {p50:.1} ms, p99 {p99:.1} ms",
+            tenant.0,
+            r.offered,
+            r.completed,
+            r.shed.total()
+        );
+        tenant_rows.push(format!(
+            "    {{ \"tenant\": {}, \"role\": \"{role}\", \"weight\": {weight}, \
+             \"offered\": {}, \"completed\": {}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+             \"shed\": {} }}",
+            tenant.0,
+            r.offered,
+            r.completed,
+            r.shed.json()
+        ));
+    }
+
+    let h = engine.health();
+    let goodput = completed as f64 / elapsed;
+    let offered_rps = offered as f64 / elapsed;
+    eprintln!(
+        "overload {overload}x: offered {offered_rps:.0}/s, goodput {goodput:.0}/s, \
+         shed total {} ({} swept in queue)",
+        shed.total(),
+        h.swept_expired
+    );
+
+    let json = format!(
+        "{{\n  \"overload_factor\": {overload},\n  \"duration_s\": {elapsed:.2},\n  \
+         \"offered_per_sec\": {offered_rps:.1},\n  \"goodput_per_sec\": {goodput:.1},\n  \
+         \"shed_breakdown\": {},\n  \"swept_expired\": {},\n  \
+         \"resident_budget_bytes\": {},\n  \"resident_governed_bytes\": {},\n  \
+         \"tenants\": [\n{}\n  ]\n}}\n",
+        shed.json(),
+        h.swept_expired,
+        h.resident_budget_bytes,
+        h.resident_governed_bytes,
+        tenant_rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_serve_throughput.json", json).expect("write bench json");
+    println!("wrote results/BENCH_serve_throughput.json");
+
+    engine.shutdown();
+
+    // Sanity gates so CI can run this directly: overload must convert to
+    // goodput plus *typed* sheds, with the books intact.
+    let mut failed = false;
+    if completed == 0 {
+        eprintln!("FAIL: zero goodput under overload");
+        failed = true;
+    }
+    if shed.quota_rate == 0 {
+        eprintln!("FAIL: the flood was never rate-shed — quotas inert?");
+        failed = true;
+    }
+    if offered < completed {
+        eprintln!("FAIL: served more than was offered — accounting broken");
+        failed = true;
+    }
+    if h.queue_depth != 0 {
+        eprintln!("FAIL: {} tickets lingering in the queue after shutdown", h.queue_depth);
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

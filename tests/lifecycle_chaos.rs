@@ -132,6 +132,8 @@ fn assert_typed(e: &ServeError) {
         | ServeError::OutOfRange { .. }
         | ServeError::Poisoned
         | ServeError::WorkerLost
+        | ServeError::QuotaExceeded { .. }
+        | ServeError::CircuitOpen { .. }
         | ServeError::ShuttingDown => {}
     }
 }
