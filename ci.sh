@@ -41,6 +41,9 @@ REVBIFPN_CHAOS_ITERS=12 cargo test -q --release --test lifecycle_chaos
 echo "== multi-tenant overload soak (quotas, breakers, fair DRR, tenant chaos, smoke)"
 REVBIFPN_TENANT_SOAK_MS=1500 cargo test -q --release --test tenant_soak
 
+echo "== batcher soak (same tenant chaos with continuous batching at cap 8, smoke)"
+REVBIFPN_TENANT_SOAK_MS=1500 REVBIFPN_TENANT_SOAK_BATCH=8 cargo test -q --release --test tenant_soak
+
 echo "== serve throughput under 10x overload (goodput + typed shed gates, smoke)"
 cargo run -q --release --example serve_throughput_bench -- --smoke
 

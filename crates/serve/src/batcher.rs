@@ -1,0 +1,556 @@
+//! Continuous cross-request batcher.
+//!
+//! Sits between the deficit-weighted tenant queue and the workers: workers
+//! pull admitted tickets off the fair queue and *offer* them into buckets
+//! keyed by (model generation, variant, precision, rung). A bucket closes —
+//! and its contents dispatch as one batch — when any of these fire:
+//!
+//! - **Size**: the bucket reached the cost-model-optimal batch size for its
+//!   service key ([`crate::cost::CostModel::optimal_batch`]).
+//! - **Deadline margin**: the earliest deadline in the bucket, minus the
+//!   predicted service time of the batch as it stands, minus
+//!   [`BatchConfig::close_margin_ms`], has arrived. Waiting any longer
+//!   would make the batch unservable for its most urgent member.
+//! - **Linger**: the bucket has been open [`BatchConfig::linger_ms`]
+//!   without filling. Bounds the latency a lone request pays for batching.
+//! - **Generation/key change**: the bucket's key no longer matches the
+//!   worker's current serving context (a hot reload published a new
+//!   generation, or the degrade ladder moved the rung). Such buckets close
+//!   immediately so a batch never spans model generations.
+//!
+//! All decisions take an explicit `now: Instant`, so closing behavior is
+//! deterministically testable without sleeping.
+//!
+//! The batcher holds no locks while batches run; workers race to
+//! [`Batcher::try_close`] and the mutex hands each closed batch to exactly
+//! one of them. Tickets stranded in buckets are visible to the watchdog's
+//! deadline sweep ([`Batcher::sweep_expired`]) and to drain/shutdown
+//! ([`Batcher::drain`]) — nothing is silently dropped.
+
+use crate::cost::CostKey;
+use crate::request::Ticket;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs for the continuous batcher.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchConfig {
+    /// `false` reverts to pass-through dispatch: whatever one queue pop
+    /// returns runs immediately as its own batch (the pre-batcher
+    /// behavior; used as the A/B baseline in the throughput bench).
+    pub enabled: bool,
+    /// Longest a bucket may stay open waiting to fill, milliseconds.
+    pub linger_ms: u64,
+    /// Safety margin subtracted from the earliest deadline when deciding
+    /// the latest moment a bucket can close and still be served in time,
+    /// milliseconds. Covers dispatch jitter and cost-model residual.
+    pub close_margin_ms: u64,
+    /// Knee threshold for [`crate::cost::CostModel::optimal_batch`]: close
+    /// on size once amortized overhead per item falls below this fraction
+    /// of the marginal item cost.
+    pub overhead_frac: f64,
+    /// Run the one-shot timing calibration (two timed forwards) when a
+    /// variant is frozen into a worker's bank, seeding the cost model.
+    pub calibrate_on_freeze: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            linger_ms: 2,
+            close_margin_ms: 5,
+            overhead_frac: 0.25,
+            calibrate_on_freeze: true,
+        }
+    }
+}
+
+/// Full bucket identity: service key plus the model generation it was
+/// opened under. Generation is part of the key, so tickets offered after a
+/// hot reload land in a fresh bucket and a batch never spans generations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BucketKey {
+    /// `ServeEngine` publish generation (0 = serving from the built-in
+    /// bank, before any artifact publish).
+    pub generation: u64,
+    /// Service key (variant, precision, rung).
+    pub key: CostKey,
+}
+
+/// Why a batch was closed and dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Reached the cost-model-optimal size.
+    Size,
+    /// Earliest deadline minus predicted service time hit the margin.
+    Deadline,
+    /// Max linger expired before the bucket filled.
+    Linger,
+    /// Bucket key no longer matches the serving context (generation swap
+    /// or degrade-rung move).
+    Generation,
+    /// Pass-through dispatch (batching disabled).
+    Flush,
+}
+
+/// A closed bucket handed to exactly one worker for dispatch.
+#[derive(Debug)]
+pub struct ClosedBatch {
+    pub key: BucketKey,
+    pub reason: CloseReason,
+    pub tickets: Vec<Ticket>,
+}
+
+/// Histogram bins over achieved batch sizes: 1, 2, 3–4, 5–8, 9–16, 17+.
+pub const HIST_BINS: usize = 6;
+
+fn hist_bin(size: usize) -> usize {
+    match size {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
+/// Per-service-key achieved-batch-size accounting (survives bucket churn).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Achieved-batch-size histogram (see [`HIST_BINS`]).
+    pub hist: [u64; HIST_BINS],
+    /// Batches dispatched for this key.
+    pub closes: u64,
+    /// Total tickets dispatched for this key.
+    pub items: u64,
+}
+
+impl BucketStats {
+    /// Mean achieved batch size for this key.
+    pub fn mean_batch(&self) -> f64 {
+        if self.closes == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.closes as f64
+        }
+    }
+}
+
+struct Bucket {
+    tickets: Vec<Ticket>,
+    opened: Instant,
+}
+
+/// The shared batcher. One per engine; all workers offer into it.
+pub struct Batcher {
+    cfg: BatchConfig,
+    depth: AtomicUsize,
+    buckets: Mutex<BTreeMap<BucketKey, Bucket>>,
+    stats: Mutex<BTreeMap<CostKey, BucketStats>>,
+    size_closes: AtomicU64,
+    deadline_closes: AtomicU64,
+    linger_closes: AtomicU64,
+    generation_closes: AtomicU64,
+    flush_closes: AtomicU64,
+}
+
+impl Batcher {
+    pub fn new(cfg: BatchConfig) -> Self {
+        Self {
+            cfg,
+            depth: AtomicUsize::new(0),
+            buckets: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+            size_closes: AtomicU64::new(0),
+            deadline_closes: AtomicU64::new(0),
+            linger_closes: AtomicU64::new(0),
+            generation_closes: AtomicU64::new(0),
+            flush_closes: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Tickets currently held in open buckets (admitted, not yet
+    /// dispatched). Counted into queue-pressure signals so the degrade
+    /// controller and drain see them.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Adds tickets to the bucket for `key`, opening it at `now` if empty.
+    pub fn offer(&self, key: BucketKey, tickets: Vec<Ticket>, now: Instant) {
+        if tickets.is_empty() {
+            return;
+        }
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets
+            .entry(key)
+            .or_insert_with(|| Bucket { tickets: Vec::new(), opened: now });
+        if bucket.tickets.is_empty() {
+            bucket.opened = now;
+        }
+        self.depth.fetch_add(tickets.len(), Ordering::AcqRel);
+        bucket.tickets.extend(tickets);
+    }
+
+    /// Closes at most one bucket and returns it for dispatch.
+    ///
+    /// `current` is the worker's serving context; any bucket under a
+    /// different key closes first (reason [`CloseReason::Generation`]).
+    /// The bucket under `current` closes by size (`target`), deadline
+    /// margin (`predict` maps batch size to predicted service ms; `None`
+    /// = uncalibrated, treated as 0), or linger. `cap` bounds the tickets
+    /// taken per dispatch; a remainder stays bucketed and re-opens at
+    /// `now`.
+    pub fn try_close<F>(
+        &self,
+        current: &BucketKey,
+        target: usize,
+        cap: usize,
+        predict: F,
+        now: Instant,
+    ) -> Option<ClosedBatch>
+    where
+        F: Fn(usize) -> Option<f64>,
+    {
+        let cap = cap.max(1);
+        let target = target.clamp(1, cap);
+        let mut buckets = self.buckets.lock().unwrap();
+        // Stale buckets (generation swapped or rung moved) close first so
+        // no ticket waits behind a context the workers have left.
+        if let Some(stale) = buckets.keys().find(|k| *k != current).copied() {
+            let batch = Self::take(&mut buckets, &stale, cap, now);
+            drop(buckets);
+            return Some(self.finish_close(stale, CloseReason::Generation, batch));
+        }
+        let bucket = buckets.get_mut(current)?;
+        if bucket.tickets.is_empty() {
+            return None;
+        }
+        let reason = self.close_reason(bucket, target, &predict, now)?;
+        let batch = Self::take(&mut buckets, current, cap, now);
+        drop(buckets);
+        Some(self.finish_close(*current, reason, batch))
+    }
+
+    fn close_reason<F>(
+        &self,
+        bucket: &Bucket,
+        target: usize,
+        predict: &F,
+        now: Instant,
+    ) -> Option<CloseReason>
+    where
+        F: Fn(usize) -> Option<f64>,
+    {
+        if !self.cfg.enabled {
+            return Some(CloseReason::Flush);
+        }
+        let len = bucket.tickets.len();
+        if len >= target {
+            return Some(CloseReason::Size);
+        }
+        let earliest = bucket.tickets.iter().map(|t| t.deadline).min()?;
+        let predicted_ms = predict(len).unwrap_or(0.0).max(0.0);
+        let lead_us = ((predicted_ms + self.cfg.close_margin_ms as f64) * 1_000.0) as u64;
+        let close_edge = earliest.checked_sub(Duration::from_micros(lead_us));
+        if close_edge.is_none_or(|edge| now >= edge) {
+            return Some(CloseReason::Deadline);
+        }
+        let open_ms = now.saturating_duration_since(bucket.opened).as_millis() as u64;
+        if open_ms >= self.cfg.linger_ms {
+            return Some(CloseReason::Linger);
+        }
+        None
+    }
+
+    fn take(
+        buckets: &mut BTreeMap<BucketKey, Bucket>,
+        key: &BucketKey,
+        cap: usize,
+        now: Instant,
+    ) -> Vec<Ticket> {
+        let bucket = buckets.get_mut(key).expect("bucket present");
+        if bucket.tickets.len() <= cap {
+            buckets.remove(key).expect("bucket present").tickets
+        } else {
+            let rest = bucket.tickets.split_off(cap);
+            let batch = std::mem::replace(&mut bucket.tickets, rest);
+            bucket.opened = now;
+            batch
+        }
+    }
+
+    fn finish_close(&self, key: BucketKey, reason: CloseReason, batch: Vec<Ticket>) -> ClosedBatch {
+        self.depth.fetch_sub(batch.len(), Ordering::AcqRel);
+        match reason {
+            CloseReason::Size => &self.size_closes,
+            CloseReason::Deadline => &self.deadline_closes,
+            CloseReason::Linger => &self.linger_closes,
+            CloseReason::Generation => &self.generation_closes,
+            CloseReason::Flush => &self.flush_closes,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let mut stats = self.stats.lock().unwrap();
+        let s = stats.entry(key.key).or_default();
+        s.hist[hist_bin(batch.len())] += 1;
+        s.closes += 1;
+        s.items += batch.len() as u64;
+        ClosedBatch { key, reason, tickets: batch }
+    }
+
+    /// Removes and returns every ticket whose deadline has passed, across
+    /// all buckets. The caller answers them with a typed
+    /// `DeadlineExceeded`; emptied buckets are dropped.
+    pub fn sweep_expired(&self, now: Instant) -> Vec<Ticket> {
+        let mut buckets = self.buckets.lock().unwrap();
+        let mut expired = Vec::new();
+        buckets.retain(|_, bucket| {
+            let mut kept = Vec::with_capacity(bucket.tickets.len());
+            for t in bucket.tickets.drain(..) {
+                if t.deadline <= now {
+                    expired.push(t);
+                } else {
+                    kept.push(t);
+                }
+            }
+            bucket.tickets = kept;
+            !bucket.tickets.is_empty()
+        });
+        self.depth.fetch_sub(expired.len(), Ordering::AcqRel);
+        expired
+    }
+
+    /// Empties every bucket (drain/shutdown). The caller answers the
+    /// tickets with a typed `ShuttingDown`.
+    pub fn drain(&self) -> Vec<Ticket> {
+        let mut buckets = self.buckets.lock().unwrap();
+        let mut out = Vec::new();
+        for (_, bucket) in std::mem::take(&mut *buckets) {
+            out.extend(bucket.tickets);
+        }
+        self.depth.fetch_sub(out.len(), Ordering::AcqRel);
+        out
+    }
+
+    /// (size, deadline, linger, generation, flush) close counts.
+    pub fn close_counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.size_closes.load(Ordering::Relaxed),
+            self.deadline_closes.load(Ordering::Relaxed),
+            self.linger_closes.load(Ordering::Relaxed),
+            self.generation_closes.load(Ordering::Relaxed),
+            self.flush_closes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Per-service-key achieved-batch-size stats.
+    pub fn bucket_stats(&self) -> Vec<(CostKey, BucketStats)> {
+        let stats = self.stats.lock().unwrap();
+        stats.iter().map(|(k, s)| (*k, *s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Precision;
+    use crate::error::ServeError;
+    use crate::request::Outcome;
+    use crate::tenant::TenantId;
+    use revbifpn_tensor::{Shape, Tensor};
+    use std::sync::mpsc;
+
+    fn ckey(rung: u16) -> CostKey {
+        CostKey { variant: 0, precision: Precision::F32, rung }
+    }
+
+    fn bkey(generation: u64, rung: u16) -> BucketKey {
+        BucketKey { generation, key: ckey(rung) }
+    }
+
+    fn ticket(id: u64, now: Instant, deadline_ms: u64) -> (Ticket, mpsc::Receiver<Outcome>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Ticket {
+                id,
+                image: Tensor::zeros(Shape::new(1, 3, 4, 4)),
+                tag: None,
+                tenant: TenantId::DEFAULT,
+                weight: 1,
+                cost: 1,
+                probe: false,
+                enqueued: now,
+                deadline: now + Duration::from_millis(deadline_ms),
+                responder: tx,
+            },
+            rx,
+        )
+    }
+
+    fn tickets(n: usize, now: Instant, deadline_ms: u64) -> Vec<Ticket> {
+        (0..n).map(|i| ticket(i as u64, now, deadline_ms).0).collect()
+    }
+
+    fn batcher() -> Batcher {
+        Batcher::new(BatchConfig { linger_ms: 10, close_margin_ms: 5, ..BatchConfig::default() })
+    }
+
+    #[test]
+    fn size_triggered_close_fires_at_target() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(3, now, 1_000), now);
+        // Below target: no close before linger/deadline pressure.
+        assert!(b.try_close(&bkey(1, 32), 4, 8, |_| Some(1.0), now).is_none());
+        b.offer(bkey(1, 32), tickets(1, now, 1_000), now);
+        let closed = b.try_close(&bkey(1, 32), 4, 8, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.reason, CloseReason::Size);
+        assert_eq!(closed.tickets.len(), 4);
+        assert_eq!(b.depth(), 0);
+        assert_eq!(b.close_counts().0, 1);
+    }
+
+    #[test]
+    fn deadline_margin_close_uses_predicted_service_time() {
+        let b = batcher();
+        let now = Instant::now();
+        // Deadline 20ms out; predicted service 8ms + margin 5ms = 13ms
+        // lead. At t=+6ms the edge (deadline-13ms = +7ms) hasn't arrived;
+        // at +7ms it has.
+        b.offer(bkey(1, 32), tickets(2, now, 20), now);
+        let at = |ms: u64| now + Duration::from_millis(ms);
+        assert!(b.try_close(&bkey(1, 32), 8, 8, |_| Some(8.0), at(6)).is_none());
+        let closed = b.try_close(&bkey(1, 32), 8, 8, |_| Some(8.0), at(7)).unwrap();
+        assert_eq!(closed.reason, CloseReason::Deadline);
+        assert_eq!(closed.tickets.len(), 2);
+        assert_eq!(b.close_counts().1, 1);
+    }
+
+    #[test]
+    fn linger_close_fires_without_deadline_pressure() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(1, now, 60_000), now);
+        let at = |ms: u64| now + Duration::from_millis(ms);
+        assert!(b.try_close(&bkey(1, 32), 8, 8, |_| Some(1.0), at(9)).is_none());
+        let closed = b.try_close(&bkey(1, 32), 8, 8, |_| Some(1.0), at(10)).unwrap();
+        assert_eq!(closed.reason, CloseReason::Linger);
+        assert_eq!(b.close_counts().2, 1);
+    }
+
+    #[test]
+    fn uncalibrated_bucket_closes_at_deadline_minus_margin_only() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(1, now, 8), now);
+        // predict = None => predicted 0; close edge = deadline - 5ms margin.
+        let at = |ms: u64| now + Duration::from_millis(ms);
+        assert!(b.try_close(&bkey(1, 32), 8, 8, |_| None, at(2)).is_none());
+        let closed = b.try_close(&bkey(1, 32), 8, 8, |_| None, at(3)).unwrap();
+        assert_eq!(closed.reason, CloseReason::Deadline);
+    }
+
+    #[test]
+    fn bucket_never_spans_generations() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(2, now, 1_000), now);
+        // Generation swapped: new tickets land in a distinct bucket.
+        b.offer(bkey(2, 32), tickets(3, now, 1_000), now);
+        // The stale generation-1 bucket closes first and alone.
+        let closed = b.try_close(&bkey(2, 32), 8, 8, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.reason, CloseReason::Generation);
+        assert_eq!(closed.key.generation, 1);
+        assert_eq!(closed.tickets.len(), 2);
+        assert!(closed.tickets.iter().all(|t| t.id < 2));
+        assert_eq!(b.close_counts().3, 1);
+        assert_eq!(b.depth(), 3);
+    }
+
+    #[test]
+    fn rung_move_also_closes_stale_bucket() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(1, now, 1_000), now);
+        let closed = b.try_close(&bkey(1, 16), 8, 8, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.reason, CloseReason::Generation);
+        assert_eq!(closed.key.key.rung, 32);
+    }
+
+    #[test]
+    fn pass_through_mode_flushes_immediately() {
+        let b = Batcher::new(BatchConfig { enabled: false, ..BatchConfig::default() });
+        let now = Instant::now();
+        b.offer(bkey(0, 32), tickets(2, now, 1_000), now);
+        let closed = b.try_close(&bkey(0, 32), 8, 8, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.reason, CloseReason::Flush);
+        assert_eq!(closed.tickets.len(), 2);
+    }
+
+    #[test]
+    fn cap_splits_oversized_bucket_and_reopens_remainder() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(7, now, 1_000), now);
+        let closed = b.try_close(&bkey(1, 32), 4, 4, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.tickets.len(), 4);
+        assert_eq!(b.depth(), 3);
+        // Remainder is still servable (FIFO preserved).
+        let closed = b.try_close(&bkey(1, 32), 3, 4, |_| Some(1.0), now).unwrap();
+        assert_eq!(closed.tickets.len(), 3);
+        assert_eq!(closed.tickets[0].id, 4);
+    }
+
+    #[test]
+    fn sweep_expired_removes_only_expired_tickets() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(2, now, 5), now);
+        b.offer(bkey(1, 32), tickets(1, now, 1_000), now);
+        let expired = b.sweep_expired(now + Duration::from_millis(6));
+        assert_eq!(expired.len(), 2);
+        assert_eq!(b.depth(), 1);
+        for t in expired {
+            t.respond(Err(ServeError::DeadlineExceeded { waited_ms: 6 }));
+        }
+    }
+
+    #[test]
+    fn drain_empties_all_buckets() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(2, now, 1_000), now);
+        b.offer(bkey(2, 16), tickets(3, now, 1_000), now);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(b.depth(), 0);
+        assert!(b.try_close(&bkey(2, 16), 1, 8, |_| None, now).is_none());
+    }
+
+    #[test]
+    fn stats_track_achieved_batch_sizes() {
+        let b = batcher();
+        let now = Instant::now();
+        b.offer(bkey(1, 32), tickets(4, now, 1_000), now);
+        b.try_close(&bkey(1, 32), 4, 8, |_| None, now).unwrap();
+        b.offer(bkey(1, 32), tickets(1, now, 1_000), now);
+        b.try_close(&bkey(1, 32), 1, 8, |_| None, now).unwrap();
+        let stats = b.bucket_stats();
+        assert_eq!(stats.len(), 1);
+        let (k, s) = stats[0];
+        assert_eq!(k, ckey(32));
+        assert_eq!(s.closes, 2);
+        assert_eq!(s.items, 5);
+        assert_eq!(s.hist[0], 1); // size-1 bin
+        assert_eq!(s.hist[2], 1); // 3-4 bin
+        assert!((s.mean_batch() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,377 @@
+//! Online-calibrated service-time cost model shared by the batcher, the
+//! admission path, the degradation ladder, and tenant fair-share accounting.
+//!
+//! Per (variant, precision, rung) service key the model maintains an affine
+//! estimate of batch service time
+//!
+//! ```text
+//! t(b) ≈ a + b·c        (milliseconds)
+//! ```
+//!
+//! where `a` is the fixed per-dispatch overhead (panel packing, epilogue
+//! setup, scheduling) and `c` the marginal per-item cost. Entries are seeded
+//! by a one-shot calibration at freeze time (two timed forwards) and then
+//! refined online from observed batch timings with exponentially-forgotten
+//! least squares: the sufficient statistics (Σ1, Σb, Σt, Σb², Σbt) decay by
+//! `lambda` per observation, so the fit tracks drift (thermal throttling,
+//! co-tenancy) without a training loop. A residual EWMA (|observed −
+//! predicted|) is kept per entry as a calibration-quality gauge surfaced in
+//! [`HealthSnapshot`](crate::health::HealthSnapshot).
+//!
+//! Everything the model drives reads through this one table:
+//! - the batcher's deadline-aware closing margin uses `predict_ms`;
+//! - admission rejects requests whose budget cannot cover even a
+//!   single-item dispatch (`ServeError::Infeasible`);
+//! - the degradation ladder's level-1 rung caps batches at
+//!   [`CostModel::optimal_batch`] instead of blind halving;
+//! - tenant DRR charging uses [`CostModel::cost_units`] (predicted marginal
+//!   cost, quantized) instead of request counts.
+
+use crate::engine::Precision;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Cost-model units per millisecond of predicted marginal service time.
+/// One cost unit = 100 µs, so sub-millisecond requests still resolve to
+/// distinct integer costs across rungs.
+pub const UNITS_PER_MS: f64 = 10.0;
+
+/// Upper clamp on a single ticket's cost units; bounds the number of DRR
+/// rotations a queue visit can spin before the front ticket is affordable.
+pub const MAX_COST_UNITS: u32 = 10_000;
+
+/// Service key: which compiled path a batch runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CostKey {
+    /// 0 = primary variant, 1 = fallback variant (degrade level 3).
+    pub variant: u8,
+    /// Numeric precision of the frozen path actually serving the batch.
+    pub precision: Precision,
+    /// Serving resolution in pixels (the degrade rung, not the request's
+    /// native resolution — admission pins inputs to the model resolution).
+    pub rung: u16,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Exponentially-decayed sufficient statistics over (b, t_ms) pairs.
+    n: f64,
+    sb: f64,
+    st: f64,
+    sbb: f64,
+    sbt: f64,
+    /// Current affine fit (refreshed on every observe; seeded values until
+    /// enough variance accumulates to regress).
+    a_ms: f64,
+    c_ms: f64,
+    /// EWMA of |observed − predicted| in ms.
+    residual_ewma_ms: f64,
+    /// Total observations folded in (seed counts as 0).
+    samples: u64,
+}
+
+impl Entry {
+    /// Anchors the decayed sums on two synthetic points `(1, a+c)` and
+    /// `(2, a+2c)` so the first real observations blend into a consistent
+    /// fit instead of overwhelming it.
+    fn seeded(a_ms: f64, c_ms: f64) -> Self {
+        let t1 = a_ms + c_ms;
+        let t2 = a_ms + 2.0 * c_ms;
+        Entry {
+            n: 2.0,
+            sb: 3.0,
+            st: t1 + t2,
+            sbb: 5.0,
+            sbt: t1 + 2.0 * t2,
+            a_ms,
+            c_ms,
+            residual_ewma_ms: 0.0,
+            samples: 0,
+        }
+    }
+}
+
+/// Public, comparable view of one cost-table entry (health snapshots).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostReading {
+    pub key: CostKey,
+    /// Fixed per-dispatch overhead estimate, ms.
+    pub a_ms: f64,
+    /// Marginal per-item cost estimate, ms.
+    pub c_ms: f64,
+    /// EWMA of |observed − predicted| batch service time, ms.
+    pub residual_ewma_ms: f64,
+    /// Observed batch timings folded into the fit (seed excluded).
+    pub samples: u64,
+}
+
+/// Online-calibrated table of affine service-time estimates.
+///
+/// Thread-safe; every reader/writer takes one short mutex. The table is
+/// tiny (a handful of service keys), so a `BTreeMap` under a `Mutex` is
+/// cheaper than anything clever.
+#[derive(Debug)]
+pub struct CostModel {
+    /// Decay applied to the sufficient statistics per observation.
+    lambda: f64,
+    /// EWMA factor for the residual gauge.
+    resid_alpha: f64,
+    entries: Mutex<BTreeMap<CostKey, Entry>>,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostModel {
+    pub fn new() -> Self {
+        CostModel {
+            lambda: 0.9,
+            resid_alpha: 0.2,
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Installs a freeze-time calibration for `key` unless an entry already
+    /// exists (later freezes of the same path — e.g. a second worker's bank
+    /// — must not clobber an online-refined fit).
+    pub fn seed(&self, key: CostKey, a_ms: f64, c_ms: f64) {
+        let mut entries = self.entries.lock().unwrap();
+        entries
+            .entry(key)
+            .or_insert_with(|| Entry::seeded(a_ms.max(0.0), c_ms.max(1e-6)));
+    }
+
+    /// `true` once `key` has a seeded or learned fit.
+    pub fn has(&self, key: &CostKey) -> bool {
+        self.entries.lock().unwrap().contains_key(key)
+    }
+
+    /// Folds one observed batch timing into the fit for `key`.
+    ///
+    /// An unseeded key bootstraps from the single observation (treated as
+    /// pure marginal cost until a second batch size shows up).
+    pub fn observe(&self, key: CostKey, batch: usize, elapsed_ms: f64) {
+        if batch == 0 || !elapsed_ms.is_finite() || elapsed_ms < 0.0 {
+            return;
+        }
+        let b = batch as f64;
+        let mut entries = self.entries.lock().unwrap();
+        let e = entries.entry(key).or_insert_with(|| {
+            let c = (elapsed_ms / b).max(1e-6);
+            Entry::seeded(0.0, c)
+        });
+        let predicted = e.a_ms + b * e.c_ms;
+        let resid = (elapsed_ms - predicted).abs();
+        e.residual_ewma_ms = if e.samples == 0 {
+            resid
+        } else {
+            (1.0 - self.resid_alpha) * e.residual_ewma_ms + self.resid_alpha * resid
+        };
+        e.n = self.lambda * e.n + 1.0;
+        e.sb = self.lambda * e.sb + b;
+        e.st = self.lambda * e.st + elapsed_ms;
+        e.sbb = self.lambda * e.sbb + b * b;
+        e.sbt = self.lambda * e.sbt + b * elapsed_ms;
+        e.samples += 1;
+        // Refresh the fit. With degenerate batch-size variance (all
+        // observations at one size) keep the current slope and re-anchor
+        // the intercept on the decayed means.
+        let mean_b = e.sb / e.n;
+        let mean_t = e.st / e.n;
+        let var_b = (e.sbb / e.n - mean_b * mean_b).max(0.0);
+        if var_b > 1e-9 {
+            let cov = e.sbt / e.n - mean_b * mean_t;
+            let c = (cov / var_b).max(1e-6);
+            e.c_ms = c;
+        }
+        // Anchor the fit on the decayed centroid: t(mean_b) == mean_t. A
+        // negative intercept (slope transiently over-estimated) folds back
+        // into the slope instead of being silently clamped away, so
+        // predictions at the observed batch size always track reality.
+        let a = mean_t - e.c_ms * mean_b;
+        if a < 0.0 {
+            e.a_ms = 0.0;
+            e.c_ms = (mean_t / mean_b).max(1e-6);
+        } else {
+            e.a_ms = a;
+        }
+    }
+
+    /// Predicted service time for a batch of `batch` items, ms. `None`
+    /// until the key is calibrated.
+    pub fn predict_ms(&self, key: &CostKey, batch: usize) -> Option<f64> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .get(key)
+            .map(|e| e.a_ms + batch as f64 * e.c_ms)
+    }
+
+    /// Marginal per-item cost estimate `c`, ms. `None` until calibrated.
+    pub fn marginal_ms(&self, key: &CostKey) -> Option<f64> {
+        let entries = self.entries.lock().unwrap();
+        entries.get(key).map(|e| e.c_ms)
+    }
+
+    /// Cost-model-optimal batch size for `key`: the smallest batch at which
+    /// the amortized dispatch overhead `a/b` falls below `overhead_frac`
+    /// of the marginal item cost `c`, clamped to `[1, max_batch]`.
+    ///
+    /// This is the knee of the throughput curve under the affine model —
+    /// past it, larger batches buy little amortization but keep inflating
+    /// first-item latency. `None` until the key is calibrated.
+    pub fn optimal_batch(
+        &self,
+        key: &CostKey,
+        max_batch: usize,
+        overhead_frac: f64,
+    ) -> Option<usize> {
+        let entries = self.entries.lock().unwrap();
+        let e = entries.get(key)?;
+        let frac = overhead_frac.max(1e-3);
+        let b = if e.c_ms <= 1e-6 {
+            max_batch
+        } else {
+            (e.a_ms / (frac * e.c_ms)).ceil() as usize
+        };
+        Some(b.clamp(1, max_batch.max(1)))
+    }
+
+    /// Predicted marginal cost of one request under `key`, quantized to
+    /// scheduler cost units ([`UNITS_PER_MS`]). Uncalibrated keys charge 1
+    /// unit, which degenerates to the PR-8 request-count DRR.
+    pub fn cost_units(&self, key: &CostKey) -> u32 {
+        let entries = self.entries.lock().unwrap();
+        match entries.get(key) {
+            Some(e) => {
+                let units = (e.c_ms * UNITS_PER_MS).round();
+                (units as u32).clamp(1, MAX_COST_UNITS)
+            }
+            None => 1,
+        }
+    }
+
+    /// Comparable snapshot of every entry, for health reporting.
+    pub fn snapshot(&self) -> Vec<CostReading> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|(key, e)| CostReading {
+                key: *key,
+                a_ms: e.a_ms,
+                c_ms: e.c_ms,
+                residual_ewma_ms: e.residual_ewma_ms,
+                samples: e.samples,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(rung: u16) -> CostKey {
+        CostKey {
+            variant: 0,
+            precision: Precision::F32,
+            rung,
+        }
+    }
+
+    #[test]
+    fn seed_then_predict_is_affine() {
+        let m = CostModel::new();
+        m.seed(key(32), 2.0, 0.5);
+        assert!(m.has(&key(32)));
+        let t1 = m.predict_ms(&key(32), 1).unwrap();
+        let t8 = m.predict_ms(&key(32), 8).unwrap();
+        assert!((t1 - 2.5).abs() < 1e-9);
+        assert!((t8 - 6.0).abs() < 1e-9);
+        assert_eq!(m.predict_ms(&key(64), 1), None);
+    }
+
+    #[test]
+    fn seed_does_not_clobber_existing_entry() {
+        let m = CostModel::new();
+        m.seed(key(32), 2.0, 0.5);
+        m.seed(key(32), 99.0, 99.0);
+        assert!((m.predict_ms(&key(32), 1).unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observations_converge_to_true_affine_law() {
+        let m = CostModel::new();
+        m.seed(key(32), 10.0, 10.0); // deliberately wrong seed
+        // True law: t = 3 + 0.25 b, fed at alternating batch sizes.
+        for _ in 0..40 {
+            for &b in &[1usize, 4, 8] {
+                m.observe(key(32), b, 3.0 + 0.25 * b as f64);
+            }
+        }
+        let a = m.predict_ms(&key(32), 0).unwrap();
+        let c = m.marginal_ms(&key(32)).unwrap();
+        assert!((a - 3.0).abs() < 0.3, "a = {a}");
+        assert!((c - 0.25).abs() < 0.05, "c = {c}");
+        // Residual gauge settles near zero on a noiseless law.
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(snap[0].residual_ewma_ms < 0.5);
+        assert!(snap[0].samples >= 120);
+    }
+
+    #[test]
+    fn unseeded_observe_bootstraps_an_entry() {
+        let m = CostModel::new();
+        m.observe(key(48), 4, 2.0);
+        assert!(m.has(&key(48)));
+        assert!(m.predict_ms(&key(48), 4).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_single_batch_size_keeps_slope_and_tracks_mean() {
+        let m = CostModel::new();
+        m.seed(key(32), 1.0, 0.5);
+        for _ in 0..50 {
+            m.observe(key(32), 2, 8.0); // always b=2, much slower than seed
+        }
+        // Slope can't be identified from one batch size; the intercept must
+        // absorb the drift so predictions at b=2 track reality.
+        let t2 = m.predict_ms(&key(32), 2).unwrap();
+        assert!((t2 - 8.0).abs() < 0.5, "t2 = {t2}");
+    }
+
+    #[test]
+    fn optimal_batch_is_the_amortization_knee() {
+        let m = CostModel::new();
+        assert_eq!(m.optimal_batch(&key(32), 16, 0.25), None);
+        // a = 2ms, c = 0.5ms: a/b <= 0.25*0.5 = 0.125 at b = 16.
+        m.seed(key(32), 2.0, 0.5);
+        assert_eq!(m.optimal_batch(&key(32), 64, 0.25), Some(16));
+        assert_eq!(m.optimal_batch(&key(32), 8, 0.25), Some(8)); // clamped
+        // No fixed overhead => batching buys nothing => 1.
+        m.seed(key(64), 0.0, 0.5);
+        assert_eq!(m.optimal_batch(&key(64), 8, 0.25), Some(1));
+    }
+
+    #[test]
+    fn cost_units_quantize_marginal_cost() {
+        let m = CostModel::new();
+        assert_eq!(m.cost_units(&key(32)), 1); // uncalibrated => unit cost
+        m.seed(key(32), 1.0, 0.35);
+        assert_eq!(m.cost_units(&key(32)), 4); // 0.35ms * 10/ms = 3.5 -> 4
+        m.seed(key(96), 5.0, 2_000.0);
+        assert_eq!(m.cost_units(&key(96)), MAX_COST_UNITS);
+    }
+
+    #[test]
+    fn residual_gauge_reports_miscalibration() {
+        let m = CostModel::new();
+        m.seed(key(32), 1.0, 1.0);
+        m.observe(key(32), 2, 30.0); // prediction was 3ms, observed 30ms
+        let snap = m.snapshot();
+        assert!(snap[0].residual_ewma_ms > 10.0);
+    }
+}

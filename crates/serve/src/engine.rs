@@ -9,8 +9,11 @@
 //! worker holds identical weights. The watchdog owns nothing but the `Arc`
 //! and the right to replace worker slots.
 
+use crate::batcher::{BatchConfig, Batcher, BucketKey};
+use crate::cost::{CostKey, CostModel};
 use crate::degrade::{downscale_rung, DegradeConfig, DegradeController};
 use crate::error::{ReloadError, ServeError};
+use crate::health::BucketHealth;
 use crate::governor::{GovernorConfig, MemoryGovernor, PanelKey, Reserve};
 use crate::health::{Counters, HealthSnapshot, LatencyWindow, TenantHealth};
 use crate::queue::BoundedQueue;
@@ -35,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Numeric precision a model variant is served at.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Precision {
     /// f32 fused kernels (the PR-4 frozen fast path).
     #[default]
@@ -82,8 +85,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue capacity; admissions beyond it are shed.
     pub queue_capacity: usize,
-    /// Largest batch a worker assembles at level 0 (halved at level >= 1).
+    /// Largest batch a worker assembles at level 0. At degradation
+    /// level 1 and deeper the effective cap comes from the cost model
+    /// when calibrated (see [`effective_max_batch`]), else falls back to
+    /// halving.
     pub max_batch: usize,
+    /// Continuous-batching knobs: linger, deadline closing margin, and the
+    /// freeze-time cost-model calibration switch.
+    pub batch: BatchConfig,
     /// Default per-request deadline, milliseconds from admission.
     pub default_timeout_ms: u64,
     /// Validation bound on input magnitude.
@@ -147,6 +156,7 @@ impl ServeConfig {
             workers: 2,
             queue_capacity: 32,
             max_batch: 4,
+            batch: BatchConfig::default(),
             default_timeout_ms: 2_000,
             max_abs_input: 64.0,
             degrade: DegradeConfig::default(),
@@ -268,6 +278,11 @@ struct Shared {
     tenants: Mutex<BTreeMap<TenantId, TenantState>>,
     /// Shared packed-panel byte ledger all `ModelBank`s freeze through.
     governor: Arc<MemoryGovernor>,
+    /// The continuous batcher between the tenant queue and the workers.
+    batcher: Batcher,
+    /// Affine service-time estimates per (variant, precision, rung),
+    /// seeded at freeze time and refined from observed batch timings.
+    cost: Arc<CostModel>,
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
@@ -323,6 +338,83 @@ fn finish(shared: &Shared, ticket: Ticket, outcome: Outcome) {
         }
     });
     ticket.respond(outcome);
+}
+
+/// The cost key describing the serving context the engine would dispatch a
+/// request under *right now*: variant and precision from the config plus
+/// the current degradation level, rung from the level's target resolution.
+///
+/// Precision is the *configured* one even when the quantization gate trips
+/// back to f32 at freeze time — the key labels the serving intent, and
+/// calibration/observation both use the same labeling, so the fits stay
+/// coherent (documented skew: a tripped gate serves f32 under the int8
+/// label).
+fn serving_cost_key(cfg: &ServeConfig, level: u8) -> CostKey {
+    let use_fallback = level >= 3 && cfg.fallback.is_some();
+    let (variant, precision, base_res) = if use_fallback {
+        let fb = cfg.fallback.as_ref().expect("checked above");
+        (1u8, cfg.fallback_precision, fb.resolution)
+    } else {
+        (0u8, cfg.precision, cfg.model.resolution)
+    };
+    let rung = if !use_fallback && level >= 2 {
+        downscale_rung(&cfg.model).unwrap_or(base_res)
+    } else {
+        base_res
+    };
+    CostKey { variant, precision, rung: rung as u16 }
+}
+
+/// The batch-size cap the degradation ladder imposes at `level`.
+///
+/// Level 0 serves the configured `max_batch`. At level >= 1 the ladder's
+/// batch-shrink rung consults the cost model: the cap becomes the
+/// cost-optimal batch (the knee where amortized dispatch overhead falls
+/// below `overhead_frac` of the marginal item cost) — usually smaller than
+/// the configured cap, and never larger. Uncalibrated keys fall back to the
+/// classic unconditional halving.
+pub fn effective_max_batch(
+    cost: &CostModel,
+    key: &CostKey,
+    level: u8,
+    configured: usize,
+    overhead_frac: f64,
+) -> usize {
+    let configured = configured.max(1);
+    if level == 0 {
+        return configured;
+    }
+    match cost.optimal_batch(key, configured, overhead_frac) {
+        Some(b) => b,
+        None => (configured / 2).max(1),
+    }
+}
+
+/// One-shot freeze-time calibration: time single-image and 4-image
+/// forwards on deterministic calibration inputs and seed the cost model
+/// with the implied affine fit. Seeding is only-if-absent, so a second
+/// worker freezing the same variant (or a reload re-publishing it) never
+/// clobbers an online-refined fit.
+fn calibrate_service_time(cost: &CostModel, key: CostKey, model: &FrozenClassifier) {
+    if cost.has(&key) {
+        return;
+    }
+    let res = model.cfg().resolution;
+    let one = calibration_batch(1, res);
+    let four = calibration_batch(4, res);
+    // Warmup pass: first-touch page faults and lazily allocated scratch
+    // would otherwise pollute the intercept.
+    let _ = model.forward(&one);
+    let t0 = Instant::now();
+    let _ = model.forward(&one);
+    let t1 = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let _ = model.forward(&four);
+    let t4 = t0.elapsed().as_secs_f64() * 1e3;
+    let c = ((t4 - t1) / 3.0).max(1e-6);
+    let a = (t1 - c).max(0.0);
+    cost.seed(key, a, c);
+    meter::count("serve.cost_calibrated");
 }
 
 /// A running inference engine. Submit with [`ServeEngine::submit`], poll
@@ -409,6 +501,8 @@ impl ServeEngine {
                 budget_bytes: cfg.memory_budget_bytes,
                 cold_after_ms: cfg.cold_after_ms,
             })),
+            batcher: Batcher::new(cfg.batch),
+            cost: Arc::new(CostModel::new()),
             workers: Mutex::new(Vec::new()),
             cfg,
         })
@@ -499,6 +593,24 @@ impl ServeEngine {
             return Err(e);
         }
 
+        // Deadline feasibility: when the cost model is calibrated for the
+        // current serving context and even a single-item dispatch cannot
+        // fit the budget, shed now instead of burning a worker on a
+        // guaranteed deadline miss. Uncalibrated contexts admit everything.
+        let ckey = serving_cost_key(&shared.cfg, shared.degrade.level());
+        if let Some(predicted) = shared.cost.predict_ms(&ckey, 1) {
+            if (timeout_ms as f64) < predicted {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.shed_infeasible");
+                return Err(ServeError::Infeasible {
+                    predicted_ms: predicted.ceil() as u64,
+                    budget_ms: timeout_ms,
+                });
+            }
+        }
+        let cost = shared.cost.cost_units(&ckey);
+
         // Tenant gates, all under one short lock. A probe slot taken by the
         // breaker is handed back if a later gate refuses.
         enum Gate {
@@ -557,6 +669,7 @@ impl ServeEngine {
             tag,
             tenant,
             weight,
+            cost,
             probe,
             enqueued: now,
             deadline: now + Duration::from_millis(timeout_ms),
@@ -601,11 +714,34 @@ impl ServeEngine {
         self.shared.governor.set_budget_bytes(bytes);
     }
 
+    /// The engine's service-time cost model. Exposed so operators (and
+    /// tests) can pre-seed fits — e.g. carry calibration across restarts —
+    /// or inspect the live estimates beyond the [`HealthSnapshot`] view.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.cost
+    }
+
     /// One health poll; cheap and callable from any thread.
     pub fn health(&self) -> HealthSnapshot {
         let s = &self.shared;
+        let (batch_size_closes, batch_deadline_closes, batch_linger_closes,
+            batch_generation_closes, batch_flush_closes) = s.batcher.close_counts();
         HealthSnapshot {
             queue_depth: s.queue.depth(),
+            batcher_depth: s.batcher.depth(),
+            batch_size_closes,
+            batch_deadline_closes,
+            batch_linger_closes,
+            batch_generation_closes,
+            batch_flush_closes,
+            infeasible_count: s.counters.infeasible.load(Ordering::Relaxed),
+            batch_buckets: s
+                .batcher
+                .bucket_stats()
+                .iter()
+                .map(|(key, stats)| BucketHealth::from_stats(*key, stats))
+                .collect(),
+            cost_model: s.cost.snapshot(),
             shed_count: s.counters.shed.load(Ordering::Relaxed),
             rejected_count: s.counters.rejected.load(Ordering::Relaxed),
             completed_count: s.counters.completed.load(Ordering::Relaxed),
@@ -675,24 +811,14 @@ impl ServeEngine {
         self.shared.draining.store(true, Ordering::Relaxed);
         let until = Instant::now() + deadline;
         let mut drained_in_time = true;
-        while self.shared.queue.depth() > 0 {
+        while self.shared.queue.depth() + self.shared.batcher.depth() > 0 {
             if Instant::now() >= until {
                 drained_in_time = false;
                 break;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        // Close first so the flush count is exact: nothing can slip into
-        // the queue between measuring and joining (admission is already
-        // refusing, but workers racing pop_batch are not).
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.queue.close();
-        let leftovers = self.shared.queue.drain();
-        let flushed = leftovers.len();
-        for ticket in leftovers {
-            finish(&self.shared, ticket, Err(ServeError::ShuttingDown));
-        }
-        self.shutdown();
+        let flushed = self.shutdown_inner();
         DrainStats { drained_in_time, flushed }
     }
 
@@ -735,20 +861,43 @@ impl ServeEngine {
     /// Stops admission, delivers [`ServeError::ShuttingDown`] to every
     /// queued request, and joins all threads. Idempotent.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_inner();
+    }
+
+    /// The single teardown path behind [`ServeEngine::shutdown`] and
+    /// [`ServeEngine::drain`]: close the queue, flush it, join the
+    /// threads, then flush whatever the batcher still held (workers are
+    /// gone, so its contents are final). Returns the flush count so drain
+    /// can report it exactly.
+    fn shutdown_inner(&self) -> usize {
+        // Close first so the flush count is exact: nothing can slip into
+        // the queue between measuring and joining (admission is already
+        // refusing, but workers racing pop_batch are not).
         self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.queue.close();
+        let mut flushed = 0;
         for ticket in self.shared.queue.drain() {
+            flushed += 1;
             finish(&self.shared, ticket, Err(ServeError::ShuttingDown));
         }
         if let Some(h) = self.watchdog.lock().unwrap().take() {
             let _ = h.join();
         }
-        let mut workers = self.shared.workers.lock().unwrap();
-        for slot in workers.iter_mut() {
-            if let Some(h) = slot.take() {
-                let _ = h.join();
+        {
+            let mut workers = self.shared.workers.lock().unwrap();
+            for slot in workers.iter_mut() {
+                if let Some(h) = slot.take() {
+                    let _ = h.join();
+                }
             }
         }
+        // Workers joined: any tickets parked in open buckets can no longer
+        // be dispatched. Answer them typed instead of dropping.
+        for ticket in self.shared.batcher.drain() {
+            flushed += 1;
+            finish(&self.shared, ticket, Err(ServeError::ShuttingDown));
+        }
+        flushed
     }
 }
 
@@ -796,6 +945,10 @@ struct ModelBank {
     gate: QuantGateConfig,
     counters: Arc<Counters>,
     governor: Arc<MemoryGovernor>,
+    /// Shared cost model, seeded after each first freeze of a variant.
+    cost: Arc<CostModel>,
+    /// Whether install() runs the one-shot service-time calibration.
+    calibrate: bool,
     slot: usize,
     /// The engine's epoch, so this bank's ledger timestamps are comparable
     /// with every other worker's (the LRU order is global).
@@ -815,6 +968,7 @@ impl ModelBank {
         cfg: &ServeConfig,
         counters: Arc<Counters>,
         governor: Arc<MemoryGovernor>,
+        cost: Arc<CostModel>,
         slot: usize,
         epoch: Instant,
         eager: bool,
@@ -827,6 +981,8 @@ impl ModelBank {
             gate: cfg.quant_gate,
             counters,
             governor,
+            cost,
+            calibrate: cfg.batch.calibrate_on_freeze,
             slot,
             epoch,
             primary: None,
@@ -894,6 +1050,17 @@ impl ModelBank {
         let frozen = freeze_gated(&cfg, precision, &self.gate, &self.counters);
         let actual = (frozen.packed_bytes() + frozen.quant_packed_bytes()) as u64;
         self.governor.commit(key, actual, self.now_ms());
+        if self.calibrate {
+            // Key under the *configured* precision even if the quant gate
+            // tripped back to f32 — admission and dispatch look the fit up
+            // under the configured label (see `serving_cost_key`).
+            let ckey = CostKey {
+                variant: variant as u8,
+                precision,
+                rung: cfg.resolution as u16,
+            };
+            calibrate_service_time(&self.cost, ckey, &frozen);
+        }
         match variant {
             VAR_FALLBACK => self.fallback = Some(frozen),
             _ => self.primary = Some(frozen),
@@ -1207,6 +1374,18 @@ fn reload_into(shared: &Arc<Shared>, path: &Path) -> Result<ReloadReport, Reload
         }
     }
 
+    // 5b. Service-time calibration for the cost model, off the serving
+    // path like the rest of reload validation. Seed-if-absent: an engine
+    // that already refined this key online keeps its fit.
+    if shared.cfg.batch.calibrate_on_freeze {
+        let key = CostKey {
+            variant: 0,
+            precision: shared.cfg.precision,
+            rung: model.cfg().resolution as u16,
+        };
+        calibrate_service_time(&shared.cost, key, &model);
+    }
+
     // 6. Publish. The generation counter bumps after the slot swap so a
     // worker that observes the new number always finds the new Arc.
     let digest = reader.digest();
@@ -1241,6 +1420,7 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
         &shared.cfg,
         Arc::clone(&shared.counters),
         Arc::clone(&shared.governor),
+        Arc::clone(&shared.cost),
         slot,
         shared.start,
         published.is_none(),
@@ -1286,13 +1466,31 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
         // under an in-flight forward).
         bank.process_evictions();
 
+        // The serving context this pass dispatches under: the cost key
+        // labels (variant, precision, rung); the bucket key adds the model
+        // generation so a bucket can never span a generation swap.
         let level = shared.degrade.level();
-        let max_batch = if level >= 1 {
-            (shared.cfg.max_batch / 2).max(1)
+        let use_fallback = bank.uses_fallback(level);
+        let ckey = serving_cost_key(&shared.cfg, level);
+        let bkey = BucketKey { generation: published_gen, key: ckey };
+        let cap = effective_max_batch(
+            &shared.cost,
+            &ckey,
+            level,
+            shared.cfg.max_batch,
+            shared.cfg.batch.overhead_frac,
+        );
+        let target = if shared.cfg.batch.enabled {
+            shared.cost.optimal_batch(&ckey, cap, shared.cfg.batch.overhead_frac).unwrap_or(1)
         } else {
-            shared.cfg.max_batch
+            cap
         };
-        let popped = shared.queue.pop_batch(max_batch, Duration::from_millis(20));
+
+        // With tickets lingering in open buckets, poll fast so linger and
+        // deadline-margin edges are honored at millisecond granularity;
+        // idle, block the full poll period as before.
+        let wait = if shared.batcher.depth() > 0 { 1 } else { 20 };
+        let popped = shared.queue.pop_batch(cap, Duration::from_millis(wait));
         if !popped.expired.is_empty() {
             let n = popped.expired.len() as u64;
             shared.counters.shed.fetch_add(n, Ordering::Relaxed);
@@ -1303,19 +1501,52 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, generation: u64) {
                 finish(&shared, ticket, Err(ServeError::DeadlineExceeded { waited_ms }));
             }
         }
-        let batch = popped.batch;
+        let now = Instant::now();
+        shared.batcher.offer(bkey, popped.batch, now);
+        let Some(closed) = shared.batcher.try_close(
+            &bkey,
+            target,
+            cap,
+            |b| shared.cost.predict_ms(&ckey, b),
+            now,
+        ) else {
+            continue;
+        };
+
+        // Tickets can expire while lingering in a bucket; shed them typed
+        // at dispatch instead of wasting forward work on them.
+        let dispatch_at = Instant::now();
+        let mut batch = Vec::with_capacity(closed.tickets.len());
+        for ticket in closed.tickets {
+            if ticket.deadline <= dispatch_at {
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                meter::count("serve.shed_deadline");
+                let waited_ms = ticket.waited_ms(dispatch_at);
+                finish(&shared, ticket, Err(ServeError::DeadlineExceeded { waited_ms }));
+            } else {
+                batch.push(ticket);
+            }
+        }
         if batch.is_empty() {
             continue;
         }
+        let dispatched = batch.len();
         // The fallback route always comes from the bank (a published
         // artifact replaces the *primary* variant only); otherwise the
         // published generation wins over the config-frozen primary.
-        let use_fallback = bank.uses_fallback(level);
         let model: &FrozenClassifier = match (&published, use_fallback) {
             (Some(p), false) => &p.model,
             _ => bank.select(level),
         };
+        let panics_before = shared.counters.batch_panics.load(Ordering::Relaxed);
+        let t0 = Instant::now();
         run_partition(&shared, model, use_fallback, rung, batch, level);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Bisected batches re-run partitions serially; their timings say
+        // nothing about a clean forward, so only clean runs feed the fit.
+        if shared.counters.batch_panics.load(Ordering::Relaxed) == panics_before {
+            shared.cost.observe(ckey, dispatched, elapsed_ms);
+        }
     }
 }
 
@@ -1461,11 +1692,18 @@ fn watchdog_loop(shared: Arc<Shared>) {
         }
         std::thread::sleep(Duration::from_millis(shared.cfg.watchdog_poll_ms));
         let now = shared.now_ms();
-        shared.degrade.observe(shared.queue.depth(), shared.latency.percentile(0.99), now);
+        // Tickets lingering in open buckets are queue pressure too: the
+        // degrade controller must see the true backlog.
+        shared.degrade.observe(
+            shared.queue.depth() + shared.batcher.depth(),
+            shared.latency.percentile(0.99),
+            now,
+        );
 
         // Proactive deadline sweep: long-deadline floods must not pin queue
-        // slots until a worker happens to dequeue them.
-        let swept = shared.queue.sweep_expired(Instant::now());
+        // slots (or bucket slots) until a worker happens to dequeue them.
+        let mut swept = shared.queue.sweep_expired(Instant::now());
+        swept.extend(shared.batcher.sweep_expired(Instant::now()));
         if !swept.is_empty() {
             let n = swept.len() as u64;
             shared.counters.swept_expired.fetch_add(n, Ordering::Relaxed);
@@ -1539,6 +1777,9 @@ fn watchdog_loop(shared: Arc<Shared>) {
             // Nobody left to serve: answer the backlog with the typed
             // error instead of letting tickets wait out their deadlines.
             for ticket in shared.queue.drain() {
+                finish(&shared, ticket, Err(ServeError::WorkerLost));
+            }
+            for ticket in shared.batcher.drain() {
                 finish(&shared, ticket, Err(ServeError::WorkerLost));
             }
         }
@@ -1704,13 +1945,21 @@ mod tests {
     fn model_bank_swaps_packed_panels_with_the_ladder() {
         let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
         cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
+        cfg.batch.calibrate_on_freeze = false;
         let swaps_before = meter::event_count("serve.variant_swap");
 
         let counters = Arc::new(Counters::default());
         // Ungoverned (budget 0): the classic hard-swap discipline.
         let governor = Arc::new(MemoryGovernor::new(GovernorConfig::default()));
-        let mut bank =
-            ModelBank::new(&cfg, Arc::clone(&counters), governor, 0, Instant::now(), true);
+        let mut bank = ModelBank::new(
+            &cfg,
+            Arc::clone(&counters),
+            governor,
+            Arc::new(CostModel::new()),
+            0,
+            Instant::now(),
+            true,
+        );
         let resident = meter::packed_current();
         assert!(resident > 0, "primary must be frozen eagerly");
 
@@ -1755,13 +2004,21 @@ mod tests {
     fn governed_bank_keeps_both_variants_until_budget_presses() {
         let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
         cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
+        cfg.batch.calibrate_on_freeze = false;
 
         // Learn the primary's true panel size with a throwaway ungoverned
         // bank, then set a budget that fits exactly one variant.
         let counters = Arc::new(Counters::default());
         let probe_gov = Arc::new(MemoryGovernor::new(GovernorConfig::default()));
-        let probe =
-            ModelBank::new(&cfg, Arc::clone(&counters), probe_gov, 0, Instant::now(), true);
+        let probe = ModelBank::new(
+            &cfg,
+            Arc::clone(&counters),
+            probe_gov,
+            Arc::new(CostModel::new()),
+            0,
+            Instant::now(),
+            true,
+        );
         let one_variant = meter::packed_current() as u64;
         drop(probe);
         assert!(one_variant > 0);
@@ -1774,6 +2031,7 @@ mod tests {
             &cfg,
             Arc::clone(&counters),
             Arc::clone(&governor),
+            Arc::new(CostModel::new()),
             0,
             Instant::now(),
             true,
@@ -2313,5 +2571,77 @@ mod tests {
             Err(e) => panic!("unexpected outcome: {e}"),
         }
         assert!(matches!(engine.submit(image(0.2)), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_shed_at_admission() {
+        let mut cfg = ServeConfig::new(RevBiFPNConfig::tiny(10));
+        cfg.workers = 1;
+        cfg.queue_capacity = 8;
+        // Seed manually instead of racing the worker's freeze calibration,
+        // so the fit is exactly known when the submissions land.
+        cfg.batch.calibrate_on_freeze = false;
+        let engine = ServeEngine::start(cfg);
+        let key = CostKey { variant: 0, precision: Precision::F32, rung: 32 };
+        engine.cost_model().seed(key, 50.0, 50.0); // predict(1) = 100 ms
+
+        match engine.submit_with(image(0.1), 10, None) {
+            Err(ServeError::Infeasible { predicted_ms, budget_ms }) => {
+                assert_eq!(budget_ms, 10);
+                assert!(predicted_ms >= 100, "predicted_ms = {predicted_ms}");
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        let h = engine.health();
+        assert_eq!(h.infeasible_count, 1);
+        assert!(h.shed_count >= 1);
+        // A budget that covers the prediction is admitted and served.
+        assert!(engine.submit_with(image(0.2), 5_000, None).unwrap().wait().is_ok());
+        engine.shutdown();
+    }
+
+    /// Satellite: the degradation ladder's batch-shrink rung consults the
+    /// cost model, and the resulting cap trace is deterministic — two
+    /// identical replays of (level, key) sequences produce identical caps,
+    /// with calibrated caps coming from the amortization knee rather than
+    /// blind halving.
+    #[test]
+    fn degrade_batch_rung_follows_cost_model_deterministically() {
+        let key = CostKey { variant: 0, precision: Precision::F32, rung: 32 };
+        let levels: [u8; 6] = [0, 1, 2, 1, 3, 0];
+        let configured = 16;
+
+        // Uncalibrated: level >= 1 falls back to the classic halving.
+        let cold = CostModel::new();
+        let cold_trace: Vec<usize> = levels
+            .iter()
+            .map(|&l| effective_max_batch(&cold, &key, l, configured, 0.25))
+            .collect();
+        assert_eq!(cold_trace, vec![16, 8, 8, 8, 8, 16]);
+
+        // Calibrated: a = 2ms, c = 0.5ms → knee at ceil(2 / (0.25 * 0.5))
+        // = 16, clamped to the configured cap.
+        let warm = CostModel::new();
+        warm.seed(key, 2.0, 0.5);
+        let warm_trace: Vec<usize> = levels
+            .iter()
+            .map(|&l| effective_max_batch(&warm, &key, l, configured, 0.25))
+            .collect();
+        // Steeper marginal cost moves the knee below the halving point.
+        let steep = CostModel::new();
+        steep.seed(key, 0.5, 1.0);
+        let steep_trace: Vec<usize> = levels
+            .iter()
+            .map(|&l| effective_max_batch(&steep, &key, l, configured, 0.25))
+            .collect();
+        assert_eq!(warm_trace, vec![16, 16, 16, 16, 16, 16]);
+        assert_eq!(steep_trace, vec![16, 2, 2, 2, 2, 16]);
+
+        // Determinism under replay: same model state, same trace.
+        let replay: Vec<usize> = levels
+            .iter()
+            .map(|&l| effective_max_batch(&steep, &key, l, configured, 0.25))
+            .collect();
+        assert_eq!(replay, steep_trace);
     }
 }

@@ -57,6 +57,16 @@ pub enum ServeError {
         /// Configured admission limit.
         limit: f32,
     },
+    /// Admission control: the request's deadline budget cannot cover even
+    /// a single-item dispatch under the calibrated cost model, so serving
+    /// it would only waste a worker on a guaranteed deadline miss.
+    Infeasible {
+        /// Predicted single-item service time for the current serving
+        /// context, milliseconds.
+        predicted_ms: u64,
+        /// The request's deadline budget, milliseconds.
+        budget_ms: u64,
+    },
     /// The request made a batch panic and was quarantined after bisection
     /// isolated it.
     Poisoned,
@@ -77,6 +87,7 @@ impl ServeError {
                 | ServeError::DeadlineExceeded { .. }
                 | ServeError::QuotaExceeded { .. }
                 | ServeError::CircuitOpen { .. }
+                | ServeError::Infeasible { .. }
         )
     }
 
@@ -98,6 +109,7 @@ impl ServeError {
             ServeError::InvalidShape(_) => "invalid_shape",
             ServeError::NonFiniteInput { .. } => "non_finite",
             ServeError::OutOfRange { .. } => "out_of_range",
+            ServeError::Infeasible { .. } => "infeasible",
             ServeError::Poisoned => "poisoned",
             ServeError::WorkerLost => "worker_lost",
             ServeError::ShuttingDown => "shutting_down",
@@ -127,6 +139,10 @@ impl fmt::Display for ServeError {
             ServeError::OutOfRange { max_abs, limit } => {
                 write!(f, "input magnitude {max_abs} exceeds admission limit {limit}")
             }
+            ServeError::Infeasible { predicted_ms, budget_ms } => write!(
+                f,
+                "deadline infeasible: predicted service {predicted_ms} ms exceeds budget {budget_ms} ms"
+            ),
             ServeError::Poisoned => write!(f, "request quarantined: it repeatedly crashed the model"),
             ServeError::WorkerLost => write!(f, "worker died while holding the request"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
@@ -247,6 +263,7 @@ mod tests {
         assert!(ServeError::QuotaExceeded { tenant: TenantId(2), scope: QuotaScope::Rate }
             .is_shed());
         assert!(ServeError::CircuitOpen { tenant: TenantId(2), retry_in_ms: 10 }.is_shed());
+        assert!(ServeError::Infeasible { predicted_ms: 50, budget_ms: 10 }.is_shed());
         assert!(!ServeError::Poisoned.is_shed());
         assert!(ServeError::NonFiniteInput { count: 1 }.is_rejected_input());
         assert!(ServeError::OutOfRange { max_abs: 9.0, limit: 1.0 }.is_rejected_input());

@@ -1,6 +1,8 @@
 //! Engine observability: latency window, atomic counters, and the
 //! poll-style [`HealthSnapshot`].
 
+use crate::batcher::{BucketStats, HIST_BINS};
+use crate::cost::{CostKey, CostReading};
 use crate::tenant::{BreakerState, TenantId, TenantStats};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -94,6 +96,9 @@ pub struct Counters {
     /// Expired tickets removed by the proactive queue sweep (as opposed to
     /// shedding at dequeue).
     pub swept_expired: AtomicU64,
+    /// Requests shed at admission because their deadline budget cannot
+    /// cover a single-item dispatch under the calibrated cost model.
+    pub infeasible: AtomicU64,
 }
 
 impl Counters {
@@ -116,6 +121,27 @@ pub struct TenantHealth {
     pub breaker_trips: u64,
     /// Cumulative admission/outcome counters.
     pub stats: TenantStats,
+}
+
+/// Per-service-key slice of a [`HealthSnapshot`]: achieved batch sizes for
+/// one batcher bucket key (variant, precision, rung).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BucketHealth {
+    /// Service key the stats are for.
+    pub key: CostKey,
+    /// Achieved-batch-size histogram, bins 1 / 2 / 3–4 / 5–8 / 9–16 / 17+
+    /// (see [`HIST_BINS`]).
+    pub hist: [u64; HIST_BINS],
+    /// Batches dispatched under this key.
+    pub closes: u64,
+    /// Mean achieved batch size.
+    pub mean_batch: f64,
+}
+
+impl BucketHealth {
+    pub(crate) fn from_stats(key: CostKey, stats: &BucketStats) -> Self {
+        Self { key, hist: stats.hist, closes: stats.closes, mean_batch: stats.mean_batch() }
+    }
 }
 
 /// One poll of the engine's health, safe to call from any thread at any
@@ -175,6 +201,29 @@ pub struct HealthSnapshot {
     /// Reservations the governor granted over budget to keep serving live
     /// (non-zero means the budget is smaller than the active working set).
     pub governor_oversize_grants: u64,
+    /// Tickets currently waiting in open batcher buckets (admitted and
+    /// dequeued, not yet dispatched).
+    pub batcher_depth: usize,
+    /// Batches closed because they reached the cost-model-optimal size.
+    pub batch_size_closes: u64,
+    /// Batches closed because the earliest deadline minus predicted
+    /// service time hit the closing margin.
+    pub batch_deadline_closes: u64,
+    /// Batches closed because the max linger expired before filling.
+    pub batch_linger_closes: u64,
+    /// Buckets force-closed on a generation swap or degrade-rung move.
+    pub batch_generation_closes: u64,
+    /// Pass-through dispatches (batching disabled).
+    pub batch_flush_closes: u64,
+    /// Requests shed at admission as deadline-infeasible under the cost
+    /// model.
+    pub infeasible_count: u64,
+    /// Per-service-key achieved-batch-size histograms, sorted by key.
+    pub batch_buckets: Vec<BucketHealth>,
+    /// Cost-model table: affine fit plus residual gauge per service key,
+    /// sorted by key. Residual is the EWMA of |observed − predicted|
+    /// batch service time in ms — a calibration-quality signal.
+    pub cost_model: Vec<CostReading>,
     /// Per-tenant counters and breaker states, sorted by tenant id. Only
     /// tenants that have submitted at least one request appear.
     pub tenants: Vec<TenantHealth>,
@@ -250,6 +299,15 @@ mod tests {
             resident_governed_bytes: 1 << 19,
             resident_evictions: 2,
             governor_oversize_grants: 0,
+            batcher_depth: 0,
+            batch_size_closes: 5,
+            batch_deadline_closes: 1,
+            batch_linger_closes: 2,
+            batch_generation_closes: 0,
+            batch_flush_closes: 0,
+            infeasible_count: 0,
+            batch_buckets: Vec::new(),
+            cost_model: Vec::new(),
             tenants: vec![
                 TenantHealth {
                     tenant: TenantId(1),

@@ -38,7 +38,9 @@
 //! engine.shutdown();
 //! ```
 
+pub mod batcher;
 pub mod chaos;
+pub mod cost;
 pub mod degrade;
 pub mod engine;
 pub mod error;
@@ -49,14 +51,16 @@ pub mod request;
 pub mod tenant;
 pub mod validate;
 
+pub use batcher::{BatchConfig, Batcher, BucketKey, BucketStats, CloseReason, ClosedBatch};
 pub use chaos::{FaultClock, LifecycleFault, TenantFault};
+pub use cost::{CostKey, CostModel, CostReading};
 pub use degrade::{downscale_rung, DegradeConfig, DegradeController};
 pub use engine::{
     DrainStats, Precision, QuantGateConfig, ReloadReport, ServeConfig, ServeEngine,
 };
 pub use error::{ReloadError, ServeError};
 pub use governor::{GovernorConfig, MemoryGovernor, PanelKey, Reserve};
-pub use health::{HealthSnapshot, LatencyWindow, TenantHealth};
+pub use health::{BucketHealth, HealthSnapshot, LatencyWindow, TenantHealth};
 pub use queue::starvation_bound_dequeues;
 pub use request::{InferResponse, Outcome, PendingResponse};
 pub use tenant::{

@@ -12,21 +12,32 @@
 //! serves tenants in deficit round robin (Shreedhar & Varghese): every
 //! visit in the rotation credits the tenant's deficit counter with its
 //! *quantum* (= the admission-time quota weight carried on each ticket) and
-//! serves one ticket per unit of deficit. A tenant whose sub-queue empties
-//! leaves the rotation and forfeits its residual deficit, so idle tenants
-//! accumulate nothing.
+//! serves the front ticket while the deficit covers its *cost*
+//! ([`Ticket::cost`] — predicted cost units from the serve cost model, 1
+//! when uncalibrated). Charging predicted cost instead of request counts
+//! means a tenant flooding expensive (large-rung, high-marginal-cost)
+//! requests drains its quantum proportionally faster, so it cannot starve a
+//! tenant sending cheap requests under the same weight. A tenant whose
+//! sub-queue empties leaves the rotation and forfeits its residual deficit,
+//! so idle tenants accumulate nothing; a backlogged tenant that cannot yet
+//! afford its front ticket keeps its deficit and accrues another quantum on
+//! the next rotation (classic DRR).
 //!
 //! **Starvation bound.** Let `W = Σ weights of tenants with queued
 //! tickets` and consider a ticket at position `k` (0-based) of a tenant
-//! with weight `w`. Each full rotation serves at least `min(w, queued)`
+//! with weight `w`, with all costs equal to 1 (the uncalibrated case the
+//! property test pins). Each full rotation serves at least `min(w, queued)`
 //! tickets of that tenant (its deficit grows by `w` per rotation and every
 //! service costs exactly 1) and at most `W` tickets in total (plus a
 //! residual of at most one partially-served quantum, absorbed below by
 //! rounding up one extra rotation). Hence the ticket departs within
 //! `ceil((k+1)/w) + 1` rotations, i.e. within
 //! [`starvation_bound_dequeues`]`(k, w, W)` non-expired dequeues — no
-//! tenant can be starved regardless of how hard the others flood. Expired
-//! tickets consume no deficit and do not count against the bound.
+//! tenant can be starved regardless of how hard the others flood. With
+//! heterogeneous costs the same bound holds with `k` and `W` measured in
+//! cost units (cost-weighted position, Σ weights unchanged), because a
+//! rotation still credits `w` units and serves at most `W` units overall.
+//! Expired tickets consume no deficit and do not count against the bound.
 
 use crate::error::ServeError;
 use crate::request::Ticket;
@@ -191,24 +202,37 @@ impl BoundedQueue {
                 tq.deficit += quantum;
             }
             let mut popped = 0usize;
-            while tq.deficit >= 1 && out.batch.len() < max {
-                let Some(ticket) = tq.tickets.pop_front() else { break };
-                popped += 1;
-                if now > ticket.deadline {
+            while out.batch.len() < max {
+                let Some(front) = tq.tickets.front() else { break };
+                if now > front.deadline {
                     // Shed without charging the tenant's deficit: an
-                    // expired ticket received no service.
+                    // expired ticket received no service, so it costs
+                    // zero units regardless of its predicted cost.
+                    let ticket = tq.tickets.pop_front().expect("front exists");
+                    popped += 1;
                     out.expired.push(ticket);
-                } else {
-                    tq.deficit -= 1;
-                    out.batch.push(ticket);
+                    continue;
                 }
+                let cost = u64::from(front.cost.max(1));
+                if tq.deficit < cost {
+                    // Can't afford the front ticket yet: keep the residual
+                    // deficit and wait for the next rotation's quantum.
+                    break;
+                }
+                let ticket = tq.tickets.pop_front().expect("front exists");
+                popped += 1;
+                tq.deficit -= cost;
+                out.batch.push(ticket);
             }
             let emptied = tq.tickets.is_empty();
-            let deficit_left = tq.deficit >= 1;
+            let affordable = tq
+                .tickets
+                .front()
+                .is_some_and(|t| tq.deficit >= u64::from(t.cost.max(1)));
             inner.len -= popped;
             if emptied {
                 inner.retire(tid);
-            } else if out.batch.len() == max && deficit_left {
+            } else if out.batch.len() == max && affordable {
                 // Batch filled mid-quantum: resume this tenant first next
                 // time, keeping the residual credit (no double-charge).
                 let tq = inner.queues.get_mut(&tid).expect("sub-queue persists");
@@ -291,9 +315,10 @@ mod tests {
     use revbifpn_tensor::{Shape, Tensor};
     use std::sync::mpsc;
 
-    fn tenant_ticket(
+    fn cost_ticket(
         tenant: TenantId,
         weight: u32,
+        cost: u32,
         deadline_in: Duration,
     ) -> (Ticket, mpsc::Receiver<Outcome>) {
         let (tx, rx) = mpsc::channel();
@@ -305,6 +330,7 @@ mod tests {
                 tag: None,
                 tenant,
                 weight,
+                cost,
                 probe: false,
                 enqueued: now,
                 deadline: now + deadline_in,
@@ -312,6 +338,14 @@ mod tests {
             },
             rx,
         )
+    }
+
+    fn tenant_ticket(
+        tenant: TenantId,
+        weight: u32,
+        deadline_in: Duration,
+    ) -> (Ticket, mpsc::Receiver<Outcome>) {
+        cost_ticket(tenant, weight, 1, deadline_in)
     }
 
     fn ticket(deadline_in: Duration) -> (Ticket, mpsc::Receiver<Outcome>) {
@@ -451,6 +485,67 @@ mod tests {
             tenants,
             vec![heavy, heavy, light, heavy, heavy, heavy, heavy, light]
         );
+    }
+
+    #[test]
+    fn cost_units_throttle_expensive_tenants_under_equal_weights() {
+        let q = BoundedQueue::new(64);
+        let pricey = TenantId(1); // every ticket predicted at 4 cost units
+        let cheap = TenantId(2); // unit-cost tickets
+        for _ in 0..8 {
+            let (t, _r) = cost_ticket(pricey, 1, 4, Duration::from_secs(5));
+            q.push(t).unwrap();
+        }
+        for _ in 0..8 {
+            let (t, _r) = cost_ticket(cheap, 1, 1, Duration::from_secs(5));
+            q.push(t).unwrap();
+        }
+        // Equal weights: the cheap tenant serves one per rotation while the
+        // pricey one must accrue four quanta per ticket, yielding a 4:1
+        // throughput ratio in requests (1:1 in predicted cost).
+        let out = q.pop_batch(5, Duration::from_millis(10));
+        let tenants: Vec<TenantId> = out.batch.iter().map(|t| t.tenant).collect();
+        assert_eq!(tenants, vec![cheap, cheap, cheap, pricey, cheap]);
+    }
+
+    #[test]
+    fn expired_tickets_charge_zero_cost_units() {
+        let q = BoundedQueue::new(16);
+        let a = TenantId(1);
+        let b = TenantId(2);
+        // Tenant A's front ticket expires (predicted cost 3); its live
+        // follow-up costs 1. If the expired ticket were charged, A's
+        // deficit (quantum 1) would go negative-equivalent and its live
+        // ticket would lose its rotation slot to B.
+        let (expired, _rx0) = cost_ticket(a, 1, 3, Duration::from_millis(0));
+        let (live_a, _rx1) = cost_ticket(a, 1, 1, Duration::from_secs(5));
+        let (live_b1, _rx2) = cost_ticket(b, 1, 1, Duration::from_secs(5));
+        let (live_b2, _rx3) = cost_ticket(b, 1, 1, Duration::from_secs(5));
+        q.push(expired).unwrap();
+        q.push(live_a).unwrap();
+        q.push(live_b1).unwrap();
+        q.push(live_b2).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let out = q.pop_batch(3, Duration::from_millis(10));
+        assert_eq!(out.expired.len(), 1);
+        assert_eq!(out.expired[0].tenant, a);
+        let tenants: Vec<TenantId> = out.batch.iter().map(|t| t.tenant).collect();
+        // A's live ticket is served in A's first visit: the swept-expired
+        // ticket charged zero units against the quantum.
+        assert_eq!(tenants, vec![a, b, b]);
+    }
+
+    #[test]
+    fn unaffordable_front_ticket_waits_for_more_quanta_not_forever() {
+        let q = BoundedQueue::new(16);
+        let t1 = TenantId(1);
+        let (t, _r) = cost_ticket(t1, 1, 5, Duration::from_secs(5));
+        q.push(t).unwrap();
+        // A single pop call keeps rotating until the deficit covers the
+        // ticket: cost 5 at quantum 1 takes five visits, then serves.
+        let out = q.pop_batch(4, Duration::from_millis(10));
+        assert_eq!(out.batch.len(), 1);
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Ticket {
     /// Fair-scheduler weight snapshotted from the tenant's quota at
     /// admission (the DRR quantum; see `queue`).
     pub weight: u32,
+    /// Predicted cost units this request charges against its tenant's
+    /// deficit when dequeued (see `cost::CostModel::cost_units`; >= 1).
+    /// Expired-and-swept tickets charge nothing regardless of this value.
+    pub cost: u32,
     /// `true` when this request is a circuit-breaker half-open probe; its
     /// outcome must be reported back to the breaker with the probe flag.
     pub probe: bool,
@@ -112,6 +116,7 @@ mod tests {
                 tag: None,
                 tenant: TenantId::DEFAULT,
                 weight: 1,
+                cost: 1,
                 probe: false,
                 enqueued: now,
                 deadline: now + Duration::from_secs(1),

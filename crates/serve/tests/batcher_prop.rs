@@ -1,0 +1,178 @@
+//! Property test for the continuous batcher + cost model pair, run as a
+//! threadless simulation on an explicit clock: adversarial arrival
+//! patterns and cost-model fits must never leave a request waiting past
+//! its cost-model-feasible deadline without a typed shed, and every
+//! request must depart exactly once (dispatched, or shed typed).
+//!
+//! Two regimes are asserted:
+//! - Always: totality (no ticket lost or duplicated, none left bucketed),
+//!   no ticket dispatched at or after its deadline, and expired tickets
+//!   swept within one poll tick of expiry.
+//! - Uncontended cases (bucket depth never exceeds the dispatch cap): the
+//!   deadline-margin closing rule is strong enough that every dispatched
+//!   batch's predicted completion lands before every member's deadline —
+//!   the "no feasible deadline is missed" contract.
+
+use proptest::prelude::*;
+use revbifpn_serve::engine::Precision;
+use revbifpn_serve::request::{Outcome, Ticket};
+use revbifpn_serve::tenant::TenantId;
+use revbifpn_serve::{BatchConfig, Batcher, BucketKey, CostKey, CostModel};
+use revbifpn_tensor::{Shape, Tensor};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn ticket(id: u64, now: Instant, deadline: Instant) -> (Ticket, mpsc::Receiver<Outcome>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        Ticket {
+            id,
+            image: Tensor::zeros(Shape::new(1, 3, 4, 4)),
+            tag: None,
+            tenant: TenantId::DEFAULT,
+            weight: 1,
+            cost: 1,
+            probe: false,
+            enqueued: now,
+            deadline,
+            responder: tx,
+        },
+        rx,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn no_feasible_deadline_is_missed_without_a_typed_shed(
+        n in 1usize..40,
+        seed in any::<u64>(),
+        cap in 1usize..6,
+        a_tenths in 0u32..50,     // fixed overhead a in [0, 5) ms
+        c_tenths in 1u32..20,     // marginal cost c in (0, 2] ms
+    ) {
+        let a = f64::from(a_tenths) / 10.0;
+        let c = f64::from(c_tenths) / 10.0;
+        let key = CostKey { variant: 0, precision: Precision::F32, rung: 32 };
+        let bkey = BucketKey { generation: 1, key };
+        let model = CostModel::new();
+        model.seed(key, a, c);
+        let predict_cap = model.predict_ms(&key, cap).expect("seeded");
+
+        // Margin sized so the 1ms poll granularity plus one tick's worth of
+        // late arrivals can never push a Deadline close past feasibility.
+        let margin_ms = 1 + (c * cap as f64).ceil() as u64 + 4;
+        let batcher = Batcher::new(BatchConfig {
+            enabled: true,
+            linger_ms: 2,
+            close_margin_ms: margin_ms,
+            ..BatchConfig::default()
+        });
+
+        // Arrivals over 50 ticks; every deadline is cost-model-feasible at
+        // admission (budget covers a full-cap dispatch plus the margin).
+        let feasible_min = predict_cap.ceil() as u64 + margin_ms + 2;
+        let mut s = seed | 1;
+        let mut arrivals: Vec<(u64, u64, u64)> = (0..n as u64)
+            .map(|id| {
+                let at = xorshift(&mut s) % 50;
+                let deadline = at + feasible_min + xorshift(&mut s) % 150;
+                (at, id, deadline)
+            })
+            .collect();
+        arrivals.sort_unstable();
+
+        let base = Instant::now();
+        let target = model.optimal_batch(&key, cap, 0.25).expect("seeded");
+        let horizon = 50 + feasible_min + 150 + 5;
+
+        let mut _rxs = Vec::new();
+        let mut next = 0usize;
+        let mut dispatched: Vec<(u64, u64, usize)> = Vec::new(); // (id, tick, batch len)
+        let mut swept: Vec<(u64, u64)> = Vec::new(); // (id, tick)
+        let mut deadline_of = vec![0u64; n];
+        let mut contended = false;
+
+        for tick in 0..=horizon {
+            let now = base + Duration::from_millis(tick);
+            // Arrivals due this tick enter their bucket.
+            let mut fresh = Vec::new();
+            while next < arrivals.len() && arrivals[next].0 == tick {
+                let (_, id, dl) = arrivals[next];
+                deadline_of[id as usize] = dl;
+                let (t, rx) = ticket(id, now, base + Duration::from_millis(dl));
+                fresh.push(t);
+                _rxs.push(rx);
+                next += 1;
+            }
+            batcher.offer(bkey, fresh, now);
+            contended |= batcher.depth() > cap;
+
+            // Watchdog sweep: expired tickets depart typed, promptly.
+            for t in batcher.sweep_expired(now) {
+                prop_assert!(
+                    now.saturating_duration_since(t.deadline) <= Duration::from_millis(1),
+                    "ticket {} swept {}us past its deadline",
+                    t.id,
+                    now.saturating_duration_since(t.deadline).as_micros(),
+                );
+                swept.push((t.id, tick));
+            }
+
+            // Worker passes: close until the tick has nothing ready.
+            while let Some(closed) = batcher.try_close(
+                &bkey,
+                target,
+                cap,
+                |b| model.predict_ms(&key, b),
+                now,
+            ) {
+                let len = closed.tickets.len();
+                prop_assert!(len >= 1 && len <= cap);
+                for t in closed.tickets {
+                    // Survivors of this tick's sweep are strictly live.
+                    prop_assert!(t.deadline > now, "ticket {} dispatched expired", t.id);
+                    dispatched.push((t.id, tick, len));
+                }
+            }
+        }
+
+        // Totality: everything departed exactly once, nothing left behind.
+        prop_assert_eq!(batcher.depth(), 0, "tickets left bucketed after the horizon");
+        prop_assert_eq!(dispatched.len() + swept.len(), n);
+        let mut seen = vec![false; n];
+        for &(id, _, _) in &dispatched {
+            prop_assert!(!seen[id as usize], "ticket {} departed twice", id);
+            seen[id as usize] = true;
+        }
+        for &(id, _) in &swept {
+            prop_assert!(!seen[id as usize], "ticket {} departed twice", id);
+            seen[id as usize] = true;
+        }
+
+        // Uncontended regime: the closing rules guarantee the cost-model
+        // contract outright — predicted completion precedes every member
+        // deadline, so no feasible request needed a shed at all.
+        if !contended {
+            prop_assert!(swept.is_empty(), "uncontended run shed {} tickets", swept.len());
+            for &(id, tick, len) in &dispatched {
+                let done = tick as f64 + model.predict_ms(&key, len).expect("seeded");
+                prop_assert!(
+                    done <= deadline_of[id as usize] as f64,
+                    "ticket {}: predicted completion {:.2}ms past deadline {}ms (batch {})",
+                    id, done, deadline_of[id as usize], len,
+                );
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@ fn ticket(id: u64, tenant: TenantId, weight: u32) -> (Ticket, mpsc::Receiver<Out
             tag: None,
             tenant,
             weight,
+            cost: 1,
             probe: false,
             enqueued: now,
             deadline: now + Duration::from_secs(3600),

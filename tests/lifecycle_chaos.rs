@@ -134,6 +134,7 @@ fn assert_typed(e: &ServeError) {
         | ServeError::WorkerLost
         | ServeError::QuotaExceeded { .. }
         | ServeError::CircuitOpen { .. }
+        | ServeError::Infeasible { .. }
         | ServeError::ShuttingDown => {}
     }
 }

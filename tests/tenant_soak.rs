@@ -50,6 +50,7 @@ fn assert_typed(e: &ServeError) {
         | ServeError::WorkerLost
         | ServeError::QuotaExceeded { .. }
         | ServeError::CircuitOpen { .. }
+        | ServeError::Infeasible { .. }
         | ServeError::ShuttingDown => {}
     }
 }
@@ -70,7 +71,11 @@ fn soak_config() -> ServeConfig {
     cfg.fallback = Some(RevBiFPNConfig::tiny(10).with_resolution(16));
     cfg.workers = 1;
     cfg.queue_capacity = 32;
-    cfg.max_batch = 2;
+    // `REVBIFPN_TENANT_SOAK_BATCH` raises the cap so CI can re-run the
+    // same soak with the continuous batcher assembling real batches
+    // (cost-model targets, linger, deadline-margin closes) instead of the
+    // near-degenerate cap of 2.
+    cfg.max_batch = env_u64("REVBIFPN_TENANT_SOAK_BATCH", 2).max(1) as usize;
     cfg.default_timeout_ms = 5_000;
     cfg.watchdog_poll_ms = 5;
     cfg.degrade = DegradeConfig {
