@@ -41,8 +41,10 @@ EOF
 
 echo "wrote results/BENCH_kernels.json"
 
-# Training-step bench: serial seed step vs the sharded engine, per-phase
-# timings + on-the-spot bitwise determinism check.
+# Training-step bench: serial seed step vs the sharded engine vs the
+# stage-pipelined engine (sync, combined, and PETRA delayed modes),
+# per-phase timings + bubble fractions + on-the-spot bitwise determinism
+# checks for both engines.
 cargo run --release -q --example train_bench
 
 # Quantized inference bench: int8 fast path vs the f32 frozen path vs the

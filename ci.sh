@@ -50,8 +50,11 @@ cargo run -q --release --example serve_throughput_bench -- --smoke
 echo "== artifact cold start (mmap vs copy, bitwise round-trip gate)"
 cargo run -q --release --example coldstart_bench -- --smoke
 
-echo "== sharded training step (bitwise shard/thread invariance smoke)"
+echo "== sharded + pipelined training step (bitwise shard/pipeline invariance smoke)"
 cargo run -q --release --example train_bench -- --smoke
+
+echo "== stage-pipelined delayed-gradient parity (within 0.5 pt of serial top-1, release)"
+cargo test -q --release -p revbifpn-train --test pipeline_invariance -- --ignored
 
 echo "== checkpoint cross-profile round-trip (release writes, debug reads)"
 CKPT_TMP="$(mktemp -d)/xprofile.ckpt"

@@ -156,6 +156,32 @@ impl RevBiFPN {
         &self.stem
     }
 
+    /// Mutable access to the stem (the pipelined trainer drives the stem
+    /// directly on the edge replica).
+    pub fn stem_mut(&mut self) -> &mut Stem {
+        &mut self.stem
+    }
+
+    /// Removes and returns the reversible body, leaving an empty sequence
+    /// behind. The pipelined trainer splits the body into
+    /// [`revbifpn_rev::StageCell`]s owned by worker tasks; the hollowed-out
+    /// backbone keeps serving as the stem-side edge replica.
+    pub fn take_body(&mut self) -> ReversibleSequence {
+        std::mem::take(&mut self.body)
+    }
+
+    /// Runs only the stem forward, in an explicit cache mode (bypasses
+    /// [`stem_mode`](Self::forward) promotion — the pipelined trainer runs
+    /// a cache-free first pass and a `Full` recompute at adjoint time).
+    pub fn stem_forward(&mut self, x: &Tensor, mode: CacheMode) -> Tensor {
+        self.stem.forward(x, mode)
+    }
+
+    /// Backward through only the stem, consuming its caches.
+    pub fn stem_backward(&mut self, ds0: &Tensor) -> Tensor {
+        self.stem.backward(ds0)
+    }
+
     /// Inference-only frozen form of the backbone: fused stem + fused body
     /// (uncompiled; see [`crate::FrozenBackbone`]).
     pub fn freeze(&self) -> Result<crate::FrozenBackbone, revbifpn_nn::FreezeError> {

@@ -365,6 +365,24 @@ fn serving_cost_key(cfg: &ServeConfig, level: u8) -> CostKey {
     CostKey { variant, precision, rung: rung as u16 }
 }
 
+/// End-to-end latency estimate for a newly admitted request, ms:
+/// its own single-item dispatch (`a + c` from the calibrated fit) plus
+/// the `backlog` items already waiting, each costing the marginal
+/// per-item time amortized across the `workers` pool (the per-flush
+/// setup cost amortizes across batches and is charged only once, on the
+/// request's own dispatch). `None` until the key is calibrated —
+/// uncalibrated contexts must admit everything.
+fn predict_with_backlog(
+    cost: &CostModel,
+    key: &CostKey,
+    backlog: usize,
+    workers: usize,
+) -> Option<f64> {
+    let own = cost.predict_ms(key, 1)?;
+    let marginal = cost.marginal_ms(key).unwrap_or(0.0);
+    Some(own + marginal * backlog as f64 / workers.max(1) as f64)
+}
+
 /// The batch-size cap the degradation ladder imposes at `level`.
 ///
 /// Level 0 serves the configured `max_batch`. At level >= 1 the ladder's
@@ -594,11 +612,19 @@ impl ServeEngine {
         }
 
         // Deadline feasibility: when the cost model is calibrated for the
-        // current serving context and even a single-item dispatch cannot
-        // fit the budget, shed now instead of burning a worker on a
-        // guaranteed deadline miss. Uncalibrated contexts admit everything.
+        // current serving context and the request cannot make its budget,
+        // shed now instead of burning a worker on a guaranteed deadline
+        // miss. The estimate folds the waiting work ahead of this request
+        // (tenant queue plus whatever the batcher currently holds) through
+        // the same cost model: each backlog item costs the marginal
+        // per-item time amortized across the worker pool, on top of the
+        // request's own single-item dispatch. Uncalibrated contexts admit
+        // everything.
         let ckey = serving_cost_key(&shared.cfg, shared.degrade.level());
-        if let Some(predicted) = shared.cost.predict_ms(&ckey, 1) {
+        let backlog = shared.queue.depth() + shared.batcher.depth();
+        if let Some(predicted) =
+            predict_with_backlog(&shared.cost, &ckey, backlog, shared.cfg.workers)
+        {
             if (timeout_ms as f64) < predicted {
                 shared.counters.shed.fetch_add(1, Ordering::Relaxed);
                 shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
@@ -2598,6 +2624,24 @@ mod tests {
         // A budget that covers the prediction is admitted and served.
         assert!(engine.submit_with(image(0.2), 5_000, None).unwrap().wait().is_ok());
         engine.shutdown();
+    }
+
+    /// The admission estimate folds waiting work through the cost model:
+    /// `backlog` items ahead each cost the marginal per-item time divided
+    /// across the worker pool, on top of the request's own dispatch. A
+    /// budget that covers an empty system therefore stops covering a
+    /// backlogged one, and the uncalibrated model predicts nothing.
+    #[test]
+    fn backlog_raises_the_admission_estimate() {
+        let m = CostModel::new();
+        let key = CostKey { variant: 0, precision: Precision::F32, rung: 32 };
+        assert_eq!(predict_with_backlog(&m, &key, 64, 2), None);
+        m.seed(key, 10.0, 5.0); // own dispatch: 10 + 5 = 15 ms
+        assert_eq!(predict_with_backlog(&m, &key, 0, 2), Some(15.0));
+        // 8 waiting items * 5 ms / 2 workers = +20 ms.
+        assert_eq!(predict_with_backlog(&m, &key, 8, 2), Some(35.0));
+        // A degenerate worker count is clamped, never a division by zero.
+        assert_eq!(predict_with_backlog(&m, &key, 8, 0), Some(55.0));
     }
 
     /// Satellite: the degradation ladder's batch-shrink rung consults the
